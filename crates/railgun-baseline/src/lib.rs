@@ -1,0 +1,24 @@
+//! # railgun-baseline — the comparison systems of the paper's evaluation
+//!
+//! Two baselines stand in for Apache Flink in §5.1's comparison (DESIGN.md:
+//! we implement comparators rather than depending on a JVM system):
+//!
+//! * [`hopping`] — Flink's standard "sliding" (hopping) windows over a
+//!   RocksDB-style store: `windowSize/hopSize` pane states updated per
+//!   event, pane emission/expiry timers at hop boundaries, answers served
+//!   from the last *closed* pane. Fast while the hop is large; per-event
+//!   cost and state size blow up as the hop shrinks toward real-time
+//!   behaviour (Figure 8), and accuracy is structurally limited (Figure 1).
+//! * [`rescan`] — Flink's custom fraud-detection solution [21]: store all
+//!   events, recompute every aggregation from scratch per event. Accurate
+//!   but quadratic.
+//!
+//! Both run on the same `railgun-store` LSM substrate as Railgun itself,
+//! so cost comparisons isolate the *algorithmic* difference (1 state op
+//! per metric vs `ws/hop` ops vs full rescans), not storage-engine quality.
+
+pub mod hopping;
+pub mod rescan;
+
+pub use hopping::{Emission, HoppingConfig, HoppingEngine, HoppingStats};
+pub use rescan::{RescanConfig, RescanEngine, RescanStats};

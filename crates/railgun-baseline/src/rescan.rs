@@ -1,0 +1,295 @@
+//! The "Flink custom solution" baseline (§2.2, [21]).
+//!
+//! Flink's own answer to accurate low-latency fraud metrics: persist every
+//! event in RocksDB and, **for each new event, recompute each aggregation
+//! from scratch** by iterating all stored events of the entity that fall in
+//! the window. Accurate, but quadratic — per-event cost grows with the
+//! number of events in the window, and "since Flink was not designed to
+//! store events and manage event expiration, few optimizations are
+//! possible".
+
+use std::path::Path;
+
+use railgun_core::lang::AggFunc;
+use railgun_store::{Db, DbOptions};
+use railgun_types::encode::{get_value, put_value};
+use railgun_types::{Result, TimeDelta, Timestamp, Value};
+
+/// Configuration for the rescan baseline.
+#[derive(Debug, Clone)]
+pub struct RescanConfig {
+    pub window: TimeDelta,
+    /// Aggregations: function + input field index (`None` = count(*)).
+    pub aggs: Vec<(AggFunc, Option<usize>)>,
+    pub store: DbOptions,
+    /// Delete events older than the window every N events (state cleanup).
+    pub cleanup_every: u64,
+}
+
+/// Work counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RescanStats {
+    pub events: u64,
+    /// Stored events visited during rescans — the quadratic term.
+    pub events_scanned: u64,
+    pub cleanups: u64,
+}
+
+/// Accurate-but-quadratic per-event rescan engine.
+pub struct RescanEngine {
+    cfg: RescanConfig,
+    db: Db,
+    seq: u64,
+    stats: RescanStats,
+}
+
+impl RescanEngine {
+    /// Open with a fresh store in `dir`.
+    pub fn open(dir: &Path, cfg: RescanConfig) -> Result<Self> {
+        let db = Db::open(dir, cfg.store.clone())?;
+        Ok(RescanEngine {
+            cfg,
+            db,
+            seq: 0,
+            stats: RescanStats::default(),
+        })
+    }
+
+    /// Store the event, then recompute every aggregation by scanning the
+    /// entity's events inside `[ts - window, ts]`.
+    pub fn process(
+        &mut self,
+        key: &[u8],
+        ts: Timestamp,
+        values: &[Value],
+    ) -> Result<Vec<Value>> {
+        self.stats.events += 1;
+        self.seq += 1;
+        // Store: key = entity ++ ts ++ seq (ts ordered within entity).
+        let skey = event_key(key, ts, self.seq);
+        let mut payload = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            put_value(&mut payload, v);
+        }
+        self.db.put(Db::DEFAULT_CF, &skey, &payload)?;
+
+        // Rescan the window.
+        let lower = event_key(key, ts - self.cfg.window, 0);
+        let upper = event_key(key, ts + TimeDelta::from_millis(1), 0);
+        let rows = self.db.scan(Db::DEFAULT_CF, &lower, Some(&upper))?;
+        let mut acc: Vec<Acc> = self.cfg.aggs.iter().map(|_| Acc::default()).collect();
+        for (_, raw) in &rows {
+            self.stats.events_scanned += 1;
+            let mut cur = &raw[..];
+            let mut fields = Vec::new();
+            while !cur.is_empty() {
+                fields.push(get_value(&mut cur)?);
+            }
+            for ((_, field), a) in self.cfg.aggs.iter().zip(acc.iter_mut()) {
+                let v = field.map(|i| &fields[i]);
+                a.add(v);
+            }
+        }
+        // Periodic expiry of old events (Flink would use timers/TTL).
+        if self.cfg.cleanup_every > 0 && self.stats.events.is_multiple_of(self.cfg.cleanup_every) {
+            self.cleanup(key, ts)?;
+        }
+        Ok(self
+            .cfg
+            .aggs
+            .iter()
+            .zip(acc)
+            .map(|((f, _), a)| a.finish(*f))
+            .collect())
+    }
+
+    fn cleanup(&mut self, key: &[u8], now: Timestamp) -> Result<()> {
+        self.stats.cleanups += 1;
+        let lower = event_key(key, Timestamp::MIN, 0);
+        let upper = event_key(key, now - self.cfg.window, 0);
+        for (k, _) in self.db.scan(Db::DEFAULT_CF, &lower, Some(&upper))? {
+            self.db.delete(Db::DEFAULT_CF, &k)?;
+        }
+        Ok(())
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> RescanStats {
+        self.stats
+    }
+}
+
+/// Order-preserving event key: entity, then timestamp (offset to keep the
+/// encoding unsigned and big-endian comparable), then sequence.
+fn event_key(key: &[u8], ts: Timestamp, seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() + 20);
+    out.extend_from_slice(&(key.len() as u32).to_be_bytes());
+    out.extend_from_slice(key);
+    let biased = (ts.as_millis() as i128 - i64::MIN as i128) as u128 as u64;
+    out.extend_from_slice(&biased.to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out
+}
+
+/// Simple accumulator used by the from-scratch recompute.
+#[derive(Default)]
+struct Acc {
+    count: i64,
+    sum: f64,
+    sum_sq: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+    distinct: std::collections::HashSet<String>,
+    last: Option<Value>,
+    prev: Option<Value>,
+}
+
+impl Acc {
+    fn add(&mut self, v: Option<&Value>) {
+        match v {
+            None => self.count += 1, // count(*)
+            Some(v) if !v.is_null() => {
+                self.count += 1;
+                if let Some(x) = v.as_f64() {
+                    self.sum += x;
+                    self.sum_sq += x * x;
+                    self.min = Some(self.min.map_or(x, |m| m.min(x)));
+                    self.max = Some(self.max.map_or(x, |m| m.max(x)));
+                }
+                self.distinct.insert(v.to_string());
+                self.prev = self.last.take();
+                self.last = Some(v.clone());
+            }
+            Some(_) => {}
+        }
+    }
+
+    fn finish(self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count),
+            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::StdDev => {
+                if self.count < 2 {
+                    if self.count == 1 {
+                        Value::Float(0.0)
+                    } else {
+                        Value::Null
+                    }
+                } else {
+                    let n = self.count as f64;
+                    let var = (self.sum_sq - self.sum * self.sum / n) / (n - 1.0);
+                    Value::Float(var.max(0.0).sqrt())
+                }
+            }
+            AggFunc::Min => self.min.map(Value::Float).unwrap_or(Value::Null),
+            AggFunc::Max => self.max.map(Value::Float).unwrap_or(Value::Null),
+            AggFunc::Last => self.last.unwrap_or(Value::Null),
+            AggFunc::Prev => self.prev.unwrap_or(Value::Null),
+            AggFunc::CountDistinct => Value::Int(self.distinct.len() as i64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("railgun-rescan-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn engine(name: &str) -> RescanEngine {
+        RescanEngine::open(
+            &fresh(name),
+            RescanConfig {
+                window: TimeDelta::from_minutes(5),
+                aggs: vec![
+                    (AggFunc::Count, None),
+                    (AggFunc::Sum, Some(0)),
+                    (AggFunc::Avg, Some(0)),
+                ],
+                store: DbOptions::default(),
+                cleanup_every: 100,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn recomputes_exact_sliding_aggregations() {
+        let mut e = engine("exact");
+        let r = e
+            .process(b"c", Timestamp::from_millis(0), &[Value::Float(10.0)])
+            .unwrap();
+        assert_eq!(r, vec![Value::Int(1), Value::Float(10.0), Value::Float(10.0)]);
+        let r = e
+            .process(b"c", Timestamp::from_millis(60_000), &[Value::Float(30.0)])
+            .unwrap();
+        assert_eq!(r[0], Value::Int(2));
+        assert_eq!(r[1], Value::Float(40.0));
+        // 6 minutes later the first two expire.
+        let r = e
+            .process(b"c", Timestamp::from_millis(420_000), &[Value::Float(5.0)])
+            .unwrap();
+        assert_eq!(r[0], Value::Int(1));
+        assert_eq!(r[1], Value::Float(5.0));
+    }
+
+    #[test]
+    fn includes_all_five_figure_1_events() {
+        // Unlike hopping windows, the rescan baseline is accurate: the
+        // fifth event within 5 minutes sees count = 5.
+        let mut e = engine("fig1");
+        let times = [60_000i64, 120_000, 180_000, 240_000, 299_000];
+        let mut last = Vec::new();
+        for t in times {
+            last = e
+                .process(b"card", Timestamp::from_millis(t), &[Value::Float(1.0)])
+                .unwrap();
+        }
+        assert_eq!(last[0], Value::Int(5));
+    }
+
+    #[test]
+    fn work_grows_quadratically_with_window_population() {
+        let mut e = engine("quad");
+        // 100 events inside one window: total scanned = 1+2+...+100.
+        for i in 0..100 {
+            e.process(b"c", Timestamp::from_millis(i * 10), &[Value::Float(1.0)])
+                .unwrap();
+        }
+        let scanned = e.stats().events_scanned;
+        assert_eq!(scanned, 5050, "triangular growth — the quadratic cost");
+    }
+
+    #[test]
+    fn keys_are_isolated() {
+        let mut e = engine("iso");
+        e.process(b"a", Timestamp::from_millis(0), &[Value::Float(1.0)])
+            .unwrap();
+        let r = e
+            .process(b"b", Timestamp::from_millis(1), &[Value::Float(2.0)])
+            .unwrap();
+        assert_eq!(r[0], Value::Int(1), "b sees only its own event");
+    }
+
+    #[test]
+    fn negative_timestamps_order_correctly() {
+        let mut e = engine("negts");
+        e.process(b"c", Timestamp::from_millis(-60_000), &[Value::Float(1.0)])
+            .unwrap();
+        let r = e
+            .process(b"c", Timestamp::from_millis(0), &[Value::Float(2.0)])
+            .unwrap();
+        assert_eq!(r[0], Value::Int(2), "negative-ts event inside window");
+    }
+}

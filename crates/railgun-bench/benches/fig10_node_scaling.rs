@@ -1,0 +1,149 @@
+//! Figure 10 reproduction: per-node throughput and tail latency as the
+//! cluster scales from 1 to 50 nodes (25 k ev/s per node target, 1 M ev/s
+//! total at 50 nodes).
+//!
+//! Setup mirrors §5.3: three metrics (sum, avg, count of `amount` per
+//! card) over a 5-minute window, 8 processor units per node, partitions
+//! matched to consumers, Kafka replication 3. Per-event service time is
+//! **measured on the real task processor**, then composed through the
+//! fleet queueing model (DESIGN.md substitution #5) with:
+//!
+//! * the calibrated JVM allocation/GC model (the paper's measured per-node
+//!   ceiling: ~5 GB/s allocation at 25 k ev/s against a 32 GB heap);
+//! * a broker-contention surcharge growing with total partition count (the
+//!   Kafka bottleneck the paper hits at 35+ nodes);
+//! * the real fraud workload's key skew (load imbalance across units).
+//!
+//! For every node count the harness searches the highest sustainable rate
+//! under the M requirement (<250 ms @ 99.9%) capped at the 25 k ev/s
+//! target — the same protocol as §5.3 ("as much load as possible, in a
+//! sustained way, without breaching the M requirement").
+//!
+//! Expected shape (paper): ~25 k ev/s per node up to ~20 nodes, slight
+//! degradation from 35 nodes, ~20 k ev/s per node at 50 nodes (1 M ev/s
+//! total), with p99.9 below 250 ms throughout.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use railgun_bench::{bench_scale, fmt_ms, ServicePool};
+use railgun_bench::{FraudGenerator, WorkloadConfig};
+use railgun_core::{TaskConfig, TaskProcessor};
+use railgun_sim::{max_sustainable_rate, run_cluster, ClusterSimConfig, GcModel, KafkaHopModel};
+use railgun_types::{Event, EventId, Timestamp};
+
+/// §5.3 per-node target.
+const TARGET_PER_NODE: f64 = 25_000.0;
+/// Units per node (paper: "8 Railgun processors per node").
+const UNITS_PER_NODE: u32 = 8;
+/// Per-event JVM overhead (object churn at ~200 KB allocated per event)
+/// added to the measured Rust service time — the dominant difference
+/// between this Rust engine and the paper's JVM prototype (§5.3.1 blames
+/// allocation rate and GC for the per-node ceiling). See EXPERIMENTS.md.
+const JVM_EVENT_OVERHEAD_US: f64 = 230.0;
+/// Broker contention per partition (30-broker fleet; calibrated so the
+/// knee lands at ~35 nodes as in the paper).
+const BROKER_INFLATION_PER_PARTITION: f64 = 0.0014;
+
+fn bench_dir() -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("railgun-fig10-{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn main() {
+    let scale = bench_scale();
+    println!("# Figure 10 — Railgun node scaling, 25k ev/s per node target");
+    println!("# units/node: {UNITS_PER_NODE}, metrics: sum/avg/count(amount) per card, 5-min window");
+
+    // --- Measure real per-event service time on one task processor. ---
+    let mut gen = FraudGenerator::new(WorkloadConfig::default());
+    let schema = gen.schema().clone();
+    let mut tp = TaskProcessor::open(
+        &bench_dir(),
+        "payments--cardId",
+        0,
+        schema,
+        TaskConfig::default(),
+    )
+    .expect("task processor");
+    tp.register_query(
+        &railgun_core::parse_query(
+            "SELECT sum(amount), avg(amount), count(amount) FROM payments \
+             GROUP BY cardId OVER sliding 5 min",
+        )
+        .expect("query parses"),
+    )
+    .expect("register");
+    let prefill = scale.measure_events;
+    for seq in 0..prefill {
+        let values = gen.next_values();
+        tp.process_event(&Event::new(
+            EventId(seq),
+            Timestamp::from_millis(seq as i64 * 2),
+            values,
+        ))
+        .expect("prefill");
+    }
+    tp.drain_reservoir_io().expect("drain io");
+    let pool = ServicePool::measure(scale.measure_events, |seq| {
+        let values = gen.next_values();
+        tp.process_event(&Event::new(
+            EventId(prefill + seq),
+            Timestamp::from_millis((prefill + seq) as i64 * 2),
+            values,
+        ))
+        .expect("measured event");
+    });
+    let service_mean = pool.mean_us() + JVM_EVENT_OVERHEAD_US;
+    println!(
+        "# measured Rust service mean: {:.1}µs; modeled JVM service mean: {:.1}µs",
+        pool.mean_us(),
+        service_mean
+    );
+
+    // --- Sweep node counts. ---
+    println!();
+    println!("=== Figure 10: throughput per node and tail latency vs cluster size ===");
+    println!(
+        "{:>6} {:>14} {:>16} {:>16} {:>12} {:>12} {:>10}",
+        "nodes", "target (ev/s)", "sustained/node", "total (ev/s)", "p95 (ms)", "p99.9 (ms)", "M met?"
+    );
+    let sim_events = scale.sim_events / 4;
+    for (i, &nodes) in [1u32, 3, 6, 12, 20, 35, 50].iter().enumerate() {
+        let base = ClusterSimConfig {
+            nodes,
+            units_per_node: UNITS_PER_NODE,
+            total_rate_ev_s: 0.0, // set by the search
+            events: sim_events,
+            warmup_events: sim_events / 7,
+            kafka: KafkaHopModel::calibrated(),
+            broker_inflation_per_partition: BROKER_INFLATION_PER_PARTITION,
+            partitions_per_unit: 1,
+            gc: GcModel::calibrated(),
+            service_mean_us: service_mean,
+            service_sigma: 0.35,
+            load_skew: 0.04,
+        };
+        let sustainable =
+            max_sustainable_rate(&base, 0xF16 + i as u64, 250, 0.999, 5_000.0, 40_000.0)
+                .min(TARGET_PER_NODE);
+        let mut cfg = base.clone();
+        cfg.total_rate_ev_s = sustainable * f64::from(nodes);
+        let mut rng = SmallRng::seed_from_u64(0xF16 + i as u64);
+        let summary = run_cluster(&cfg, &mut rng);
+        let p95 = summary.latencies.percentile(0.95);
+        let p999 = summary.latencies.percentile(0.999);
+        println!(
+            "{nodes:>6} {TARGET_PER_NODE:>14.0} {sustainable:>16.0} {:>16.0} {:>12} {:>12} {:>10}",
+            cfg.total_rate_ev_s,
+            fmt_ms(p95),
+            fmt_ms(p999),
+            if p999 <= 250_000 { "MET" } else { "BREACH" }
+        );
+    }
+    println!();
+    println!("# Expected shape: near-linear scaling; ~25k ev/s per node through ~20 nodes,");
+    println!("# degradation from 35 nodes (broker contention), ~20k ev/s per node at 50 nodes");
+    println!("# (≈1M ev/s total), p99.9 < 250 ms throughout — the paper's Figure 10.");
+}

@@ -1,0 +1,228 @@
+//! Figure 8 reproduction: Flink hopping-window latency distributions vs
+//! Railgun's real-time sliding window, at a sustained 500 ev/s.
+//!
+//! Setup mirrors §5.1: one computing node, one metric — `sum(amount)` per
+//! card over a 60-minute window. Railgun uses a real-time sliding window;
+//! the Flink baseline uses hopping windows with hops from 5 minutes down
+//! to 5 seconds. Per-event *service times are measured on the real
+//! engines* (both running on the same `railgun-store` LSM substrate), then
+//! replayed through the open-loop queueing model with the calibrated
+//! messaging-hop model and the JVM per-state-operation surcharge
+//! (constants in EXPERIMENTS.md).
+//!
+//! Expected shape (paper): hops ≤ 10 s cannot sustain 500 ev/s (latencies
+//! blow up into the 10⁴-10⁵ ms range); Railgun beats every hop ≤ 1 min at
+//! every percentile and meets <250 ms @ 99.9%.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use railgun_baseline::{HoppingConfig, HoppingEngine};
+use railgun_bench::{bench_scale, print_header, print_mad_check, print_series, ServicePool};
+use railgun_bench::{FraudGenerator, WorkloadConfig};
+use railgun_core::lang::AggFunc;
+use railgun_core::{TaskConfig, TaskProcessor};
+use railgun_sim::{run_open_loop, GcModel, InjectorConfig, KafkaHopModel};
+use railgun_store::DbOptions;
+use railgun_types::{Event, EventId, TimeDelta, Timestamp};
+
+/// Injection rate of §5.1.
+const RATE_EV_S: f64 = 500.0;
+/// Virtual inter-arrival time at 500 ev/s.
+const INTERVAL_MS: i64 = 2;
+/// JVM per-state-operation surcharge (µs) applied per pane update /
+/// state access — calibrates the Rust substrate to the JVM+RocksDB costs
+/// of the paper's systems (see EXPERIMENTS.md, Fig. 8 calibration).
+const JVM_STATE_OP_US: f64 = 3.0;
+
+/// Store options sized for sustained bench runs: a larger memtable keeps
+/// LSM flush/compaction cadence realistic for a long-running service
+/// instead of thrashing on the bench's compressed timescale.
+fn bench_store_options() -> DbOptions {
+    DbOptions {
+        memtable_budget_bytes: 64 << 20,
+        compaction_trigger: 6,
+        ..DbOptions::default()
+    }
+}
+
+fn railgun_task_config() -> TaskConfig {
+    TaskConfig {
+        store: bench_store_options(),
+        ..TaskConfig::default()
+    }
+}
+
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("railgun-fig8-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn main() {
+    let scale = bench_scale();
+    let window = TimeDelta::from_minutes(60);
+    println!("# Figure 8 — Flink hopping windows vs Railgun sliding window");
+    println!(
+        "# workload: sum(amount) per card, 60-min window, {} ev/s sustained",
+        RATE_EV_S
+    );
+    println!(
+        "# measured events/config: {}, simulated events: {} (RAILGUN_BENCH_SCALE=full for paper scale)",
+        scale.measure_events, scale.sim_events
+    );
+
+    print_header(
+        "Figure 8",
+        "latency distributions @ 500 ev/s (60-min window)",
+    );
+
+    // --- Railgun: real-time sliding window on a task processor ---
+    {
+        let mut gen = FraudGenerator::new(WorkloadConfig::default());
+        let schema = gen.schema().clone();
+        let mut tp = TaskProcessor::open(
+            &bench_dir("railgun"),
+            "payments--cardId",
+            0,
+            schema,
+            railgun_task_config(),
+        )
+        .expect("task processor");
+        tp.register_query(
+            &railgun_core::parse_query(
+                "SELECT sum(amount) FROM payments GROUP BY cardId OVER sliding 60 min",
+            )
+            .expect("query parses"),
+        )
+        .expect("register");
+        // Warm the reservoir so tails iterate steadily.
+        let mut ts = 0i64;
+        for i in 0..scale.prefill_events {
+            let values = gen.next_values();
+            tp.process_event(&Event::new(
+                EventId(i),
+                Timestamp::from_millis(ts),
+                values,
+            ))
+            .expect("prefill");
+            ts += INTERVAL_MS;
+        }
+        tp.drain_reservoir_io().expect("drain io");
+        let base = scale.prefill_events;
+        let pool = ServicePool::measure(scale.measure_events, |seq| {
+            let values = gen.next_values();
+            tp.process_event(&Event::new(
+                EventId(base + seq),
+                Timestamp::from_millis(ts + seq as i64 * INTERVAL_MS),
+                values,
+            ))
+            .expect("measured event");
+        });
+        // Railgun touches 1 leaf per event: insert + expiry + result read
+        // ≈ 3 state ops on the paper's JVM prototype.
+        let surcharge = (3.0 * JVM_STATE_OP_US) as u64;
+        let summary = simulate(&pool, surcharge, scale.sim_events, 1);
+        print_series("Railgun (sliding 60min)", &summary.latencies);
+        print_mad_check("Railgun", &summary.latencies);
+        eprintln!(
+            "  [railgun] measured service mean {:.1}µs p99 {}µs, sim utilization {:.2}",
+            pool.mean_us(),
+            pool.p99_us(),
+            summary.server_utilization
+        );
+    }
+
+    // --- Flink: hopping windows at decreasing hop sizes ---
+    let hops: [(&str, TimeDelta); 6] = [
+        ("5min", TimeDelta::from_minutes(5)),
+        ("1min", TimeDelta::from_minutes(1)),
+        ("30s", TimeDelta::from_secs(30)),
+        ("15s", TimeDelta::from_secs(15)),
+        ("10s", TimeDelta::from_secs(10)),
+        ("5s", TimeDelta::from_secs(5)),
+    ];
+    for (label, hop) in hops {
+        let panes = window / hop;
+        let mut gen = FraudGenerator::new(WorkloadConfig::default());
+        let mut engine = HoppingEngine::open(
+            &bench_dir(&format!("flink-{label}")),
+            HoppingConfig {
+                window,
+                hop,
+                aggs: vec![(AggFunc::Sum, Some(0))],
+                store: bench_store_options(),
+            },
+        )
+        .expect("hopping engine");
+        // Warm up pane population (shorter than Railgun's prefill: pane
+        // state is bounded by panes × keys, not by history). Heavier pane
+        // counts measure fewer events — per-event cost is stationary, so
+        // a smaller sample loses nothing.
+        let measure = scale
+            .measure_events
+            .min((2_400_000 / panes as u64).max(2_000));
+        let warm = (scale.prefill_events / 8).clamp(1_000, 4_000);
+        let mut ts = 0i64;
+        for _ in 0..warm {
+            let values = gen.next_values();
+            let card = values[0].as_str().expect("card id").to_owned();
+            let amount = vec![values[2].clone()];
+            engine
+                .process(card.as_bytes(), Timestamp::from_millis(ts), &amount)
+                .expect("warmup");
+            ts += INTERVAL_MS;
+        }
+        let updates_before = engine.stats().pane_updates;
+        let pool = ServicePool::measure(measure, |seq| {
+            let values = gen.next_values();
+            let card = values[0].as_str().expect("card id").to_owned();
+            let amount = vec![values[2].clone()];
+            engine
+                .process(
+                    card.as_bytes(),
+                    Timestamp::from_millis(ts + seq as i64 * INTERVAL_MS),
+                    &amount,
+                )
+                .expect("measured event");
+        });
+        let updates = engine.stats().pane_updates - updates_before;
+        let ops_per_event = updates as f64 / measure as f64;
+        // Every pane update is a state read-modify-write on the JVM.
+        let surcharge = (ops_per_event * 2.0 * JVM_STATE_OP_US) as u64;
+        let summary = simulate(&pool, surcharge, scale.sim_events, 1);
+        print_series(&format!("Flink hop {label} ({panes} panes)"), &summary.latencies);
+        eprintln!(
+            "  [flink {label}] pane updates/event {:.1}, measured mean {:.1}µs, surcharge {}µs, utilization {:.2}",
+            ops_per_event,
+            pool.mean_us(),
+            surcharge,
+            summary.server_utilization
+        );
+    }
+
+    println!();
+    println!(
+        "# Expected shape: Railgun lowest at every percentile; Flink degrades as the hop"
+    );
+    println!(
+        "# shrinks, and hops <=10s cannot sustain 500 ev/s (latency grows without bound)."
+    );
+}
+
+fn simulate(
+    pool: &ServicePool,
+    surcharge_us: u64,
+    events: u64,
+    seed: u64,
+) -> railgun_sim::RunSummary {
+    let cfg = InjectorConfig {
+        rate_ev_s: RATE_EV_S,
+        events,
+        warmup_events: events / 7, // the paper ignores the first 5 of 35 min
+        kafka: KafkaHopModel::calibrated(),
+        gc: GcModel::calibrated(),
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    run_open_loop(&cfg, &mut rng, |seq| pool.sample(seq, surcharge_us))
+}

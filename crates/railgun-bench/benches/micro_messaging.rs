@@ -1,0 +1,95 @@
+//! Microbenchmarks: the messaging layer (produce/consume/rebalance paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use railgun_messaging::{
+    Consumer, MessageBus, Producer, StickyStrategy, TopicPartition,
+};
+
+fn produce_consume(c: &mut Criterion) {
+    let bus = MessageBus::with_defaults();
+    bus.create_topic("bench", 8, 1).expect("topic");
+    let producer = Producer::new(bus.clone());
+    let mut i = 0u64;
+    c.bench_function("messaging_produce_keyed", |b| {
+        b.iter(|| {
+            let key = format!("card-{:06}", i % 10_000);
+            i += 1;
+            black_box(
+                producer
+                    .send("bench", key.as_bytes(), vec![0u8; 256])
+                    .expect("send"),
+            )
+        });
+    });
+    let mut consumer = Consumer::new(bus.clone());
+    consumer.assign(
+        (0..8).map(|p| TopicPartition::new("bench", p)).collect(),
+    );
+    c.bench_function("messaging_poll_batch_256", |b| {
+        b.iter(|| {
+            let r = consumer.poll(256).expect("poll");
+            if r.messages.is_empty() {
+                // Rewind so the bench keeps consuming.
+                for p in 0..8 {
+                    consumer.seek(&TopicPartition::new("bench", p), 0);
+                }
+            }
+            black_box(r.messages.len())
+        });
+    });
+}
+
+fn end_to_end_roundtrip(c: &mut Criterion) {
+    // Produce one event and consume it — the messaging cost per event on
+    // the critical path (both hops happen per event in Railgun).
+    let bus = MessageBus::with_defaults();
+    bus.create_topic("events", 1, 1).expect("topic");
+    bus.create_topic("replies", 1, 1).expect("topic");
+    let producer = Producer::new(bus.clone());
+    let mut events = Consumer::new(bus.clone());
+    events.assign(vec![TopicPartition::new("events", 0)]);
+    let mut replies = Consumer::new(bus.clone());
+    replies.assign(vec![TopicPartition::new("replies", 0)]);
+    c.bench_function("messaging_event_reply_roundtrip", |b| {
+        b.iter(|| {
+            producer
+                .send("events", b"card-1", vec![1u8; 200])
+                .expect("send");
+            let polled = events.poll(16).expect("poll");
+            for m in &polled.messages {
+                producer
+                    .send_to_partition("replies", 0, &[], m.payload.clone())
+                    .expect("reply");
+            }
+            black_box(replies.poll(16).expect("poll").messages.len())
+        });
+    });
+}
+
+fn group_rebalance_cycle(c: &mut Criterion) {
+    c.bench_function("messaging_group_join_rebalance_32_partitions", |b| {
+        b.iter(|| {
+            let bus = MessageBus::with_defaults();
+            bus.create_topic("t", 32, 1).expect("topic");
+            let mut c1 = Consumer::new(bus.clone());
+            c1.subscribe("g", &["t"], vec![], Arc::new(StickyStrategy))
+                .expect("subscribe");
+            let mut c2 = Consumer::new(bus.clone());
+            c2.subscribe("g", &["t"], vec![], Arc::new(StickyStrategy))
+                .expect("subscribe");
+            let a = c1.poll(1).expect("poll").rebalanced;
+            let b2 = c2.poll(1).expect("poll").rebalanced;
+            black_box((a, b2))
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = produce_consume, end_to_end_roundtrip, group_rebalance_cycle
+);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Ablation: Railgun's sticky assignment strategy (Figure 7) vs plain
+//! round-robin — how much data movement each rebalance causes.
+//!
+//! This is a `harness = false` report bench: it prints the task-movement
+//! counts (the data-shuffle metric §4.2 minimizes) for node join, node
+//! loss, and steady-state rebalances, then times the assignment itself.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use railgun_core::rebalance::{ProcessorIdentity, RailgunStrategy};
+use railgun_messaging::{
+    moved_partitions, AssignmentContext, AssignmentStrategy, MemberId, MemberInfo,
+    RoundRobinStrategy, TopicPartition,
+};
+
+fn members(nodes: u32, units: u32) -> Vec<MemberInfo> {
+    let mut out = Vec::new();
+    let mut id: MemberId = 1;
+    for n in 0..nodes {
+        for u in 0..units {
+            out.push(MemberInfo {
+                id,
+                metadata: ProcessorIdentity { node: n, unit: u }.encode(),
+                previous: Vec::new(),
+            });
+            id += 1;
+        }
+    }
+    out
+}
+
+fn partitions(n: u32) -> Vec<TopicPartition> {
+    (0..n).map(|p| TopicPartition::new("payments--cardId", p)).collect()
+}
+
+fn with_previous(
+    members: &[MemberInfo],
+    assignment: &HashMap<MemberId, Vec<TopicPartition>>,
+) -> Vec<MemberInfo> {
+    members
+        .iter()
+        .map(|m| MemberInfo {
+            id: m.id,
+            metadata: m.metadata.clone(),
+            previous: assignment.get(&m.id).cloned().unwrap_or_default(),
+        })
+        .collect()
+}
+
+fn scenario(strategy: &dyn AssignmentStrategy, label: &str) {
+    let parts = partitions(64);
+    // Generation 1: 8 nodes × 4 units.
+    let gen1_members = members(8, 4);
+    let a1 = strategy.assign(&AssignmentContext {
+        members: gen1_members.clone(),
+        partitions: parts.clone(),
+    });
+    // Generation 2: nothing changed.
+    let gen2_members = with_previous(&gen1_members, &a1);
+    let a2 = strategy.assign(&AssignmentContext {
+        members: gen2_members.clone(),
+        partitions: parts.clone(),
+    });
+    let steady = moved_partitions(&a1, &a2);
+    // Generation 3: one node (4 units) dies.
+    let survivors: Vec<MemberInfo> = with_previous(&gen1_members, &a2)
+        .into_iter()
+        .filter(|m| {
+            ProcessorIdentity::decode(&m.metadata).map(|i| i.node) != Some(0)
+        })
+        .collect();
+    let a3 = strategy.assign(&AssignmentContext {
+        members: survivors.clone(),
+        partitions: parts.clone(),
+    });
+    let lost_tasks: usize = a2
+        .iter()
+        .filter(|(id, _)| survivors.iter().all(|m| m.id != **id))
+        .map(|(_, ts)| ts.len())
+        .sum();
+    let node_loss_moves = moved_partitions(&a2, &a3);
+    // Generation 4: a fresh node joins.
+    let mut grown = with_previous(&survivors, &a3);
+    grown.extend(members(1, 4).into_iter().map(|mut m| {
+        m.id += 1000;
+        m.metadata = ProcessorIdentity { node: 9, unit: m.id as u32 % 4 }.encode();
+        m
+    }));
+    let a4 = strategy.assign(&AssignmentContext {
+        members: grown,
+        partitions: parts.clone(),
+    });
+    let join_moves = moved_partitions(&a3, &a4);
+    println!(
+        "{label:<16} steady-state moves: {steady:>3}   node-loss moves: {node_loss_moves:>3} (minimum {lost_tasks})   node-join moves: {join_moves:>3}"
+    );
+}
+
+fn main() {
+    println!("# Ablation — task movement per rebalance (64 tasks, 8 nodes x 4 units)");
+    println!("# Lower is better: every moved task implies data recovery (§4.2).");
+    scenario(&RailgunStrategy::new(1), "railgun-sticky");
+    scenario(&RoundRobinStrategy, "round-robin");
+    println!();
+
+    // With replication: failover should land on previous replicas.
+    println!("# Railgun strategy with replication factor 3 (paper's deployment):");
+    let strategy = RailgunStrategy::new(3);
+    let parts = partitions(48);
+    let gen1 = members(6, 4);
+    let a1 = strategy.assign(&AssignmentContext {
+        members: gen1.clone(),
+        partitions: parts.clone(),
+    });
+    let survivors: Vec<MemberInfo> = with_previous(&gen1, &a1)
+        .into_iter()
+        .filter(|m| ProcessorIdentity::decode(&m.metadata).map(|i| i.node) != Some(0))
+        .collect();
+    let a2 = strategy.assign(&AssignmentContext {
+        members: survivors,
+        partitions: parts.clone(),
+    });
+    let moves = moved_partitions(&a1, &a2);
+    println!(
+        "  node loss with replicas: {moves} active tasks moved, {} cold assignments so far",
+        strategy.cold_assignments()
+    );
+
+    // Timing: assignment latency at cluster scale.
+    println!();
+    println!("# Assignment latency (400 units, 400 partitions — the 50-node setup):");
+    for (label, strategy) in [
+        ("railgun-sticky", &RailgunStrategy::new(3) as &dyn AssignmentStrategy),
+        ("round-robin", &RoundRobinStrategy),
+    ] {
+        let ms = members(50, 8);
+        let ps = partitions(400);
+        let t = Instant::now();
+        let iters = 20;
+        for _ in 0..iters {
+            let _ = strategy.assign(&AssignmentContext {
+                members: ms.clone(),
+                partitions: ps.clone(),
+            });
+        }
+        println!(
+            "  {label:<16} {:>8.2} ms/assignment",
+            t.elapsed().as_secs_f64() * 1e3 / f64::from(iters)
+        );
+    }
+}

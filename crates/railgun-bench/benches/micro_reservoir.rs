@@ -1,0 +1,154 @@
+//! Microbenchmarks & ablations: the event reservoir.
+//!
+//! Covers the §4.1.1 design choices DESIGN.md calls out: eager read-ahead
+//! ON vs OFF (cache-miss penalty on tail iteration) and compression ON vs
+//! OFF (bytes on disk vs encode cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use railgun_bench::{FraudGenerator, WorkloadConfig};
+use railgun_reservoir::{Codec, Reservoir, ReservoirConfig};
+use railgun_types::{Event, EventId, Timestamp};
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("railgun-mres-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn make_reservoir(tag: &str, cfg: ReservoirConfig) -> (Reservoir, FraudGenerator) {
+    let gen = FraudGenerator::new(WorkloadConfig::default());
+    let res = Reservoir::open(&fresh_dir(tag), gen.schema().clone(), cfg).expect("reservoir");
+    (res, FraudGenerator::new(WorkloadConfig::default()))
+}
+
+fn append_throughput(c: &mut Criterion) {
+    let (res, mut gen) = make_reservoir("append", ReservoirConfig::default());
+    let mut seq = 0u64;
+    c.bench_function("reservoir_append_103_fields", |b| {
+        b.iter(|| {
+            let e = Event::new(
+                EventId(seq),
+                Timestamp::from_millis(seq as i64),
+                gen.next_values(),
+            );
+            seq += 1;
+            black_box(res.append(e).expect("append"))
+        });
+    });
+}
+
+fn tail_iteration_prefetch_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_readahead");
+    for (label, prefetch, cache) in [
+        ("prefetch_on_big_cache", true, 64usize),
+        ("prefetch_on_tiny_cache", true, 2),
+        ("prefetch_off_tiny_cache", false, 2),
+    ] {
+        let cfg = ReservoirConfig {
+            prefetch,
+            cache_capacity_chunks: cache,
+            chunk_target_events: 128,
+            ..ReservoirConfig::default()
+        };
+        let (res, mut gen) = make_reservoir(label, cfg);
+        // 40k events = ~312 chunks on disk.
+        for seq in 0..40_000u64 {
+            res.append(Event::new(
+                EventId(seq),
+                Timestamp::from_millis(seq as i64),
+                gen.next_compact(),
+            ))
+            .expect("append");
+        }
+        res.flush_io().expect("flush");
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            // Iterate a fresh tail over the whole history per iteration
+            // batch; measures per-event cost of streaming from disk.
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                let mut out = Vec::with_capacity(1024);
+                for _ in 0..iters.min(20) {
+                    let cursor = res.cursor_at_start();
+                    let t = std::time::Instant::now();
+                    let mut bound = 0i64;
+                    while bound < 40_000 {
+                        bound += 1_000;
+                        out.clear();
+                        cursor.advance_upto_into(Timestamp::from_millis(bound), &mut out);
+                        black_box(out.len());
+                    }
+                    total += t.elapsed();
+                }
+                total * (iters.max(1) as u32) / (iters.min(20).max(1) as u32)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn compression_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_compression");
+    for (label, codec) in [("railz", Codec::RailZ), ("none", Codec::None)] {
+        let cfg = ReservoirConfig {
+            codec,
+            chunk_target_events: 256,
+            ..ReservoirConfig::default()
+        };
+        let (res, mut gen) = make_reservoir(&format!("codec-{label}"), cfg);
+        let mut seq = 0u64;
+        group.bench_function(BenchmarkId::new("append_full_event", label), |b| {
+            b.iter(|| {
+                let e = Event::new(
+                    EventId(seq),
+                    Timestamp::from_millis(seq as i64),
+                    gen.next_values(),
+                );
+                seq += 1;
+                black_box(res.append(e).expect("append"))
+            });
+        });
+        res.flush_open_chunk().expect("flush chunk");
+        res.flush_io().expect("flush io");
+        let stats = res.stats();
+        // Report compression ratio via stderr (criterion owns stdout).
+        eprintln!(
+            "  [compression {label}] events {} bytes_written {} (bytes/event {:.1})",
+            stats.appended,
+            stats.bytes_written,
+            stats.bytes_written as f64 / stats.appended.max(1) as f64
+        );
+    }
+    group.finish();
+}
+
+fn dedup_lookup(c: &mut Criterion) {
+    let (res, mut gen) = make_reservoir("dedup", ReservoirConfig::default());
+    for seq in 0..10_000u64 {
+        res.append(Event::new(
+            EventId(seq),
+            Timestamp::from_millis(seq as i64),
+            gen.next_compact(),
+        ))
+        .expect("append");
+    }
+    c.bench_function("reservoir_duplicate_rejection", |b| {
+        b.iter(|| {
+            // An id still in the in-memory dedup set.
+            let e = Event::new(
+                EventId(9_999),
+                Timestamp::from_millis(9_999),
+                gen.next_compact(),
+            );
+            black_box(res.append(e).expect("append"))
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = append_throughput, tail_iteration_prefetch_ablation, compression_ablation, dedup_lookup
+);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Microbenchmarks & ablations: the LSM state store.
+//!
+//! The engine's hot path is a read-modify-write per plan leaf (§4.1.3);
+//! these benches pin those costs and the bloom-filter ablation DESIGN.md
+//! calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use railgun_store::{Db, DbOptions};
+
+fn fresh_db(tag: &str, opts: DbOptions) -> Db {
+    let dir = std::env::temp_dir().join(format!("railgun-mstore-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    Db::open(&dir, opts).expect("db")
+}
+
+fn put_get_hot_path(c: &mut Criterion) {
+    let db = fresh_db("hot", DbOptions::default());
+    let mut group = c.benchmark_group("store_hot_path");
+    let mut i = 0u64;
+    group.bench_function("put_48B", |b| {
+        b.iter(|| {
+            let key = format!("leaf0/card-{:08}", i % 50_000);
+            i += 1;
+            db.put(Db::DEFAULT_CF, key.as_bytes(), &[7u8; 48]).expect("put")
+        });
+    });
+    group.bench_function("get_memtable_hit", |b| {
+        let mut j = 0u64;
+        b.iter(|| {
+            let key = format!("leaf0/card-{:08}", j % 50_000);
+            j += 1;
+            black_box(db.get(Db::DEFAULT_CF, key.as_bytes()).expect("get"))
+        });
+    });
+    group.bench_function("read_modify_write", |b| {
+        let mut j = 0u64;
+        b.iter(|| {
+            let key = format!("leaf0/card-{:08}", j % 50_000);
+            j += 1;
+            let mut v = db
+                .get(Db::DEFAULT_CF, key.as_bytes())
+                .expect("get")
+                .unwrap_or_else(|| vec![0u8; 48]);
+            v[0] = v[0].wrapping_add(1);
+            db.put(Db::DEFAULT_CF, key.as_bytes(), &v).expect("put")
+        });
+    });
+    group.finish();
+}
+
+fn sst_point_reads_bloom_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bloom_filters");
+    for (label, bits) in [("bloom_10bits", 10usize), ("bloom_off", 0)] {
+        let db = fresh_db(
+            label,
+            DbOptions {
+                bloom_bits_per_key: bits.max(1),
+                ..DbOptions::default()
+            },
+        );
+        // Build several SSTs so point misses have runs to skip. A key that
+        // exists only in the OLDEST run makes blooms matter most.
+        for run in 0..4 {
+            for k in 0..20_000u64 {
+                let key = format!("r{run}/key-{k:08}");
+                db.put(Db::DEFAULT_CF, key.as_bytes(), &[run as u8; 32])
+                    .expect("put");
+            }
+            db.flush().expect("flush");
+        }
+        // Absent-key reads: blooms skip every run; without them each run
+        // does an index + block probe. (bloom_off approximates "off" with
+        // 1 bit/key, which has a very high false-positive rate.)
+        group.bench_function(BenchmarkId::new("get_absent", label), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                let key = format!("absent-{i}");
+                i += 1;
+                black_box(db.get(Db::DEFAULT_CF, key.as_bytes()).expect("get"))
+            });
+        });
+        group.bench_function(BenchmarkId::new("get_oldest_run", label), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                let key = format!("r0/key-{:08}", i % 20_000);
+                i += 1;
+                black_box(db.get(Db::DEFAULT_CF, key.as_bytes()).expect("get"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn scans_and_checkpoint(c: &mut Criterion) {
+    let db = fresh_db("scan", DbOptions::default());
+    for k in 0..50_000u64 {
+        let key = format!("leaf{:02}/e-{k:08}", k % 8);
+        db.put(Db::DEFAULT_CF, key.as_bytes(), &[1u8; 40]).expect("put");
+    }
+    db.flush().expect("flush");
+    c.bench_function("store_prefix_scan_6k_rows", |b| {
+        b.iter(|| {
+            black_box(
+                db.scan_prefix(Db::DEFAULT_CF, b"leaf03/")
+                    .expect("scan")
+                    .len(),
+            )
+        });
+    });
+    c.bench_function("store_checkpoint", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let target = std::env::temp_dir().join(format!(
+                "railgun-mstore-ckpt-{}-{i}",
+                std::process::id()
+            ));
+            std::fs::remove_dir_all(&target).ok();
+            i += 1;
+            db.checkpoint(&target).expect("checkpoint")
+        });
+    });
+}
+
+fn wal_recovery(c: &mut Criterion) {
+    c.bench_function("store_open_with_wal_replay_10k", |b| {
+        let dir = std::env::temp_dir().join(format!("railgun-mstore-walr-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let db = Db::open(&dir, DbOptions::default()).expect("db");
+            for k in 0..10_000u64 {
+                db.put(Db::DEFAULT_CF, &k.to_le_bytes(), &[3u8; 32]).expect("put");
+            }
+            // No flush: everything stays in the WAL.
+        }
+        b.iter(|| black_box(Db::open(&dir, DbOptions::default()).expect("reopen")));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = put_get_hot_path, sst_point_reads_bloom_ablation, scans_and_checkpoint, wal_recovery
+);
+criterion_main!(benches);

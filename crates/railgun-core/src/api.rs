@@ -1,0 +1,398 @@
+//! Client-facing API types and their wire encodings.
+//!
+//! Events, aggregation replies and operational requests all travel through
+//! the messaging layer as opaque payloads; this module defines those
+//! payloads. Everything is hand-rolled binary over the shared encode
+//! primitives (see DESIGN.md's dependency policy).
+
+use bytes::{Buf, BufMut};
+use railgun_types::encode::{
+    get_event, get_string, get_uvarint, put_bytes, put_event, put_uvarint,
+};
+use railgun_types::{Event, FieldDef, FieldType, RailgunError, Result, Schema, Value};
+
+/// An event wrapped with routing info, as published to event topics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRequest {
+    /// Correlates replies at the front-end (§3.1, steps 4-6).
+    pub request_id: u64,
+    /// Reply topic of the originating front-end node.
+    pub reply_topic: String,
+    pub event: Event,
+}
+
+/// One computed aggregation in a reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregationResult {
+    /// Display name, e.g. `sum(amount) over sliding 5min`.
+    pub name: String,
+    /// The entity this value belongs to (group-by values of the event).
+    pub entity: Vec<Value>,
+    /// Current aggregation value.
+    pub value: Value,
+}
+
+/// A task processor's answer for one event (sent to the reply topic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    pub request_id: u64,
+    /// The event topic that produced this reply — the front-end counts one
+    /// reply per routed topic before answering the client.
+    pub source_topic: String,
+    /// True iff the event was deduplicated (§3.3); values are still the
+    /// current aggregations.
+    pub duplicate: bool,
+    pub results: Vec<AggregationResult>,
+}
+
+/// Operational request broadcast on the ops topic (§3.1, §3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpRequest {
+    /// Register a stream: creates one topic per partitioner.
+    CreateStream {
+        stream: String,
+        schema: Schema,
+        partitioners: Vec<String>,
+        partitions: u32,
+    },
+    /// Remove a stream and its metrics.
+    DeleteStream { stream: String },
+    /// Register the metrics of a query (text form; parsed at each node).
+    RegisterQuery { query_text: String },
+}
+
+/// Topic name for a (stream, partitioner) pair.
+pub fn topic_name(stream: &str, partitioner: &str) -> String {
+    format!("{stream}--{partitioner}")
+}
+
+/// Split a topic name back into (stream, partitioner).
+pub fn parse_topic_name(topic: &str) -> Option<(&str, &str)> {
+    topic.split_once("--")
+}
+
+/// Reply topic for a front-end node.
+pub fn reply_topic_name(node: u32) -> String {
+    format!("railgun-reply-{node}")
+}
+
+/// The single operational topic.
+pub const OPS_TOPIC: &str = "railgun-ops";
+/// Topic recording (task, offset) checkpoints (§4.1.3).
+pub const CHECKPOINT_TOPIC: &str = "railgun-checkpoints";
+
+// ---------------------------------------------------------------------------
+// Encodings
+// ---------------------------------------------------------------------------
+
+/// Encode an [`EventRequest`].
+pub fn encode_event_request(req: &EventRequest) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_uvarint(&mut buf, req.request_id);
+    put_bytes(&mut buf, req.reply_topic.as_bytes());
+    put_event(&mut buf, &req.event);
+    buf
+}
+
+/// Decode an [`EventRequest`].
+pub fn decode_event_request(mut buf: &[u8]) -> Result<EventRequest> {
+    let request_id = get_uvarint(&mut buf)?;
+    let reply_topic = get_string(&mut buf)?;
+    let event = get_event(&mut buf)?;
+    Ok(EventRequest {
+        request_id,
+        reply_topic,
+        event,
+    })
+}
+
+/// Encode a [`Reply`].
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_uvarint(&mut buf, reply.request_id);
+    put_bytes(&mut buf, reply.source_topic.as_bytes());
+    buf.put_u8(u8::from(reply.duplicate));
+    put_uvarint(&mut buf, reply.results.len() as u64);
+    for r in &reply.results {
+        put_bytes(&mut buf, r.name.as_bytes());
+        put_uvarint(&mut buf, r.entity.len() as u64);
+        for v in &r.entity {
+            railgun_types::encode::put_value(&mut buf, v);
+        }
+        railgun_types::encode::put_value(&mut buf, &r.value);
+    }
+    buf
+}
+
+/// Decode a [`Reply`].
+pub fn decode_reply(mut buf: &[u8]) -> Result<Reply> {
+    let request_id = get_uvarint(&mut buf)?;
+    let source_topic = get_string(&mut buf)?;
+    if !buf.has_remaining() {
+        return Err(RailgunError::Corruption("truncated reply".into()));
+    }
+    let duplicate = buf.get_u8() != 0;
+    let n = get_uvarint(&mut buf)? as usize;
+    let mut results = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = get_string(&mut buf)?;
+        let ne = get_uvarint(&mut buf)? as usize;
+        let mut entity = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            entity.push(railgun_types::encode::get_value(&mut buf)?);
+        }
+        let value = railgun_types::encode::get_value(&mut buf)?;
+        results.push(AggregationResult {
+            name,
+            entity,
+            value,
+        });
+    }
+    Ok(Reply {
+        request_id,
+        source_topic,
+        duplicate,
+        results,
+    })
+}
+
+const OP_CREATE_STREAM: u8 = 1;
+const OP_DELETE_STREAM: u8 = 2;
+const OP_REGISTER_QUERY: u8 = 3;
+
+fn encode_field_type(t: FieldType) -> u8 {
+    match t {
+        FieldType::Bool => 0,
+        FieldType::Int => 1,
+        FieldType::Float => 2,
+        FieldType::Str => 3,
+    }
+}
+
+fn decode_field_type(b: u8) -> Result<FieldType> {
+    match b {
+        0 => Ok(FieldType::Bool),
+        1 => Ok(FieldType::Int),
+        2 => Ok(FieldType::Float),
+        3 => Ok(FieldType::Str),
+        other => Err(RailgunError::Corruption(format!(
+            "unknown field type {other}"
+        ))),
+    }
+}
+
+/// Encode an [`OpRequest`].
+pub fn encode_op(op: &OpRequest) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match op {
+        OpRequest::CreateStream {
+            stream,
+            schema,
+            partitioners,
+            partitions,
+        } => {
+            buf.put_u8(OP_CREATE_STREAM);
+            put_bytes(&mut buf, stream.as_bytes());
+            put_uvarint(&mut buf, schema.fields().len() as u64);
+            for f in schema.fields() {
+                put_bytes(&mut buf, f.name.as_bytes());
+                buf.put_u8(encode_field_type(f.ty));
+            }
+            put_uvarint(&mut buf, partitioners.len() as u64);
+            for p in partitioners {
+                put_bytes(&mut buf, p.as_bytes());
+            }
+            put_uvarint(&mut buf, u64::from(*partitions));
+        }
+        OpRequest::DeleteStream { stream } => {
+            buf.put_u8(OP_DELETE_STREAM);
+            put_bytes(&mut buf, stream.as_bytes());
+        }
+        OpRequest::RegisterQuery { query_text } => {
+            buf.put_u8(OP_REGISTER_QUERY);
+            put_bytes(&mut buf, query_text.as_bytes());
+        }
+    }
+    buf
+}
+
+/// Decode an [`OpRequest`].
+pub fn decode_op(mut buf: &[u8]) -> Result<OpRequest> {
+    if !buf.has_remaining() {
+        return Err(RailgunError::Corruption("empty op".into()));
+    }
+    match buf.get_u8() {
+        OP_CREATE_STREAM => {
+            let stream = get_string(&mut buf)?;
+            let nf = get_uvarint(&mut buf)? as usize;
+            let mut fields = Vec::with_capacity(nf);
+            for _ in 0..nf {
+                let name = get_string(&mut buf)?;
+                if !buf.has_remaining() {
+                    return Err(RailgunError::Corruption("truncated schema".into()));
+                }
+                let ty = decode_field_type(buf.get_u8())?;
+                fields.push(FieldDef::new(name, ty));
+            }
+            let np = get_uvarint(&mut buf)? as usize;
+            let mut partitioners = Vec::with_capacity(np);
+            for _ in 0..np {
+                partitioners.push(get_string(&mut buf)?);
+            }
+            let partitions = get_uvarint(&mut buf)? as u32;
+            Ok(OpRequest::CreateStream {
+                stream,
+                schema: Schema::new(fields)?,
+                partitioners,
+                partitions,
+            })
+        }
+        OP_DELETE_STREAM => Ok(OpRequest::DeleteStream {
+            stream: get_string(&mut buf)?,
+        }),
+        OP_REGISTER_QUERY => Ok(OpRequest::RegisterQuery {
+            query_text: get_string(&mut buf)?,
+        }),
+        other => Err(RailgunError::Corruption(format!("unknown op tag {other}"))),
+    }
+}
+
+/// Checkpoint record payload for the checkpoint topic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    pub topic: String,
+    pub partition: u32,
+    pub node: u32,
+    pub unit: u32,
+    /// First offset NOT covered by the checkpoint (replay starts here).
+    pub next_offset: u64,
+    /// Filesystem location of the checkpoint data.
+    pub path: String,
+}
+
+/// Encode a [`CheckpointRecord`].
+pub fn encode_checkpoint(c: &CheckpointRecord) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_bytes(&mut buf, c.topic.as_bytes());
+    put_uvarint(&mut buf, u64::from(c.partition));
+    put_uvarint(&mut buf, u64::from(c.node));
+    put_uvarint(&mut buf, u64::from(c.unit));
+    put_uvarint(&mut buf, c.next_offset);
+    put_bytes(&mut buf, c.path.as_bytes());
+    buf
+}
+
+/// Decode a [`CheckpointRecord`].
+pub fn decode_checkpoint(mut buf: &[u8]) -> Result<CheckpointRecord> {
+    Ok(CheckpointRecord {
+        topic: get_string(&mut buf)?,
+        partition: get_uvarint(&mut buf)? as u32,
+        node: get_uvarint(&mut buf)? as u32,
+        unit: get_uvarint(&mut buf)? as u32,
+        next_offset: get_uvarint(&mut buf)?,
+        path: get_string(&mut buf)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use railgun_types::{EventId, Timestamp};
+
+    #[test]
+    fn event_request_roundtrip() {
+        let req = EventRequest {
+            request_id: 42,
+            reply_topic: "railgun-reply-1".into(),
+            event: Event::new(
+                EventId(7),
+                Timestamp::from_millis(123),
+                vec![Value::Str("card".into()), Value::Float(9.5)],
+            ),
+        };
+        let buf = encode_event_request(&req);
+        assert_eq!(decode_event_request(&buf).unwrap(), req);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let reply = Reply {
+            request_id: 9,
+            source_topic: "payments--card".into(),
+            duplicate: true,
+            results: vec![
+                AggregationResult {
+                    name: "sum(amount) over sliding 5min".into(),
+                    entity: vec![Value::Str("card-1".into())],
+                    value: Value::Float(120.5),
+                },
+                AggregationResult {
+                    name: "count(*) over sliding 5min".into(),
+                    entity: vec![Value::Str("card-1".into())],
+                    value: Value::Int(3),
+                },
+            ],
+        };
+        let buf = encode_reply(&reply);
+        assert_eq!(decode_reply(&buf).unwrap(), reply);
+    }
+
+    #[test]
+    fn op_roundtrips() {
+        let ops = vec![
+            OpRequest::CreateStream {
+                stream: "payments".into(),
+                schema: Schema::from_pairs(&[
+                    ("cardId", FieldType::Str),
+                    ("amount", FieldType::Float),
+                ])
+                .unwrap(),
+                partitioners: vec!["cardId".into(), "merchantId".into()],
+                partitions: 10,
+            },
+            OpRequest::DeleteStream {
+                stream: "payments".into(),
+            },
+            OpRequest::RegisterQuery {
+                query_text: "SELECT count(*) FROM payments GROUP BY cardId OVER sliding 5 min"
+                    .into(),
+            },
+        ];
+        for op in ops {
+            let buf = encode_op(&op);
+            assert_eq!(decode_op(&buf).unwrap(), op, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let c = CheckpointRecord {
+            topic: "payments--card".into(),
+            partition: 3,
+            node: 1,
+            unit: 2,
+            next_offset: 777,
+            path: "/data/ckpt/1".into(),
+        };
+        assert_eq!(decode_checkpoint(&encode_checkpoint(&c)).unwrap(), c);
+    }
+
+    #[test]
+    fn topic_names() {
+        assert_eq!(topic_name("payments", "cardId"), "payments--cardId");
+        assert_eq!(
+            parse_topic_name("payments--cardId"),
+            Some(("payments", "cardId"))
+        );
+        assert_eq!(parse_topic_name("no-separator"), None);
+        assert_eq!(reply_topic_name(3), "railgun-reply-3");
+    }
+
+    #[test]
+    fn corrupt_payloads_rejected() {
+        assert!(decode_event_request(&[]).is_err());
+        assert!(decode_reply(&[1]).is_err());
+        assert!(decode_op(&[]).is_err());
+        assert!(decode_op(&[99]).is_err());
+    }
+}

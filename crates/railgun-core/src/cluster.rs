@@ -1,0 +1,278 @@
+//! In-process cluster harness.
+//!
+//! Assembles a whole Railgun deployment — message bus, nodes, processor
+//! units, the shared sticky assignment strategy — behind a synchronous
+//! facade used by the examples, the integration tests, and the benchmark
+//! drivers. `send` pumps the cluster until the reply for the event has
+//! been collected, mirroring the six steps of Figure 3 deterministically.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use railgun_messaging::{BusConfig, MessageBus};
+use railgun_types::{RailgunError, Result, Schema, Timestamp, Value};
+
+use crate::frontend::ClientResponse;
+use crate::node::Node;
+use crate::rebalance::RailgunStrategy;
+use crate::task::TaskConfig;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub nodes: u32,
+    pub units_per_node: u32,
+    /// Partitions per event topic (the cluster's concurrency level, §4).
+    pub partitions: u32,
+    /// Total task copies (1 = no replicas; the paper deploys 3).
+    pub replication: usize,
+    /// Root directory for all task data (default: a temp dir).
+    pub data_root: PathBuf,
+    pub task: TaskConfig,
+    /// Messaging session timeout (failure detection).
+    pub session_timeout_ms: u64,
+    /// Max pump iterations while waiting for a reply.
+    pub max_pump_iterations: usize,
+    /// Per-task checkpoint cadence in events (0 disables; §4.1.3).
+    pub checkpoint_every: u64,
+}
+
+impl ClusterConfig {
+    /// One node, one unit, one partition — the doc-example setup.
+    pub fn single_node() -> Self {
+        ClusterConfig {
+            nodes: 1,
+            units_per_node: 1,
+            partitions: 1,
+            replication: 1,
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 1,
+            units_per_node: 2,
+            partitions: 4,
+            replication: 1,
+            data_root: std::env::temp_dir().join(format!(
+                "railgun-cluster-{}-{:?}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos())
+                    .unwrap_or(0)
+            )),
+            task: TaskConfig::default(),
+            session_timeout_ms: 10_000,
+            max_pump_iterations: 64,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+/// Result of a synchronous send.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SendOutcome {
+    pub request_id: u64,
+    pub aggregations: Vec<crate::api::AggregationResult>,
+    pub duplicate: bool,
+}
+
+/// An in-process Railgun cluster.
+pub struct Cluster {
+    bus: MessageBus,
+    nodes: Vec<Node>,
+    strategy: Arc<RailgunStrategy>,
+    config: ClusterConfig,
+    next_node_id: u32,
+    rr_node: usize,
+}
+
+impl Cluster {
+    /// Boot a cluster per `config`.
+    pub fn new(config: ClusterConfig) -> Result<Self> {
+        let bus = MessageBus::new(BusConfig {
+            session_timeout_ms: config.session_timeout_ms,
+        });
+        let strategy = Arc::new(RailgunStrategy::new(config.replication));
+        let mut nodes = Vec::with_capacity(config.nodes as usize);
+        for id in 0..config.nodes {
+            nodes.push(Node::new(
+                &bus,
+                id,
+                config.units_per_node,
+                &config.data_root,
+                config.task.clone(),
+                Arc::clone(&strategy),
+                config.checkpoint_every,
+            )?);
+        }
+        Ok(Cluster {
+            bus,
+            nodes,
+            strategy,
+            next_node_id: config.nodes,
+            config,
+            rr_node: 0,
+        })
+    }
+
+    /// The shared message bus (benches/diagnostics).
+    pub fn bus(&self) -> &MessageBus {
+        &self.bus
+    }
+
+    /// The shared assignment strategy (diagnostics).
+    pub fn strategy(&self) -> &Arc<RailgunStrategy> {
+        &self.strategy
+    }
+
+    /// Register a stream and wait for every unit to learn about it.
+    pub fn create_stream(
+        &mut self,
+        stream: &str,
+        schema: Schema,
+        partitioners: &[&str],
+    ) -> Result<()> {
+        let partitions = self.config.partitions;
+        let replication = self.config.replication as u32;
+        self.nodes[0].create_stream(stream, schema, partitioners, partitions, replication)?;
+        self.settle()
+    }
+
+    /// Register a query and propagate it to every unit.
+    pub fn register_query(&mut self, query_text: &str) -> Result<()> {
+        self.nodes[0].register_query(query_text)?;
+        self.settle()
+    }
+
+    /// Remove a stream: broadcasts the deletion (units drop its task
+    /// processors) and deletes its event topics.
+    pub fn delete_stream(&mut self, stream: &str) -> Result<()> {
+        self.nodes[0].delete_stream(stream)?;
+        self.settle()
+    }
+
+    /// Pump every node a few times so ops/rebalances propagate.
+    pub fn settle(&mut self) -> Result<()> {
+        for _ in 0..4 {
+            for node in &mut self.nodes {
+                node.pump()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Send one event through a front-end (round-robin across nodes) and
+    /// pump until its aggregations arrive.
+    pub fn send(
+        &mut self,
+        stream: &str,
+        ts: Timestamp,
+        values: Vec<Value>,
+    ) -> Result<SendOutcome> {
+        let node_idx = self.rr_node % self.nodes.len();
+        self.rr_node += 1;
+        self.send_via(node_idx, stream, ts, values)
+    }
+
+    /// Send through a specific node's front-end.
+    pub fn send_via(
+        &mut self,
+        node_idx: usize,
+        stream: &str,
+        ts: Timestamp,
+        values: Vec<Value>,
+    ) -> Result<SendOutcome> {
+        let request_id = self.nodes[node_idx].send_event(stream, ts, values)?;
+        for _ in 0..self.config.max_pump_iterations {
+            let mut found = None;
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                let (responses, _) = node.pump()?;
+                for r in responses {
+                    if i == node_idx && r.request_id == request_id {
+                        found = Some(r);
+                    }
+                }
+            }
+            if let Some(r) = found {
+                return Ok(SendOutcome {
+                    request_id: r.request_id,
+                    aggregations: r.aggregations,
+                    duplicate: r.duplicate,
+                });
+            }
+        }
+        Err(RailgunError::Engine(format!(
+            "no reply for request {request_id} after {} pump iterations",
+            self.config.max_pump_iterations
+        )))
+    }
+
+    /// Pump all nodes once, returning collected client responses.
+    pub fn pump(&mut self) -> Result<Vec<ClientResponse>> {
+        let mut out = Vec::new();
+        for node in &mut self.nodes {
+            let (responses, _) = node.pump()?;
+            out.extend(responses);
+        }
+        Ok(out)
+    }
+
+    /// Advance the logical clock (heartbeat/failure detection).
+    pub fn advance_time(&self, now_ms: u64) {
+        self.bus.advance_to(now_ms);
+    }
+
+    /// Gracefully decommission a node (leaves consumer groups, triggers a
+    /// rebalance).
+    pub fn decommission_node(&mut self, idx: usize) -> Result<()> {
+        if idx >= self.nodes.len() {
+            return Err(RailgunError::InvalidArgument(format!("no node {idx}")));
+        }
+        let mut node = self.nodes.remove(idx);
+        node.shutdown();
+        self.settle()
+    }
+
+    /// Kill a node abruptly (no goodbye): its consumers simply stop
+    /// heartbeating; the bus expels them after the session timeout.
+    pub fn kill_node(&mut self, idx: usize) -> Result<()> {
+        if idx >= self.nodes.len() {
+            return Err(RailgunError::InvalidArgument(format!("no node {idx}")));
+        }
+        drop(self.nodes.remove(idx));
+        Ok(())
+    }
+
+    /// Add a fresh node to the running cluster (elasticity).
+    pub fn add_node(&mut self) -> Result<u32> {
+        let id = self.next_node_id;
+        self.next_node_id += 1;
+        let node = Node::new(
+            &self.bus,
+            id,
+            self.config.units_per_node,
+            &self.config.data_root,
+            self.config.task.clone(),
+            Arc::clone(&self.strategy),
+            self.config.checkpoint_every,
+        )?;
+        self.nodes.push(node);
+        self.settle()?;
+        Ok(id)
+    }
+
+    /// Live nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Mutable node access (benches probing task state).
+    pub fn nodes_mut(&mut self) -> &mut [Node] {
+        &mut self.nodes
+    }
+}

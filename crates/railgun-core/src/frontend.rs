@@ -1,0 +1,277 @@
+//! The front-end layer (paper §3.1).
+//!
+//! The front-end is the client's entry point: it registers streams and
+//! metrics, routes every incoming event to **all of its partitioner
+//! topics** (step 2 of Figure 3), collects the per-topic aggregation
+//! replies from its dedicated reply topic (steps 4-5), and assembles the
+//! single response returned to the client (step 6).
+
+use std::collections::HashMap;
+
+use railgun_messaging::{Consumer, MessageBus, Producer, TopicPartition};
+use railgun_types::encode::put_value;
+use railgun_types::{Event, EventId, RailgunError, Result, Schema, Timestamp, Value};
+
+use crate::api::{
+    decode_op, decode_reply, encode_event_request, encode_op, reply_topic_name, topic_name,
+    AggregationResult, EventRequest, OpRequest, CHECKPOINT_TOPIC, OPS_TOPIC,
+};
+use crate::lang::parse_query;
+
+/// A completed client response: every routed topic has replied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientResponse {
+    pub request_id: u64,
+    /// Aggregations from every topic the event was routed to, in leaf
+    /// order per topic.
+    pub aggregations: Vec<AggregationResult>,
+    /// True iff any task reported the event as a duplicate.
+    pub duplicate: bool,
+}
+
+#[derive(Debug, Clone)]
+struct StreamMeta {
+    schema: Schema,
+    partitioners: Vec<String>,
+    partitioner_indexes: Vec<usize>,
+}
+
+struct Pending {
+    expected: usize,
+    received: usize,
+    aggregations: Vec<AggregationResult>,
+    duplicate: bool,
+}
+
+/// One node's front-end layer.
+pub struct FrontEnd {
+    node: u32,
+    producer: Producer,
+    replies: Consumer,
+    ops: Consumer,
+    streams: HashMap<String, StreamMeta>,
+    next_request_id: u64,
+    next_event_seq: u64,
+    pending: HashMap<u64, Pending>,
+    completed: Vec<ClientResponse>,
+}
+
+impl FrontEnd {
+    /// Create the front-end of node `node`, creating its reply topic.
+    pub fn new(bus: &MessageBus, node: u32) -> Result<Self> {
+        let reply_topic = reply_topic_name(node);
+        // Idempotent: the topic may survive a front-end restart.
+        let _ = bus.create_topic(&reply_topic, 1, 1);
+        let _ = bus.create_topic(OPS_TOPIC, 1, 1);
+        let _ = bus.create_topic(CHECKPOINT_TOPIC, 1, 1);
+        let mut replies = Consumer::new(bus.clone());
+        replies.assign(vec![TopicPartition::new(reply_topic, 0)]);
+        let mut ops = Consumer::new(bus.clone());
+        ops.assign(vec![TopicPartition::new(OPS_TOPIC, 0)]);
+        Ok(FrontEnd {
+            node,
+            producer: Producer::new(bus.clone()),
+            replies,
+            ops,
+            streams: HashMap::new(),
+            next_request_id: 1,
+            next_event_seq: 1,
+            pending: HashMap::new(),
+            completed: Vec::new(),
+        })
+    }
+
+    /// Register a stream: creates its partitioner topics and broadcasts the
+    /// operational request to every processor unit.
+    pub fn create_stream(
+        &mut self,
+        bus: &MessageBus,
+        stream: &str,
+        schema: Schema,
+        partitioners: &[&str],
+        partitions: u32,
+        replication: u32,
+    ) -> Result<()> {
+        if partitioners.is_empty() {
+            return Err(RailgunError::InvalidArgument(
+                "a stream needs at least one partitioner".into(),
+            ));
+        }
+        let mut indexes = Vec::with_capacity(partitioners.len());
+        for p in partitioners {
+            indexes.push(schema.require(p)?);
+        }
+        for p in partitioners {
+            bus.create_topic(&topic_name(stream, p), partitions, replication)?;
+        }
+        let op = OpRequest::CreateStream {
+            stream: stream.to_owned(),
+            schema: schema.clone(),
+            partitioners: partitioners.iter().map(|s| (*s).to_owned()).collect(),
+            partitions,
+        };
+        self.producer
+            .send_to_partition(OPS_TOPIC, 0, &[], encode_op(&op))?;
+        self.streams.insert(
+            stream.to_owned(),
+            StreamMeta {
+                schema,
+                partitioners: partitioners.iter().map(|s| (*s).to_owned()).collect(),
+                partitioner_indexes: indexes,
+            },
+        );
+        Ok(())
+    }
+
+    /// Register a query's metrics, validating it against the stream.
+    pub fn register_query(&mut self, query_text: &str) -> Result<()> {
+        let query = parse_query(query_text)?;
+        let meta = self
+            .streams
+            .get(&query.stream)
+            .ok_or_else(|| RailgunError::NotFound(format!("stream `{}`", query.stream)))?;
+        // Validate fields and partitioner coverage up front so the client
+        // gets an immediate error.
+        for f in &query.group_by {
+            meta.schema.require(f)?;
+        }
+        if !meta
+            .partitioners
+            .iter()
+            .any(|p| query.group_by.contains(p))
+        {
+            return Err(RailgunError::InvalidArgument(format!(
+                "GROUP BY {:?} contains no partitioner of `{}` {:?}",
+                query.group_by, query.stream, meta.partitioners
+            )));
+        }
+        let op = OpRequest::RegisterQuery {
+            query_text: query_text.to_owned(),
+        };
+        self.producer
+            .send_to_partition(OPS_TOPIC, 0, &[], encode_op(&op))?;
+        Ok(())
+    }
+
+    /// Remove a stream (§3.1): broadcast the deletion op and delete the
+    /// stream's event topics.
+    pub fn delete_stream(&mut self, bus: &MessageBus, stream: &str) -> Result<()> {
+        let meta = self
+            .streams
+            .remove(stream)
+            .ok_or_else(|| RailgunError::NotFound(format!("stream `{stream}`")))?;
+        let op = OpRequest::DeleteStream {
+            stream: stream.to_owned(),
+        };
+        self.producer
+            .send_to_partition(OPS_TOPIC, 0, &[], encode_op(&op))?;
+        for p in &meta.partitioners {
+            bus.delete_topic(&topic_name(stream, p)).ok();
+        }
+        Ok(())
+    }
+
+    /// Accept one client event: validates, assigns an id, and publishes it
+    /// to every partitioner topic of the stream. Returns the request id.
+    pub fn send_event(
+        &mut self,
+        stream: &str,
+        ts: Timestamp,
+        values: Vec<Value>,
+    ) -> Result<u64> {
+        let meta = self
+            .streams
+            .get(stream)
+            .ok_or_else(|| RailgunError::NotFound(format!("stream `{stream}`")))?;
+        meta.schema.check_values(&values)?;
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let event_id = EventId((u64::from(self.node) << 40) | self.next_event_seq);
+        self.next_event_seq += 1;
+        let event = Event::new(event_id, ts, values);
+        let req = EventRequest {
+            request_id,
+            reply_topic: reply_topic_name(self.node),
+            event: event.clone(),
+        };
+        let payload = encode_event_request(&req);
+        // Step 2 of Figure 3: one publish per partitioner, keyed by the
+        // partitioner value so an entity always lands in one partition.
+        for (p, &idx) in meta.partitioners.iter().zip(&meta.partitioner_indexes) {
+            let mut key = Vec::with_capacity(16);
+            put_value(&mut key, &event.values()[idx]);
+            self.producer
+                .send(&topic_name(stream, p), &key, payload.clone())?;
+        }
+        self.pending.insert(
+            request_id,
+            Pending {
+                expected: meta.partitioners.len(),
+                received: 0,
+                aggregations: Vec::new(),
+                duplicate: false,
+            },
+        );
+        Ok(request_id)
+    }
+
+    /// Drain the reply topic, completing pending requests (steps 5-6).
+    /// Also applies operational requests published by other front-ends.
+    pub fn pump(&mut self) -> Result<Vec<ClientResponse>> {
+        // Ops from other nodes keep this front-end's stream map current.
+        let ops = self.ops.poll(64)?;
+        for msg in ops.messages {
+            if let Ok(OpRequest::CreateStream {
+                stream,
+                schema,
+                partitioners,
+                ..
+            }) = decode_op(&msg.payload)
+            {
+                if let std::collections::hash_map::Entry::Vacant(slot) =
+                    self.streams.entry(stream)
+                {
+                    let mut indexes = Vec::new();
+                    for p in &partitioners {
+                        indexes.push(schema.require(p)?);
+                    }
+                    slot.insert(StreamMeta {
+                        schema,
+                        partitioners,
+                        partitioner_indexes: indexes,
+                    });
+                }
+            }
+        }
+        let polled = self.replies.poll(256)?;
+        for msg in polled.messages {
+            let reply = decode_reply(&msg.payload)?;
+            if let Some(p) = self.pending.get_mut(&reply.request_id) {
+                p.received += 1;
+                p.duplicate |= reply.duplicate;
+                p.aggregations.extend(reply.results);
+                if p.received >= p.expected {
+                    let done = self.pending.remove(&reply.request_id).expect("present");
+                    self.completed.push(ClientResponse {
+                        request_id: reply.request_id,
+                        aggregations: done.aggregations,
+                        duplicate: done.duplicate,
+                    });
+                }
+            }
+        }
+        Ok(std::mem::take(&mut self.completed))
+    }
+
+    /// Number of requests still waiting for replies.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Known streams.
+    pub fn streams(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.streams.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}

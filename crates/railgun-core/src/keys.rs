@@ -1,0 +1,110 @@
+//! State-store key encoding.
+//!
+//! Each key identifies "a particular metric entity in a plan" (§4.1.3):
+//! the plan leaf (aggregator), an optional tumbling-window bucket, and the
+//! group-by entity values. Keys are prefix-ordered by leaf so per-leaf
+//! scans (diagnostics, cleanup) are range scans.
+
+use railgun_types::encode::{get_ivarint, get_uvarint, get_value, put_ivarint, put_uvarint, put_value};
+use railgun_types::{RailgunError, Result, Timestamp, Value};
+
+/// Encode a state key.
+///
+/// * `leaf` — plan leaf id (big-endian for prefix ordering);
+/// * `bucket` — tumbling-window start (aligned), when applicable;
+/// * `entity` — group-by values in group-field order.
+pub fn state_key(leaf: u32, bucket: Option<Timestamp>, entity: &[Value]) -> Vec<u8> {
+    let mut key = Vec::with_capacity(16 + entity.len() * 12);
+    key.extend_from_slice(&leaf.to_be_bytes());
+    match bucket {
+        Some(b) => {
+            key.push(1);
+            put_ivarint(&mut key, b.as_millis());
+        }
+        None => key.push(0),
+    }
+    put_uvarint(&mut key, entity.len() as u64);
+    for v in entity {
+        put_value(&mut key, v);
+    }
+    key
+}
+
+/// The 4-byte prefix shared by every key of a leaf.
+pub fn leaf_prefix(leaf: u32) -> [u8; 4] {
+    leaf.to_be_bytes()
+}
+
+/// Decode a state key back into its parts (diagnostics/tests).
+pub fn decode_state_key(mut key: &[u8]) -> Result<(u32, Option<Timestamp>, Vec<Value>)> {
+    use bytes::Buf;
+    if key.len() < 5 {
+        return Err(RailgunError::Corruption("state key too short".into()));
+    }
+    let leaf = u32::from_be_bytes(key[..4].try_into().expect("4b"));
+    key.advance(4);
+    let bucket = match key.get_u8() {
+        0 => None,
+        1 => Some(Timestamp::from_millis(get_ivarint(&mut key)?)),
+        other => {
+            return Err(RailgunError::Corruption(format!(
+                "bad bucket tag {other}"
+            )))
+        }
+    };
+    let n = get_uvarint(&mut key)? as usize;
+    let mut entity = Vec::with_capacity(n);
+    for _ in 0..n {
+        entity.push(get_value(&mut key)?);
+    }
+    Ok((leaf, bucket, entity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let entity = vec![Value::Str("card-1".into()), Value::Int(7)];
+        let key = state_key(42, Some(Timestamp::from_millis(60_000)), &entity);
+        let (leaf, bucket, ent) = decode_state_key(&key).unwrap();
+        assert_eq!(leaf, 42);
+        assert_eq!(bucket, Some(Timestamp::from_millis(60_000)));
+        assert_eq!(ent, entity);
+    }
+
+    #[test]
+    fn no_bucket_roundtrip() {
+        let key = state_key(1, None, &[Value::Str("m".into())]);
+        let (leaf, bucket, ent) = decode_state_key(&key).unwrap();
+        assert_eq!(leaf, 1);
+        assert_eq!(bucket, None);
+        assert_eq!(ent, vec![Value::Str("m".into())]);
+    }
+
+    #[test]
+    fn leaf_prefix_orders_keys() {
+        let k1 = state_key(1, None, &[Value::Int(999)]);
+        let k2 = state_key(2, None, &[Value::Int(0)]);
+        assert!(k1 < k2, "leaf id dominates ordering");
+        assert!(k1.starts_with(&leaf_prefix(1)));
+    }
+
+    #[test]
+    fn distinct_entities_distinct_keys() {
+        let a = state_key(1, None, &[Value::Str("a".into())]);
+        let b = state_key(1, None, &[Value::Str("b".into())]);
+        let ab = state_key(1, None, &[Value::Str("a".into()), Value::Str("b".into())]);
+        assert_ne!(a, b);
+        assert_ne!(a, ab);
+    }
+
+    #[test]
+    fn buckets_separate_states() {
+        let e = [Value::Str("c".into())];
+        let b1 = state_key(1, Some(Timestamp::from_millis(0)), &e);
+        let b2 = state_key(1, Some(Timestamp::from_millis(60_000)), &e);
+        assert_ne!(b1, b2);
+    }
+}

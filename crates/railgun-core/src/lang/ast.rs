@@ -1,0 +1,245 @@
+//! Abstract syntax of Railgun's query language (paper Figure 4).
+//!
+//! ```text
+//! SELECT AggExpression FROM streamName
+//!   [WHERE filterExpression]
+//!   [GROUP BY fields]
+//!   OVER WindowExpression
+//! ```
+
+use railgun_types::{Result, Schema, TimeDelta};
+
+use crate::expr::{ArithOp, CmpOp, Expr};
+
+/// The aggregation functions of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    StdDev,
+    Max,
+    Min,
+    Last,
+    Prev,
+    CountDistinct,
+}
+
+impl AggFunc {
+    /// Canonical lowercase name (as written in queries).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::StdDev => "stdDev",
+            AggFunc::Max => "max",
+            AggFunc::Min => "min",
+            AggFunc::Last => "last",
+            AggFunc::Prev => "prev",
+            AggFunc::CountDistinct => "countDistinct",
+        }
+    }
+}
+
+/// One `Aggregation(field)` item in the SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// `None` encodes `count(*)`.
+    pub field: Option<String>,
+}
+
+impl AggSpec {
+    /// Display name, e.g. `sum(amount)`.
+    pub fn display(&self) -> String {
+        match &self.field {
+            Some(f) => format!("{}({f})", self.func.name()),
+            None => format!("{}(*)", self.func.name()),
+        }
+    }
+}
+
+/// Window shape (Figure 4's `TimeWindowExpr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowKind {
+    /// Real-time sliding window: evaluated right after every event.
+    Sliding(TimeDelta),
+    /// Fixed, non-overlapping buckets.
+    Tumbling(TimeDelta),
+    /// Events never expire.
+    Infinite,
+}
+
+/// A window expression, optionally `delayed by` an offset (§3.4 — useful
+/// for bot-attack detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowSpec {
+    pub kind: WindowKind,
+    pub delay: TimeDelta,
+}
+
+impl WindowSpec {
+    pub fn sliding(size: TimeDelta) -> Self {
+        WindowSpec {
+            kind: WindowKind::Sliding(size),
+            delay: TimeDelta::ZERO,
+        }
+    }
+
+    pub fn tumbling(size: TimeDelta) -> Self {
+        WindowSpec {
+            kind: WindowKind::Tumbling(size),
+            delay: TimeDelta::ZERO,
+        }
+    }
+
+    pub fn infinite() -> Self {
+        WindowSpec {
+            kind: WindowKind::Infinite,
+            delay: TimeDelta::ZERO,
+        }
+    }
+
+    pub fn delayed_by(mut self, delay: TimeDelta) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Human-readable form, e.g. `sliding 5min delayed by 1min`.
+    pub fn display(&self) -> String {
+        let base = match self.kind {
+            WindowKind::Sliding(ws) => format!("sliding {ws}"),
+            WindowKind::Tumbling(ws) => format!("tumbling {ws}"),
+            WindowKind::Infinite => "infinite".to_owned(),
+        };
+        if self.delay.is_positive() {
+            format!("{base} delayed by {}", self.delay)
+        } else {
+            base
+        }
+    }
+}
+
+/// An unresolved filter expression (field names, not indexes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExpr {
+    Lit(railgun_types::Value),
+    Field(String),
+    Cmp(CmpOp, Box<PExpr>, Box<PExpr>),
+    Arith(ArithOp, Box<PExpr>, Box<PExpr>),
+    And(Box<PExpr>, Box<PExpr>),
+    Or(Box<PExpr>, Box<PExpr>),
+    Not(Box<PExpr>),
+    IsNull(Box<PExpr>),
+    IsNotNull(Box<PExpr>),
+}
+
+impl PExpr {
+    /// Resolve field names against `schema`, producing a compiled [`Expr`].
+    pub fn resolve(&self, schema: &Schema) -> Result<Expr> {
+        Ok(match self {
+            PExpr::Lit(v) => Expr::Lit(v.clone()),
+            PExpr::Field(name) => Expr::field(schema, name)?,
+            PExpr::Cmp(op, a, b) => Expr::Cmp(
+                *op,
+                Box::new(a.resolve(schema)?),
+                Box::new(b.resolve(schema)?),
+            ),
+            PExpr::Arith(op, a, b) => Expr::Arith(
+                *op,
+                Box::new(a.resolve(schema)?),
+                Box::new(b.resolve(schema)?),
+            ),
+            PExpr::And(a, b) => Expr::And(
+                Box::new(a.resolve(schema)?),
+                Box::new(b.resolve(schema)?),
+            ),
+            PExpr::Or(a, b) => Expr::Or(
+                Box::new(a.resolve(schema)?),
+                Box::new(b.resolve(schema)?),
+            ),
+            PExpr::Not(a) => Expr::Not(Box::new(a.resolve(schema)?)),
+            PExpr::IsNull(a) => Expr::IsNull(Box::new(a.resolve(schema)?)),
+            PExpr::IsNotNull(a) => {
+                Expr::Not(Box::new(Expr::IsNull(Box::new(a.resolve(schema)?))))
+            }
+        })
+    }
+}
+
+/// A parsed query statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub select: Vec<AggSpec>,
+    pub stream: String,
+    pub filter: Option<PExpr>,
+    pub group_by: Vec<String>,
+    pub window: WindowSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_display() {
+        assert_eq!(
+            AggSpec {
+                func: AggFunc::Sum,
+                field: Some("amount".into())
+            }
+            .display(),
+            "sum(amount)"
+        );
+        assert_eq!(
+            AggSpec {
+                func: AggFunc::Count,
+                field: None
+            }
+            .display(),
+            "count(*)"
+        );
+    }
+
+    #[test]
+    fn window_display() {
+        assert_eq!(
+            WindowSpec::sliding(TimeDelta::from_minutes(5)).display(),
+            "sliding 5min"
+        );
+        assert_eq!(
+            WindowSpec::tumbling(TimeDelta::from_hours(1))
+                .delayed_by(TimeDelta::from_minutes(2))
+                .display(),
+            "tumbling 1h delayed by 2min"
+        );
+        assert_eq!(WindowSpec::infinite().display(), "infinite");
+    }
+
+    #[test]
+    fn pexpr_resolution() {
+        use railgun_types::{FieldType, Value};
+        let schema = Schema::from_pairs(&[("x", FieldType::Int)]).unwrap();
+        let p = PExpr::Cmp(
+            CmpOp::Gt,
+            Box::new(PExpr::Field("x".into())),
+            Box::new(PExpr::Lit(Value::Int(3))),
+        );
+        let e = p.resolve(&schema).unwrap();
+        assert!(e.matches(&[Value::Int(4)]));
+        assert!(!e.matches(&[Value::Int(2)]));
+        let bad = PExpr::Field("missing".into());
+        assert!(bad.resolve(&schema).is_err());
+    }
+
+    #[test]
+    fn is_not_null_resolves_to_negation() {
+        use railgun_types::{FieldType, Value};
+        let schema = Schema::from_pairs(&[("x", FieldType::Int)]).unwrap();
+        let p = PExpr::IsNotNull(Box::new(PExpr::Field("x".into())));
+        let e = p.resolve(&schema).unwrap();
+        assert!(e.matches(&[Value::Int(1)]));
+        assert!(!e.matches(&[Value::Null]));
+    }
+}

@@ -1,0 +1,219 @@
+//! Tokenizer for the query language.
+
+use railgun_types::{RailgunError, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single- or double-quoted string literal.
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Split `input` into tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                // accept both `=` and `==`
+                i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                out.push(Token::Eq);
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(RailgunError::Parse(format!(
+                        "unexpected `!` at byte {i} (did you mean `!=`?)"
+                    )));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(RailgunError::Parse(format!(
+                        "unterminated string starting at byte {i}"
+                    )));
+                }
+                out.push(Token::Str(input[start..j].to_owned()));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    match bytes[i] as char {
+                        '0'..='9' => i += 1,
+                        '.' if !is_float => {
+                            is_float = true;
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        RailgunError::Parse(format!("bad float literal `{text}`"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        RailgunError::Parse(format!("bad int literal `{text}`"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(input[start..i].to_owned()));
+            }
+            other => {
+                return Err(RailgunError::Parse(format!(
+                    "unexpected character `{other}` at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_full_query() {
+        let toks = tokenize(
+            "SELECT sum(amount), count(*) FROM payments WHERE amount > 10.5 \
+             GROUP BY cardId OVER sliding 5 minutes",
+        )
+        .unwrap();
+        assert!(toks.contains(&Token::Ident("sum".into())));
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Gt));
+        assert!(toks.contains(&Token::Float(10.5)));
+        assert!(toks.contains(&Token::Int(5)));
+    }
+
+    #[test]
+    fn operators_and_aliases() {
+        assert_eq!(tokenize("= ==").unwrap(), vec![Token::Eq, Token::Eq]);
+        assert_eq!(tokenize("!= <>").unwrap(), vec![Token::NotEq, Token::NotEq]);
+        assert_eq!(
+            tokenize("< <= > >=").unwrap(),
+            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge]
+        );
+    }
+
+    #[test]
+    fn string_literals_both_quotes() {
+        assert_eq!(
+            tokenize("'abc' \"xyz\"").unwrap(),
+            vec![Token::Str("abc".into()), Token::Str("xyz".into())]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("№").is_err());
+    }
+
+    #[test]
+    fn identifiers_with_dots_and_underscores() {
+        assert_eq!(
+            tokenize("a_b payments.card").unwrap(),
+            vec![
+                Token::Ident("a_b".into()),
+                Token::Ident("payments.card".into())
+            ]
+        );
+    }
+}

@@ -1,0 +1,475 @@
+//! Recursive-descent parser for the query language of Figure 4.
+
+use railgun_types::{RailgunError, Result, TimeDelta, Value};
+
+use crate::expr::{ArithOp, CmpOp};
+use crate::lang::ast::{AggFunc, AggSpec, PExpr, Query, WindowKind, WindowSpec};
+use crate::lang::lexer::{tokenize, Token};
+
+/// Parse one query statement.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(RailgunError::Parse(format!(
+            "trailing tokens after query: {:?}",
+            &p.tokens[p.pos..]
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume an identifier matching `kw` case-insensitively.
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(RailgunError::Parse(format!(
+                "expected keyword `{kw}`, found {other:?}"
+            ))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(RailgunError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<()> {
+        match self.next() {
+            Some(t) if t == *tok => Ok(()),
+            other => Err(RailgunError::Parse(format!(
+                "expected {tok:?}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.keyword("select")?;
+        let mut select = vec![self.agg_spec()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.next();
+            select.push(self.agg_spec()?);
+        }
+        self.keyword("from")?;
+        let stream = self.ident()?;
+        let filter = if self.peek_keyword("where") {
+            self.next();
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
+        let group_by = if self.peek_keyword("group") {
+            self.next();
+            self.keyword("by")?;
+            let mut fields = vec![self.ident()?];
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.next();
+                fields.push(self.ident()?);
+            }
+            fields
+        } else {
+            Vec::new()
+        };
+        self.keyword("over")?;
+        let window = self.window_spec()?;
+        Ok(Query {
+            select,
+            stream,
+            filter,
+            group_by,
+            window,
+        })
+    }
+
+    fn agg_spec(&mut self) -> Result<AggSpec> {
+        let name = self.ident()?;
+        let func = match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "stddev" => AggFunc::StdDev,
+            "max" => AggFunc::Max,
+            "min" => AggFunc::Min,
+            "last" => AggFunc::Last,
+            "prev" => AggFunc::Prev,
+            "countdistinct" => AggFunc::CountDistinct,
+            other => {
+                return Err(RailgunError::Parse(format!(
+                    "unknown aggregation `{other}`"
+                )))
+            }
+        };
+        self.expect(&Token::LParen)?;
+        let field = match self.peek() {
+            Some(Token::Star) => {
+                self.next();
+                if func != AggFunc::Count {
+                    return Err(RailgunError::Parse(format!(
+                        "`*` is only valid in count(*), not {}",
+                        func.name()
+                    )));
+                }
+                None
+            }
+            _ => Some(self.ident()?),
+        };
+        self.expect(&Token::RParen)?;
+        Ok(AggSpec { func, field })
+    }
+
+    fn window_spec(&mut self) -> Result<WindowSpec> {
+        let kind = if self.peek_keyword("sliding") {
+            self.next();
+            WindowKind::Sliding(self.duration()?)
+        } else if self.peek_keyword("tumbling") {
+            self.next();
+            WindowKind::Tumbling(self.duration()?)
+        } else if self.peek_keyword("infinite") {
+            self.next();
+            WindowKind::Infinite
+        } else {
+            return Err(RailgunError::Parse(format!(
+                "expected window kind (sliding/tumbling/infinite), found {:?}",
+                self.peek()
+            )));
+        };
+        let mut spec = WindowSpec {
+            kind,
+            delay: TimeDelta::ZERO,
+        };
+        if self.peek_keyword("delayed") {
+            self.next();
+            self.keyword("by")?;
+            spec.delay = self.duration()?;
+        }
+        Ok(spec)
+    }
+
+    /// `<number> <unit>` where unit ∈ ms|seconds|minutes|hours|days (with
+    /// common abbreviations and singular forms).
+    fn duration(&mut self) -> Result<TimeDelta> {
+        let n = match self.next() {
+            Some(Token::Int(n)) if n > 0 => n,
+            other => {
+                return Err(RailgunError::Parse(format!(
+                    "expected positive integer duration, found {other:?}"
+                )))
+            }
+        };
+        let unit = self.ident()?;
+        let delta = match unit.to_ascii_lowercase().as_str() {
+            "ms" | "millisecond" | "milliseconds" => TimeDelta::from_millis(n),
+            "s" | "sec" | "secs" | "second" | "seconds" => TimeDelta::from_secs(n),
+            "min" | "mins" | "minute" | "minutes" => TimeDelta::from_minutes(n),
+            "h" | "hour" | "hours" => TimeDelta::from_hours(n),
+            "d" | "day" | "days" => TimeDelta::from_days(n),
+            other => {
+                return Err(RailgunError::Parse(format!(
+                    "unknown duration unit `{other}`"
+                )))
+            }
+        };
+        Ok(delta)
+    }
+
+    // ---- filter expression grammar ----
+
+    fn or_expr(&mut self) -> Result<PExpr> {
+        let mut left = self.and_expr()?;
+        while self.peek_keyword("or") {
+            self.next();
+            let right = self.and_expr()?;
+            left = PExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<PExpr> {
+        let mut left = self.not_expr()?;
+        while self.peek_keyword("and") {
+            self.next();
+            let right = self.not_expr()?;
+            left = PExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<PExpr> {
+        if self.peek_keyword("not") {
+            self.next();
+            return Ok(PExpr::Not(Box::new(self.not_expr()?)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<PExpr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.peek_keyword("is") {
+            self.next();
+            if self.peek_keyword("not") {
+                self.next();
+                self.keyword("null")?;
+                return Ok(PExpr::IsNotNull(Box::new(left)));
+            }
+            self.keyword("null")?;
+            return Ok(PExpr::IsNull(Box::new(left)));
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::NotEq) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            _ => return Ok(left),
+        };
+        self.next();
+        let right = self.additive()?;
+        Ok(PExpr::Cmp(op, Box::new(left), Box::new(right)))
+    }
+
+    fn additive(&mut self) -> Result<PExpr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => ArithOp::Add,
+                Some(Token::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let right = self.multiplicative()?;
+            left = PExpr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<PExpr> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => ArithOp::Mul,
+                Some(Token::Slash) => ArithOp::Div,
+                _ => break,
+            };
+            self.next();
+            let right = self.primary()?;
+            left = PExpr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<PExpr> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(PExpr::Lit(Value::Int(n))),
+            Some(Token::Float(f)) => Ok(PExpr::Lit(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(PExpr::Lit(Value::Str(s))),
+            Some(Token::Minus) => {
+                // unary minus on numeric literal
+                match self.next() {
+                    Some(Token::Int(n)) => Ok(PExpr::Lit(Value::Int(-n))),
+                    Some(Token::Float(f)) => Ok(PExpr::Lit(Value::Float(-f))),
+                    other => Err(RailgunError::Parse(format!(
+                        "expected numeric literal after `-`, found {other:?}"
+                    ))),
+                }
+            }
+            Some(Token::LParen) => {
+                let e = self.or_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => match name.to_ascii_lowercase().as_str() {
+                "true" => Ok(PExpr::Lit(Value::Bool(true))),
+                "false" => Ok(PExpr::Lit(Value::Bool(false))),
+                "null" => Ok(PExpr::Lit(Value::Null)),
+                _ => Ok(PExpr::Field(name)),
+            },
+            other => Err(RailgunError::Parse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q1_of_the_paper() {
+        // Q1: SELECT SUM(amount), COUNT(*) FROM payments
+        //     GROUP BY cardId [RANGE 5 MINUTES]
+        let q = parse_query(
+            "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 minutes",
+        )
+        .unwrap();
+        assert_eq!(q.stream, "payments");
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.select[0].func, AggFunc::Sum);
+        assert_eq!(q.select[0].field.as_deref(), Some("amount"));
+        assert_eq!(q.select[1].func, AggFunc::Count);
+        assert_eq!(q.select[1].field, None);
+        assert_eq!(q.group_by, vec!["cardId".to_string()]);
+        assert_eq!(
+            q.window,
+            WindowSpec::sliding(TimeDelta::from_minutes(5))
+        );
+        assert!(q.filter.is_none());
+    }
+
+    #[test]
+    fn parses_q2_of_the_paper() {
+        let q = parse_query(
+            "SELECT avg(amount) FROM payments GROUP BY merchantId OVER sliding 5 minutes",
+        )
+        .unwrap();
+        assert_eq!(q.select[0].func, AggFunc::Avg);
+        assert_eq!(q.group_by, vec!["merchantId".to_string()]);
+    }
+
+    #[test]
+    fn parses_filters() {
+        let q = parse_query(
+            "SELECT count(*) FROM payments WHERE amount > 100 AND country = 'PT' \
+             OR not (retries <= 2) GROUP BY cardId OVER sliding 1 hours",
+        )
+        .unwrap();
+        let f = q.filter.expect("filter parsed");
+        // Shape: Or(And(>, =), Not(<=))
+        match f {
+            PExpr::Or(a, b) => {
+                assert!(matches!(*a, PExpr::And(_, _)));
+                assert!(matches!(*b, PExpr::Not(_)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_window_variants() {
+        let q = parse_query("SELECT count(*) FROM s GROUP BY k OVER tumbling 1 day").unwrap();
+        assert_eq!(q.window.kind, WindowKind::Tumbling(TimeDelta::from_days(1)));
+        let q = parse_query("SELECT count(*) FROM s GROUP BY k OVER infinite").unwrap();
+        assert_eq!(q.window.kind, WindowKind::Infinite);
+        let q = parse_query(
+            "SELECT count(*) FROM s GROUP BY k OVER sliding 30 seconds delayed by 2 minutes",
+        )
+        .unwrap();
+        assert_eq!(q.window.delay, TimeDelta::from_minutes(2));
+    }
+
+    #[test]
+    fn parses_all_aggregations() {
+        let q = parse_query(
+            "SELECT count(x), sum(x), avg(x), stdDev(x), max(x), min(x), last(x), \
+             prev(x), countDistinct(x) FROM s GROUP BY k OVER infinite",
+        )
+        .unwrap();
+        let funcs: Vec<_> = q.select.iter().map(|a| a.func).collect();
+        assert_eq!(
+            funcs,
+            vec![
+                AggFunc::Count,
+                AggFunc::Sum,
+                AggFunc::Avg,
+                AggFunc::StdDev,
+                AggFunc::Max,
+                AggFunc::Min,
+                AggFunc::Last,
+                AggFunc::Prev,
+                AggFunc::CountDistinct,
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_multiple_fields() {
+        let q = parse_query(
+            "SELECT count(*) FROM s GROUP BY cardId, merchantId OVER sliding 5 min",
+        )
+        .unwrap();
+        assert_eq!(q.group_by, vec!["cardId".to_string(), "merchantId".into()]);
+    }
+
+    #[test]
+    fn no_group_by_is_allowed() {
+        let q = parse_query("SELECT count(*) FROM s OVER sliding 1 min").unwrap();
+        assert!(q.group_by.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "SELECT FROM s OVER infinite",
+            "SELECT sum(*) FROM s OVER infinite",
+            "SELECT nope(x) FROM s OVER infinite",
+            "SELECT count(*) FROM s",
+            "SELECT count(*) FROM s OVER sliding",
+            "SELECT count(*) FROM s OVER sliding 5 fortnights",
+            "SELECT count(*) FROM s OVER sliding 0 minutes",
+            "SELECT count(*) FROM s OVER sliding 5 minutes EXTRA",
+            "count(*) FROM s OVER infinite",
+        ] {
+            assert!(parse_query(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn is_null_and_literals() {
+        let q = parse_query(
+            "SELECT count(*) FROM s WHERE email IS NULL OR flag = true AND score >= -0.5 \
+             GROUP BY k OVER infinite",
+        )
+        .unwrap();
+        assert!(q.filter.is_some());
+        let q2 = parse_query(
+            "SELECT count(*) FROM s WHERE email IS NOT NULL GROUP BY k OVER infinite",
+        )
+        .unwrap();
+        assert!(matches!(q2.filter, Some(PExpr::IsNotNull(_))));
+    }
+
+    #[test]
+    fn duration_units() {
+        for (text, expect) in [
+            ("500 ms", TimeDelta::from_millis(500)),
+            ("30 s", TimeDelta::from_secs(30)),
+            ("15 secs", TimeDelta::from_secs(15)),
+            ("5 min", TimeDelta::from_minutes(5)),
+            ("2 hours", TimeDelta::from_hours(2)),
+            ("7 days", TimeDelta::from_days(7)),
+        ] {
+            let q =
+                parse_query(&format!("SELECT count(*) FROM s OVER sliding {text}")).unwrap();
+            assert_eq!(q.window.kind, WindowKind::Sliding(expect), "{text}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # railgun-core — the Railgun streaming engine
+//!
+//! The paper's main contribution (§3, §4): a distributed streaming engine
+//! computing **accurate, per-event aggregations over real-time sliding
+//! windows** with millisecond tail latencies. This crate assembles the
+//! substrates ([`railgun_reservoir`], [`railgun_store`],
+//! [`railgun_messaging`]) into the engine proper:
+//!
+//! * [`lang`] — the SQL-like query language of Figure 4;
+//! * [`expr`] — the filter expression language (jexl substitute);
+//! * [`agg`] — incremental aggregators with O(1) insert/evict;
+//! * [`plan`] — shared-prefix task plan DAGs (Figure 6);
+//! * [`task`] — task processors: reservoir + state store + plan (§4.1);
+//! * [`unit`] — processor units running Algorithm 1;
+//! * [`rebalance`] — the sticky, locality-aware assignment strategy
+//!   (Figure 7);
+//! * [`frontend`] — the front-end layer routing events to partitioner
+//!   topics and collecting replies (§3.1);
+//! * [`node`] / [`cluster`] — node assembly and an in-process cluster
+//!   harness used by examples, tests and benches;
+//! * [`api`] — client-facing types and wire encodings.
+
+pub mod agg;
+pub mod api;
+pub mod cluster;
+pub mod expr;
+pub mod frontend;
+pub mod keys;
+pub mod lang;
+pub mod node;
+pub mod plan;
+pub mod rebalance;
+pub mod task;
+pub mod unit;
+
+pub use api::{AggregationResult, EventRequest, OpRequest, Reply};
+pub use cluster::{Cluster, ClusterConfig, SendOutcome};
+pub use lang::{parse_query, AggFunc, Query, WindowKind, WindowSpec};
+pub use plan::{MetricHandle, Plan};
+pub use rebalance::RailgunStrategy;
+pub use task::{TaskConfig, TaskProcessor, TaskStats};

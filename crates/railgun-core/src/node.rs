@@ -1,0 +1,126 @@
+//! A Railgun node: front-end + back-end processor units over the shared
+//! messaging layer (Figure 3).
+//!
+//! All nodes are equal (§3: "to simplify development, all Railgun nodes
+//! are equal and composed by layers"): each has a front-end accepting
+//! client traffic and a back-end of processor units computing metrics.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use railgun_messaging::MessageBus;
+use railgun_types::{Result, Schema, Timestamp, Value};
+
+use crate::frontend::{ClientResponse, FrontEnd};
+use crate::rebalance::RailgunStrategy;
+use crate::task::TaskConfig;
+use crate::unit::{ProcessorUnit, PumpReport, UnitConfig};
+
+/// One Railgun node.
+pub struct Node {
+    pub id: u32,
+    frontend: FrontEnd,
+    units: Vec<ProcessorUnit>,
+    bus: MessageBus,
+}
+
+impl Node {
+    /// Assemble a node with `units` processor units.
+    pub fn new(
+        bus: &MessageBus,
+        id: u32,
+        units: u32,
+        data_dir: &Path,
+        task: TaskConfig,
+        strategy: Arc<RailgunStrategy>,
+        checkpoint_every: u64,
+    ) -> Result<Self> {
+        let frontend = FrontEnd::new(bus, id)?;
+        let mut unit_vec = Vec::with_capacity(units as usize);
+        for u in 0..units {
+            unit_vec.push(ProcessorUnit::new(
+                bus,
+                UnitConfig {
+                    node: id,
+                    unit: u,
+                    data_dir: data_dir.to_path_buf(),
+                    task: task.clone(),
+                    max_poll: 256,
+                    checkpoint_every,
+                },
+                Arc::clone(&strategy),
+            )?);
+        }
+        Ok(Node {
+            id,
+            frontend,
+            units: unit_vec,
+            bus: bus.clone(),
+        })
+    }
+
+    /// Client entry: register a stream through this node.
+    pub fn create_stream(
+        &mut self,
+        stream: &str,
+        schema: Schema,
+        partitioners: &[&str],
+        partitions: u32,
+        replication: u32,
+    ) -> Result<()> {
+        self.frontend
+            .create_stream(&self.bus, stream, schema, partitioners, partitions, replication)
+    }
+
+    /// Client entry: register a query through this node.
+    pub fn register_query(&mut self, query_text: &str) -> Result<()> {
+        self.frontend.register_query(query_text)
+    }
+
+    /// Client entry: delete a stream through this node.
+    pub fn delete_stream(&mut self, stream: &str) -> Result<()> {
+        self.frontend.delete_stream(&self.bus, stream)
+    }
+
+    /// Client entry: send one event; returns its request id.
+    pub fn send_event(
+        &mut self,
+        stream: &str,
+        ts: Timestamp,
+        values: Vec<Value>,
+    ) -> Result<u64> {
+        self.frontend.send_event(stream, ts, values)
+    }
+
+    /// Pump the front-end (reply collection) and every processor unit once.
+    pub fn pump(&mut self) -> Result<(Vec<ClientResponse>, Vec<PumpReport>)> {
+        let mut reports = Vec::with_capacity(self.units.len());
+        for unit in &mut self.units {
+            reports.push(unit.pump()?);
+        }
+        let responses = self.frontend.pump()?;
+        Ok((responses, reports))
+    }
+
+    /// Requests awaiting replies on this node's front-end.
+    pub fn pending_requests(&self) -> usize {
+        self.frontend.pending_count()
+    }
+
+    /// This node's processor units (diagnostics).
+    pub fn units(&self) -> &[ProcessorUnit] {
+        &self.units
+    }
+
+    /// Mutable access to units (benches probing task processors).
+    pub fn units_mut(&mut self) -> &mut [ProcessorUnit] {
+        &mut self.units
+    }
+
+    /// Gracefully leave all consumer groups (decommission).
+    pub fn shutdown(&mut self) {
+        for unit in &mut self.units {
+            unit.shutdown();
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Task plans: the shared-prefix DAG of §4.1.2 (Figure 6).
+//!
+//! A task plan computes every metric of a task in the fixed operator order
+//! `Window -> Filter -> GroupBy -> Aggregator`. Metrics that share a
+//! window, filter, or group-by reuse the same DAG node, so shared work —
+//! especially window advancement — happens once. This deliberate
+//! restriction of expressibility (vs. Flink's free-form API) is what makes
+//! the sharing optimization possible (§4.1.2).
+
+use railgun_types::{RailgunError, Result, Schema};
+
+use crate::expr::Expr;
+use crate::lang::{AggFunc, Query, WindowSpec};
+
+/// Index of a window node in [`Plan::windows`].
+pub type WindowId = usize;
+/// Index of a filter node in [`Plan::filters`].
+pub type FilterId = usize;
+/// Index of a group-by node in [`Plan::groups`].
+pub type GroupId = usize;
+/// Index of an aggregator leaf in [`Plan::leaves`] — also the state-key
+/// leaf id.
+pub type LeafId = usize;
+
+/// Root of the DAG: one per distinct window spec.
+#[derive(Debug)]
+pub struct WindowNode {
+    pub spec: WindowSpec,
+    pub filters: Vec<FilterId>,
+}
+
+/// Filter stage (`None` = pass-through for queries without WHERE).
+#[derive(Debug)]
+pub struct FilterNode {
+    pub window: WindowId,
+    pub expr: Option<Expr>,
+    canon: String,
+    pub groups: Vec<GroupId>,
+}
+
+/// Group-by stage: extracts the entity key from an event.
+#[derive(Debug)]
+pub struct GroupNode {
+    pub filter: FilterId,
+    pub field_names: Vec<String>,
+    pub field_indexes: Vec<usize>,
+    pub leaves: Vec<LeafId>,
+}
+
+/// Aggregator leaf. `names` collects the display names of every registered
+/// metric sharing this leaf (identical aggregations are computed once).
+#[derive(Debug)]
+pub struct LeafNode {
+    pub group: GroupId,
+    pub filter: FilterId,
+    pub window: WindowId,
+    pub func: AggFunc,
+    pub field_name: Option<String>,
+    pub field_index: Option<usize>,
+    pub names: Vec<String>,
+}
+
+/// A registered metric: which leaf computes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricHandle {
+    pub leaf: LeafId,
+    pub name: String,
+}
+
+/// The shared-prefix execution DAG for one task.
+#[derive(Debug, Default)]
+pub struct Plan {
+    pub windows: Vec<WindowNode>,
+    pub filters: Vec<FilterNode>,
+    pub groups: Vec<GroupNode>,
+    pub leaves: Vec<LeafNode>,
+}
+
+impl Plan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Plan::default()
+    }
+
+    /// Merge a parsed query into the plan, sharing prefix nodes, and
+    /// return a handle per SELECT item (in order).
+    ///
+    /// `schema` resolves field names; the same schema must be used for all
+    /// queries of a task (one stream per task).
+    pub fn add_query(&mut self, query: &Query, schema: &Schema) -> Result<Vec<MetricHandle>> {
+        // Resolve pieces first so failures leave the plan untouched.
+        let filter_expr = query
+            .filter
+            .as_ref()
+            .map(|f| f.resolve(schema))
+            .transpose()?;
+        let mut group_indexes = Vec::with_capacity(query.group_by.len());
+        for f in &query.group_by {
+            group_indexes.push(schema.require(f)?);
+        }
+        let mut leaf_fields = Vec::with_capacity(query.select.len());
+        for agg in &query.select {
+            let idx = match &agg.field {
+                Some(f) => Some(schema.require(f)?),
+                None => None,
+            };
+            if agg.func != AggFunc::Count && agg.field.is_none() {
+                return Err(RailgunError::InvalidArgument(format!(
+                    "{} requires a field",
+                    agg.func.name()
+                )));
+            }
+            leaf_fields.push(idx);
+        }
+
+        let wid = self.window_node(query.window);
+        let fid = self.filter_node(wid, filter_expr);
+        let gid = self.group_node(fid, &query.group_by, &group_indexes);
+        let mut handles = Vec::with_capacity(query.select.len());
+        for (agg, idx) in query.select.iter().zip(leaf_fields) {
+            let name = format!("{} over {}", agg.display(), query.window.display());
+            let leaf = self.leaf_node(gid, agg.func, agg.field.clone(), idx, &name);
+            handles.push(MetricHandle { leaf, name });
+        }
+        Ok(handles)
+    }
+
+    fn window_node(&mut self, spec: WindowSpec) -> WindowId {
+        if let Some(i) = self.windows.iter().position(|w| w.spec == spec) {
+            return i;
+        }
+        self.windows.push(WindowNode {
+            spec,
+            filters: Vec::new(),
+        });
+        self.windows.len() - 1
+    }
+
+    fn filter_node(&mut self, window: WindowId, expr: Option<Expr>) -> FilterId {
+        let canon = expr
+            .as_ref()
+            .map(Expr::canonical)
+            .unwrap_or_else(|| "true".to_owned());
+        if let Some(&i) = self.windows[window]
+            .filters
+            .iter()
+            .find(|&&i| self.filters[i].canon == canon)
+        {
+            return i;
+        }
+        self.filters.push(FilterNode {
+            window,
+            expr,
+            canon,
+            groups: Vec::new(),
+        });
+        let id = self.filters.len() - 1;
+        self.windows[window].filters.push(id);
+        id
+    }
+
+    fn group_node(&mut self, filter: FilterId, names: &[String], indexes: &[usize]) -> GroupId {
+        if let Some(&i) = self.filters[filter]
+            .groups
+            .iter()
+            .find(|&&i| self.groups[i].field_indexes == indexes)
+        {
+            return i;
+        }
+        self.groups.push(GroupNode {
+            filter,
+            field_names: names.to_vec(),
+            field_indexes: indexes.to_vec(),
+            leaves: Vec::new(),
+        });
+        let id = self.groups.len() - 1;
+        self.filters[filter].groups.push(id);
+        id
+    }
+
+    fn leaf_node(
+        &mut self,
+        group: GroupId,
+        func: AggFunc,
+        field_name: Option<String>,
+        field_index: Option<usize>,
+        name: &str,
+    ) -> LeafId {
+        if let Some(&i) = self.groups[group].leaves.iter().find(|&&i| {
+            self.leaves[i].func == func && self.leaves[i].field_index == field_index
+        }) {
+            if !self.leaves[i].names.iter().any(|n| n == name) {
+                self.leaves[i].names.push(name.to_owned());
+            }
+            return i;
+        }
+        let filter = self.groups[group].filter;
+        let window = self.filters[filter].window;
+        self.leaves.push(LeafNode {
+            group,
+            filter,
+            window,
+            func,
+            field_name,
+            field_index,
+            names: vec![name.to_owned()],
+        });
+        let id = self.leaves.len() - 1;
+        self.groups[group].leaves.push(id);
+        id
+    }
+
+    /// Number of state-store keys touched per event — the paper's "amount
+    /// of keys accessed per event match the number of DAG's leaves".
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True iff any window never expires events (disables reservoir
+    /// truncation).
+    pub fn has_infinite_window(&self) -> bool {
+        self.windows
+            .iter()
+            .any(|w| matches!(w.spec.kind, crate::lang::WindowKind::Infinite))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse_query;
+    use railgun_types::{FieldType, TimeDelta};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("cardId", FieldType::Str),
+            ("merchantId", FieldType::Str),
+            ("amount", FieldType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn figure_6_dag_shape() {
+        // Q1 + Q2 of Example 1: one shared window, two group-bys, three
+        // aggregator leaves (Figure 6).
+        let mut plan = Plan::new();
+        let q1 = parse_query(
+            "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        let q2 = parse_query(
+            "SELECT avg(amount) FROM payments GROUP BY merchantId OVER sliding 5 min",
+        )
+        .unwrap();
+        plan.add_query(&q1, &schema()).unwrap();
+        plan.add_query(&q2, &schema()).unwrap();
+        assert_eq!(plan.windows.len(), 1, "shared window node");
+        assert_eq!(plan.filters.len(), 1, "shared pass-through filter");
+        assert_eq!(plan.groups.len(), 2, "card + merchant group-bys");
+        assert_eq!(plan.leaves.len(), 3, "sum, count, avg");
+        assert_eq!(plan.leaf_count(), 3);
+    }
+
+    #[test]
+    fn different_windows_do_not_share() {
+        let mut plan = Plan::new();
+        let q1 =
+            parse_query("SELECT count(*) FROM s GROUP BY cardId OVER sliding 5 min").unwrap();
+        let q2 =
+            parse_query("SELECT count(*) FROM s GROUP BY cardId OVER sliding 10 min").unwrap();
+        plan.add_query(&q1, &schema()).unwrap();
+        plan.add_query(&q2, &schema()).unwrap();
+        assert_eq!(plan.windows.len(), 2);
+        assert_eq!(plan.leaves.len(), 2);
+    }
+
+    #[test]
+    fn identical_metric_shares_leaf_with_alias() {
+        let mut plan = Plan::new();
+        let q = parse_query(
+            "SELECT sum(amount) FROM s GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        let h1 = plan.add_query(&q, &schema()).unwrap();
+        let h2 = plan.add_query(&q, &schema()).unwrap();
+        assert_eq!(h1[0].leaf, h2[0].leaf);
+        assert_eq!(plan.leaves.len(), 1);
+    }
+
+    #[test]
+    fn filters_split_the_dag() {
+        let mut plan = Plan::new();
+        let q1 = parse_query(
+            "SELECT count(*) FROM s WHERE amount > 100 GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        let q2 = parse_query(
+            "SELECT count(*) FROM s WHERE amount > 200 GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        let q3 = parse_query(
+            "SELECT sum(amount) FROM s WHERE amount > 100 GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        plan.add_query(&q1, &schema()).unwrap();
+        plan.add_query(&q2, &schema()).unwrap();
+        plan.add_query(&q3, &schema()).unwrap();
+        assert_eq!(plan.windows.len(), 1);
+        assert_eq!(plan.filters.len(), 2, "two distinct predicates");
+        assert_eq!(plan.groups.len(), 2, "one group node per filter branch");
+        assert_eq!(plan.leaves.len(), 3);
+    }
+
+    #[test]
+    fn bad_fields_leave_plan_untouched() {
+        let mut plan = Plan::new();
+        let q = parse_query(
+            "SELECT sum(nope) FROM s GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        assert!(plan.add_query(&q, &schema()).is_err());
+        assert_eq!(plan.windows.len(), 0);
+        assert_eq!(plan.leaves.len(), 0);
+        let q2 = parse_query(
+            "SELECT sum(amount) FROM s GROUP BY nope OVER sliding 5 min",
+        )
+        .unwrap();
+        assert!(plan.add_query(&q2, &schema()).is_err());
+        assert_eq!(plan.groups.len(), 0);
+    }
+
+    #[test]
+    fn non_count_requires_field() {
+        let mut plan = Plan::new();
+        // Constructed directly since the parser already rejects `sum(*)`.
+        let q = Query {
+            select: vec![crate::lang::AggSpec {
+                func: AggFunc::Sum,
+                field: None,
+            }],
+            stream: "s".into(),
+            filter: None,
+            group_by: vec!["cardId".into()],
+            window: WindowSpec::sliding(TimeDelta::from_minutes(1)),
+        };
+        assert!(plan.add_query(&q, &schema()).is_err());
+    }
+
+    #[test]
+    fn infinite_window_detection() {
+        let mut plan = Plan::new();
+        let q = parse_query("SELECT countDistinct(merchantId) FROM s GROUP BY cardId OVER infinite")
+            .unwrap();
+        plan.add_query(&q, &schema()).unwrap();
+        assert!(plan.has_infinite_window());
+    }
+}

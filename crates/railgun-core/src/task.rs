@@ -1,0 +1,868 @@
+//! Task processors (paper §4.1).
+//!
+//! A task processor computes **all metrics of one (topic, partition)**. It
+//! owns, share-nothing: an event reservoir, a state store, and the task
+//! plan DAG. Everything runs on the processor unit's single thread.
+//!
+//! ## Window mechanics
+//!
+//! Evaluation is event-driven: a new event with timestamp `T` evaluates
+//! every window at `T_eval = T + 1ms` (the "moment right after" the event,
+//! §2). Per window, with size `ws` and delay `d`:
+//!
+//! * `upper = T + 1 − d`, `lower = upper − ws`;
+//! * the **tail** cursor advances to `lower`, yielding expiring events;
+//! * the **head** cursor advances to `upper`, yielding entering events
+//!   (the arriving event itself for plain sliding windows; older events
+//!   crossing the delayed boundary for `delayed by` windows; historic
+//!   events during metric backfill);
+//! * an arriving event already *behind* the head bound but inside the
+//!   window (a late event) is inserted directly — the reservoir guarantees
+//!   the head cursor skipped it, so it enters exactly once.
+//!
+//! The tail-side contract with the reservoir (see
+//! `railgun-reservoir::reservoir` docs) guarantees every inserted event is
+//! yielded for eviction exactly once, so incremental aggregators stay
+//! exact.
+
+use std::path::{Path, PathBuf};
+
+use railgun_reservoir::{AppendOutcome, Cursor, Reservoir, ReservoirConfig};
+use railgun_store::{ColumnFamilyId, Db, DbOptions};
+use railgun_types::{
+    Event, RailgunError, Result, Schema, TimeDelta, Timestamp, Value,
+};
+
+use crate::agg::{AggContext, AggState};
+use crate::api::AggregationResult;
+use crate::keys::state_key;
+use crate::lang::{Query, WindowKind};
+use crate::plan::{LeafId, MetricHandle, Plan, WindowId};
+
+/// Tuning for a task processor.
+#[derive(Debug, Clone)]
+pub struct TaskConfig {
+    pub reservoir: ReservoirConfig,
+    pub store: DbOptions,
+    /// Run reservoir truncation every this many events (0 = never).
+    pub truncate_every: u64,
+    /// Extra retention beyond the largest window (safety margin).
+    pub retention_margin: TimeDelta,
+}
+
+impl Default for TaskConfig {
+    fn default() -> Self {
+        TaskConfig {
+            reservoir: ReservoirConfig::default(),
+            store: DbOptions::default(),
+            truncate_every: 4096,
+            retention_margin: TimeDelta::from_minutes(1),
+        }
+    }
+}
+
+/// Monotonic counters for one task processor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskStats {
+    pub events_processed: u64,
+    pub duplicates: u64,
+    pub late_dropped: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+    pub state_reads: u64,
+    pub state_writes: u64,
+}
+
+struct WindowRuntime {
+    head: Cursor,
+    tail: Option<Cursor>,
+    /// Head bound before the current event's advance — the authority for
+    /// the direct-insert rule (see module docs).
+    head_bound: Timestamp,
+    /// Monotonic lower bound the tail cursor has reached. Insertion gates
+    /// compare against this (not the current event's instantaneous lower
+    /// bound) so a late or rewritten event is inserted iff the tail will
+    /// still yield it for eviction — keeping insert/evict exactly paired.
+    tail_bound: Timestamp,
+}
+
+/// Computes all metrics of one (topic, partition).
+pub struct TaskProcessor {
+    topic: String,
+    partition: u32,
+    schema: Schema,
+    plan: Plan,
+    reservoir: Reservoir,
+    db: Db,
+    aux_cf: ColumnFamilyId,
+    windows: Vec<WindowRuntime>,
+    config: TaskConfig,
+    stats: TaskStats,
+    events_since_truncate: u64,
+    /// Per-window scratch buffers reused across events (hot path).
+    expired_bufs: Vec<Vec<Event>>,
+    entering_buf: Vec<Event>,
+    encode_buf: Vec<u8>,
+}
+
+/// Name of the auxiliary column family for `countDistinct`.
+const AUX_CF_NAME: &str = "distinct-aux";
+
+impl TaskProcessor {
+    /// Open (or recover) a task processor rooted at `dir`.
+    pub fn open(
+        dir: &Path,
+        topic: &str,
+        partition: u32,
+        schema: Schema,
+        config: TaskConfig,
+    ) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let reservoir = Reservoir::open(
+            &dir.join("reservoir"),
+            schema.clone(),
+            config.reservoir.clone(),
+        )?;
+        let db = Db::open(&dir.join("store"), config.store.clone())?;
+        let aux_cf = match db.cf_by_name(AUX_CF_NAME) {
+            Some(cf) => cf,
+            None => db.create_cf(AUX_CF_NAME)?,
+        };
+        Ok(TaskProcessor {
+            topic: topic.to_owned(),
+            partition,
+            schema,
+            plan: Plan::new(),
+            reservoir,
+            db,
+            aux_cf,
+            windows: Vec::new(),
+            config,
+            stats: TaskStats::default(),
+            events_since_truncate: 0,
+            expired_bufs: Vec::new(),
+            entering_buf: Vec::new(),
+            encode_buf: Vec::with_capacity(64),
+        })
+    }
+
+    /// The (topic, partition) this task serves.
+    pub fn task_id(&self) -> (&str, u32) {
+        (&self.topic, self.partition)
+    }
+
+    /// The stream schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Register a query's metrics on this task. New windows create head and
+    /// tail cursors; the head starts far enough back to **backfill** the
+    /// new metric from events already in the reservoir (§6's future work,
+    /// supported here via the reservoir's random reads).
+    pub fn register_query(&mut self, query: &Query) -> Result<Vec<MetricHandle>> {
+        let handles = self.plan.add_query(query, &self.schema)?;
+        // Create runtimes for any window nodes added by this query.
+        while self.windows.len() < self.plan.windows.len() {
+            let wid = self.windows.len();
+            let spec = self.plan.windows[wid].spec;
+            let max_seen = self.reservoir.max_seen_ts();
+            let from = match spec.kind {
+                WindowKind::Sliding(ws) => {
+                    // Only events that could still be in the window matter.
+                    if max_seen == Timestamp::MIN {
+                        Timestamp::MIN
+                    } else {
+                        max_seen.saturating_sub(ws + spec.delay)
+                    }
+                }
+                WindowKind::Tumbling(ws) => {
+                    if max_seen == Timestamp::MIN {
+                        Timestamp::MIN
+                    } else {
+                        max_seen.saturating_sub(ws + spec.delay)
+                    }
+                }
+                // Infinite windows backfill the full history.
+                WindowKind::Infinite => Timestamp::MIN,
+            };
+            let head = self.reservoir.cursor_at(from);
+            let tail = match spec.kind {
+                WindowKind::Sliding(_) => Some(self.reservoir.cursor_at(from)),
+                _ => None,
+            };
+            self.windows.push(WindowRuntime {
+                head,
+                tail,
+                head_bound: Timestamp::MIN,
+                tail_bound: Timestamp::MIN,
+            });
+        }
+        Ok(handles)
+    }
+
+    /// Process one event end-to-end: advance windows, store the event,
+    /// update every aggregation, and return the results for this event's
+    /// entities.
+    pub fn process_event(&mut self, event: &Event) -> Result<(Vec<AggregationResult>, bool)> {
+        self.schema.check_values(event.values())?;
+        let t_eval = event.ts + TimeDelta::from_millis(1);
+        self.stats.events_processed += 1;
+
+        // Phase 1: advance every tail (expirations) BEFORE the append, so
+        // the reservoir's late-event fixups see the new bounds.
+        let nwindows = self.windows.len();
+        self.expired_bufs.resize_with(nwindows, Vec::new);
+        for wid in 0..nwindows {
+            let spec = self.plan.windows[wid].spec;
+            self.expired_bufs[wid].clear();
+            if let (WindowKind::Sliding(ws), Some(tail)) =
+                (spec.kind, self.windows[wid].tail.as_ref())
+            {
+                let lower = t_eval - spec.delay - ws;
+                tail.advance_upto_into(lower, &mut self.expired_bufs[wid]);
+                let wr = &mut self.windows[wid];
+                wr.tail_bound = wr.tail_bound.max(lower);
+            }
+        }
+
+        // Phase 2: append to the reservoir (dedup + late policy).
+        let outcome = self.reservoir.append(event.clone())?;
+        let (effective, duplicate) = match outcome {
+            AppendOutcome::Appended => (Some(event.clone()), false),
+            AppendOutcome::LateRewritten(ts) => (
+                Some(Event::new(event.id, ts, event.values().to_vec())),
+                false,
+            ),
+            AppendOutcome::Duplicate => {
+                self.stats.duplicates += 1;
+                (None, true)
+            }
+            AppendOutcome::LateDiscarded => {
+                self.stats.late_dropped += 1;
+                (None, false)
+            }
+        };
+
+        // Phase 3: per window, collect entering events and apply the DAG.
+        for wid in 0..nwindows {
+            let spec = self.plan.windows[wid].spec;
+            let upper = t_eval - spec.delay;
+            let lower = match spec.kind {
+                WindowKind::Sliding(ws) => upper - ws,
+                WindowKind::Tumbling(_) | WindowKind::Infinite => Timestamp::MIN,
+            };
+            let head_bound_pre = self.windows[wid].head_bound;
+            let mut entering = std::mem::take(&mut self.entering_buf);
+            entering.clear();
+            self.windows[wid]
+                .head
+                .advance_upto_into(upper, &mut entering);
+            self.windows[wid].head_bound = self.windows[wid].head_bound.max(upper);
+            // Direct insert of a late (or timestamp-rewritten) arrival that
+            // the head's fixup skipped (ts < head_bound_pre). The lower
+            // gate is the tail cursor's *monotonic* bound: an event at or
+            // above it will be yielded for eviction exactly once, so
+            // inserting it here keeps the streams paired; anything below it
+            // was skipped by the tail too and must not enter.
+            let _ = lower;
+            let tail_gate = self.windows[wid].tail_bound;
+            if let Some(e) = &effective {
+                if e.ts < head_bound_pre && e.ts >= tail_gate {
+                    entering.push(e.clone());
+                }
+            }
+            // Expire first, then insert (same relative order as the
+            // physical streams; aggregators only need each stream's own
+            // order to be consistent).
+            let expired = std::mem::take(&mut self.expired_bufs[wid]);
+            for e in &expired {
+                self.apply_dag(wid, e, false)?;
+            }
+            for e in &entering {
+                self.apply_dag(wid, e, true)?;
+            }
+            self.stats.evictions += expired.len() as u64;
+            self.stats.inserts += entering.len() as u64;
+            self.expired_bufs[wid] = expired;
+            self.entering_buf = entering;
+        }
+
+        // Phase 4: collect reply values for this event's entities.
+        let results = self.collect_results(event, t_eval)?;
+
+        // Phase 5: periodic retention.
+        self.events_since_truncate += 1;
+        if self.config.truncate_every > 0
+            && self.events_since_truncate >= self.config.truncate_every
+        {
+            self.events_since_truncate = 0;
+            self.maybe_truncate(t_eval)?;
+        }
+        Ok((results, duplicate))
+    }
+
+    /// Walk the DAG below window `wid` for one entering/expiring event.
+    fn apply_dag(&mut self, wid: WindowId, event: &Event, insert: bool) -> Result<()> {
+        let values = event.values();
+        let nfilters = self.plan.windows[wid].filters.len();
+        for fi in 0..nfilters {
+            let fid = self.plan.windows[wid].filters[fi];
+            let passes = match &self.plan.filters[fid].expr {
+                Some(expr) => expr.matches(values),
+                None => true,
+            };
+            if !passes {
+                continue;
+            }
+            let ngroups = self.plan.filters[fid].groups.len();
+            for gi in 0..ngroups {
+                let gid = self.plan.filters[fid].groups[gi];
+                let nleaves = self.plan.groups[gid].leaves.len();
+                for li in 0..nleaves {
+                    let leaf = self.plan.groups[gid].leaves[li];
+                    self.update_leaf(leaf, gid, event, insert)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn update_leaf(
+        &mut self,
+        leaf: LeafId,
+        gid: usize,
+        event: &Event,
+        insert: bool,
+    ) -> Result<()> {
+        let group = &self.plan.groups[gid];
+        let leaf_node = &self.plan.leaves[leaf];
+        let spec = self.plan.windows[leaf_node.window].spec;
+        let bucket = match spec.kind {
+            WindowKind::Tumbling(ws) => Some(event.ts.align_down(ws)),
+            _ => None,
+        };
+        let mut entity = Vec::with_capacity(group.field_indexes.len());
+        for &i in &group.field_indexes {
+            entity.push(event.value(i).cloned().unwrap_or(Value::Null));
+        }
+        let key = state_key(leaf as u32, bucket, &entity);
+        let field_value = leaf_node.field_index.map(|i| &event.values()[i]);
+
+        self.stats.state_reads += 1;
+        let mut state = match self.db.get_in(Db::DEFAULT_CF, &key, AggState::decode)? {
+            Some(decoded) => decoded?,
+            None => AggState::new(leaf_node.func),
+        };
+        let ctx = AggContext {
+            db: &self.db,
+            aux_cf: self.aux_cf,
+            state_key: &key,
+        };
+        if insert {
+            state.insert(field_value, &ctx)?;
+        } else {
+            state.evict(field_value, &ctx)?;
+        }
+        self.encode_buf.clear();
+        state.encode(&mut self.encode_buf);
+        self.stats.state_writes += 1;
+        self.db.put(Db::DEFAULT_CF, &key, &self.encode_buf)
+    }
+
+    /// Read the current value of every leaf for the event's entities.
+    fn collect_results(
+        &mut self,
+        event: &Event,
+        t_eval: Timestamp,
+    ) -> Result<Vec<AggregationResult>> {
+        let mut out = Vec::with_capacity(self.plan.leaves.len());
+        for (leaf_idx, leaf) in self.plan.leaves.iter().enumerate() {
+            let group = &self.plan.groups[leaf.group];
+            let spec = self.plan.windows[leaf.window].spec;
+            let bucket = match spec.kind {
+                WindowKind::Tumbling(ws) => {
+                    // The bucket containing the (delay-shifted) eval point.
+                    Some((t_eval - spec.delay - TimeDelta::from_millis(1)).align_down(ws))
+                }
+                _ => None,
+            };
+            let mut entity = Vec::with_capacity(group.field_indexes.len());
+            for &i in &group.field_indexes {
+                entity.push(event.value(i).cloned().unwrap_or(Value::Null));
+            }
+            let key = state_key(leaf_idx as u32, bucket, &entity);
+            self.stats.state_reads += 1;
+            let value = match self
+                .db
+                .get_in(Db::DEFAULT_CF, &key, |raw| AggState::decode(raw).map(|s| s.value()))?
+            {
+                Some(v) => v?,
+                None => AggState::new(leaf.func).value(),
+            };
+            out.push(AggregationResult {
+                name: leaf.names[0].clone(),
+                entity,
+                value,
+            });
+        }
+        Ok(out)
+    }
+
+    fn maybe_truncate(&mut self, t_eval: Timestamp) -> Result<()> {
+        if self.plan.has_infinite_window() {
+            return Ok(()); // keep full history
+        }
+        if self.plan.windows.is_empty() {
+            // No metrics registered yet: nothing bounds retention, and
+            // future metrics may backfill from any depth — keep everything.
+            return Ok(());
+        }
+        let mut max_span = TimeDelta::ZERO;
+        for w in &self.plan.windows {
+            let span = match w.spec.kind {
+                WindowKind::Sliding(ws) | WindowKind::Tumbling(ws) => ws + w.spec.delay,
+                WindowKind::Infinite => return Ok(()),
+            };
+            if span > max_span {
+                max_span = span;
+            }
+        }
+        let before = t_eval - max_span - self.config.retention_margin;
+        self.reservoir.truncate_before(before)?;
+        Ok(())
+    }
+
+    /// Block until the reservoir's queued chunk writes are durable (and
+    /// unpinned from cache). Benches call this before measuring so the
+    /// cache starts at its configured capacity — the paper's runs start
+    /// from a fully-persisted checkpoint load.
+    pub fn drain_reservoir_io(&self) -> Result<()> {
+        self.reservoir.flush_io()?;
+        Ok(())
+    }
+
+    /// Checkpoint reservoir and state store together (§4.1.3) into `dir`.
+    pub fn checkpoint(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir)?;
+        self.reservoir.checkpoint(&dir.join("reservoir"))?;
+        self.db.checkpoint(&dir.join("store"))?;
+        Ok(())
+    }
+
+    /// Restore a task processor from a checkpoint directory (as written by
+    /// [`TaskProcessor::checkpoint`]) into a fresh data directory. Events
+    /// after the checkpoint must be replayed from the messaging layer.
+    pub fn restore_from_checkpoint(
+        ckpt: &Path,
+        dir: &Path,
+        topic: &str,
+        partition: u32,
+        schema: Schema,
+        config: TaskConfig,
+    ) -> Result<Self> {
+        if dir.exists() && dir.read_dir()?.next().is_some() {
+            return Err(RailgunError::InvalidArgument(format!(
+                "restore target {} is not empty",
+                dir.display()
+            )));
+        }
+        std::fs::create_dir_all(dir)?;
+        copy_dir(&ckpt.join("reservoir"), &dir.join("reservoir"))?;
+        copy_dir(&ckpt.join("store"), &dir.join("store"))?;
+        Self::open(dir, topic, partition, schema, config)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> TaskStats {
+        self.stats
+    }
+
+    /// Reservoir statistics (memory accounting for §5.2).
+    pub fn reservoir_stats(&self) -> railgun_reservoir::ReservoirStats {
+        self.reservoir.stats()
+    }
+
+    /// State-store statistics.
+    pub fn store_stats(&self) -> railgun_store::DbStats {
+        self.db.stats()
+    }
+
+    /// Number of plan leaves (state keys touched per event).
+    pub fn leaf_count(&self) -> usize {
+        self.plan.leaf_count()
+    }
+
+    /// Number of live reservoir cursors (the paper's "iterators", §5.2(b)).
+    pub fn iterator_count(&self) -> usize {
+        self.reservoir.stats().cursors
+    }
+}
+
+fn copy_dir(from: &Path, to: &Path) -> Result<()> {
+    std::fs::create_dir_all(to)?;
+    if !from.exists() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(from)? {
+        let entry = entry?;
+        if entry.file_type()?.is_file() {
+            std::fs::copy(entry.path(), to.join(entry.file_name()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Helper: a fresh unique data dir under the system temp dir (tests).
+pub fn temp_task_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "railgun-task-{}-{tag}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse_query;
+    use railgun_types::{EventId, FieldType};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("cardId", FieldType::Str),
+            ("merchantId", FieldType::Str),
+            ("amount", FieldType::Float),
+        ])
+        .unwrap()
+    }
+
+    fn proc(tag: &str) -> TaskProcessor {
+        TaskProcessor::open(
+            &temp_task_dir(tag),
+            "payments--cardId",
+            0,
+            schema(),
+            TaskConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn ev(id: u64, ts_ms: i64, card: &str, merchant: &str, amount: f64) -> Event {
+        Event::new(
+            EventId(id),
+            Timestamp::from_millis(ts_ms),
+            vec![
+                Value::Str(card.into()),
+                Value::Str(merchant.into()),
+                Value::Float(amount),
+            ],
+        )
+    }
+
+    fn result_value(results: &[AggregationResult], name_prefix: &str) -> Value {
+        results
+            .iter()
+            .find(|r| r.name.starts_with(name_prefix))
+            .unwrap_or_else(|| panic!("no result named {name_prefix}*"))
+            .value
+            .clone()
+    }
+
+    #[test]
+    fn q1_sum_and_count_per_card() {
+        let mut tp = proc("q1");
+        let q = parse_query(
+            "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        tp.register_query(&q).unwrap();
+        let (r, _) = tp.process_event(&ev(1, 1_000, "A", "m1", 10.0)).unwrap();
+        assert_eq!(result_value(&r, "sum(amount)"), Value::Float(10.0));
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(1));
+        let (r, _) = tp.process_event(&ev(2, 2_000, "A", "m2", 15.0)).unwrap();
+        assert_eq!(result_value(&r, "sum(amount)"), Value::Float(25.0));
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(2));
+        // Different card: independent state.
+        let (r, _) = tp.process_event(&ev(3, 3_000, "B", "m1", 100.0)).unwrap();
+        assert_eq!(result_value(&r, "sum(amount)"), Value::Float(100.0));
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(1));
+    }
+
+    #[test]
+    fn sliding_window_expires_events() {
+        let mut tp = proc("expiry");
+        let q = parse_query(
+            "SELECT count(*) FROM payments GROUP BY cardId OVER sliding 1 min",
+        )
+        .unwrap();
+        tp.register_query(&q).unwrap();
+        for (id, ts) in [(1, 0i64), (2, 10_000), (3, 50_000)] {
+            tp.process_event(&ev(id, ts, "A", "m", 1.0)).unwrap();
+        }
+        // At t=75s the window lower bound is 15.001s: events at 0s and 10s
+        // expired, events at 50s and 75s remain.
+        let (r, _) = tp.process_event(&ev(4, 75_000, "A", "m", 1.0)).unwrap();
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(2));
+        assert!(tp.stats().evictions >= 2);
+    }
+
+    #[test]
+    fn figure_1_semantics_sliding_window_catches_all_five() {
+        // The paper's Figure 1: events at minutes 1,2,3,4 and one "just
+        // inside" the 5-min window. A real-time sliding window sees all 5.
+        let mut tp = proc("fig1");
+        let q = parse_query(
+            "SELECT count(*) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        tp.register_query(&q).unwrap();
+        let minutes = [60_000i64, 120_000, 180_000, 240_000];
+        for (i, ts) in minutes.iter().enumerate() {
+            tp.process_event(&ev(i as u64, *ts, "A", "m", 1.0)).unwrap();
+        }
+        // e5 arrives at 5:59.999 — within 5 minutes of e1 (1:00).
+        let (r, _) = tp
+            .process_event(&ev(9, 359_999, "A", "m", 1.0))
+            .unwrap();
+        assert_eq!(
+            result_value(&r, "count(*)"),
+            Value::Int(5),
+            "real-time sliding window must include all 5 events"
+        );
+        // Two ms later e1 (ts=60000) has fallen out of the window, so the
+        // count stays at 5 even though a new event arrived.
+        let (r, _) = tp.process_event(&ev(10, 360_001, "A", "m", 1.0)).unwrap();
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(5));
+    }
+
+    #[test]
+    fn shared_window_multiple_group_bys() {
+        // Q1 + Q2 of Example 1 on one task.
+        let mut tp = proc("example1");
+        tp.register_query(
+            &parse_query(
+                "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 min",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        tp.register_query(
+            &parse_query(
+                "SELECT avg(amount) FROM payments GROUP BY merchantId OVER sliding 5 min",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        tp.process_event(&ev(1, 1_000, "A", "m1", 10.0)).unwrap();
+        let (r, _) = tp.process_event(&ev(2, 2_000, "B", "m1", 30.0)).unwrap();
+        // Card B: sum=30, count=1. Merchant m1: avg=(10+30)/2=20.
+        assert_eq!(result_value(&r, "sum(amount)"), Value::Float(30.0));
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(1));
+        assert_eq!(result_value(&r, "avg(amount)"), Value::Float(20.0));
+    }
+
+    #[test]
+    fn filter_applies_to_inserts_and_evictions() {
+        let mut tp = proc("filter");
+        let q = parse_query(
+            "SELECT count(*) FROM payments WHERE amount > 50 GROUP BY cardId OVER sliding 1 min",
+        )
+        .unwrap();
+        tp.register_query(&q).unwrap();
+        tp.process_event(&ev(1, 0, "A", "m", 100.0)).unwrap(); // passes
+        let (r, _) = tp.process_event(&ev(2, 1_000, "A", "m", 10.0)).unwrap(); // filtered
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(1));
+        // After expiry of the passing event the count returns to 0.
+        let (r, _) = tp.process_event(&ev(3, 61_001, "A", "m", 10.0)).unwrap();
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(0));
+    }
+
+    #[test]
+    fn duplicates_do_not_double_count() {
+        let mut tp = proc("dup");
+        let q = parse_query(
+            "SELECT count(*) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        tp.register_query(&q).unwrap();
+        tp.process_event(&ev(7, 1_000, "A", "m", 1.0)).unwrap();
+        let (r, dup) = tp.process_event(&ev(7, 1_000, "A", "m", 1.0)).unwrap();
+        assert!(dup);
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(1));
+        assert_eq!(tp.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn tumbling_window_resets_each_bucket() {
+        let mut tp = proc("tumbling");
+        let q = parse_query(
+            "SELECT count(*) FROM payments GROUP BY cardId OVER tumbling 1 min",
+        )
+        .unwrap();
+        tp.register_query(&q).unwrap();
+        let (r, _) = tp.process_event(&ev(1, 10_000, "A", "m", 1.0)).unwrap();
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(1));
+        let (r, _) = tp.process_event(&ev(2, 30_000, "A", "m", 1.0)).unwrap();
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(2));
+        // Next minute bucket starts fresh.
+        let (r, _) = tp.process_event(&ev(3, 70_000, "A", "m", 1.0)).unwrap();
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(1));
+    }
+
+    #[test]
+    fn infinite_window_never_expires() {
+        let mut tp = proc("infinite");
+        let q = parse_query(
+            "SELECT countDistinct(merchantId) FROM payments GROUP BY cardId OVER infinite",
+        )
+        .unwrap();
+        tp.register_query(&q).unwrap();
+        tp.process_event(&ev(1, 0, "A", "m1", 1.0)).unwrap();
+        tp.process_event(&ev(2, 86_400_000, "A", "m2", 1.0)).unwrap(); // 1 day later
+        let (r, _) = tp
+            .process_event(&ev(3, 30 * 86_400_000, "A", "m1", 1.0))
+            .unwrap();
+        assert_eq!(result_value(&r, "countDistinct"), Value::Int(2));
+        assert_eq!(tp.stats().evictions, 0);
+    }
+
+    #[test]
+    fn delayed_window_lags_behind() {
+        let mut tp = proc("delayed");
+        let q = parse_query(
+            "SELECT count(*) FROM payments GROUP BY cardId OVER sliding 1 min delayed by 1 min",
+        )
+        .unwrap();
+        tp.register_query(&q).unwrap();
+        // Event at t=0 enters the delayed window only when T_eval - 60s
+        // passes it, i.e. for events after ~t=60s.
+        let (r, _) = tp.process_event(&ev(1, 0, "A", "m", 1.0)).unwrap();
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(0), "own event not visible yet");
+        let (r, _) = tp.process_event(&ev(2, 30_000, "A", "m", 1.0)).unwrap();
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(0));
+        // At t=70s the delayed window covers [70s-60s-60s, 70s-60s) = [-50s, 10s):
+        // contains the t=0 event only.
+        let (r, _) = tp.process_event(&ev(3, 70_000, "A", "m", 1.0)).unwrap();
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(1));
+    }
+
+    #[test]
+    fn backfill_new_metric_from_existing_events() {
+        let mut tp = proc("backfill");
+        let q1 = parse_query(
+            "SELECT count(*) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        tp.register_query(&q1).unwrap();
+        for i in 0..5 {
+            tp.process_event(&ev(i, 1_000 + i as i64 * 100, "A", "m", 2.0))
+                .unwrap();
+        }
+        // New metric registered later must see the stored events.
+        let q2 = parse_query(
+            "SELECT sum(amount) FROM payments GROUP BY cardId OVER sliding 10 min",
+        )
+        .unwrap();
+        tp.register_query(&q2).unwrap();
+        let (r, _) = tp.process_event(&ev(99, 2_000, "A", "m", 2.0)).unwrap();
+        // 5 backfilled events + this one = 6 × 2.0.
+        assert_eq!(result_value(&r, "sum(amount)"), Value::Float(12.0));
+    }
+
+    #[test]
+    fn all_aggregations_together() {
+        let mut tp = proc("allaggs");
+        let q = parse_query(
+            "SELECT count(amount), sum(amount), avg(amount), stdDev(amount), max(amount), \
+             min(amount), last(amount), prev(amount), countDistinct(merchantId) \
+             FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        tp.register_query(&q).unwrap();
+        tp.process_event(&ev(1, 1_000, "A", "m1", 10.0)).unwrap();
+        tp.process_event(&ev(2, 2_000, "A", "m2", 30.0)).unwrap();
+        let (r, _) = tp.process_event(&ev(3, 3_000, "A", "m1", 20.0)).unwrap();
+        assert_eq!(result_value(&r, "count(amount)"), Value::Int(3));
+        assert_eq!(result_value(&r, "sum(amount)"), Value::Float(60.0));
+        assert_eq!(result_value(&r, "avg(amount)"), Value::Float(20.0));
+        assert_eq!(result_value(&r, "max(amount)"), Value::Float(30.0));
+        assert_eq!(result_value(&r, "min(amount)"), Value::Float(10.0));
+        assert_eq!(result_value(&r, "last(amount)"), Value::Float(20.0));
+        assert_eq!(result_value(&r, "prev(amount)"), Value::Float(30.0));
+        assert_eq!(result_value(&r, "countDistinct"), Value::Int(2));
+        let std = result_value(&r, "stdDev(amount)").as_f64().unwrap();
+        assert!((std - 10.0).abs() < 1e-9, "sample stddev of 10,30,20 = 10");
+    }
+
+    #[test]
+    fn checkpoint_and_restore() {
+        let mut tp = proc("ckpt-src2");
+        let q = parse_query(
+            "SELECT sum(amount) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        tp.register_query(&q).unwrap();
+        for i in 0..10 {
+            tp.process_event(&ev(i, 1_000 * i as i64, "A", "m", 1.0))
+                .unwrap();
+        }
+        let ckpt = temp_task_dir("ckpt-dir2");
+        tp.checkpoint(&ckpt).unwrap();
+        drop(tp);
+        let restore_dir = temp_task_dir("ckpt-restore2");
+        let mut tp2 = TaskProcessor::restore_from_checkpoint(
+            &ckpt,
+            &restore_dir,
+            "payments--cardId",
+            0,
+            schema(),
+            TaskConfig::default(),
+        )
+        .unwrap();
+        tp2.register_query(&q).unwrap();
+        // The restored processor continues with backfilled state from the
+        // reservoir (events re-enter via the backfill head cursor).
+        let (r, _) = tp2.process_event(&ev(100, 10_000, "A", "m", 1.0)).unwrap();
+        let sum = result_value(&r, "sum(amount)").as_f64().unwrap();
+        assert!(sum >= 10.0, "restored + replayed state, got {sum}");
+    }
+
+    #[test]
+    fn stats_track_state_access_pattern() {
+        // Paper §4.1.3: keys accessed per event == number of DAG leaves.
+        let mut tp = proc("statskeys");
+        tp.register_query(
+            &parse_query(
+                "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 min",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        tp.register_query(
+            &parse_query(
+                "SELECT avg(amount) FROM payments GROUP BY merchantId OVER sliding 5 min",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let before = tp.stats();
+        tp.process_event(&ev(1, 1_000, "A", "m", 5.0)).unwrap();
+        let after = tp.stats();
+        // 3 leaves → 3 insert writes (no expiry yet).
+        assert_eq!(after.state_writes - before.state_writes, 3);
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        let mut tp = proc("badschema");
+        let bad = Event::new(
+            EventId(1),
+            Timestamp::from_millis(0),
+            vec![Value::Int(1)], // wrong arity
+        );
+        assert!(tp.process_event(&bad).is_err());
+    }
+}

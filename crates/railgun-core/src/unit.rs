@@ -1,0 +1,431 @@
+//! Processor units: Algorithm 1 of the paper.
+//!
+//! A processor unit owns a set of task processors, all driven by **one
+//! logical thread** to avoid context switching and synchronization (§3.2).
+//! Each pump iteration (one trip around Algorithm 1's loop):
+//!
+//! 1. processes operational requests (stream/metric registration),
+//! 2. polls the **active** consumer (group-managed, the shared
+//!    `railgun-active` group),
+//! 3. polls the **replica** consumer (manually assigned),
+//! 4. routes every message to its task processor,
+//! 5. replies to the reply topic — for active tasks only.
+//!
+//! The unit is deliberately pump-driven (no internal thread): examples and
+//! the cluster harness can run units on real threads, while tests and the
+//! simulation drive them deterministically.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use railgun_messaging::{Consumer, MessageBus, Producer, TopicPartition};
+use railgun_types::{RailgunError, Result, Schema};
+
+use crate::api::{
+    decode_event_request, decode_op, encode_checkpoint, encode_reply, parse_topic_name,
+    CheckpointRecord, OpRequest, Reply, CHECKPOINT_TOPIC, OPS_TOPIC,
+};
+use crate::lang::{parse_query, Query};
+use crate::rebalance::{ProcessorIdentity, RailgunStrategy};
+use crate::task::{TaskConfig, TaskProcessor};
+
+/// Static configuration of one processor unit.
+#[derive(Debug, Clone)]
+pub struct UnitConfig {
+    pub node: u32,
+    pub unit: u32,
+    /// Root directory for this unit's task data.
+    pub data_dir: PathBuf,
+    pub task: TaskConfig,
+    /// Max records fetched per consumer per pump.
+    pub max_poll: usize,
+    /// Checkpoint each task every N processed events (0 disables). The
+    /// reservoir and state store are checkpointed together and the (task,
+    /// offset) record is published to the checkpoint topic (§4.1.3).
+    pub checkpoint_every: u64,
+}
+
+/// What happened during one pump.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpReport {
+    pub ops_applied: usize,
+    pub active_events: usize,
+    pub replica_events: usize,
+    pub replies_sent: usize,
+    pub rebalanced: bool,
+    pub checkpoints: usize,
+}
+
+#[derive(Debug, Clone)]
+struct StreamMeta {
+    schema: Schema,
+    partitioners: Vec<String>,
+}
+
+/// One processor unit (Algorithm 1).
+pub struct ProcessorUnit {
+    cfg: UnitConfig,
+    producer: Producer,
+    active: Consumer,
+    replica: Consumer,
+    ops: Consumer,
+    strategy: Arc<RailgunStrategy>,
+    streams: HashMap<String, StreamMeta>,
+    queries: Vec<Query>,
+    tasks: HashMap<TopicPartition, TaskProcessor>,
+    /// Next offset to process per task (so promotions replica→active keep
+    /// their position instead of replaying).
+    task_offsets: HashMap<TopicPartition, u64>,
+    active_assignment: Vec<TopicPartition>,
+    replica_assignment: Vec<TopicPartition>,
+    /// Events processed per task since its last checkpoint.
+    since_checkpoint: HashMap<TopicPartition, u64>,
+    checkpoint_seq: u64,
+}
+
+/// Consumer group shared by every active consumer (§3.3).
+pub const ACTIVE_GROUP: &str = "railgun-active";
+
+impl ProcessorUnit {
+    /// Create a unit and join the active consumer group for all event
+    /// topics of all (current and future) streams.
+    pub fn new(bus: &MessageBus, cfg: UnitConfig, strategy: Arc<RailgunStrategy>) -> Result<Self> {
+        let producer = Producer::new(bus.clone());
+        let active = Consumer::new(bus.clone());
+        let replica = Consumer::new(bus.clone());
+        let mut ops = Consumer::new(bus.clone());
+        ops.assign(vec![TopicPartition::new(OPS_TOPIC, 0)]);
+        Ok(ProcessorUnit {
+            cfg,
+            producer,
+            active,
+            replica,
+            ops,
+            strategy,
+            streams: HashMap::new(),
+            queries: Vec::new(),
+            tasks: HashMap::new(),
+            task_offsets: HashMap::new(),
+            active_assignment: Vec::new(),
+            replica_assignment: Vec::new(),
+            since_checkpoint: HashMap::new(),
+            checkpoint_seq: 0,
+        })
+    }
+
+    /// This unit's identity (metadata for the assignment strategy).
+    pub fn identity(&self) -> ProcessorIdentity {
+        ProcessorIdentity {
+            node: self.cfg.node,
+            unit: self.cfg.unit,
+        }
+    }
+
+    /// The member id of the active consumer (for strategy queries).
+    pub fn member_id(&self) -> railgun_messaging::MemberId {
+        self.active.member_id()
+    }
+
+    /// (Re)subscribe the active consumer to all known event topics.
+    fn resubscribe(&mut self) -> Result<()> {
+        let topics: Vec<String> = self
+            .streams
+            .iter()
+            .flat_map(|(stream, meta)| {
+                meta.partitioners
+                    .iter()
+                    .map(move |p| crate::api::topic_name(stream, p))
+            })
+            .collect();
+        if topics.is_empty() {
+            return Ok(());
+        }
+        let refs: Vec<&str> = topics.iter().map(String::as_str).collect();
+        self.active.subscribe(
+            ACTIVE_GROUP,
+            &refs,
+            self.identity().encode(),
+            Arc::clone(&self.strategy) as Arc<dyn railgun_messaging::AssignmentStrategy>,
+        )
+    }
+
+    /// One trip around Algorithm 1's loop.
+    pub fn pump(&mut self) -> Result<PumpReport> {
+        let mut report = PumpReport::default();
+
+        // 1. Operational requests.
+        let ops = self.ops.poll(self.cfg.max_poll)?;
+        for msg in &ops.messages {
+            let op = decode_op(&msg.payload)?;
+            self.apply_op(op)?;
+            report.ops_applied += 1;
+        }
+
+        // 2. Active tasks.
+        let polled = match self.active.poll(self.cfg.max_poll) {
+            Ok(p) => p,
+            Err(RailgunError::Messaging(_)) => {
+                // Expelled after a heartbeat lapse — rejoin the group (the
+                // same recovery a Kafka client performs on session expiry).
+                self.resubscribe()?;
+                return Ok(report);
+            }
+            Err(e) => return Err(e),
+        };
+        if let Some(assignment) = polled.rebalanced {
+            report.rebalanced = true;
+            self.on_rebalance(assignment)?;
+            // Messages fetched in the same poll may predate the seek —
+            // drop them; the repositioned consumer re-reads next pump.
+        } else {
+            for msg in polled.messages {
+                let tp = msg.topic_partition();
+                if let Some((reply, reply_topic)) =
+                    self.process_message(&tp, msg.offset, &msg.payload)?
+                {
+                    let payload = encode_reply(&reply);
+                    self.producer
+                        .send_to_partition(&reply_topic, 0, &[], payload)?;
+                    report.replies_sent += 1;
+                }
+                report.active_events += 1;
+            }
+        }
+
+        // 3. Replica tasks (no replies, §4.2).
+        let polled = self.replica.poll(self.cfg.max_poll)?;
+        for msg in polled.messages {
+            let tp = msg.topic_partition();
+            self.process_message(&tp, msg.offset, &msg.payload)?;
+            report.replica_events += 1;
+        }
+
+        // 4. Periodic synchronized checkpoints (§4.1.3).
+        if self.cfg.checkpoint_every > 0 {
+            report.checkpoints += self.maybe_checkpoint()?;
+        }
+        Ok(report)
+    }
+
+    /// Checkpoint every task whose event count passed the threshold and
+    /// publish its (task, offset) record to the checkpoint topic.
+    fn maybe_checkpoint(&mut self) -> Result<usize> {
+        let due: Vec<TopicPartition> = self
+            .since_checkpoint
+            .iter()
+            .filter(|(_, n)| **n >= self.cfg.checkpoint_every)
+            .map(|(tp, _)| tp.clone())
+            .collect();
+        let mut done = 0;
+        for tp in due {
+            let Some(task) = self.tasks.get(&tp) else {
+                continue;
+            };
+            self.checkpoint_seq += 1;
+            let dir = self.cfg.data_dir.join(format!(
+                "ckpt/node{}-unit{}/{}-{}-{}",
+                self.cfg.node, self.cfg.unit, tp.topic, tp.partition, self.checkpoint_seq
+            ));
+            task.checkpoint(&dir)?;
+            let record = CheckpointRecord {
+                topic: tp.topic.clone(),
+                partition: tp.partition,
+                node: self.cfg.node,
+                unit: self.cfg.unit,
+                next_offset: self.task_offsets.get(&tp).copied().unwrap_or(0),
+                path: dir.to_string_lossy().into_owned(),
+            };
+            self.producer
+                .send(CHECKPOINT_TOPIC, tp.to_string().as_bytes(), encode_checkpoint(&record))
+                .ok(); // checkpoint topic may not exist in minimal setups
+            self.since_checkpoint.insert(tp, 0);
+            done += 1;
+        }
+        Ok(done)
+    }
+
+    fn apply_op(&mut self, op: OpRequest) -> Result<()> {
+        match op {
+            OpRequest::CreateStream {
+                stream,
+                schema,
+                partitioners,
+                ..
+            } => {
+                self.streams.insert(
+                    stream,
+                    StreamMeta {
+                        schema,
+                        partitioners,
+                    },
+                );
+                self.resubscribe()?;
+            }
+            OpRequest::DeleteStream { stream } => {
+                self.streams.remove(&stream);
+                let not_of_stream = |tp: &TopicPartition| {
+                    parse_topic_name(&tp.topic).map(|(s, _)| s) != Some(stream.as_str())
+                };
+                self.tasks.retain(|tp, _| not_of_stream(tp));
+                // Offsets and checkpoint counters die with the stream — a
+                // recreated stream of the same name starts a fresh log.
+                self.task_offsets.retain(|tp, _| not_of_stream(tp));
+                self.since_checkpoint.retain(|tp, _| not_of_stream(tp));
+                self.active_assignment.retain(not_of_stream);
+                self.replica_assignment.retain(not_of_stream);
+                self.resubscribe()?;
+            }
+            OpRequest::RegisterQuery { query_text } => {
+                let query = parse_query(&query_text)?;
+                let topic = self.query_topic(&query)?;
+                for (tp, task) in self.tasks.iter_mut() {
+                    if tp.topic == topic {
+                        task.register_query(&query)?;
+                    }
+                }
+                self.queries.push(query);
+            }
+        }
+        Ok(())
+    }
+
+    /// The event topic a query's metrics are computed on: the first stream
+    /// partitioner contained in the query's GROUP BY (§4 — metrics only
+    /// need events hashed by a *subset* of their group-by keys).
+    fn query_topic(&self, query: &Query) -> Result<String> {
+        let meta = self.streams.get(&query.stream).ok_or_else(|| {
+            RailgunError::NotFound(format!("stream `{}`", query.stream))
+        })?;
+        meta.partitioners
+            .iter()
+            .find(|p| query.group_by.contains(p))
+            .map(|p| crate::api::topic_name(&query.stream, p))
+            .ok_or_else(|| {
+                RailgunError::InvalidArgument(format!(
+                    "query on `{}` groups by {:?}, which contains no stream partitioner {:?} \
+                     — accurate distributed metrics need a partitioner in the GROUP BY",
+                    query.stream, query.group_by, meta.partitioners
+                ))
+            })
+    }
+
+    fn on_rebalance(&mut self, assignment: Vec<TopicPartition>) -> Result<()> {
+        self.active_assignment = assignment;
+        // Ask the strategy for this member's replica plan.
+        self.replica_assignment = self.strategy.replica_assignment(self.active.member_id());
+        let all: Vec<TopicPartition> = self
+            .active_assignment
+            .iter()
+            .chain(self.replica_assignment.iter())
+            .cloned()
+            .collect();
+        // Create processors for newly gained tasks. A fresh processor
+        // replays its partition from offset 0 (its data dir was wiped), so
+        // any stale offset entry must not survive.
+        for tp in &all {
+            if !self.tasks.contains_key(tp) {
+                let task = self.create_task(tp)?;
+                self.tasks.insert(tp.clone(), task);
+                self.task_offsets.insert(tp.clone(), 0);
+            }
+        }
+        // Drop processors for lost tasks; their on-disk data is wiped on
+        // re-gain (fresh replay), but the entry in `task_offsets` is kept
+        // only while the processor lives.
+        self.tasks.retain(|tp, _| all.contains(tp));
+        self.task_offsets.retain(|tp, _| all.contains(tp));
+        // Seek both consumers to each task's next offset (promotion keeps
+        // position; fresh tasks start at 0 and replay).
+        for tp in &self.active_assignment {
+            let next = self.task_offsets.get(tp).copied().unwrap_or(0);
+            self.active.seek(tp, next);
+        }
+        self.replica.assign(self.replica_assignment.clone());
+        for tp in &self.replica_assignment {
+            let next = self.task_offsets.get(tp).copied().unwrap_or(0);
+            self.replica.seek(tp, next);
+        }
+        Ok(())
+    }
+
+    fn create_task(&self, tp: &TopicPartition) -> Result<TaskProcessor> {
+        let (stream, _) = parse_topic_name(&tp.topic).ok_or_else(|| {
+            RailgunError::Engine(format!("malformed topic name `{}`", tp.topic))
+        })?;
+        let meta = self
+            .streams
+            .get(stream)
+            .ok_or_else(|| RailgunError::NotFound(format!("stream `{stream}`")))?;
+        let dir = self.cfg.data_dir.join(format!(
+            "node{}-unit{}/{}-{}",
+            self.cfg.node, self.cfg.unit, tp.topic, tp.partition
+        ));
+        // Fresh replay from offset 0 is the recovery mechanism in the
+        // in-process pipeline (checkpoint-based recovery is exercised at
+        // the TaskProcessor level); wipe leftovers.
+        std::fs::remove_dir_all(&dir).ok();
+        let mut task = TaskProcessor::open(
+            &dir,
+            &tp.topic,
+            tp.partition,
+            meta.schema.clone(),
+            self.cfg.task.clone(),
+        )?;
+        for q in &self.queries {
+            if self.query_topic(q)? == tp.topic {
+                task.register_query(q)?;
+            }
+        }
+        Ok(task)
+    }
+
+    fn process_message(
+        &mut self,
+        tp: &TopicPartition,
+        offset: u64,
+        payload: &[u8],
+    ) -> Result<Option<(Reply, String)>> {
+        let req = decode_event_request(payload)?;
+        let Some(task) = self.tasks.get_mut(tp) else {
+            return Ok(None); // not ours (stale fetch across rebalance)
+        };
+        let (results, duplicate) = task.process_event(&req.event)?;
+        self.task_offsets.insert(tp.clone(), offset + 1);
+        *self.since_checkpoint.entry(tp.clone()).or_insert(0) += 1;
+        if self.active_assignment.contains(tp) {
+            Ok(Some((
+                Reply {
+                    request_id: req.request_id,
+                    source_topic: tp.topic.clone(),
+                    duplicate,
+                    results,
+                },
+                req.reply_topic,
+            )))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Current active tasks.
+    pub fn active_tasks(&self) -> &[TopicPartition] {
+        &self.active_assignment
+    }
+
+    /// Current replica tasks.
+    pub fn replica_tasks(&self) -> &[TopicPartition] {
+        &self.replica_assignment
+    }
+
+    /// Access a task processor (diagnostics/benches).
+    pub fn task(&self, tp: &TopicPartition) -> Option<&TaskProcessor> {
+        self.tasks.get(tp)
+    }
+
+    /// Leave the consumer group gracefully.
+    pub fn shutdown(&mut self) {
+        self.active.unsubscribe();
+        self.replica.assign(Vec::new());
+    }
+}

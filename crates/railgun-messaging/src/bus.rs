@@ -1,0 +1,404 @@
+//! The in-process message bus: topics, partitions, and group coordination.
+//!
+//! This is the reproduction's stand-in for a Kafka broker cluster (§3.3,
+//! DESIGN.md substitution #1). It provides exactly the abstractions Railgun
+//! exploits:
+//!
+//! * partitioned topics with **pull-based, offset-addressed consumption**
+//!   (rewind & replay for recovery);
+//! * **key-hash routing** so one entity always lands in one partition;
+//! * **consumer groups** with heartbeats, liveness expiry, generations and
+//!   a pluggable assignment strategy — exactly one active consumer per
+//!   (topic, partition) per group;
+//! * **manual assignment** outside any group (used by replica consumers,
+//!   which by design all subscribe to the same partitions, §4.2).
+//!
+//! Time is logical: the harness advances the bus clock explicitly with
+//! [`MessageBus::advance_to`], which makes failure detection deterministic
+//! in tests and lets the simulation drive everything from virtual time.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use railgun_types::{RailgunError, Result};
+
+use crate::assignment::{
+    AssignmentContext, AssignmentStrategy, MemberId, MemberInfo,
+};
+use crate::log::PartitionLog;
+use crate::record::TopicPartition;
+
+/// Bus-wide configuration.
+#[derive(Debug, Clone)]
+pub struct BusConfig {
+    /// Expel a group member if it has not heartbeated for this long.
+    pub session_timeout_ms: u64,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            session_timeout_ms: 10_000,
+        }
+    }
+}
+
+/// Counters for benches and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    pub records_produced: u64,
+    pub bytes_produced: u64,
+    pub records_consumed: u64,
+    pub rebalances: u64,
+}
+
+pub(crate) struct TopicState {
+    pub partitions: Vec<PartitionLog>,
+    /// Declared replication factor — recorded for fidelity with the paper's
+    /// deployment (replication 3 in production, 1 in the small benches);
+    /// the in-process broker does not lose data so it is informational.
+    pub replication: u32,
+}
+
+pub(crate) struct GroupMember {
+    pub info: MemberInfo,
+    pub last_heartbeat_ms: u64,
+    pub topics: Vec<String>,
+    /// Assignment for the current generation.
+    pub assignment: Vec<TopicPartition>,
+    /// Generation the member has acknowledged (via poll).
+    pub seen_generation: u64,
+}
+
+pub(crate) struct GroupState {
+    pub members: HashMap<MemberId, GroupMember>,
+    pub strategy: Arc<dyn AssignmentStrategy>,
+    pub generation: u64,
+    pub committed: HashMap<TopicPartition, u64>,
+    pub needs_rebalance: bool,
+}
+
+pub(crate) struct BusInner {
+    pub topics: HashMap<String, TopicState>,
+    pub groups: HashMap<String, GroupState>,
+    pub now_ms: u64,
+    pub next_member_id: MemberId,
+    pub stats: BusStats,
+    pub config: BusConfig,
+}
+
+/// Handle to the shared in-process bus. Cheap to clone.
+#[derive(Clone)]
+pub struct MessageBus {
+    pub(crate) inner: Arc<Mutex<BusInner>>,
+}
+
+impl MessageBus {
+    /// Create a bus with the given configuration.
+    pub fn new(config: BusConfig) -> Self {
+        MessageBus {
+            inner: Arc::new(Mutex::new(BusInner {
+                topics: HashMap::new(),
+                groups: HashMap::new(),
+                now_ms: 0,
+                next_member_id: 1,
+                stats: BusStats::default(),
+                config,
+            })),
+        }
+    }
+
+    /// Create a bus with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(BusConfig::default())
+    }
+
+    /// Create `partitions` partitions under `topic`.
+    pub fn create_topic(&self, topic: &str, partitions: u32, replication: u32) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.topics.contains_key(topic) {
+            return Err(RailgunError::InvalidArgument(format!(
+                "topic `{topic}` already exists"
+            )));
+        }
+        if partitions == 0 {
+            return Err(RailgunError::InvalidArgument(
+                "topics need at least one partition".into(),
+            ));
+        }
+        inner.topics.insert(
+            topic.to_owned(),
+            TopicState {
+                partitions: (0..partitions).map(|_| PartitionLog::new()).collect(),
+                replication,
+            },
+        );
+        // Topic changes trigger rebalances for groups subscribed to it.
+        for g in inner.groups.values_mut() {
+            if g.members.values().any(|m| m.topics.iter().any(|t| t == topic)) {
+                g.needs_rebalance = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete a topic (streams removed by the client, §3.1).
+    pub fn delete_topic(&self, topic: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner
+            .topics
+            .remove(topic)
+            .ok_or_else(|| RailgunError::NotFound(format!("topic `{topic}`")))?;
+        for g in inner.groups.values_mut() {
+            g.needs_rebalance = true;
+        }
+        Ok(())
+    }
+
+    /// Names of all topics.
+    pub fn topics(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.lock().topics.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of partitions of `topic`.
+    pub fn partition_count(&self, topic: &str) -> Result<u32> {
+        let inner = self.inner.lock();
+        inner
+            .topics
+            .get(topic)
+            .map(|t| t.partitions.len() as u32)
+            .ok_or_else(|| RailgunError::NotFound(format!("topic `{topic}`")))
+    }
+
+    /// Declared replication factor of `topic` (§3.3 — informational in the
+    /// in-process broker, which does not lose data).
+    pub fn replication_factor(&self, topic: &str) -> Result<u32> {
+        let inner = self.inner.lock();
+        inner
+            .topics
+            .get(topic)
+            .map(|t| t.replication)
+            .ok_or_else(|| RailgunError::NotFound(format!("topic `{topic}`")))
+    }
+
+    /// Every (topic, partition) of the given topics, sorted.
+    pub fn partitions_of(&self, topics: &[String]) -> Vec<TopicPartition> {
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        for t in topics {
+            if let Some(ts) = inner.topics.get(t) {
+                for p in 0..ts.partitions.len() as u32 {
+                    out.push(TopicPartition::new(t.clone(), p));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Advance the logical clock; expels members whose heartbeats expired
+    /// and recomputes assignments for affected groups.
+    pub fn advance_to(&self, now_ms: u64) {
+        let mut inner = self.inner.lock();
+        if now_ms <= inner.now_ms {
+            return;
+        }
+        inner.now_ms = now_ms;
+        let timeout = inner.config.session_timeout_ms;
+        let mut any_expired = false;
+        for g in inner.groups.values_mut() {
+            let before = g.members.len();
+            g.members
+                .retain(|_, m| now_ms.saturating_sub(m.last_heartbeat_ms) <= timeout);
+            if g.members.len() != before {
+                g.needs_rebalance = true;
+                any_expired = true;
+            }
+        }
+        if any_expired {
+            Self::run_pending_rebalances(&mut inner);
+        }
+    }
+
+    /// Current logical time.
+    pub fn now_ms(&self) -> u64 {
+        self.inner.lock().now_ms
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> BusStats {
+        self.inner.lock().stats
+    }
+
+    /// The current generation of `group` (0 if unknown).
+    pub fn group_generation(&self, group: &str) -> u64 {
+        self.inner
+            .lock()
+            .groups
+            .get(group)
+            .map(|g| g.generation)
+            .unwrap_or(0)
+    }
+
+    /// The full current assignment of `group`, by member.
+    pub fn group_assignment(&self, group: &str) -> HashMap<MemberId, Vec<TopicPartition>> {
+        self.inner
+            .lock()
+            .groups
+            .get(group)
+            .map(|g| {
+                g.members
+                    .iter()
+                    .map(|(id, m)| (*id, m.assignment.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Committed offset for (group, tp), if any.
+    pub fn committed_offset(&self, group: &str, tp: &TopicPartition) -> Option<u64> {
+        self.inner
+            .lock()
+            .groups
+            .get(group)
+            .and_then(|g| g.committed.get(tp).copied())
+    }
+
+    /// Truncate a partition's log below `offset` (retention management).
+    pub fn truncate_partition(&self, tp: &TopicPartition, offset: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let topic = inner
+            .topics
+            .get_mut(&tp.topic)
+            .ok_or_else(|| RailgunError::NotFound(format!("topic `{}`", tp.topic)))?;
+        let log = topic
+            .partitions
+            .get_mut(tp.partition as usize)
+            .ok_or_else(|| RailgunError::NotFound(format!("partition {tp}")))?;
+        log.truncate_before(offset);
+        Ok(())
+    }
+
+    /// End offset (next to be written) of a partition.
+    pub fn end_offset(&self, tp: &TopicPartition) -> Result<u64> {
+        let inner = self.inner.lock();
+        let topic = inner
+            .topics
+            .get(&tp.topic)
+            .ok_or_else(|| RailgunError::NotFound(format!("topic `{}`", tp.topic)))?;
+        topic
+            .partitions
+            .get(tp.partition as usize)
+            .map(PartitionLog::end_offset)
+            .ok_or_else(|| RailgunError::NotFound(format!("partition {tp}")))
+    }
+
+    /// Recompute assignments for every group flagged for rebalance.
+    pub(crate) fn run_pending_rebalances(inner: &mut BusInner) {
+        // Collect topic partition lists first (borrow split).
+        let topic_parts: HashMap<String, u32> = inner
+            .topics
+            .iter()
+            .map(|(name, t)| (name.clone(), t.partitions.len() as u32))
+            .collect();
+        for g in inner.groups.values_mut() {
+            if !g.needs_rebalance {
+                continue;
+            }
+            g.needs_rebalance = false;
+            g.generation += 1;
+            inner.stats.rebalances += 1;
+            // Union of subscribed topics across members.
+            let mut partitions: Vec<TopicPartition> = Vec::new();
+            let mut topics: Vec<&String> = g
+                .members
+                .values()
+                .flat_map(|m| m.topics.iter())
+                .collect();
+            topics.sort();
+            topics.dedup();
+            for t in topics {
+                if let Some(&n) = topic_parts.get(t.as_str()) {
+                    for p in 0..n {
+                        partitions.push(TopicPartition::new(t.clone(), p));
+                    }
+                }
+            }
+            partitions.sort();
+            let mut members: Vec<MemberInfo> = g
+                .members
+                .values()
+                .map(|m| MemberInfo {
+                    id: m.info.id,
+                    metadata: m.info.metadata.clone(),
+                    previous: m.assignment.clone(),
+                })
+                .collect();
+            members.sort_by_key(|m| m.id);
+            let ctx = AssignmentContext {
+                members,
+                partitions: partitions.clone(),
+            };
+            let assignment = g.strategy.assign(&ctx);
+            // Verify the strategy's contract: each partition exactly once.
+            let mut seen = std::collections::HashSet::new();
+            let valid = assignment
+                .values()
+                .flatten()
+                .all(|tp| seen.insert(tp.clone()))
+                && seen.len() == partitions.len();
+            debug_assert!(valid, "strategy produced an invalid assignment");
+            for m in g.members.values_mut() {
+                m.assignment = assignment.get(&m.info.id).cloned().unwrap_or_default();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_lifecycle() {
+        let bus = MessageBus::with_defaults();
+        bus.create_topic("card", 4, 1).unwrap();
+        assert!(bus.create_topic("card", 4, 1).is_err());
+        assert!(bus.create_topic("bad", 0, 1).is_err());
+        assert_eq!(bus.partition_count("card").unwrap(), 4);
+        assert_eq!(bus.replication_factor("card").unwrap(), 1);
+        assert_eq!(bus.topics(), vec!["card".to_string()]);
+        assert_eq!(
+            bus.partitions_of(&["card".to_string()]).len(),
+            4
+        );
+        bus.delete_topic("card").unwrap();
+        assert!(bus.delete_topic("card").is_err());
+        assert!(bus.partition_count("card").is_err());
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let bus = MessageBus::with_defaults();
+        bus.advance_to(100);
+        bus.advance_to(50); // ignored
+        assert_eq!(bus.now_ms(), 100);
+    }
+
+    #[test]
+    fn end_offset_and_truncate() {
+        let bus = MessageBus::with_defaults();
+        bus.create_topic("t", 1, 1).unwrap();
+        let tp = TopicPartition::new("t", 0);
+        assert_eq!(bus.end_offset(&tp).unwrap(), 0);
+        let producer = crate::producer::Producer::new(bus.clone());
+        producer.send("t", b"k", b"v".to_vec()).unwrap();
+        producer.send("t", b"k", b"v".to_vec()).unwrap();
+        assert_eq!(bus.end_offset(&tp).unwrap(), 2);
+        bus.truncate_partition(&tp, 1).unwrap();
+        assert_eq!(bus.end_offset(&tp).unwrap(), 2);
+    }
+}

@@ -1,0 +1,462 @@
+//! Consumers: group-managed or manually-assigned offset readers.
+//!
+//! Group-managed consumers (`subscribe`) participate in the coordinator's
+//! rebalance protocol: polling heartbeats, and the first poll after a new
+//! generation surfaces the new assignment so the engine can react (Railgun
+//! recovers/reassigns task processors at exactly that point, §4.2).
+//! Manually-assigned consumers (`assign`) read whatever they are told —
+//! replica task consumers use this so several processors can follow the
+//! same (topic, partition) (§3.3).
+
+use std::collections::HashMap;
+
+use railgun_types::{RailgunError, Result};
+
+use crate::assignment::{AssignmentStrategy, MemberId, MemberInfo};
+use crate::bus::{GroupMember, GroupState, MessageBus};
+use crate::record::{Message, TopicPartition};
+
+/// Result of one poll.
+#[derive(Debug, Default)]
+pub struct PollResult {
+    /// Present when the group moved to a new generation since the last
+    /// poll: the consumer's new assignment.
+    pub rebalanced: Option<Vec<TopicPartition>>,
+    /// Messages fetched this round.
+    pub messages: Vec<Message>,
+}
+
+enum Mode {
+    Unattached,
+    Group { name: String },
+    Manual,
+}
+
+/// A polling consumer.
+pub struct Consumer {
+    bus: MessageBus,
+    id: MemberId,
+    mode: Mode,
+    assignment: Vec<TopicPartition>,
+    positions: HashMap<TopicPartition, u64>,
+    seen_generation: u64,
+}
+
+impl Consumer {
+    /// Create an unattached consumer; call [`Consumer::subscribe`] or
+    /// [`Consumer::assign`] before polling.
+    pub fn new(bus: MessageBus) -> Self {
+        let id = {
+            let mut inner = bus.inner.lock();
+            let id = inner.next_member_id;
+            inner.next_member_id += 1;
+            id
+        };
+        Consumer {
+            bus,
+            id,
+            mode: Mode::Unattached,
+            assignment: Vec::new(),
+            positions: HashMap::new(),
+            seen_generation: 0,
+        }
+    }
+
+    /// This consumer's member id.
+    pub fn member_id(&self) -> MemberId {
+        self.id
+    }
+
+    /// Join consumer group `group` subscribed to `topics`.
+    ///
+    /// `metadata` travels to the group's assignment strategy (Railgun puts
+    /// node/processor locality there). `strategy` is installed if the group
+    /// does not exist yet; later joiners inherit the group's strategy.
+    pub fn subscribe(
+        &mut self,
+        group: &str,
+        topics: &[&str],
+        metadata: Vec<u8>,
+        strategy: std::sync::Arc<dyn AssignmentStrategy>,
+    ) -> Result<()> {
+        let mut inner = self.bus.inner.lock();
+        let now = inner.now_ms;
+        let g = inner
+            .groups
+            .entry(group.to_owned())
+            .or_insert_with(|| GroupState {
+                members: HashMap::new(),
+                strategy,
+                generation: 0,
+                committed: HashMap::new(),
+                needs_rebalance: false,
+            });
+        g.members.insert(
+            self.id,
+            GroupMember {
+                info: MemberInfo {
+                    id: self.id,
+                    metadata,
+                    previous: Vec::new(),
+                },
+                last_heartbeat_ms: now,
+                topics: topics.iter().map(|s| (*s).to_owned()).collect(),
+                assignment: Vec::new(),
+                seen_generation: 0,
+            },
+        );
+        g.needs_rebalance = true;
+        MessageBus::run_pending_rebalances(&mut inner);
+        self.mode = Mode::Group {
+            name: group.to_owned(),
+        };
+        self.seen_generation = 0;
+        self.assignment.clear();
+        self.positions.clear();
+        Ok(())
+    }
+
+    /// Leave the group gracefully (triggers an immediate rebalance).
+    pub fn unsubscribe(&mut self) {
+        if let Mode::Group { name } = &self.mode {
+            let mut inner = self.bus.inner.lock();
+            if let Some(g) = inner.groups.get_mut(name) {
+                if g.members.remove(&self.id).is_some() {
+                    g.needs_rebalance = true;
+                }
+            }
+            MessageBus::run_pending_rebalances(&mut inner);
+        }
+        self.mode = Mode::Unattached;
+        self.assignment.clear();
+        self.positions.clear();
+    }
+
+    /// Manually assign partitions (no group management).
+    pub fn assign(&mut self, partitions: Vec<TopicPartition>) {
+        self.mode = Mode::Manual;
+        self.positions
+            .retain(|tp, _| partitions.contains(tp));
+        for tp in &partitions {
+            self.positions.entry(tp.clone()).or_insert(0);
+        }
+        self.assignment = partitions;
+    }
+
+    /// Reposition consumption of `tp` to `offset`.
+    pub fn seek(&mut self, tp: &TopicPartition, offset: u64) {
+        self.positions.insert(tp.clone(), offset);
+    }
+
+    /// Current consumption position of `tp`.
+    pub fn position(&self, tp: &TopicPartition) -> Option<u64> {
+        self.positions.get(tp).copied()
+    }
+
+    /// The partitions currently assigned.
+    pub fn assignment(&self) -> &[TopicPartition] {
+        &self.assignment
+    }
+
+    /// Poll for messages (up to `max_records`), heartbeat, and pick up any
+    /// new assignment generation.
+    pub fn poll(&mut self, max_records: usize) -> Result<PollResult> {
+        let mut result = PollResult::default();
+        let mut inner = self.bus.inner.lock();
+        let now = inner.now_ms;
+        if let Mode::Group { name } = &self.mode {
+            let name = name.clone();
+            let g = inner
+                .groups
+                .get_mut(&name)
+                .ok_or_else(|| RailgunError::Messaging(format!("group `{name}` vanished")))?;
+            let generation = g.generation;
+            let committed = if let Some(m) = g.members.get_mut(&self.id) {
+                m.last_heartbeat_ms = now;
+                if m.seen_generation != generation {
+                    m.seen_generation = generation;
+                    Some((m.assignment.clone(), g.committed.clone()))
+                } else {
+                    None
+                }
+            } else {
+                // Expelled (heartbeat timeout). Rejoin with empty state.
+                return Err(RailgunError::Messaging(format!(
+                    "consumer {} expelled from group `{name}`",
+                    self.id
+                )));
+            };
+            if let Some((assignment, committed)) = committed {
+                self.seen_generation = generation;
+                // Keep positions of retained partitions; new ones start at
+                // the committed offset (or 0).
+                self.positions.retain(|tp, _| assignment.contains(tp));
+                for tp in &assignment {
+                    let start = committed.get(tp).copied().unwrap_or(0);
+                    self.positions.entry(tp.clone()).or_insert(start);
+                }
+                self.assignment = assignment.clone();
+                result.rebalanced = Some(assignment);
+            }
+        }
+        // Fetch round-robin across assigned partitions.
+        let mut remaining = max_records;
+        for tp in &self.assignment {
+            if remaining == 0 {
+                break;
+            }
+            let Some(topic) = inner.topics.get(&tp.topic) else {
+                continue;
+            };
+            let Some(log) = topic.partitions.get(tp.partition as usize) else {
+                continue;
+            };
+            let pos = self.positions.entry(tp.clone()).or_insert(0);
+            let records = log.read_from(*pos, remaining);
+            if let Some(last) = records.last() {
+                *pos = last.offset + 1;
+            }
+            remaining -= records.len();
+            for r in records {
+                result.messages.push(Message {
+                    topic: tp.topic.clone(),
+                    partition: tp.partition,
+                    offset: r.offset,
+                    key: r.key,
+                    payload: r.payload,
+                });
+            }
+        }
+        inner.stats.records_consumed += result.messages.len() as u64;
+        Ok(result)
+    }
+
+    /// Commit a consumed offset (the *next* offset to read) for `tp`.
+    pub fn commit(&self, tp: &TopicPartition, offset: u64) -> Result<()> {
+        if let Mode::Group { name } = &self.mode {
+            let mut inner = self.bus.inner.lock();
+            let g = inner
+                .groups
+                .get_mut(name)
+                .ok_or_else(|| RailgunError::Messaging(format!("group `{name}` vanished")))?;
+            g.committed.insert(tp.clone(), offset);
+            Ok(())
+        } else {
+            Err(RailgunError::Messaging(
+                "commit requires a group subscription".into(),
+            ))
+        }
+    }
+
+    /// Explicit heartbeat without fetching.
+    pub fn heartbeat(&self) {
+        if let Mode::Group { name } = &self.mode {
+            let mut inner = self.bus.inner.lock();
+            let now = inner.now_ms;
+            if let Some(g) = inner.groups.get_mut(name) {
+                if let Some(m) = g.members.get_mut(&self.id) {
+                    m.last_heartbeat_ms = now;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{RoundRobinStrategy, StickyStrategy};
+    use crate::producer::Producer;
+    use std::sync::Arc;
+
+    fn bus_with_topic(parts: u32) -> (MessageBus, Producer) {
+        let bus = MessageBus::with_defaults();
+        bus.create_topic("events", parts, 1).unwrap();
+        let p = Producer::new(bus.clone());
+        (bus, p)
+    }
+
+    #[test]
+    fn manual_assignment_reads_from_zero() {
+        let (bus, p) = bus_with_topic(1);
+        for i in 0..5u8 {
+            p.send("events", b"k", vec![i]).unwrap();
+        }
+        let mut c = Consumer::new(bus);
+        c.assign(vec![TopicPartition::new("events", 0)]);
+        let r = c.poll(100).unwrap();
+        assert_eq!(r.messages.len(), 5);
+        assert!(r.rebalanced.is_none());
+        // Subsequent poll sees nothing new.
+        assert!(c.poll(100).unwrap().messages.is_empty());
+    }
+
+    #[test]
+    fn poll_respects_max_records() {
+        let (bus, p) = bus_with_topic(1);
+        for i in 0..10u8 {
+            p.send("events", b"k", vec![i]).unwrap();
+        }
+        let mut c = Consumer::new(bus);
+        c.assign(vec![TopicPartition::new("events", 0)]);
+        assert_eq!(c.poll(4).unwrap().messages.len(), 4);
+        assert_eq!(c.poll(100).unwrap().messages.len(), 6);
+    }
+
+    #[test]
+    fn seek_replays_history() {
+        let (bus, p) = bus_with_topic(1);
+        for i in 0..5u8 {
+            p.send("events", b"k", vec![i]).unwrap();
+        }
+        let mut c = Consumer::new(bus);
+        let tp = TopicPartition::new("events", 0);
+        c.assign(vec![tp.clone()]);
+        assert_eq!(c.poll(100).unwrap().messages.len(), 5);
+        c.seek(&tp, 2);
+        let r = c.poll(100).unwrap();
+        assert_eq!(r.messages.len(), 3);
+        assert_eq!(r.messages[0].offset, 2);
+    }
+
+    #[test]
+    fn group_splits_partitions_exclusively() {
+        let (bus, p) = bus_with_topic(4);
+        for i in 0..100u32 {
+            p.send("events", format!("k{i}").as_bytes(), vec![]).unwrap();
+        }
+        let mut c1 = Consumer::new(bus.clone());
+        let mut c2 = Consumer::new(bus.clone());
+        c1.subscribe("g", &["events"], vec![], Arc::new(RoundRobinStrategy))
+            .unwrap();
+        c2.subscribe("g", &["events"], vec![], Arc::new(RoundRobinStrategy))
+            .unwrap();
+        let r1 = c1.poll(1000).unwrap();
+        let r2 = c2.poll(1000).unwrap();
+        let a1 = r1.rebalanced.unwrap();
+        let a2 = r2.rebalanced.unwrap();
+        assert_eq!(a1.len() + a2.len(), 4);
+        assert!(a1.iter().all(|tp| !a2.contains(tp)), "no overlap allowed");
+        assert_eq!(r1.messages.len() + r2.messages.len(), 100);
+    }
+
+    #[test]
+    fn member_leave_triggers_rebalance_and_takeover() {
+        let (bus, p) = bus_with_topic(2);
+        let mut c1 = Consumer::new(bus.clone());
+        let mut c2 = Consumer::new(bus.clone());
+        c1.subscribe("g", &["events"], vec![], Arc::new(StickyStrategy))
+            .unwrap();
+        c2.subscribe("g", &["events"], vec![], Arc::new(StickyStrategy))
+            .unwrap();
+        c1.poll(10).unwrap();
+        c2.poll(10).unwrap();
+        let gen_before = bus.group_generation("g");
+        c2.unsubscribe();
+        for i in 0..10u8 {
+            p.send("events", &[i], vec![i]).unwrap();
+        }
+        let r1 = c1.poll(100).unwrap();
+        assert!(bus.group_generation("g") > gen_before);
+        assert_eq!(r1.rebalanced.as_ref().map(Vec::len), Some(2));
+        assert_eq!(r1.messages.len(), 10, "survivor consumes everything");
+    }
+
+    #[test]
+    fn heartbeat_timeout_expels_member() {
+        let bus = MessageBus::new(crate::bus::BusConfig {
+            session_timeout_ms: 1_000,
+        });
+        bus.create_topic("events", 2, 1).unwrap();
+        let mut c1 = Consumer::new(bus.clone());
+        let mut c2 = Consumer::new(bus.clone());
+        c1.subscribe("g", &["events"], vec![], Arc::new(StickyStrategy))
+            .unwrap();
+        c2.subscribe("g", &["events"], vec![], Arc::new(StickyStrategy))
+            .unwrap();
+        c1.poll(1).unwrap();
+        c2.poll(1).unwrap();
+        // c2 goes silent; c1 keeps heartbeating.
+        bus.advance_to(600);
+        c1.heartbeat();
+        bus.advance_to(1_400); // c2's last heartbeat (t=0) is now stale
+        let r1 = c1.poll(10).unwrap();
+        assert_eq!(
+            r1.rebalanced.map(|a| a.len()),
+            Some(2),
+            "survivor owns all partitions after expulsion"
+        );
+        // The dead consumer's next poll errors (it was expelled).
+        assert!(c2.poll(10).is_err());
+    }
+
+    #[test]
+    fn committed_offsets_resume_new_member() {
+        let (bus, p) = bus_with_topic(1);
+        let tp = TopicPartition::new("events", 0);
+        for i in 0..10u8 {
+            p.send("events", b"k", vec![i]).unwrap();
+        }
+        {
+            let mut c1 = Consumer::new(bus.clone());
+            c1.subscribe("g", &["events"], vec![], Arc::new(StickyStrategy))
+                .unwrap();
+            let r = c1.poll(100).unwrap();
+            assert_eq!(r.messages.len(), 10);
+            c1.commit(&tp, 7).unwrap();
+            c1.unsubscribe();
+        }
+        let mut c2 = Consumer::new(bus.clone());
+        c2.subscribe("g", &["events"], vec![], Arc::new(StickyStrategy))
+            .unwrap();
+        let r = c2.poll(100).unwrap();
+        // Resumes from committed offset 7, not 0 and not the end.
+        assert_eq!(r.messages.len(), 3);
+        assert_eq!(r.messages[0].offset, 7);
+        assert_eq!(bus.committed_offset("g", &tp), Some(7));
+    }
+
+    #[test]
+    fn commit_requires_group() {
+        let (bus, _) = bus_with_topic(1);
+        let mut c = Consumer::new(bus);
+        c.assign(vec![TopicPartition::new("events", 0)]);
+        assert!(c.commit(&TopicPartition::new("events", 0), 1).is_err());
+    }
+
+    #[test]
+    fn replicas_follow_same_partition_in_different_groups() {
+        // Paper §3.3: replica consumers use distinct groups so multiple
+        // processors can consume the same (topic, partition) — here modeled
+        // with manual assignment, plus one active group consumer.
+        let (bus, p) = bus_with_topic(1);
+        let tp = TopicPartition::new("events", 0);
+        let mut active = Consumer::new(bus.clone());
+        active
+            .subscribe("railgun-active", &["events"], vec![], Arc::new(StickyStrategy))
+            .unwrap();
+        let mut replica1 = Consumer::new(bus.clone());
+        replica1.assign(vec![tp.clone()]);
+        let mut replica2 = Consumer::new(bus.clone());
+        replica2.assign(vec![tp.clone()]);
+        for i in 0..5u8 {
+            p.send("events", b"k", vec![i]).unwrap();
+        }
+        let a = active.poll(100).unwrap().messages;
+        let r1 = replica1.poll(100).unwrap().messages;
+        let r2 = replica2.poll(100).unwrap().messages;
+        assert_eq!(a.len(), 5);
+        // All copies see the same records in the same order (consistency of
+        // replicas, §4.2).
+        assert_eq!(a, r1);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn unattached_consumer_polls_nothing() {
+        let (bus, p) = bus_with_topic(1);
+        p.send("events", b"k", vec![1]).unwrap();
+        let mut c = Consumer::new(bus);
+        assert!(c.poll(10).unwrap().messages.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Producers: key-hashed publishing into partitioned topics.
+
+use railgun_types::{RailgunError, Result};
+
+use crate::bus::MessageBus;
+use crate::record::TopicPartition;
+
+/// Publishes records to the bus. Cheap to clone.
+#[derive(Clone)]
+pub struct Producer {
+    bus: MessageBus,
+}
+
+/// Stable key hash (FNV-1a 64) — the same key always routes to the same
+/// partition, Kafka's delivery guarantee Railgun builds entity affinity on
+/// (§4: "messages with the same key will always be delivered to the same
+/// (topic, partition)").
+#[inline]
+pub fn partition_for_key(key: &[u8], partitions: u32) -> u32 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % u64::from(partitions)) as u32
+}
+
+impl Producer {
+    /// Create a producer over `bus`.
+    pub fn new(bus: MessageBus) -> Self {
+        Producer { bus }
+    }
+
+    /// Publish to the partition selected by hashing `key`.
+    /// Returns the (topic, partition) and offset of the appended record.
+    pub fn send(&self, topic: &str, key: &[u8], payload: Vec<u8>) -> Result<(TopicPartition, u64)> {
+        let mut inner = self.bus.inner.lock();
+        let nparts = inner
+            .topics
+            .get(topic)
+            .map(|t| t.partitions.len() as u32)
+            .ok_or_else(|| RailgunError::NotFound(format!("topic `{topic}`")))?;
+        let partition = partition_for_key(key, nparts);
+        self.append_locked(&mut inner, topic, partition, key, payload)
+    }
+
+    /// Publish to an explicit partition (reply topics use one partition per
+    /// front-end consumer).
+    pub fn send_to_partition(
+        &self,
+        topic: &str,
+        partition: u32,
+        key: &[u8],
+        payload: Vec<u8>,
+    ) -> Result<(TopicPartition, u64)> {
+        let mut inner = self.bus.inner.lock();
+        self.append_locked(&mut inner, topic, partition, key, payload)
+    }
+
+    fn append_locked(
+        &self,
+        inner: &mut crate::bus::BusInner,
+        topic: &str,
+        partition: u32,
+        key: &[u8],
+        payload: Vec<u8>,
+    ) -> Result<(TopicPartition, u64)> {
+        let bytes = (key.len() + payload.len()) as u64;
+        let t = inner
+            .topics
+            .get_mut(topic)
+            .ok_or_else(|| RailgunError::NotFound(format!("topic `{topic}`")))?;
+        let log = t.partitions.get_mut(partition as usize).ok_or_else(|| {
+            RailgunError::NotFound(format!("partition {topic}/{partition}"))
+        })?;
+        let offset = log.append(key.to_vec(), payload);
+        inner.stats.records_produced += 1;
+        inner.stats.bytes_produced += bytes;
+        Ok((TopicPartition::new(topic, partition), offset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_partition() {
+        let bus = MessageBus::with_defaults();
+        bus.create_topic("card", 10, 1).unwrap();
+        let p = Producer::new(bus);
+        let (tp1, o1) = p.send("card", b"card-42", b"a".to_vec()).unwrap();
+        let (tp2, o2) = p.send("card", b"card-42", b"b".to_vec()).unwrap();
+        assert_eq!(tp1, tp2);
+        assert_eq!(o2, o1 + 1);
+    }
+
+    #[test]
+    fn keys_spread_over_partitions() {
+        let bus = MessageBus::with_defaults();
+        bus.create_topic("card", 8, 1).unwrap();
+        let p = Producer::new(bus.clone());
+        for i in 0..800 {
+            p.send("card", format!("card-{i}").as_bytes(), vec![]).unwrap();
+        }
+        // Every partition should get a decent share.
+        for part in 0..8u32 {
+            let tp = TopicPartition::new("card", part);
+            let n = bus.end_offset(&tp).unwrap();
+            assert!(n > 40, "partition {part} got only {n} records");
+        }
+    }
+
+    #[test]
+    fn unknown_topic_and_partition_error() {
+        let bus = MessageBus::with_defaults();
+        bus.create_topic("t", 1, 1).unwrap();
+        let p = Producer::new(bus);
+        assert!(p.send("nope", b"k", vec![]).is_err());
+        assert!(p.send_to_partition("t", 5, b"k", vec![]).is_err());
+    }
+
+    #[test]
+    fn explicit_partition_routing() {
+        let bus = MessageBus::with_defaults();
+        bus.create_topic("reply", 4, 1).unwrap();
+        let p = Producer::new(bus);
+        let (tp, _) = p.send_to_partition("reply", 2, b"", b"x".to_vec()).unwrap();
+        assert_eq!(tp.partition, 2);
+    }
+
+    #[test]
+    fn stats_count_produced() {
+        let bus = MessageBus::with_defaults();
+        bus.create_topic("t", 1, 1).unwrap();
+        let p = Producer::new(bus.clone());
+        p.send("t", b"k", vec![0u8; 10]).unwrap();
+        let s = bus.stats();
+        assert_eq!(s.records_produced, 1);
+        assert_eq!(s.bytes_produced, 11);
+    }
+}

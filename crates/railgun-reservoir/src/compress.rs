@@ -1,0 +1,262 @@
+//! Chunk compression.
+//!
+//! The paper compresses chunks "aggressively" before persisting them
+//! (§4.1.1) — storage overhead matters because events are replicated across
+//! task processors. We implement a small LZ77-style byte compressor
+//! (`RailZ`) with a 64 KiB window and greedy hash-chain matching: the same
+//! family as LZ4, chosen so the decode path stays a tight copy loop (chunk
+//! deserialization cost is on the read-miss path, §5.2(b)).
+//!
+//! Token format (repeating until input exhausted):
+//!
+//! ```text
+//! literal run : 0x00 | varint len | bytes
+//! match       : 0x01 | varint len (>= 4) | varint distance (>= 1)
+//! ```
+
+use bytes::BufMut;
+use railgun_types::encode::{get_uvarint, put_uvarint};
+use railgun_types::{RailgunError, Result};
+
+/// Which codec a chunk was written with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Store bytes verbatim (ablation baseline).
+    None,
+    /// LZ77-style compression (default).
+    RailZ,
+}
+
+impl Codec {
+    /// Wire id persisted in chunk headers.
+    pub fn id(self) -> u8 {
+        match self {
+            Codec::None => 0,
+            Codec::RailZ => 1,
+        }
+    }
+
+    /// Decode a wire id.
+    pub fn from_id(id: u8) -> Result<Codec> {
+        match id {
+            0 => Ok(Codec::None),
+            1 => Ok(Codec::RailZ),
+            other => Err(RailgunError::Corruption(format!(
+                "unknown compression codec {other}"
+            ))),
+        }
+    }
+
+    /// Compress `input` with this codec.
+    pub fn compress(self, input: &[u8]) -> Vec<u8> {
+        match self {
+            Codec::None => input.to_vec(),
+            Codec::RailZ => compress_railz(input),
+        }
+    }
+
+    /// Decompress data produced by [`Codec::compress`].
+    pub fn decompress(self, input: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+        match self {
+            Codec::None => Ok(input.to_vec()),
+            Codec::RailZ => decompress_railz(input, expected_len),
+        }
+    }
+}
+
+const TOKEN_LITERAL: u8 = 0;
+const TOKEN_MATCH: u8 = 1;
+const MIN_MATCH: usize = 4;
+const MAX_DISTANCE: usize = 1 << 16;
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy LZ77 with one-probe hash table.
+fn compress_railz(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(&input[pos..]);
+        let candidate = table[h];
+        table[h] = pos;
+        let mut match_len = 0;
+        if candidate != usize::MAX && pos - candidate <= MAX_DISTANCE {
+            let max = input.len() - pos;
+            while match_len < max && input[candidate + match_len] == input[pos + match_len] {
+                match_len += 1;
+            }
+        }
+        if match_len >= MIN_MATCH {
+            // Flush pending literals.
+            if literal_start < pos {
+                let lit = &input[literal_start..pos];
+                out.put_u8(TOKEN_LITERAL);
+                put_uvarint(&mut out, lit.len() as u64);
+                out.put_slice(lit);
+            }
+            out.put_u8(TOKEN_MATCH);
+            put_uvarint(&mut out, match_len as u64);
+            put_uvarint(&mut out, (pos - candidate) as u64);
+            // Seed the table sparsely inside the match to keep encode cheap.
+            let end = pos + match_len;
+            let mut p = pos + 1;
+            while p + MIN_MATCH <= input.len() && p < end {
+                table[hash4(&input[p..])] = p;
+                p += 3;
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    if literal_start < input.len() {
+        let lit = &input[literal_start..];
+        out.put_u8(TOKEN_LITERAL);
+        put_uvarint(&mut out, lit.len() as u64);
+        out.put_slice(lit);
+    }
+    out
+}
+
+fn decompress_railz(input: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut cur = input;
+    while !cur.is_empty() {
+        let token = cur[0];
+        cur = &cur[1..];
+        match token {
+            TOKEN_LITERAL => {
+                let len = get_uvarint(&mut cur)? as usize;
+                if cur.len() < len {
+                    return Err(RailgunError::Corruption("railz literal truncated".into()));
+                }
+                out.extend_from_slice(&cur[..len]);
+                cur = &cur[len..];
+            }
+            TOKEN_MATCH => {
+                let len = get_uvarint(&mut cur)? as usize;
+                let dist = get_uvarint(&mut cur)? as usize;
+                if dist == 0 || dist > out.len() || len < MIN_MATCH {
+                    return Err(RailgunError::Corruption("railz bad match token".into()));
+                }
+                // Overlapping copies are legal (RLE-style), copy byte-wise.
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            other => {
+                return Err(RailgunError::Corruption(format!(
+                    "railz unknown token {other}"
+                )))
+            }
+        }
+        if out.len() > expected_len {
+            return Err(RailgunError::Corruption("railz output overrun".into()));
+        }
+    }
+    if out.len() != expected_len {
+        return Err(RailgunError::Corruption(format!(
+            "railz length mismatch: got {}, expected {expected_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let compressed = Codec::RailZ.compress(data);
+        let back = Codec::RailZ.decompress(&compressed, data.len()).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn roundtrip_repetitive_compresses_well() {
+        let data: Vec<u8> = b"cardId=4532-".repeat(500);
+        let compressed = Codec::RailZ.compress(&data);
+        assert!(
+            compressed.len() < data.len() / 4,
+            "repetitive data should compress >4x: {} -> {}",
+            data.len(),
+            compressed.len()
+        );
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_rle_overlapping_match() {
+        let data = vec![7u8; 10_000];
+        let compressed = Codec::RailZ.compress(&data);
+        assert!(compressed.len() < 64);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_incompressible() {
+        // Pseudo-random bytes via xorshift.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..8192)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn codec_none_is_identity() {
+        let data = b"anything at all";
+        let c = Codec::None.compress(data);
+        assert_eq!(c, data);
+        assert_eq!(Codec::None.decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn codec_ids_roundtrip() {
+        for c in [Codec::None, Codec::RailZ] {
+            assert_eq!(Codec::from_id(c.id()).unwrap(), c);
+        }
+        assert!(Codec::from_id(200).is_err());
+    }
+
+    #[test]
+    fn corrupt_stream_rejected() {
+        let data = b"hello hello hello hello hello".to_vec();
+        let mut compressed = Codec::RailZ.compress(&data);
+        compressed[0] = 9; // unknown token
+        assert!(Codec::RailZ.decompress(&compressed, data.len()).is_err());
+    }
+
+    #[test]
+    fn wrong_expected_len_rejected() {
+        let data = b"hello world".to_vec();
+        let compressed = Codec::RailZ.compress(&data);
+        assert!(Codec::RailZ.decompress(&compressed, data.len() + 1).is_err());
+        assert!(Codec::RailZ.decompress(&compressed, data.len() - 1).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! Schema registry: versioned event schemas for chunk (de)serialization.
+//!
+//! Chunks persist the [`SchemaId`] they were written under (§4.1.1); when a
+//! stream's schema evolves, new chunks reference the new id while old chunks
+//! keep deserializing with their original schema. The registry is an
+//! append-only log of `(id, schema)` records.
+
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut};
+use railgun_types::encode::{crc32c, get_string, get_uvarint, put_bytes, put_uvarint};
+use railgun_types::{FieldDef, FieldType, RailgunError, Result, Schema, SchemaId};
+
+/// File name of the registry log inside a reservoir directory.
+pub const REGISTRY_FILE: &str = "schemas.reg";
+
+/// In-memory registry over an append-only on-disk log.
+pub struct SchemaRegistry {
+    path: PathBuf,
+    schemas: HashMap<SchemaId, Schema>,
+    current: Option<SchemaId>,
+    next_id: u32,
+}
+
+fn encode_field_type(t: FieldType) -> u8 {
+    match t {
+        FieldType::Bool => 0,
+        FieldType::Int => 1,
+        FieldType::Float => 2,
+        FieldType::Str => 3,
+    }
+}
+
+fn decode_field_type(b: u8) -> Result<FieldType> {
+    match b {
+        0 => Ok(FieldType::Bool),
+        1 => Ok(FieldType::Int),
+        2 => Ok(FieldType::Float),
+        3 => Ok(FieldType::Str),
+        other => Err(RailgunError::Corruption(format!(
+            "unknown field type {other}"
+        ))),
+    }
+}
+
+impl SchemaRegistry {
+    /// Open (or create) the registry in `dir`, replaying its log.
+    pub fn open(dir: &Path) -> Result<Self> {
+        let path = dir.join(REGISTRY_FILE);
+        let mut reg = SchemaRegistry {
+            path,
+            schemas: HashMap::new(),
+            current: None,
+            next_id: 0,
+        };
+        let mut raw = Vec::new();
+        match std::fs::File::open(&reg.path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut raw)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(reg),
+            Err(e) => return Err(e.into()),
+        }
+        let mut cur = &raw[..];
+        while cur.len() >= 8 {
+            let len = u32::from_le_bytes(cur[0..4].try_into().expect("4b")) as usize;
+            let crc = u32::from_le_bytes(cur[4..8].try_into().expect("4b"));
+            if cur.len() < 8 + len {
+                break; // torn tail
+            }
+            let payload = &cur[8..8 + len];
+            if crc32c(payload) != crc {
+                break;
+            }
+            let (id, schema) = Self::decode_record(payload)?;
+            reg.next_id = reg.next_id.max(id.0 + 1);
+            reg.schemas.insert(id, schema);
+            reg.current = Some(id);
+            cur = &cur[8 + len..];
+        }
+        Ok(reg)
+    }
+
+    fn decode_record(mut p: &[u8]) -> Result<(SchemaId, Schema)> {
+        let id = SchemaId(get_uvarint(&mut p)? as u32);
+        let n = get_uvarint(&mut p)? as usize;
+        let mut fields = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = get_string(&mut p)?;
+            if !p.has_remaining() {
+                return Err(RailgunError::Corruption("registry record truncated".into()));
+            }
+            let ty = decode_field_type(p.get_u8())?;
+            fields.push(FieldDef::new(name, ty));
+        }
+        Ok((id, Schema::new(fields)?))
+    }
+
+    /// Register a new schema version, making it current.
+    ///
+    /// If the schema is identical to the current one, the current id is
+    /// returned without appending a record.
+    pub fn register(&mut self, schema: Schema) -> Result<SchemaId> {
+        if let Some(cur) = self.current {
+            if self.schemas[&cur] == schema {
+                return Ok(cur);
+            }
+        }
+        let id = SchemaId(self.next_id);
+        self.next_id += 1;
+        let mut payload = Vec::new();
+        put_uvarint(&mut payload, u64::from(id.0));
+        put_uvarint(&mut payload, schema.fields().len() as u64);
+        for f in schema.fields() {
+            put_bytes(&mut payload, f.name.as_bytes());
+            payload.put_u8(encode_field_type(f.ty));
+        }
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_u32_le(crc32c(&payload));
+        frame.put_slice(&payload);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(&frame)?;
+        file.sync_data()?;
+        self.schemas.insert(id, schema);
+        self.current = Some(id);
+        Ok(id)
+    }
+
+    /// Schema for a given id (old chunks look up their original version).
+    pub fn get(&self, id: SchemaId) -> Option<&Schema> {
+        self.schemas.get(&id)
+    }
+
+    /// The id new chunks should be written under.
+    pub fn current(&self) -> Option<SchemaId> {
+        self.current
+    }
+
+    /// Number of registered versions.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// True iff no schema has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("railgun-reg-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn schema_v1() -> Schema {
+        Schema::from_pairs(&[("cardId", FieldType::Str), ("amount", FieldType::Float)]).unwrap()
+    }
+
+    fn schema_v2() -> Schema {
+        Schema::from_pairs(&[
+            ("cardId", FieldType::Str),
+            ("amount", FieldType::Float),
+            ("country", FieldType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let dir = fresh("basic");
+        let mut reg = SchemaRegistry::open(&dir).unwrap();
+        assert!(reg.is_empty());
+        let id1 = reg.register(schema_v1()).unwrap();
+        assert_eq!(reg.current(), Some(id1));
+        assert_eq!(reg.get(id1), Some(&schema_v1()));
+    }
+
+    #[test]
+    fn identical_schema_reuses_id() {
+        let dir = fresh("dedup");
+        let mut reg = SchemaRegistry::open(&dir).unwrap();
+        let id1 = reg.register(schema_v1()).unwrap();
+        let id2 = reg.register(schema_v1()).unwrap();
+        assert_eq!(id1, id2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn evolution_keeps_old_versions() {
+        let dir = fresh("evolve");
+        let mut reg = SchemaRegistry::open(&dir).unwrap();
+        let id1 = reg.register(schema_v1()).unwrap();
+        let id2 = reg.register(schema_v2()).unwrap();
+        assert_ne!(id1, id2);
+        assert_eq!(reg.current(), Some(id2));
+        // Old chunks can still resolve their schema.
+        assert_eq!(reg.get(id1), Some(&schema_v1()));
+        assert_eq!(reg.get(id2), Some(&schema_v2()));
+    }
+
+    #[test]
+    fn registry_survives_reopen() {
+        let dir = fresh("reopen");
+        let (id1, id2);
+        {
+            let mut reg = SchemaRegistry::open(&dir).unwrap();
+            id1 = reg.register(schema_v1()).unwrap();
+            id2 = reg.register(schema_v2()).unwrap();
+        }
+        let reg = SchemaRegistry::open(&dir).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.current(), Some(id2));
+        assert_eq!(reg.get(id1), Some(&schema_v1()));
+    }
+
+    #[test]
+    fn torn_tail_keeps_earlier_versions() {
+        let dir = fresh("torn");
+        {
+            let mut reg = SchemaRegistry::open(&dir).unwrap();
+            reg.register(schema_v1()).unwrap();
+            reg.register(schema_v2()).unwrap();
+        }
+        let path = dir.join(REGISTRY_FILE);
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 3]).unwrap();
+        let reg = SchemaRegistry::open(&dir).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get(SchemaId(0)), Some(&schema_v1()));
+    }
+}

@@ -1,0 +1,1010 @@
+//! The event reservoir (paper §4.1.1).
+//!
+//! A reservoir stores **all events of one task processor** and hands them
+//! back to windows through cheap, monotonic [`Cursor`]s. It has two parts:
+//! a very small in-memory part (the open chunk receiving arrivals, chunks in
+//! transition awaiting late events, and the bounded chunk cache) and a
+//! potentially huge on-disk part (append-only segment files of compressed
+//! chunks). Regardless of window size, only a tiny number of chunks is in
+//! memory — the property behind "windows of years are equivalent to windows
+//! of seconds" (§4.1.1, Figure 9a).
+//!
+//! ## Chunk lifecycle
+//!
+//! `Open` → (`Transition`) → `Pending` → `Durable`
+//!
+//! * the **open** chunk accepts arrivals (insert-sorted by timestamp);
+//! * once it reaches the size target it **closes**; if a transition hold is
+//!   configured it lingers, closed for new events but open for late ones
+//!   (the watermark-like mechanism of §4.1.1);
+//! * finalization encodes + compresses the chunk, pins it in the cache, and
+//!   queues it for an asynchronous append to the active segment file;
+//! * the background I/O thread appends it, records its location and unpins
+//!   it (**durable**).
+//!
+//! ## Cursor semantics
+//!
+//! A cursor yields events in timestamp order with a monotonic *bound*:
+//! `advance_upto(b)` yields every stored event with `ts < b` not yielded
+//! before. Late events that land *behind* a cursor's bound are skipped by
+//! that cursor (and the engine consistently excludes them from the window —
+//! both sides compare against the same bound). Cursors never cross a chunk
+//! that can still receive late events, so no event escapes expiry.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use railgun_types::{Event, EventId, RailgunError, Result, Schema, SchemaId, TimeDelta, Timestamp};
+
+use crate::cache::{CacheStats, ChunkCache};
+use crate::compress::Codec;
+use crate::format::{encode_chunk, ChunkId, DecodedChunk};
+use crate::registry::SchemaRegistry;
+use crate::segment::{
+    read_chunk_at, scan_segments, segment_file_name, ChunkLocation, FileNo, SegmentWriter,
+};
+
+/// What to do with an event older than the last finalized chunk (§4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatePolicy {
+    /// Drop the event (default: accuracy-preserving).
+    Discard,
+    /// Rewrite its timestamp to the oldest acceptable position.
+    Rewrite,
+}
+
+/// Reservoir tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ReservoirConfig {
+    /// Close the open chunk after this many events.
+    pub chunk_target_events: usize,
+    /// ... or after approximately this many bytes of event payload.
+    pub chunk_target_bytes: usize,
+    /// Seal segment files at this size (they become immutable).
+    pub file_target_bytes: u64,
+    /// Chunk cache capacity, in chunks (the paper's experiments use 220).
+    pub cache_capacity_chunks: usize,
+    /// Keep closed chunks open for late events for this long (event time).
+    /// Zero disables the transition state.
+    pub transition_hold: TimeDelta,
+    /// Policy for events older than the last finalized chunk.
+    pub late_policy: LatePolicy,
+    /// Chunk compression codec.
+    pub codec: Codec,
+    /// Eagerly load the next chunk when a cursor enters a new one.
+    pub prefetch: bool,
+}
+
+impl Default for ReservoirConfig {
+    fn default() -> Self {
+        ReservoirConfig {
+            chunk_target_events: 256,
+            chunk_target_bytes: 64 << 10,
+            file_target_bytes: 4 << 20,
+            cache_capacity_chunks: 220,
+            transition_hold: TimeDelta::ZERO,
+            late_policy: LatePolicy::Discard,
+            codec: Codec::RailZ,
+            prefetch: true,
+        }
+    }
+}
+
+/// Outcome of [`Reservoir::append`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// Stored normally.
+    Appended,
+    /// An event with this id is already in an in-memory chunk (§3.3 dedup).
+    Duplicate,
+    /// Older than the last finalized chunk; dropped per [`LatePolicy`].
+    LateDiscarded,
+    /// Older than the last finalized chunk; stored with a rewritten
+    /// timestamp.
+    LateRewritten(Timestamp),
+}
+
+/// Monotonic reservoir counters and gauges.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReservoirStats {
+    pub appended: u64,
+    pub duplicates: u64,
+    pub late_discarded: u64,
+    pub late_rewritten: u64,
+    pub chunks_finalized: u64,
+    pub files_sealed: u64,
+    pub bytes_written: u64,
+    pub durable_chunks: usize,
+    pub open_events: usize,
+    pub transition_events: usize,
+    pub cached_events: usize,
+    pub events_in_memory: usize,
+    pub memory_bytes: usize,
+    pub cursors: usize,
+    pub cache: CacheStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChunkState {
+    Open,
+    Transition,
+    /// Finalized, queued for the I/O thread, pinned in cache.
+    Pending,
+    /// On disk at the given location.
+    Durable(ChunkLocation),
+}
+
+#[derive(Debug, Clone)]
+struct ChunkMeta {
+    id: ChunkId,
+    first_ts: Timestamp,
+    last_ts: Timestamp,
+    count: u32,
+    state: ChunkState,
+}
+
+/// A chunk whose events still live in a mutable `Vec` (open or transition).
+struct MutableChunk {
+    id: ChunkId,
+    events: Vec<Event>,
+    bytes: usize,
+}
+
+struct FileInfo {
+    remaining_chunks: u32,
+    sealed: bool,
+}
+
+#[derive(Debug, Clone)]
+struct CursorPos {
+    chunk: u64,
+    idx: usize,
+    bound: Timestamp,
+    /// The decoded chunk this cursor currently iterates — held by the
+    /// iterator itself, as in the paper's Figure 5 ("each iterator only
+    /// needs one chunk in-memory"). The cache provides read-ahead.
+    held: Option<Arc<DecodedChunk>>,
+    /// Read-ahead already requested for the successor of the held chunk.
+    prefetch_sent: bool,
+}
+
+struct Inner {
+    /// Metadata for every live chunk, ids `first_chunk_id ..` contiguous.
+    chunks: VecDeque<ChunkMeta>,
+    first_chunk_id: u64,
+    next_chunk_id: u64,
+    open: Option<MutableChunk>,
+    transition: Vec<MutableChunk>,
+    cache: ChunkCache,
+    files: HashMap<u64, FileInfo>,
+    dedup: HashSet<EventId>,
+    registry: SchemaRegistry,
+    schema_id: SchemaId,
+    cursors: HashMap<u64, CursorPos>,
+    next_cursor_id: u64,
+    max_seen_ts: Timestamp,
+    min_acceptable_ts: Timestamp,
+    stats: ReservoirStats,
+}
+
+enum IoCmd {
+    Persist {
+        chunk: ChunkId,
+        frame: Vec<u8>,
+        first_ts: Timestamp,
+        last_ts: Timestamp,
+    },
+    /// Eagerly load a chunk into the cache (read-ahead, §4.1.1).
+    Prefetch(ChunkId),
+    /// Sync the active file and reply with (active_file, bytes) pairs of
+    /// every file, for checkpointing.
+    Barrier(SyncSender<Vec<(u64, u64, bool)>>),
+    Shutdown,
+}
+
+struct Shared {
+    dir: PathBuf,
+    cfg: ReservoirConfig,
+    inner: Mutex<Inner>,
+    io_tx: Sender<IoCmd>,
+}
+
+/// The disk-backed event store of one task processor.
+pub struct Reservoir {
+    shared: Arc<Shared>,
+    io_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Reservoir {
+    /// Open (or create) a reservoir in `dir` with `schema` as the current
+    /// event schema, recovering any chunks already on disk.
+    pub fn open(dir: &Path, schema: Schema, cfg: ReservoirConfig) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let mut registry = SchemaRegistry::open(dir)?;
+        let schema_id = registry.register(schema)?;
+        let (recovered, metas, next_file) = scan_segments(dir)?;
+        let mut chunks = VecDeque::new();
+        let mut files: HashMap<u64, FileInfo> = HashMap::new();
+        let mut max_seen_ts = Timestamp::MIN;
+        let mut min_acceptable_ts = Timestamp::MIN;
+        let mut first_chunk_id = 0;
+        let mut next_chunk_id = 0;
+        for (i, rc) in recovered.iter().enumerate() {
+            if i == 0 {
+                first_chunk_id = rc.chunk.id.0;
+            } else if rc.chunk.id.0 != next_chunk_id {
+                return Err(RailgunError::Corruption(format!(
+                    "non-contiguous chunk ids: expected {next_chunk_id}, found {}",
+                    rc.chunk.id.0
+                )));
+            }
+            next_chunk_id = rc.chunk.id.0 + 1;
+            chunks.push_back(ChunkMeta {
+                id: rc.chunk.id,
+                first_ts: rc.chunk.first_ts,
+                last_ts: rc.chunk.last_ts,
+                count: rc.chunk.events.len() as u32,
+                state: ChunkState::Durable(rc.location),
+            });
+            files
+                .entry(rc.location.file.0)
+                .or_insert(FileInfo {
+                    remaining_chunks: 0,
+                    sealed: false,
+                })
+                .remaining_chunks += 1;
+            max_seen_ts = max_seen_ts.max(rc.chunk.last_ts);
+            min_acceptable_ts = rc.chunk.last_ts;
+        }
+        // Every recovered file is effectively sealed: the writer starts a
+        // fresh segment, so nothing will ever be appended to them again.
+        let _ = metas;
+        for fi in files.values_mut() {
+            fi.sealed = true;
+        }
+        let stats = ReservoirStats {
+            durable_chunks: chunks.len(),
+            ..ReservoirStats::default()
+        };
+        let inner = Inner {
+            chunks,
+            first_chunk_id,
+            next_chunk_id,
+            open: None,
+            transition: Vec::new(),
+            cache: ChunkCache::new(cfg.cache_capacity_chunks),
+            files,
+            dedup: HashSet::new(),
+            registry,
+            schema_id,
+            cursors: HashMap::new(),
+            next_cursor_id: 0,
+            max_seen_ts,
+            min_acceptable_ts,
+            stats,
+        };
+        let (io_tx, io_rx) = std::sync::mpsc::channel();
+        let shared = Arc::new(Shared {
+            dir: dir.to_path_buf(),
+            cfg,
+            inner: Mutex::new(inner),
+            io_tx,
+        });
+        let io_shared = Arc::clone(&shared);
+        let writer = SegmentWriter::new(dir, shared.cfg.file_target_bytes, next_file);
+        let io_thread = std::thread::Builder::new()
+            .name("railgun-reservoir-io".into())
+            .spawn(move || io_loop(io_shared, writer, io_rx))
+            .map_err(RailgunError::Io)?;
+        Ok(Reservoir {
+            shared,
+            io_thread: Some(io_thread),
+        })
+    }
+
+    /// Register a new (evolved) schema for subsequently written chunks.
+    pub fn evolve_schema(&self, schema: Schema) -> Result<SchemaId> {
+        let mut inner = self.shared.inner.lock();
+        let id = inner.registry.register(schema)?;
+        inner.schema_id = id;
+        Ok(id)
+    }
+
+    /// The schema id new chunks are written under.
+    pub fn current_schema(&self) -> SchemaId {
+        self.shared.inner.lock().schema_id
+    }
+
+    /// Append one event. See [`AppendOutcome`].
+    pub fn append(&self, mut event: Event) -> Result<AppendOutcome> {
+        let mut inner = self.shared.inner.lock();
+        let inner = &mut *inner;
+        if inner.dedup.contains(&event.id) {
+            inner.stats.duplicates += 1;
+            return Ok(AppendOutcome::Duplicate);
+        }
+        let mut outcome = AppendOutcome::Appended;
+        if event.ts < inner.min_acceptable_ts {
+            match self.shared.cfg.late_policy {
+                LatePolicy::Discard => {
+                    inner.stats.late_discarded += 1;
+                    return Ok(AppendOutcome::LateDiscarded);
+                }
+                LatePolicy::Rewrite => {
+                    let new_ts = inner.min_acceptable_ts;
+                    event = Event::new(event.id, new_ts, event.values().to_vec());
+                    inner.stats.late_rewritten += 1;
+                    outcome = AppendOutcome::LateRewritten(new_ts);
+                }
+            }
+        }
+        inner.max_seen_ts = inner.max_seen_ts.max(event.ts);
+
+        // Routing: events at or above the open-chunk boundary (the newest
+        // transition chunk's last timestamp, or the finalized frontier when
+        // no transition chunks exist) go to the open chunk; older ones go to
+        // the newest transition chunk that can admit them.
+        let boundary = inner
+            .transition
+            .last()
+            .and_then(|t| t.events.last().map(|e| e.ts))
+            .unwrap_or(inner.min_acceptable_ts);
+        let target_transition = if event.ts >= boundary {
+            None
+        } else {
+            // `transition` is non-empty here: with no transition chunks the
+            // boundary equals `min_acceptable_ts`, and anything below that
+            // was already handled by the late-event policy above.
+            //
+            // Route to the *oldest* transition chunk whose last event is at
+            // or after `ts`. Gap timestamps go to the *newer* neighbour;
+            // this guarantees that any insert landing behind a cursor has a
+            // timestamp below that cursor's bound (see the fixup in
+            // `fixup_cursors`), so cursors can safely move past drained
+            // transition chunks.
+            inner
+                .transition
+                .iter()
+                .position(|t| t.events.last().is_some_and(|e| e.ts >= event.ts))
+                .or(Some(inner.transition.len().saturating_sub(1)))
+        };
+
+        inner.dedup.insert(event.id);
+        inner.stats.appended += 1;
+        match target_transition {
+            Some(ti) => {
+                let id = inner.transition[ti].id;
+                let pos = insert_sorted(&mut inner.transition[ti], event);
+                Self::fixup_cursors(inner, id, pos);
+                Self::refresh_meta(inner, ti);
+            }
+            None => {
+                if inner.open.is_none() {
+                    let id = ChunkId(inner.next_chunk_id);
+                    inner.next_chunk_id += 1;
+                    inner.chunks.push_back(ChunkMeta {
+                        id,
+                        first_ts: event.ts,
+                        last_ts: event.ts,
+                        count: 0,
+                        state: ChunkState::Open,
+                    });
+                    inner.open = Some(MutableChunk {
+                        id,
+                        events: Vec::with_capacity(self.shared.cfg.chunk_target_events),
+                        bytes: 0,
+                    });
+                }
+                let open = inner.open.as_mut().expect("just ensured");
+                let id = open.id;
+                let pos = insert_sorted(open, event);
+                Self::fixup_cursors(inner, id, pos);
+                let oi = (id.0 - inner.first_chunk_id) as usize;
+                Self::refresh_meta_open(inner, oi);
+                self.maybe_close_open(inner);
+            }
+        }
+        self.finalize_ready_transitions(inner)?;
+        Ok(outcome)
+    }
+
+    /// After inserting at sorted position `pos` in chunk `chunk`, cursors
+    /// whose bound already passed the event's position skip it (see module
+    /// docs for why this stays consistent with the engine's window bound).
+    fn fixup_cursors(inner: &mut Inner, chunk: ChunkId, pos: InsertPos) {
+        for cur in inner.cursors.values_mut() {
+            if cur.chunk == chunk.0 && pos.ts < cur.bound {
+                debug_assert!(pos.index <= cur.idx);
+                cur.idx += 1;
+            }
+        }
+    }
+
+    fn refresh_meta(inner: &mut Inner, transition_idx: usize) {
+        let t = &inner.transition[transition_idx];
+        let (id, first, last, count) = (
+            t.id,
+            t.events.first().map(|e| e.ts),
+            t.events.last().map(|e| e.ts),
+            t.events.len(),
+        );
+        let mi = (id.0 - inner.first_chunk_id) as usize;
+        let meta = &mut inner.chunks[mi];
+        if let (Some(f), Some(l)) = (first, last) {
+            meta.first_ts = f;
+            meta.last_ts = l;
+            meta.count = count as u32;
+        }
+    }
+
+    fn refresh_meta_open(inner: &mut Inner, meta_idx: usize) {
+        let (first, last, count) = {
+            let open = inner.open.as_ref().expect("open chunk");
+            (
+                open.events.first().map(|e| e.ts),
+                open.events.last().map(|e| e.ts),
+                open.events.len(),
+            )
+        };
+        let meta = &mut inner.chunks[meta_idx];
+        if let (Some(f), Some(l)) = (first, last) {
+            meta.first_ts = f;
+            meta.last_ts = l;
+            meta.count = count as u32;
+        }
+    }
+
+    fn maybe_close_open(&self, inner: &mut Inner) {
+        let close = match &inner.open {
+            Some(o) => {
+                o.events.len() >= self.shared.cfg.chunk_target_events
+                    || o.bytes >= self.shared.cfg.chunk_target_bytes
+            }
+            None => false,
+        };
+        if close {
+            let open = inner.open.take().expect("checked");
+            let mi = (open.id.0 - inner.first_chunk_id) as usize;
+            inner.chunks[mi].state = ChunkState::Transition;
+            inner.transition.push(open);
+        }
+    }
+
+    /// Finalize transition chunks the watermark has passed: encode, pin in
+    /// cache, hand to the I/O thread. With a zero hold, chunks finalize the
+    /// moment they close (no transition state).
+    fn finalize_ready_transitions(&self, inner: &mut Inner) -> Result<()> {
+        let hold = self.shared.cfg.transition_hold;
+        while let Some(t) = inner.transition.first() {
+            let last_ts = t.events.last().map(|e| e.ts).unwrap_or(Timestamp::MIN);
+            let ready = !hold.is_positive() || last_ts + hold < inner.max_seen_ts;
+            if !ready {
+                break;
+            }
+            let t = inner.transition.remove(0);
+            self.finalize_chunk(inner, t)?;
+        }
+        Ok(())
+    }
+
+    fn finalize_chunk(&self, inner: &mut Inner, chunk: MutableChunk) -> Result<()> {
+        debug_assert!(!chunk.events.is_empty(), "chunks close only when non-empty");
+        for e in &chunk.events {
+            inner.dedup.remove(&e.id);
+        }
+        let first_ts = chunk.events.first().expect("non-empty").ts;
+        let last_ts = chunk.events.last().expect("non-empty").ts;
+        let mut frame = Vec::new();
+        encode_chunk(
+            &mut frame,
+            chunk.id,
+            inner.schema_id,
+            self.shared.cfg.codec,
+            &chunk.events,
+        );
+        inner.stats.bytes_written += frame.len() as u64;
+        inner.stats.chunks_finalized += 1;
+        inner.min_acceptable_ts = inner.min_acceptable_ts.max(last_ts);
+        let decoded = Arc::new(DecodedChunk {
+            id: chunk.id,
+            schema: inner.schema_id,
+            first_ts,
+            last_ts,
+            events: chunk.events,
+        });
+        inner.cache.insert_pinned(decoded);
+        let mi = (chunk.id.0 - inner.first_chunk_id) as usize;
+        inner.chunks[mi].state = ChunkState::Pending;
+        self.shared
+            .io_tx
+            .send(IoCmd::Persist {
+                chunk: chunk.id,
+                frame,
+                first_ts,
+                last_ts,
+            })
+            .map_err(|_| RailgunError::Storage("reservoir io thread is gone".into()))?;
+        Ok(())
+    }
+
+    /// Force-close the open chunk (used before checkpoints and in tests).
+    pub fn flush_open_chunk(&self) -> Result<()> {
+        let mut inner = self.shared.inner.lock();
+        let inner = &mut *inner;
+        if let Some(open) = inner.open.take() {
+            if open.events.is_empty() {
+                // Remove the empty meta we created for it.
+                inner.chunks.pop_back();
+                inner.next_chunk_id -= 1;
+            } else {
+                let mi = (open.id.0 - inner.first_chunk_id) as usize;
+                inner.chunks[mi].state = ChunkState::Transition;
+                inner.transition.push(open);
+            }
+        }
+        // Finalize *everything* in transition regardless of watermark.
+        while !inner.transition.is_empty() {
+            let t = inner.transition.remove(0);
+            self.finalize_chunk(inner, t)?;
+        }
+        Ok(())
+    }
+
+    /// Block until all queued chunk writes are on disk.
+    pub fn flush_io(&self) -> Result<Vec<(u64, u64, bool)>> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        self.shared
+            .io_tx
+            .send(IoCmd::Barrier(tx))
+            .map_err(|_| RailgunError::Storage("reservoir io thread is gone".into()))?;
+        rx.recv()
+            .map_err(|_| RailgunError::Storage("reservoir io thread died".into()))
+    }
+
+    /// Create a cursor positioned at the first event with `ts >= from`.
+    pub fn cursor_at(&self, from: Timestamp) -> Cursor {
+        let mut inner = self.shared.inner.lock();
+        let inner = &mut *inner;
+        let mut pos = CursorPos {
+            chunk: inner.next_chunk_id,
+            idx: 0,
+            bound: Timestamp::MIN,
+            held: None,
+            prefetch_sent: false,
+        };
+        // Find the first chunk whose last event is >= from.
+        for meta in inner.chunks.iter() {
+            if meta.count > 0 && meta.last_ts >= from {
+                pos.chunk = meta.id.0;
+                pos.idx = self.first_idx_at(inner, meta.id, from);
+                break;
+            }
+        }
+        let id = inner.next_cursor_id;
+        inner.next_cursor_id += 1;
+        inner.cursors.insert(id, pos);
+        Cursor {
+            shared: Arc::clone(&self.shared),
+            id,
+        }
+    }
+
+    /// Cursor positioned at the very beginning of the stored stream.
+    pub fn cursor_at_start(&self) -> Cursor {
+        self.cursor_at(Timestamp::MIN)
+    }
+
+    fn first_idx_at(&self, inner: &mut Inner, chunk: ChunkId, from: Timestamp) -> usize {
+        if let Some(open) = &inner.open {
+            if open.id == chunk {
+                return open.events.partition_point(|e| e.ts < from);
+            }
+        }
+        if let Some(t) = inner.transition.iter().find(|t| t.id == chunk) {
+            return t.events.partition_point(|e| e.ts < from);
+        }
+        match load_chunk(&self.shared, inner, chunk) {
+            Ok(c) => c.events.partition_point(|e| e.ts < from),
+            Err(_) => 0,
+        }
+    }
+
+    /// Drop durable chunks entirely below `before` (event time), deleting
+    /// sealed segment files that no longer hold live chunks. Chunks still
+    /// ahead of any cursor are never dropped.
+    pub fn truncate_before(&self, before: Timestamp) -> Result<usize> {
+        let mut inner = self.shared.inner.lock();
+        let inner = &mut *inner;
+        let min_cursor_chunk = inner
+            .cursors
+            .values()
+            .map(|c| c.chunk)
+            .min()
+            .unwrap_or(u64::MAX);
+        let mut dropped = 0;
+        while let Some(front) = inner.chunks.front() {
+            let loc = match front.state {
+                ChunkState::Durable(loc) => loc,
+                _ => break,
+            };
+            if front.last_ts >= before || front.id.0 >= min_cursor_chunk {
+                break;
+            }
+            let id = front.id;
+            inner.chunks.pop_front();
+            inner.first_chunk_id = id.0 + 1;
+            inner.cache.remove(id);
+            dropped += 1;
+            if let Some(fi) = inner.files.get_mut(&loc.file.0) {
+                fi.remaining_chunks = fi.remaining_chunks.saturating_sub(1);
+                if fi.remaining_chunks == 0 && fi.sealed {
+                    std::fs::remove_file(
+                        self.shared.dir.join(segment_file_name(loc.file)),
+                    )
+                    .ok();
+                    inner.files.remove(&loc.file.0);
+                }
+            }
+        }
+        Ok(dropped)
+    }
+
+    /// Checkpoint the durable state into `target` (§4.1.3): sealed segment
+    /// files are hard-linked, the active file is copied up to its durable
+    /// length, and the schema registry is copied. Events still in memory
+    /// (open/transition) are *not* included — they are recovered by
+    /// replaying the messaging layer from the checkpointed offset.
+    pub fn checkpoint(&self, target: &Path) -> Result<()> {
+        let files = self.flush_io()?;
+        std::fs::create_dir_all(target)?;
+        let _inner = self.shared.inner.lock(); // freeze truncation during copy
+        for (file_no, bytes, sealed) in files {
+            let name = segment_file_name(FileNo(file_no));
+            let from = self.shared.dir.join(&name);
+            let to = target.join(&name);
+            if sealed {
+                if std::fs::hard_link(&from, &to).is_err() {
+                    std::fs::copy(&from, &to)?;
+                }
+            } else {
+                // Copy only the durable prefix of the active file.
+                let data = std::fs::read(&from)?;
+                let durable = &data[..bytes.min(data.len() as u64) as usize];
+                std::fs::write(&to, durable)?;
+            }
+        }
+        let reg = self.shared.dir.join(crate::registry::REGISTRY_FILE);
+        if reg.exists() {
+            std::fs::copy(&reg, target.join(crate::registry::REGISTRY_FILE))?;
+        }
+        Ok(())
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ReservoirStats {
+        let inner = self.shared.inner.lock();
+        let mut s = inner.stats.clone();
+        s.cache = inner.cache.stats();
+        s.durable_chunks = inner
+            .chunks
+            .iter()
+            .filter(|m| matches!(m.state, ChunkState::Durable(_)))
+            .count();
+        s.open_events = inner.open.as_ref().map_or(0, |o| o.events.len());
+        s.transition_events = inner.transition.iter().map(|t| t.events.len()).sum();
+        s.cached_events = inner.cache.resident_events();
+        s.events_in_memory = s.open_events + s.transition_events + s.cached_events;
+        s.memory_bytes = inner.cache.heap_bytes()
+            + inner
+                .open
+                .as_ref()
+                .map_or(0, |o| o.events.iter().map(Event::heap_size).sum())
+            + inner
+                .transition
+                .iter()
+                .map(|t| t.events.iter().map(Event::heap_size).sum::<usize>())
+                .sum::<usize>();
+        s.cursors = inner.cursors.len();
+        s.files_sealed = inner.files.values().filter(|f| f.sealed).count() as u64;
+        s
+    }
+
+    /// Highest event timestamp ever appended.
+    pub fn max_seen_ts(&self) -> Timestamp {
+        self.shared.inner.lock().max_seen_ts
+    }
+}
+
+impl Drop for Reservoir {
+    fn drop(&mut self) {
+        let _ = self.shared.io_tx.send(IoCmd::Shutdown);
+        if let Some(t) = self.io_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+struct InsertPos {
+    index: usize,
+    ts: Timestamp,
+}
+
+/// Insert an event into a mutable chunk keeping timestamp order (equal
+/// timestamps keep arrival order). Returns the insert position.
+fn insert_sorted(chunk: &mut MutableChunk, event: Event) -> InsertPos {
+    let ts = event.ts;
+    let bytes = event.heap_size();
+    let idx = chunk.events.partition_point(|e| e.ts <= ts);
+    chunk.events.insert(idx, event);
+    chunk.bytes += bytes;
+    InsertPos { index: idx, ts }
+}
+
+/// Load a durable/pending chunk through the cache (demand path). Eager
+/// read-ahead of adjacent chunks happens asynchronously on the I/O thread
+/// (§4.1.1's "iterators eagerly load adjacent chunks into cache").
+fn load_chunk(shared: &Shared, inner: &mut Inner, chunk: ChunkId) -> Result<Arc<DecodedChunk>> {
+    if let Some(hit) = inner.cache.get(chunk) {
+        return Ok(hit);
+    }
+    let loc = durable_location(inner, chunk)?;
+    let decoded = Arc::new(read_chunk_at(&shared.dir, loc)?);
+    inner.cache.insert(Arc::clone(&decoded));
+    Ok(decoded)
+}
+
+fn durable_location(inner: &Inner, chunk: ChunkId) -> Result<ChunkLocation> {
+    if chunk.0 < inner.first_chunk_id {
+        return Err(RailgunError::Storage(format!(
+            "chunk {} was truncated",
+            chunk.0
+        )));
+    }
+    let mi = (chunk.0 - inner.first_chunk_id) as usize;
+    match inner.chunks.get(mi).map(|m| m.state) {
+        Some(ChunkState::Durable(loc)) => Ok(loc),
+        other => Err(RailgunError::Storage(format!(
+            "chunk {} is not durable ({other:?})",
+            chunk.0
+        ))),
+    }
+}
+
+/// A monotonic reading position over a reservoir's event stream.
+///
+/// Cursors are created by [`Reservoir::cursor_at`]; windows use one for
+/// their tail (expiring events) and, when delayed, one for their head.
+pub struct Cursor {
+    shared: Arc<Shared>,
+    id: u64,
+}
+
+impl Cursor {
+    /// Yield every not-yet-yielded event with `ts < bound` into `out`,
+    /// advancing the cursor. Bounds are monotonic: a smaller-or-equal bound
+    /// than a previous call yields nothing.
+    pub fn advance_upto_into(&self, bound: Timestamp, out: &mut Vec<Event>) {
+        let mut inner = self.shared.inner.lock();
+        let inner = &mut *inner;
+        let mut pos = match inner.cursors.get(&self.id) {
+            Some(p) => p.clone(),
+            None => return,
+        };
+        if bound <= pos.bound {
+            return;
+        }
+        pos.bound = bound;
+        loop {
+            if pos.chunk >= inner.next_chunk_id || pos.chunk < inner.first_chunk_id {
+                break;
+            }
+            let mi = (pos.chunk - inner.first_chunk_id) as usize;
+            let state = inner.chunks[mi].state;
+            match state {
+                ChunkState::Open => {
+                    pos.held = None;
+                    let open = inner.open.as_ref().expect("open meta implies open chunk");
+                    drain_mutable(&open.events, &mut pos, bound, out);
+                    break; // never cross the open chunk
+                }
+                ChunkState::Transition => {
+                    pos.held = None;
+                    let t = inner
+                        .transition
+                        .iter()
+                        .find(|t| t.id.0 == pos.chunk)
+                        .expect("transition meta implies transition chunk");
+                    let len = t.events.len();
+                    drain_mutable(&t.events, &mut pos, bound, out);
+                    if pos.idx == len {
+                        // Fully drained: safe to move on. Late events that
+                        // land behind us are below our bound by the routing
+                        // invariant and get skipped via `fixup_cursors`.
+                        pos.chunk += 1;
+                        pos.idx = 0;
+                    } else {
+                        break;
+                    }
+                }
+                ChunkState::Pending | ChunkState::Durable(_) => {
+                    // Figure 5: the iterator holds its current chunk; the
+                    // cache is only consulted on chunk transitions.
+                    let decoded = match &pos.held {
+                        Some(held) if held.id.0 == pos.chunk => Arc::clone(held),
+                        _ => {
+                            let loaded =
+                                match load_chunk(&self.shared, inner, ChunkId(pos.chunk)) {
+                                    Ok(d) => d,
+                                    Err(_) => break,
+                                };
+                            pos.held = Some(Arc::clone(&loaded));
+                            pos.prefetch_sent = false;
+                            loaded
+                        }
+                    };
+                    let events = &decoded.events;
+                    while pos.idx < events.len() && events[pos.idx].ts < bound {
+                        out.push(events[pos.idx].clone());
+                        pos.idx += 1;
+                    }
+                    // Eager read-ahead, issued just-in-time (when the
+                    // iterator is most of the way through its chunk) so
+                    // prefetched chunks are not evicted before use.
+                    if self.shared.cfg.prefetch
+                        && !pos.prefetch_sent
+                        && pos.idx * 4 >= events.len() * 3
+                    {
+                        pos.prefetch_sent = true;
+                        let next = ChunkId(pos.chunk + 1);
+                        if !inner.cache.contains(next) {
+                            let _ = self.shared.io_tx.send(IoCmd::Prefetch(next));
+                        }
+                    }
+                    if pos.idx == events.len() {
+                        pos.chunk += 1;
+                        pos.idx = 0;
+                        pos.held = None;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        inner.cursors.insert(self.id, pos);
+    }
+
+    /// Convenience wrapper collecting into a fresh vector.
+    pub fn advance_upto(&self, bound: Timestamp) -> Vec<Event> {
+        let mut out = Vec::new();
+        self.advance_upto_into(bound, &mut out);
+        out
+    }
+
+    /// The timestamp of the next event this cursor would yield, if visible.
+    pub fn peek_ts(&self) -> Option<Timestamp> {
+        let mut inner = self.shared.inner.lock();
+        let inner = &mut *inner;
+        let pos = inner.cursors.get(&self.id)?.clone();
+        if pos.chunk >= inner.next_chunk_id || pos.chunk < inner.first_chunk_id {
+            return None;
+        }
+        let mi = (pos.chunk - inner.first_chunk_id) as usize;
+        match inner.chunks[mi].state {
+            ChunkState::Open => inner
+                .open
+                .as_ref()
+                .and_then(|o| o.events.get(pos.idx))
+                .map(|e| e.ts),
+            ChunkState::Transition => inner
+                .transition
+                .iter()
+                .find(|t| t.id.0 == pos.chunk)
+                .and_then(|t| t.events.get(pos.idx))
+                .map(|e| e.ts),
+            ChunkState::Pending | ChunkState::Durable(_) => {
+                load_chunk(&self.shared, inner, ChunkId(pos.chunk))
+                    .ok()
+                    .and_then(|c| c.events.get(pos.idx).map(|e| e.ts))
+            }
+        }
+    }
+}
+
+impl Drop for Cursor {
+    fn drop(&mut self) {
+        self.shared.inner.lock().cursors.remove(&self.id);
+    }
+}
+
+fn drain_mutable(events: &[Event], pos: &mut CursorPos, bound: Timestamp, out: &mut Vec<Event>) {
+    while pos.idx < events.len() && events[pos.idx].ts < bound {
+        out.push(events[pos.idx].clone());
+        pos.idx += 1;
+    }
+}
+
+fn io_loop(shared: Arc<Shared>, mut writer: SegmentWriter, rx: Receiver<IoCmd>) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            IoCmd::Persist {
+                chunk,
+                frame,
+                first_ts,
+                last_ts,
+            } => {
+                match writer.append(&frame, first_ts, last_ts) {
+                    Ok(loc) => {
+                        let mut inner = shared.inner.lock();
+                        let inner = &mut *inner;
+                        if chunk.0 >= inner.first_chunk_id {
+                            let mi = (chunk.0 - inner.first_chunk_id) as usize;
+                            if let Some(meta) = inner.chunks.get_mut(mi) {
+                                meta.state = ChunkState::Durable(loc);
+                            }
+                        }
+                        let entry =
+                            inner.files.entry(loc.file.0).or_insert(FileInfo {
+                                remaining_chunks: 0,
+                                sealed: false,
+                            });
+                        entry.remaining_chunks += 1;
+                        for sealed in writer.take_sealed() {
+                            if let Some(fi) = inner.files.get_mut(&sealed.file.0) {
+                                fi.sealed = true;
+                            }
+                        }
+                        inner.cache.unpin(chunk);
+                    }
+                    Err(_) => {
+                        // Keep the chunk pinned in cache: its events remain
+                        // readable; durability is degraded until restart.
+                    }
+                }
+            }
+            IoCmd::Prefetch(chunk) => {
+                // Snapshot the location under the lock, read without it.
+                let loc = {
+                    let inner = shared.inner.lock();
+                    if inner.cache.contains(chunk) {
+                        continue;
+                    }
+                    match durable_location(&inner, chunk) {
+                        Ok(loc) => loc,
+                        Err(_) => continue,
+                    }
+                };
+                if let Ok(decoded) = read_chunk_at(&shared.dir, loc) {
+                    let mut inner = shared.inner.lock();
+                    if !inner.cache.contains(chunk) {
+                        inner.cache.insert_prefetched(Arc::new(decoded));
+                    }
+                }
+            }
+            IoCmd::Barrier(reply) => {
+                let _ = writer.sync();
+                let metas = writer.metas();
+                let mut files: Vec<(u64, u64, bool)> = metas
+                    .iter()
+                    .map(|m| (m.file.0, m.bytes, m.sealed))
+                    .collect();
+                // Include files recovered from a previous run (not owned by
+                // this writer instance).
+                let inner = shared.inner.lock();
+                for (no, fi) in &inner.files {
+                    if !files.iter().any(|(n, _, _)| n == no) {
+                        let path = shared.dir.join(segment_file_name(FileNo(*no)));
+                        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                        files.push((*no, bytes, fi.sealed));
+                    }
+                }
+                drop(inner);
+                let _ = reply.send(files);
+            }
+            IoCmd::Shutdown => break,
+        }
+    }
+    let _ = writer.sync();
+}

@@ -1,0 +1,237 @@
+//! Cluster-scale discrete-event model (Figure 10, substitution #5).
+//!
+//! The paper's third experiment runs 1-50 AWS nodes (8 processor units
+//! each) against 30 Kafka brokers. We compose *measured* single-unit
+//! service times through a queueing model of the whole fleet:
+//!
+//! * each processor unit is a FIFO server with its own GC model;
+//! * events spread over units by key hash, with a configurable skew (the
+//!   paper's real dataset produces "expected load differences among the
+//!   several Railgun processors");
+//! * messaging hops pay a broker-contention surcharge that grows with the
+//!   total partition count — the Kafka bottleneck the paper observed at
+//!   35+ nodes (§5.3.1);
+//! * tail latency is the distribution over *all* events, so the slowest
+//!   (most loaded) unit dominates the high percentiles ("tail at scale").
+
+use rand::Rng;
+
+use crate::histogram::Histogram;
+use crate::latency::{GcModel, KafkaHopModel, LogNormal};
+use crate::queueing::FifoServer;
+
+/// Configuration for one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterSimConfig {
+    pub nodes: u32,
+    pub units_per_node: u32,
+    /// Total offered load, events/second.
+    pub total_rate_ev_s: f64,
+    /// Events simulated (after warmup).
+    pub events: u64,
+    pub warmup_events: u64,
+    /// Base messaging-hop model (uncontended).
+    pub kafka: KafkaHopModel,
+    /// Broker contention: fractional hop inflation per partition beyond
+    /// the baseline (the 30-broker cluster saturates as partitions grow).
+    pub broker_inflation_per_partition: f64,
+    /// Partitions = units (the paper matches partitions to consumers).
+    pub partitions_per_unit: u32,
+    /// Per-unit GC model template.
+    pub gc: GcModel,
+    /// Measured mean service time per event on one unit, µs.
+    pub service_mean_us: f64,
+    /// Log-normal shape of service times.
+    pub service_sigma: f64,
+    /// Zipf-ish skew exponent across units (0 = uniform).
+    pub load_skew: f64,
+}
+
+/// Outcome of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterRunSummary {
+    pub latencies: Histogram,
+    /// Utilization of the most loaded unit.
+    pub max_utilization: f64,
+    /// Average achieved throughput per node (ev/s).
+    pub per_node_throughput: f64,
+    pub nodes: u32,
+}
+
+impl ClusterRunSummary {
+    /// True iff the run respects the paper's M requirement at the given
+    /// percentile (default check: <250 ms @ 99.9%).
+    pub fn meets_mad_latency(&self, limit_ms: u64, quantile: f64) -> bool {
+        self.latencies.percentile(quantile) <= limit_ms * 1000
+    }
+}
+
+/// Run the cluster model.
+pub fn run_cluster(cfg: &ClusterSimConfig, rng: &mut impl Rng) -> ClusterRunSummary {
+    let unit_count = (cfg.nodes * cfg.units_per_node).max(1) as usize;
+    let mut servers: Vec<FifoServer> = vec![FifoServer::new(); unit_count];
+    let mut gcs: Vec<GcModel> = vec![cfg.gc.clone(); unit_count];
+
+    // Broker contention scales the hop model with total partitions.
+    let partitions = unit_count as f64 * f64::from(cfg.partitions_per_unit);
+    let inflation = 1.0 + cfg.broker_inflation_per_partition * partitions;
+    let hop = inflate_hop(&cfg.kafka, inflation);
+
+    // Unit weights: unit i gets weight 1/(1+i)^skew, normalized.
+    let weights: Vec<f64> = (0..unit_count)
+        .map(|i| 1.0 / (1.0 + i as f64).powf(cfg.load_skew))
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+    let cum: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w / total_weight;
+            Some(*acc)
+        })
+        .collect();
+
+    let service = LogNormal::from_median(
+        // median of a log-normal with the given mean and sigma
+        cfg.service_mean_us / (0.5 * cfg.service_sigma * cfg.service_sigma).exp(),
+        cfg.service_sigma,
+    );
+
+    let interval_us = 1e6 / cfg.total_rate_ev_s.max(1e-9);
+    let mut latencies = Histogram::default();
+    let total_events = cfg.events + cfg.warmup_events;
+    for seq in 0..total_events {
+        let scheduled = (seq as f64 * interval_us) as u64;
+        // Route by (skewed) key hash.
+        let r: f64 = rng.gen();
+        let unit = cum.partition_point(|&c| c < r).min(unit_count - 1);
+        let enqueue = scheduled + hop.sample_us(rng);
+        if let Some(pause) = gcs[unit].on_event(rng) {
+            servers[unit].pause(enqueue, pause);
+        }
+        let service_us = service.sample(rng) as u64;
+        let (_, done) = servers[unit].offer(enqueue, service_us);
+        let replied = done + hop.sample_us(rng);
+        if seq >= cfg.warmup_events {
+            latencies.record(replied - scheduled);
+        }
+    }
+    let horizon = (total_events as f64 * interval_us) as u64;
+    let max_utilization = servers
+        .iter()
+        .map(|s| s.utilization(horizon.max(1)))
+        .fold(0.0, f64::max);
+    ClusterRunSummary {
+        latencies,
+        max_utilization,
+        per_node_throughput: cfg.total_rate_ev_s / f64::from(cfg.nodes.max(1)),
+        nodes: cfg.nodes,
+    }
+}
+
+/// Find the highest sustainable total rate (ev/s) for a node count such
+/// that p`quantile` latency stays within `limit_ms` — how the paper
+/// derived "as much load as possible, in a sustained way, without
+/// breaching the M requirement" (§5.3).
+pub fn max_sustainable_rate(
+    base: &ClusterSimConfig,
+    rng_seed: u64,
+    limit_ms: u64,
+    quantile: f64,
+    lo_per_node: f64,
+    hi_per_node: f64,
+) -> f64 {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut lo = lo_per_node;
+    let mut hi = hi_per_node;
+    for _ in 0..9 {
+        let mid = 0.5 * (lo + hi);
+        let mut cfg = base.clone();
+        cfg.total_rate_ev_s = mid * f64::from(base.nodes);
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let summary = run_cluster(&cfg, &mut rng);
+        if summary.meets_mad_latency(limit_ms, quantile) && summary.max_utilization < 0.98 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn inflate_hop(base: &KafkaHopModel, factor: f64) -> KafkaHopModel {
+    base.inflated(factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn base(nodes: u32, per_node_rate: f64) -> ClusterSimConfig {
+        ClusterSimConfig {
+            nodes,
+            units_per_node: 8,
+            total_rate_ev_s: per_node_rate * nodes as f64,
+            events: 40_000,
+            warmup_events: 4_000,
+            kafka: KafkaHopModel::calibrated(),
+            broker_inflation_per_partition: 0.0008,
+            partitions_per_unit: 1,
+            gc: GcModel::calibrated(),
+            service_mean_us: 180.0,
+            service_sigma: 0.35,
+            load_skew: 0.03,
+        }
+    }
+
+    #[test]
+    fn small_cluster_meets_mad() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let s = run_cluster(&base(1, 25_000.0), &mut rng);
+        assert!(
+            s.meets_mad_latency(250, 0.999),
+            "1 node @ 25k ev/s must meet <250ms@99.9%: got {}µs",
+            s.latencies.percentile(0.999)
+        );
+        assert!(s.max_utilization < 1.0);
+    }
+
+    #[test]
+    fn contention_grows_with_cluster_size() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let small = run_cluster(&base(3, 20_000.0), &mut rng);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let large = run_cluster(&base(50, 20_000.0), &mut rng);
+        assert!(
+            large.latencies.percentile(0.95) > small.latencies.percentile(0.95),
+            "broker contention must raise latency at 50 nodes"
+        );
+    }
+
+    #[test]
+    fn overload_breaches_mad() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        // 8 units/node, 180µs/event → ~44k ev/s absolute max per node;
+        // demand far above that must breach.
+        let s = run_cluster(&base(1, 80_000.0), &mut rng);
+        assert!(!s.meets_mad_latency(250, 0.999));
+    }
+
+    #[test]
+    fn sustainable_rate_search_is_monotone_enough() {
+        let b1 = base(1, 0.0);
+        let rate1 = max_sustainable_rate(&b1, 7, 250, 0.999, 5_000.0, 50_000.0);
+        assert!(
+            rate1 > 15_000.0,
+            "one node should sustain >15k ev/s, got {rate1}"
+        );
+        let b50 = base(50, 0.0);
+        let rate50 = max_sustainable_rate(&b50, 7, 250, 0.999, 5_000.0, 50_000.0);
+        assert!(
+            rate50 < rate1,
+            "per-node sustainable rate must degrade at 50 nodes: {rate50} vs {rate1}"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Open-loop load injector with coordinated-omission-free measurement.
+//!
+//! Mirrors the paper's measurement discipline (§5): injectors produce at a
+//! *sustained* rate regardless of how the system responds, and latency is
+//! measured from each event's **scheduled** send time to its reply. A
+//! stalled server therefore penalizes every queued event, not just the one
+//! in flight — the correction for the coordinated-omission problem [26]
+//! the paper applies.
+
+use rand::Rng;
+
+use crate::histogram::Histogram;
+use crate::latency::{GcModel, KafkaHopModel};
+use crate::queueing::FifoServer;
+
+/// Summary of one injection run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    pub events: u64,
+    pub duration_us: u64,
+    pub latencies: Histogram,
+    pub server_utilization: f64,
+}
+
+impl RunSummary {
+    /// Achieved throughput (ev/s) over the run.
+    pub fn throughput(&self) -> f64 {
+        if self.duration_us == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1e6 / self.duration_us as f64
+        }
+    }
+}
+
+/// Configuration of an open-loop run.
+#[derive(Debug, Clone)]
+pub struct InjectorConfig {
+    /// Sustained injection rate, events/second.
+    pub rate_ev_s: f64,
+    /// Number of events to inject.
+    pub events: u64,
+    /// Events ignored for latency purposes (the paper uses a 5-minute
+    /// warmup in a 35-minute run — 1/7 of the run).
+    pub warmup_events: u64,
+    /// Inbound and reply messaging hops.
+    pub kafka: KafkaHopModel,
+    /// GC model charged to the processing server.
+    pub gc: GcModel,
+}
+
+/// Drive an open-loop run against a service-time oracle.
+///
+/// `service_us(seq)` returns the service time of event `seq` — measured
+/// from real engine code by the benches, or modeled. Returns the latency
+/// distribution with coordinated omission corrected.
+pub fn run_open_loop(
+    cfg: &InjectorConfig,
+    rng: &mut impl Rng,
+    mut service_us: impl FnMut(u64) -> u64,
+) -> RunSummary {
+    let interval_us = 1e6 / cfg.rate_ev_s.max(1e-9);
+    let mut server = FifoServer::new();
+    let mut gc = cfg.gc.clone();
+    let mut latencies = Histogram::default();
+    let mut last_completion = 0u64;
+    for seq in 0..cfg.events {
+        // Scheduled (ideal) send instant — independent of system state.
+        let scheduled_us = (seq as f64 * interval_us) as u64;
+        // Inbound hop: event reaches the processor's queue.
+        let enqueue = scheduled_us + cfg.kafka.sample_us(rng);
+        // Service, including any GC pause that triggers now.
+        if let Some(pause) = gc.on_event(rng) {
+            server.pause(enqueue, pause);
+        }
+        let (_, done) = server.offer(enqueue, service_us(seq));
+        // Reply hop back to the injector.
+        let replied = done + cfg.kafka.sample_us(rng);
+        last_completion = last_completion.max(replied);
+        if seq >= cfg.warmup_events {
+            latencies.record(replied - scheduled_us);
+        }
+    }
+    let duration_us = ((cfg.events as f64) * interval_us) as u64;
+    RunSummary {
+        events: cfg.events - cfg.warmup_events,
+        duration_us,
+        server_utilization: server.utilization(duration_us.max(1)),
+        latencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn base_cfg(rate: f64, events: u64) -> InjectorConfig {
+        InjectorConfig {
+            rate_ev_s: rate,
+            events,
+            warmup_events: events / 10,
+            kafka: KafkaHopModel::new(500.0, 0.4, 0.0, 0.0),
+            gc: GcModel::disabled(),
+        }
+    }
+
+    #[test]
+    fn underloaded_run_latency_is_hops_plus_service() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        // 500 ev/s (2 ms apart), 100 µs service: no queueing.
+        let s = run_open_loop(&base_cfg(500.0, 20_000), &mut rng, |_| 100);
+        let p50 = s.latencies.percentile(0.5);
+        assert!(
+            (900..1_700).contains(&p50),
+            "p50 {p50}µs ≈ 2 hops (~1.0ms) + 0.1ms service"
+        );
+        assert!(s.server_utilization < 0.1);
+    }
+
+    #[test]
+    fn overloaded_run_blows_up_tail() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        // 500 ev/s but 3 ms service: utilization 1.5 → unbounded queue.
+        let s = run_open_loop(&base_cfg(500.0, 10_000), &mut rng, |_| 3_000);
+        let p50 = s.latencies.percentile(0.50);
+        // Half the events wait behind a linearly-growing backlog.
+        assert!(
+            p50 > 1_000_000,
+            "median must reflect the blow-up, got {p50}µs"
+        );
+    }
+
+    #[test]
+    fn near_saturation_inflates_high_percentiles_only() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Deterministic 1.8 ms service at 2 ms inter-arrival: ~90% load.
+        let s = run_open_loop(&base_cfg(500.0, 50_000), &mut rng, |_| 1_800);
+        let p50 = s.latencies.percentile(0.5);
+        let p999 = s.latencies.percentile(0.999);
+        assert!(p999 > p50, "tail ({p999}) above median ({p50})");
+        assert!(s.server_utilization > 0.85);
+    }
+
+    #[test]
+    fn gc_pauses_surface_in_the_tail() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut cfg = base_cfg(1000.0, 100_000);
+        cfg.gc = GcModel::calibrated(); // pause every 10k events
+        let with_gc = run_open_loop(&cfg, &mut rng, |_| 200);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let without = run_open_loop(&base_cfg(1000.0, 100_000), &mut rng, |_| 200);
+        assert!(
+            with_gc.latencies.percentile(0.9999) > 2 * without.latencies.percentile(0.9999),
+            "GC must inflate the extreme tail: {} vs {}",
+            with_gc.latencies.percentile(0.9999),
+            without.latencies.percentile(0.9999)
+        );
+        // Medians stay comparable (pauses are rare).
+        assert!(with_gc.latencies.percentile(0.5) < 2 * without.latencies.percentile(0.5));
+    }
+
+    #[test]
+    fn coordinated_omission_is_corrected() {
+        // One huge stall must penalize every event scheduled during it.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = run_open_loop(&base_cfg(1000.0, 2_000), &mut rng, |seq| {
+            if seq == 200 {
+                500_000 // a 0.5s stall
+            } else {
+                50
+            }
+        });
+        // Events 200..~700 were scheduled during the stall; that's ~25% of
+        // the run, so p90 must reflect six-figure latencies.
+        let p90 = s.latencies.percentile(0.90);
+        assert!(p90 > 50_000, "CO correction missing: p90 = {p90}µs");
+    }
+
+    #[test]
+    fn throughput_reports_configured_rate() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let s = run_open_loop(&base_cfg(2_000.0, 20_000), &mut rng, |_| 10);
+        assert!((s.throughput() - 1_800.0).abs() < 400.0, "{}", s.throughput());
+    }
+}

@@ -1,0 +1,115 @@
+//! Queueing building blocks for the latency simulation.
+//!
+//! A processor unit is a single-threaded server (§3.2): events queue FIFO
+//! and are served one at a time. End-to-end latency is then
+//!
+//! ```text
+//! e2e = inbound hop + wait-in-queue + service + reply hop
+//! ```
+//!
+//! with the wait term capturing the backlog blow-up when service time
+//! approaches the inter-arrival time — exactly the mechanism that makes
+//! Flink's small hops collapse in Figure 8 (service ∝ windowSize/hopSize).
+
+/// A single FIFO server with deterministic bookkeeping in microseconds.
+#[derive(Debug, Clone, Default)]
+pub struct FifoServer {
+    /// Time the server becomes free.
+    busy_until: u64,
+    /// Total busy time accumulated (utilization accounting).
+    busy_us: u64,
+    served: u64,
+}
+
+impl FifoServer {
+    /// New idle server.
+    pub fn new() -> Self {
+        FifoServer::default()
+    }
+
+    /// Offer one job arriving at `arrival_us` needing `service_us`.
+    /// Returns (start, completion).
+    pub fn offer(&mut self, arrival_us: u64, service_us: u64) -> (u64, u64) {
+        let start = arrival_us.max(self.busy_until);
+        let completion = start + service_us;
+        self.busy_until = completion;
+        self.busy_us += service_us;
+        self.served += 1;
+        (start, completion)
+    }
+
+    /// Inject a blocking pause (GC, compaction stall) starting no earlier
+    /// than `at_us`; the server is unavailable for `pause_us`.
+    pub fn pause(&mut self, at_us: u64, pause_us: u64) {
+        let start = at_us.max(self.busy_until);
+        self.busy_until = start + pause_us;
+        self.busy_us += pause_us;
+    }
+
+    /// Backlog delay a job arriving at `at_us` would currently see.
+    pub fn backlog_at(&self, at_us: u64) -> u64 {
+        self.busy_until.saturating_sub(at_us)
+    }
+
+    /// Jobs served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Utilization over `[0, horizon_us]`.
+    pub fn utilization(&self, horizon_us: u64) -> f64 {
+        if horizon_us == 0 {
+            0.0
+        } else {
+            self.busy_us as f64 / horizon_us as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut s = FifoServer::new();
+        let (start, done) = s.offer(100, 50);
+        assert_eq!(start, 100);
+        assert_eq!(done, 150);
+    }
+
+    #[test]
+    fn backlog_accumulates_when_overloaded() {
+        let mut s = FifoServer::new();
+        // Arrivals every 10µs, service 15µs: queue grows by 5µs per job.
+        let mut last_wait = 0;
+        for i in 0..100u64 {
+            let arrival = i * 10;
+            let (start, _) = s.offer(arrival, 15);
+            last_wait = start - arrival;
+        }
+        assert!(last_wait >= 99 * 5 - 15, "wait grew to {last_wait}µs");
+    }
+
+    #[test]
+    fn underloaded_server_has_no_queue() {
+        let mut s = FifoServer::new();
+        for i in 0..100u64 {
+            let arrival = i * 100;
+            let (start, _) = s.offer(arrival, 50);
+            assert_eq!(start, arrival);
+        }
+        assert_eq!(s.served(), 100);
+        assert!((s.utilization(100 * 100) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn pause_blocks_subsequent_jobs() {
+        let mut s = FifoServer::new();
+        s.offer(0, 10);
+        s.pause(10, 1000); // GC pause
+        let (start, _) = s.offer(20, 10);
+        assert_eq!(start, 1010, "job waits out the pause");
+        assert_eq!(s.backlog_at(1015), 5);
+    }
+}

@@ -1,0 +1,86 @@
+//! Checkpoints: consistent on-disk snapshots of a database.
+//!
+//! The paper (§4.1.3) synchronizes state-store checkpoints with reservoir
+//! checkpoints and notes they are cheap because the LSM persists data
+//! continuously — a checkpoint only has to capture the (immutable) SSTables
+//! and the manifest. We hard-link SSTables when the filesystem allows it
+//! and fall back to copying, like RocksDB's checkpoint feature.
+
+use std::fs;
+use std::path::Path;
+
+use railgun_types::{RailgunError, Result};
+
+/// Snapshot `files` (relative names inside `src`) into `target`.
+///
+/// `target` must not already contain a checkpoint; it is created fresh.
+/// Callers must ensure the files are immutable for the duration (the
+/// [`crate::Db`] holds its lock and flushes first).
+pub fn create(src: &Path, target: &Path, files: &[String]) -> Result<()> {
+    if target.exists() && target.read_dir()?.next().is_some() {
+        return Err(RailgunError::InvalidArgument(format!(
+            "checkpoint target {} is not empty",
+            target.display()
+        )));
+    }
+    fs::create_dir_all(target)?;
+    for name in files {
+        let from = src.join(name);
+        let to = target.join(name);
+        // Hard links make checkpoints O(1) per file; immutability of SSTs
+        // and atomic manifest replacement keep them safe.
+        if fs::hard_link(&from, &to).is_err() {
+            fs::copy(&from, &to)?;
+        }
+    }
+    // An empty WAL marks the checkpoint as fully flushed.
+    fs::File::create(target.join("wal.log"))?.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn fresh(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("railgun-ckptmod-{}-{name}", std::process::id()));
+        fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn copies_named_files() {
+        let src = fresh("src");
+        let dst = fresh("dst");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(src.join("a.sst"), b"AAA").unwrap();
+        fs::write(src.join("MANIFEST"), b"MMM").unwrap();
+        fs::write(src.join("ignored.tmp"), b"TTT").unwrap();
+        create(&src, &dst, &["a.sst".into(), "MANIFEST".into()]).unwrap();
+        assert_eq!(fs::read(dst.join("a.sst")).unwrap(), b"AAA");
+        assert_eq!(fs::read(dst.join("MANIFEST")).unwrap(), b"MMM");
+        assert!(!dst.join("ignored.tmp").exists());
+        assert!(dst.join("wal.log").exists());
+    }
+
+    #[test]
+    fn refuses_nonempty_target() {
+        let src = fresh("src2");
+        let dst = fresh("dst2");
+        fs::create_dir_all(&src).unwrap();
+        fs::create_dir_all(&dst).unwrap();
+        fs::write(dst.join("existing"), b"x").unwrap();
+        assert!(create(&src, &dst, &[]).is_err());
+    }
+
+    #[test]
+    fn empty_target_dir_is_ok() {
+        let src = fresh("src3");
+        let dst = fresh("dst3");
+        fs::create_dir_all(&src).unwrap();
+        fs::create_dir_all(&dst).unwrap(); // exists but empty
+        create(&src, &dst, &[]).unwrap();
+        assert!(dst.join("wal.log").exists());
+    }
+}

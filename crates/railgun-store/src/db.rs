@@ -1,0 +1,797 @@
+//! The database facade: column families, WAL-backed writes, flush,
+//! compaction, and scans.
+//!
+//! One [`Db`] corresponds to one RocksDB instance in the paper: each task
+//! processor owns one (share-nothing, §4.1), holding its aggregation states
+//! and auxiliary data. The write path is WAL append → memtable; reads merge
+//! the memtable with the SSTables newest-first; background maintenance is
+//! explicit (`flush`, `compact`) so the engine can schedule it off the
+//! latency-critical path.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut};
+use parking_lot::Mutex;
+use railgun_types::encode::{crc32c, get_string, get_uvarint, put_bytes, put_uvarint};
+use railgun_types::{RailgunError, Result};
+
+use crate::memtable::{Entry, MemTable};
+use crate::merge::MergeIter;
+use crate::sstable::{SstReader, SstWriter};
+use crate::wal::{Wal, WalRecord};
+
+/// Identifier of a column family within a [`Db`].
+pub type ColumnFamilyId = u32;
+
+/// Tuning options for a [`Db`].
+#[derive(Debug, Clone)]
+pub struct DbOptions {
+    /// Flush a memtable once its approximate size exceeds this.
+    pub memtable_budget_bytes: usize,
+    /// Target uncompressed data-block size inside SSTables.
+    pub block_size: usize,
+    /// Bloom filter density; 0 disables blooms (ablation knob).
+    pub bloom_bits_per_key: usize,
+    /// Compact a column family once it accumulates this many SSTables.
+    pub compaction_trigger: usize,
+    /// fsync the WAL on every write (durable, slow) instead of on flush.
+    pub sync_wal: bool,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            memtable_budget_bytes: 4 << 20,
+            block_size: crate::sstable::DEFAULT_BLOCK_SIZE,
+            bloom_bits_per_key: 10,
+            compaction_trigger: 4,
+            sync_wal: false,
+        }
+    }
+}
+
+/// Point-in-time statistics, used by benches and ablations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DbStats {
+    pub column_families: usize,
+    pub memtable_bytes: usize,
+    pub memtable_entries: usize,
+    pub sst_count: usize,
+    pub sst_entries: u64,
+    pub sst_bytes: u64,
+    pub flushes: u64,
+    pub compactions: u64,
+}
+
+struct SstHandle {
+    file_no: u64,
+    reader: SstReader,
+}
+
+struct CfState {
+    name: String,
+    mem: MemTable,
+    /// Newest first.
+    ssts: Vec<SstHandle>,
+}
+
+struct Inner {
+    cfs: HashMap<ColumnFamilyId, CfState>,
+    next_cf_id: ColumnFamilyId,
+    next_file_no: u64,
+    wal: Wal,
+    flushes: u64,
+    compactions: u64,
+}
+
+/// An embedded LSM key-value store with column families.
+pub struct Db {
+    dir: PathBuf,
+    opts: DbOptions,
+    inner: Mutex<Inner>,
+}
+
+const MANIFEST: &str = "MANIFEST";
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+const WAL_FILE: &str = "wal.log";
+const MANIFEST_MAGIC: u64 = 0x5241_494c_4d41_4e01;
+
+impl Db {
+    /// The column family every database starts with.
+    pub const DEFAULT_CF: ColumnFamilyId = 0;
+
+    /// Open (or create) a database in `dir`.
+    pub fn open(dir: &Path, opts: DbOptions) -> Result<Self> {
+        fs::create_dir_all(dir)?;
+        let manifest_path = dir.join(MANIFEST);
+        let mut inner = if manifest_path.exists() {
+            Self::load_manifest(dir, &manifest_path, &opts)?
+        } else {
+            let mut cfs = HashMap::new();
+            cfs.insert(
+                Self::DEFAULT_CF,
+                CfState {
+                    name: "default".to_owned(),
+                    mem: MemTable::new(),
+                    ssts: Vec::new(),
+                },
+            );
+            Inner {
+                cfs,
+                next_cf_id: 1,
+                next_file_no: 1,
+                wal: Wal::open(&dir.join(WAL_FILE), opts.sync_wal)?,
+                flushes: 0,
+                compactions: 0,
+            }
+        };
+        // Recover unflushed writes.
+        for rec in Wal::replay(&dir.join(WAL_FILE))? {
+            match rec {
+                WalRecord::Put { cf, key, value } => {
+                    if let Some(state) = inner.cfs.get_mut(&cf) {
+                        state.mem.put(&key, &value);
+                    }
+                }
+                WalRecord::Delete { cf, key } => {
+                    if let Some(state) = inner.cfs.get_mut(&cf) {
+                        state.mem.delete(&key);
+                    }
+                }
+            }
+        }
+        let db = Db {
+            dir: dir.to_path_buf(),
+            opts,
+            inner: Mutex::new(inner),
+        };
+        if !manifest_path.exists() {
+            db.write_manifest(&db.inner.lock())?;
+        }
+        Ok(db)
+    }
+
+    fn load_manifest(dir: &Path, path: &Path, _opts: &DbOptions) -> Result<Inner> {
+        let raw = fs::read(path)?;
+        if raw.len() < 4 {
+            return Err(RailgunError::Corruption("manifest too small".into()));
+        }
+        let (payload, crc_bytes) = raw.split_at(raw.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4b"));
+        if crc32c(payload) != stored {
+            return Err(RailgunError::Corruption("manifest crc mismatch".into()));
+        }
+        let mut cur = payload;
+        if cur.remaining() < 8 || cur.get_u64_le() != MANIFEST_MAGIC {
+            return Err(RailgunError::Corruption("bad manifest magic".into()));
+        }
+        let next_cf_id = get_uvarint(&mut cur)? as u32;
+        let next_file_no = get_uvarint(&mut cur)?;
+        let cf_count = get_uvarint(&mut cur)? as usize;
+        let mut cfs = HashMap::with_capacity(cf_count);
+        for _ in 0..cf_count {
+            let cf_id = get_uvarint(&mut cur)? as u32;
+            let name = get_string(&mut cur)?;
+            let sst_count = get_uvarint(&mut cur)? as usize;
+            let mut ssts = Vec::with_capacity(sst_count);
+            for _ in 0..sst_count {
+                let file_no = get_uvarint(&mut cur)?;
+                let reader = SstReader::open(&dir.join(sst_file_name(file_no)))?;
+                ssts.push(SstHandle { file_no, reader });
+            }
+            cfs.insert(
+                cf_id,
+                CfState {
+                    name,
+                    mem: MemTable::new(),
+                    ssts,
+                },
+            );
+        }
+        Ok(Inner {
+            cfs,
+            next_cf_id,
+            next_file_no,
+            wal: Wal::open(&dir.join(WAL_FILE), _opts.sync_wal)?,
+            flushes: 0,
+            compactions: 0,
+        })
+    }
+
+    fn write_manifest(&self, inner: &Inner) -> Result<()> {
+        let mut buf = Vec::new();
+        buf.put_u64_le(MANIFEST_MAGIC);
+        put_uvarint(&mut buf, u64::from(inner.next_cf_id));
+        put_uvarint(&mut buf, inner.next_file_no);
+        let mut ids: Vec<_> = inner.cfs.keys().copied().collect();
+        ids.sort_unstable();
+        put_uvarint(&mut buf, ids.len() as u64);
+        for id in ids {
+            let cf = &inner.cfs[&id];
+            put_uvarint(&mut buf, u64::from(id));
+            put_bytes(&mut buf, cf.name.as_bytes());
+            put_uvarint(&mut buf, cf.ssts.len() as u64);
+            for h in &cf.ssts {
+                put_uvarint(&mut buf, h.file_no);
+            }
+        }
+        let crc = crc32c(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        let tmp = self.dir.join(MANIFEST_TMP);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.dir.join(MANIFEST))?;
+        Ok(())
+    }
+
+    /// Create a new column family. Fails if the name is taken.
+    pub fn create_cf(&self, name: &str) -> Result<ColumnFamilyId> {
+        let mut inner = self.inner.lock();
+        if inner.cfs.values().any(|cf| cf.name == name) {
+            return Err(RailgunError::InvalidArgument(format!(
+                "column family `{name}` already exists"
+            )));
+        }
+        let id = inner.next_cf_id;
+        inner.next_cf_id += 1;
+        inner.cfs.insert(
+            id,
+            CfState {
+                name: name.to_owned(),
+                mem: MemTable::new(),
+                ssts: Vec::new(),
+            },
+        );
+        self.write_manifest(&inner)?;
+        Ok(id)
+    }
+
+    /// Look up a column family id by name.
+    pub fn cf_by_name(&self, name: &str) -> Option<ColumnFamilyId> {
+        self.inner
+            .lock()
+            .cfs
+            .iter()
+            .find(|(_, cf)| cf.name == name)
+            .map(|(id, _)| *id)
+    }
+
+    /// Write `key = value` in column family `cf`.
+    pub fn put(&self, cf: ColumnFamilyId, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !inner.cfs.contains_key(&cf) {
+            return Err(RailgunError::NotFound(format!("column family {cf}")));
+        }
+        inner.wal.append_put(cf, key, value)?;
+        inner
+            .cfs
+            .get_mut(&cf)
+            .expect("checked above")
+            .mem
+            .put(key, value);
+        self.maybe_flush_locked(&mut inner)
+    }
+
+    /// Delete `key` in column family `cf`.
+    pub fn delete(&self, cf: ColumnFamilyId, key: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !inner.cfs.contains_key(&cf) {
+            return Err(RailgunError::NotFound(format!("column family {cf}")));
+        }
+        inner.wal.append_delete(cf, key)?;
+        inner
+            .cfs
+            .get_mut(&cf)
+            .expect("checked above")
+            .mem
+            .delete(key);
+        self.maybe_flush_locked(&mut inner)
+    }
+
+    /// Read the current value of `key`, if live.
+    pub fn get(&self, cf: ColumnFamilyId, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_in(cf, key, <[u8]>::to_vec)
+    }
+
+    /// Read `key` and apply `f` to the value in place — the hot-path read
+    /// that avoids cloning the value out of the memtable (aggregation
+    /// states are decoded directly from the borrowed bytes).
+    pub fn get_in<T>(
+        &self,
+        cf: ColumnFamilyId,
+        key: &[u8],
+        f: impl FnOnce(&[u8]) -> T,
+    ) -> Result<Option<T>> {
+        let inner = self.inner.lock();
+        let state = inner
+            .cfs
+            .get(&cf)
+            .ok_or_else(|| RailgunError::NotFound(format!("column family {cf}")))?;
+        if let Some(entry) = state.mem.get(key) {
+            return Ok(entry.as_deref().map(f));
+        }
+        for h in &state.ssts {
+            if let Some(entry) = h.reader.get(key)? {
+                return Ok(entry.as_deref().map(f));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Scan all live keys in `[start, end)` (end `None` = unbounded),
+    /// merged across memtable and SSTables, tombstones elided.
+    pub fn scan(
+        &self,
+        cf: ColumnFamilyId,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let inner = self.inner.lock();
+        let state = inner
+            .cfs
+            .get(&cf)
+            .ok_or_else(|| RailgunError::NotFound(format!("column family {cf}")))?;
+        let mut sources: Vec<Box<dyn Iterator<Item = (Vec<u8>, Entry)>>> = Vec::new();
+        let mem_items: Vec<(Vec<u8>, Entry)> = state
+            .mem
+            .range(start, end)
+            .map(|(k, v)| (k.to_vec(), v.clone()))
+            .collect();
+        sources.push(Box::new(mem_items.into_iter()));
+        for h in &state.ssts {
+            let items: Vec<(Vec<u8>, Entry)> = h.reader.range(start, end).collect();
+            sources.push(Box::new(items.into_iter()));
+        }
+        Ok(MergeIter::new(sources, true)
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect())
+    }
+
+    /// Scan all live keys sharing `prefix`.
+    pub fn scan_prefix(
+        &self,
+        cf: ColumnFamilyId,
+        prefix: &[u8],
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        match prefix_upper_bound(prefix) {
+            Some(end) => self.scan(cf, prefix, Some(&end)),
+            None => self.scan(cf, prefix, None),
+        }
+    }
+
+    fn maybe_flush_locked(&self, inner: &mut Inner) -> Result<()> {
+        let over_budget = inner
+            .cfs
+            .values()
+            .any(|cf| cf.mem.approx_bytes() > self.opts.memtable_budget_bytes);
+        if over_budget {
+            self.flush_locked(inner)?;
+            self.maybe_compact_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Flush every non-empty memtable to a new SSTable and truncate the WAL.
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.flush_locked(&mut inner)
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> Result<()> {
+        let cf_ids: Vec<ColumnFamilyId> = inner
+            .cfs
+            .iter()
+            .filter(|(_, cf)| !cf.mem.is_empty())
+            .map(|(id, _)| *id)
+            .collect();
+        if cf_ids.is_empty() {
+            return Ok(());
+        }
+        for id in cf_ids {
+            let file_no = inner.next_file_no;
+            inner.next_file_no += 1;
+            let path = self.dir.join(sst_file_name(file_no));
+            let cf = inner.cfs.get_mut(&id).expect("cf exists");
+            let mut w =
+                SstWriter::create(&path, self.opts.block_size, self.opts.bloom_bits_per_key.max(1))?;
+            for (k, entry) in cf.mem.drain_sorted() {
+                w.add(&k, &entry)?;
+            }
+            w.finish()?;
+            let reader = SstReader::open(&path)?;
+            cf.ssts.insert(0, SstHandle { file_no, reader });
+            inner.flushes += 1;
+        }
+        self.write_manifest(inner)?;
+        inner.wal.truncate()?;
+        Ok(())
+    }
+
+    fn maybe_compact_locked(&self, inner: &mut Inner) -> Result<()> {
+        let ids: Vec<ColumnFamilyId> = inner
+            .cfs
+            .iter()
+            .filter(|(_, cf)| cf.ssts.len() >= self.opts.compaction_trigger)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            self.compact_cf_locked(inner, id)?;
+        }
+        Ok(())
+    }
+
+    /// Merge every SSTable of `cf` into one, dropping shadowed versions and
+    /// tombstones.
+    pub fn compact_cf(&self, cf: ColumnFamilyId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !inner.cfs.contains_key(&cf) {
+            return Err(RailgunError::NotFound(format!("column family {cf}")));
+        }
+        self.compact_cf_locked(&mut inner, cf)
+    }
+
+    fn compact_cf_locked(&self, inner: &mut Inner, id: ColumnFamilyId) -> Result<()> {
+        let file_no = inner.next_file_no;
+        inner.next_file_no += 1;
+        let cf = inner.cfs.get_mut(&id).expect("cf exists");
+        if cf.ssts.len() < 2 {
+            return Ok(());
+        }
+        let path = self.dir.join(sst_file_name(file_no));
+        {
+            let sources: Vec<Box<dyn Iterator<Item = (Vec<u8>, Entry)> + '_>> = cf
+                .ssts
+                .iter()
+                .map(|h| Box::new(h.reader.iter()) as Box<dyn Iterator<Item = (Vec<u8>, Entry)>>)
+                .collect();
+            // Tombstones can be dropped: this merge covers every sorted run
+            // older than the memtable, so nothing older remains to shadow.
+            let merged = MergeIter::new(sources, true);
+            let mut w =
+                SstWriter::create(&path, self.opts.block_size, self.opts.bloom_bits_per_key.max(1))?;
+            for (k, entry) in merged {
+                w.add(&k, &entry)?;
+            }
+            w.finish()?;
+        }
+        let old: Vec<u64> = cf.ssts.iter().map(|h| h.file_no).collect();
+        let reader = SstReader::open(&path)?;
+        cf.ssts = vec![SstHandle { file_no, reader }];
+        inner.compactions += 1;
+        self.write_manifest(inner)?;
+        for no in old {
+            fs::remove_file(self.dir.join(sst_file_name(no))).ok();
+        }
+        Ok(())
+    }
+
+    /// Create a consistent checkpoint of the whole database in `target`.
+    ///
+    /// Flushes all memtables first, then copies the manifest and every live
+    /// SSTable. The checkpoint directory can itself be opened with
+    /// [`Db::open`] — this is how a recovering task processor bootstraps
+    /// from a peer (paper §4.2).
+    pub fn checkpoint(&self, target: &Path) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.flush_locked(&mut inner)?;
+        crate::checkpoint::create(&self.dir, target, &collect_files(&inner))
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> DbStats {
+        let inner = self.inner.lock();
+        let mut s = DbStats {
+            column_families: inner.cfs.len(),
+            flushes: inner.flushes,
+            compactions: inner.compactions,
+            ..DbStats::default()
+        };
+        for cf in inner.cfs.values() {
+            s.memtable_bytes += cf.mem.approx_bytes();
+            s.memtable_entries += cf.mem.len();
+            s.sst_count += cf.ssts.len();
+            for h in &cf.ssts {
+                s.sst_entries += h.reader.entry_count();
+                s.sst_bytes += h.reader.file_bytes() as u64;
+            }
+        }
+        s
+    }
+
+    /// Directory this database lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+fn collect_files(inner: &Inner) -> Vec<String> {
+    let mut files = vec![MANIFEST.to_owned()];
+    for cf in inner.cfs.values() {
+        for h in &cf.ssts {
+            files.push(sst_file_name(h.file_no));
+        }
+    }
+    files
+}
+
+fn sst_file_name(no: u64) -> String {
+    format!("{no:08}.sst")
+}
+
+/// Smallest byte string strictly greater than every string with `prefix`.
+fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut end = prefix.to_vec();
+    while let Some(last) = end.last_mut() {
+        if *last < 0xff {
+            *last += 1;
+            return Some(end);
+        }
+        end.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("railgun-db-{}-{name}", std::process::id()));
+        fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn small_opts() -> DbOptions {
+        DbOptions {
+            memtable_budget_bytes: 2048,
+            compaction_trigger: 3,
+            ..DbOptions::default()
+        }
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let dir = fresh_dir("basic");
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        db.put(Db::DEFAULT_CF, b"k1", b"v1").unwrap();
+        assert_eq!(db.get(Db::DEFAULT_CF, b"k1").unwrap(), Some(b"v1".to_vec()));
+        db.delete(Db::DEFAULT_CF, b"k1").unwrap();
+        assert_eq!(db.get(Db::DEFAULT_CF, b"k1").unwrap(), None);
+        assert_eq!(db.get(Db::DEFAULT_CF, b"nope").unwrap(), None);
+    }
+
+    #[test]
+    fn reads_span_memtable_and_ssts() {
+        let dir = fresh_dir("span");
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        db.put(Db::DEFAULT_CF, b"old", b"1").unwrap();
+        db.flush().unwrap();
+        db.put(Db::DEFAULT_CF, b"new", b"2").unwrap();
+        assert_eq!(db.get(Db::DEFAULT_CF, b"old").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(Db::DEFAULT_CF, b"new").unwrap(), Some(b"2".to_vec()));
+        // Overwrite in memtable shadows the SST.
+        db.put(Db::DEFAULT_CF, b"old", b"updated").unwrap();
+        assert_eq!(
+            db.get(Db::DEFAULT_CF, b"old").unwrap(),
+            Some(b"updated".to_vec())
+        );
+        // Tombstone in memtable shadows the SST.
+        db.delete(Db::DEFAULT_CF, b"old").unwrap();
+        assert_eq!(db.get(Db::DEFAULT_CF, b"old").unwrap(), None);
+    }
+
+    #[test]
+    fn wal_recovery_after_crash() {
+        let dir = fresh_dir("recovery");
+        {
+            let db = Db::open(&dir, DbOptions::default()).unwrap();
+            db.put(Db::DEFAULT_CF, b"persisted", b"yes").unwrap();
+            db.delete(Db::DEFAULT_CF, b"persisted2").unwrap();
+            // Dropped without flush: WAL must carry the writes.
+        }
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        assert_eq!(
+            db.get(Db::DEFAULT_CF, b"persisted").unwrap(),
+            Some(b"yes".to_vec())
+        );
+        assert_eq!(db.get(Db::DEFAULT_CF, b"persisted2").unwrap(), None);
+    }
+
+    #[test]
+    fn restart_after_flush_reads_ssts() {
+        let dir = fresh_dir("restart");
+        {
+            let db = Db::open(&dir, DbOptions::default()).unwrap();
+            for i in 0..100u32 {
+                db.put(Db::DEFAULT_CF, format!("k{i:04}").as_bytes(), &i.to_le_bytes())
+                    .unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        for i in (0..100u32).step_by(7) {
+            assert_eq!(
+                db.get(Db::DEFAULT_CF, format!("k{i:04}").as_bytes()).unwrap(),
+                Some(i.to_le_bytes().to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn automatic_flush_and_compaction() {
+        let dir = fresh_dir("autoflush");
+        let db = Db::open(&dir, small_opts()).unwrap();
+        for i in 0..2000u32 {
+            db.put(
+                Db::DEFAULT_CF,
+                format!("key{i:05}").as_bytes(),
+                &[0u8; 64],
+            )
+            .unwrap();
+        }
+        let stats = db.stats();
+        assert!(stats.flushes > 0, "expected automatic flushes");
+        assert!(stats.compactions > 0, "expected automatic compactions");
+        // All data still readable.
+        assert_eq!(
+            db.get(Db::DEFAULT_CF, b"key00000").unwrap(),
+            Some(vec![0u8; 64])
+        );
+        assert_eq!(
+            db.get(Db::DEFAULT_CF, b"key01999").unwrap(),
+            Some(vec![0u8; 64])
+        );
+    }
+
+    #[test]
+    fn compaction_drops_tombstones_and_duplicates() {
+        let dir = fresh_dir("compact");
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        db.put(Db::DEFAULT_CF, b"a", b"1").unwrap();
+        db.put(Db::DEFAULT_CF, b"b", b"1").unwrap();
+        db.flush().unwrap();
+        db.put(Db::DEFAULT_CF, b"a", b"2").unwrap();
+        db.delete(Db::DEFAULT_CF, b"b").unwrap();
+        db.flush().unwrap();
+        let before = db.stats();
+        assert_eq!(before.sst_count, 2);
+        assert_eq!(before.sst_entries, 4);
+        db.compact_cf(Db::DEFAULT_CF).unwrap();
+        let after = db.stats();
+        assert_eq!(after.sst_count, 1);
+        assert_eq!(after.sst_entries, 1); // only a=2 survives
+        assert_eq!(db.get(Db::DEFAULT_CF, b"a").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(db.get(Db::DEFAULT_CF, b"b").unwrap(), None);
+    }
+
+    #[test]
+    fn column_families_are_isolated() {
+        let dir = fresh_dir("cf");
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        let aux = db.create_cf("distinct-aux").unwrap();
+        db.put(Db::DEFAULT_CF, b"k", b"default").unwrap();
+        db.put(aux, b"k", b"aux").unwrap();
+        assert_eq!(db.get(Db::DEFAULT_CF, b"k").unwrap(), Some(b"default".to_vec()));
+        assert_eq!(db.get(aux, b"k").unwrap(), Some(b"aux".to_vec()));
+        db.delete(aux, b"k").unwrap();
+        assert_eq!(db.get(Db::DEFAULT_CF, b"k").unwrap(), Some(b"default".to_vec()));
+        assert_eq!(db.get(aux, b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn column_families_survive_restart() {
+        let dir = fresh_dir("cfrestart");
+        let aux;
+        {
+            let db = Db::open(&dir, DbOptions::default()).unwrap();
+            aux = db.create_cf("aux").unwrap();
+            db.put(aux, b"x", b"1").unwrap();
+            db.flush().unwrap();
+        }
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        assert_eq!(db.cf_by_name("aux"), Some(aux));
+        assert_eq!(db.get(aux, b"x").unwrap(), Some(b"1".to_vec()));
+    }
+
+    #[test]
+    fn duplicate_cf_name_rejected() {
+        let dir = fresh_dir("cfdup");
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        db.create_cf("aux").unwrap();
+        assert!(db.create_cf("aux").is_err());
+        assert!(db.create_cf("default").is_err());
+    }
+
+    #[test]
+    fn unknown_cf_errors() {
+        let dir = fresh_dir("cfmissing");
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        assert!(db.put(99, b"k", b"v").is_err());
+        assert!(db.get(99, b"k").is_err());
+        assert!(db.delete(99, b"k").is_err());
+        assert!(db.scan(99, b"", None).is_err());
+    }
+
+    #[test]
+    fn scan_merges_runs_and_elides_tombstones() {
+        let dir = fresh_dir("scan");
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        db.put(Db::DEFAULT_CF, b"p/a", b"1").unwrap();
+        db.put(Db::DEFAULT_CF, b"p/b", b"2").unwrap();
+        db.put(Db::DEFAULT_CF, b"q/c", b"3").unwrap();
+        db.flush().unwrap();
+        db.put(Db::DEFAULT_CF, b"p/b", b"2-new").unwrap();
+        db.delete(Db::DEFAULT_CF, b"p/a").unwrap();
+        db.put(Db::DEFAULT_CF, b"p/d", b"4").unwrap();
+        let got = db.scan_prefix(Db::DEFAULT_CF, b"p/").unwrap();
+        assert_eq!(
+            got,
+            vec![
+                (b"p/b".to_vec(), b"2-new".to_vec()),
+                (b"p/d".to_vec(), b"4".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_prefix_handles_0xff_prefix() {
+        let dir = fresh_dir("scanff");
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        db.put(Db::DEFAULT_CF, &[0xff, 0x01], b"1").unwrap();
+        db.put(Db::DEFAULT_CF, &[0xff, 0xff, 0x02], b"2").unwrap();
+        db.put(Db::DEFAULT_CF, &[0x01], b"other").unwrap();
+        let got = db.scan_prefix(Db::DEFAULT_CF, &[0xff]).unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_is_openable_and_consistent() {
+        let dir = fresh_dir("ckpt-src");
+        let ckpt = fresh_dir("ckpt-dst");
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        for i in 0..50u32 {
+            db.put(Db::DEFAULT_CF, format!("k{i}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        db.checkpoint(&ckpt).unwrap();
+        // Writes after the checkpoint must not leak into it.
+        db.put(Db::DEFAULT_CF, b"later", b"x").unwrap();
+        let restored = Db::open(&ckpt, DbOptions::default()).unwrap();
+        assert_eq!(
+            restored.get(Db::DEFAULT_CF, b"k49").unwrap(),
+            Some(49u32.to_le_bytes().to_vec())
+        );
+        assert_eq!(restored.get(Db::DEFAULT_CF, b"later").unwrap(), None);
+    }
+
+    #[test]
+    fn stats_reflect_state() {
+        let dir = fresh_dir("stats");
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        let s0 = db.stats();
+        assert_eq!(s0.column_families, 1);
+        assert_eq!(s0.sst_count, 0);
+        db.put(Db::DEFAULT_CF, b"k", b"v").unwrap();
+        assert!(db.stats().memtable_bytes > 0);
+        db.flush().unwrap();
+        let s1 = db.stats();
+        assert_eq!(s1.memtable_entries, 0);
+        assert_eq!(s1.sst_count, 1);
+        assert_eq!(s1.sst_entries, 1);
+        assert!(s1.sst_bytes > 0);
+    }
+
+    #[test]
+    fn prefix_upper_bound_logic() {
+        assert_eq!(prefix_upper_bound(b"ab"), Some(b"ac".to_vec()));
+        assert_eq!(prefix_upper_bound(&[0x01, 0xff]), Some(vec![0x02]));
+        assert_eq!(prefix_upper_bound(&[0xff, 0xff]), None);
+        assert_eq!(prefix_upper_bound(b""), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! # railgun-store — embedded LSM key-value store
+//!
+//! Railgun (the paper, §4.1.3) keeps per-metric aggregation state in an
+//! embedded RocksDB instance. This crate is a from-scratch substitute with
+//! the same shape: a log-structured merge store with
+//!
+//! * an in-memory **memtable** per column family ([`memtable`]),
+//! * a shared, CRC-framed **write-ahead log** for crash recovery ([`wal`]),
+//! * immutable, block-structured **SSTables** with per-table bloom filters
+//!   ([`sstable`], [`bloom`]),
+//! * newest-wins **merge iterators** across memtable + tables ([`merge`]),
+//! * size-tiered **compaction** ([`db`]),
+//! * **column families** (used by `countDistinct` auxiliary state, §4.1.3),
+//! * cheap **checkpoints** that flush and snapshot the current tables
+//!   ([`checkpoint`]), matching the paper's observation that checkpoints are
+//!   efficient because data is frequently persisted anyway.
+//!
+//! The public entry point is [`Db`].
+//!
+//! ```
+//! use railgun_store::{Db, DbOptions};
+//! let dir = std::env::temp_dir().join(format!("railgun-doc-{}", std::process::id()));
+//! let db = Db::open(&dir, DbOptions::default()).unwrap();
+//! db.put(Db::DEFAULT_CF, b"k", b"v").unwrap();
+//! assert_eq!(db.get(Db::DEFAULT_CF, b"k").unwrap().as_deref(), Some(&b"v"[..]));
+//! # drop(db); std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod bloom;
+pub mod checkpoint;
+pub mod db;
+pub mod memtable;
+pub mod merge;
+pub mod sstable;
+pub mod wal;
+
+pub use db::{ColumnFamilyId, Db, DbOptions, DbStats};

@@ -1,0 +1,190 @@
+//! In-memory write buffer for one column family.
+//!
+//! The memtable is the mutable head of the LSM tree: the newest value (or
+//! tombstone) for every recently-written key. When its approximate size
+//! exceeds the configured budget, the [`crate::Db`] flushes it to an
+//! immutable SSTable.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A write: either a value or a deletion tombstone.
+///
+/// Tombstones must be retained (not just removed from the map) because an
+/// older SSTable may still hold a live value for the key.
+pub type Entry = Option<Vec<u8>>;
+
+/// Sorted in-memory buffer of the most recent write per key.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    map: BTreeMap<Vec<u8>, Entry>,
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// Create an empty memtable.
+    pub fn new() -> Self {
+        MemTable::default()
+    }
+
+    /// Insert or overwrite a value. Overwrites reuse the existing value
+    /// allocation — the read-modify-write pattern of aggregation states
+    /// hits the same keys constantly (§4.1.3).
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        if let Some(slot) = self.map.get_mut(key) {
+            let old_val = slot.as_ref().map_or(0, Vec::len);
+            match slot {
+                Some(buf) => {
+                    buf.clear();
+                    buf.extend_from_slice(value);
+                }
+                None => *slot = Some(value.to_vec()),
+            }
+            self.approx_bytes = self.approx_bytes.saturating_sub(old_val) + value.len();
+        } else {
+            self.insert(key.to_vec(), Some(value.to_vec()));
+        }
+    }
+
+    /// Record a deletion tombstone.
+    pub fn delete(&mut self, key: &[u8]) {
+        if let Some(slot) = self.map.get_mut(key) {
+            let old_val = slot.as_ref().map_or(0, Vec::len);
+            *slot = None;
+            self.approx_bytes = self.approx_bytes.saturating_sub(old_val);
+        } else {
+            self.insert(key.to_vec(), None);
+        }
+    }
+
+    fn insert(&mut self, key: Vec<u8>, entry: Entry) {
+        let key_len = key.len();
+        let new_val = entry.as_ref().map_or(0, Vec::len);
+        if let Some(old) = self.map.insert(key, entry) {
+            // Key bytes and per-entry overhead were accounted on first
+            // insert; only the value delta changes.
+            let old_val = old.as_ref().map_or(0, Vec::len);
+            self.approx_bytes = self.approx_bytes.saturating_sub(old_val) + new_val;
+        } else {
+            // 32 bytes models BTreeMap node + Vec header overhead per entry.
+            self.approx_bytes += key_len + new_val + 32;
+        }
+    }
+
+    /// Look up the most recent write for `key`.
+    ///
+    /// Returns `None` if the key was never written here; `Some(None)` if the
+    /// latest write is a tombstone; `Some(Some(v))` for a live value.
+    pub fn get(&self, key: &[u8]) -> Option<&Entry> {
+        self.map.get(key)
+    }
+
+    /// Iterate entries (including tombstones) in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &Entry)> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v))
+    }
+
+    /// Iterate entries with keys in `[start, end)` in key order.
+    pub fn range<'a>(
+        &'a self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> impl Iterator<Item = (&'a [u8], &'a Entry)> + 'a {
+        let lower = Bound::Included(start.to_vec());
+        let upper = match end {
+            Some(e) => Bound::Excluded(e.to_vec()),
+            None => Bound::Unbounded,
+        };
+        self.map
+            .range((lower, upper))
+            .map(|(k, v)| (k.as_slice(), v))
+    }
+
+    /// Number of buffered entries (tombstones included).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate memory footprint in bytes, used for flush triggering.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Drain all entries in key order, leaving the memtable empty.
+    pub fn drain_sorted(&mut self) -> Vec<(Vec<u8>, Entry)> {
+        self.approx_bytes = 0;
+        std::mem::take(&mut self.map).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut m = MemTable::new();
+        m.put(b"a", b"1");
+        m.put(b"a", b"2");
+        assert_eq!(m.get(b"a"), Some(&Some(b"2".to_vec())));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tombstone_is_visible() {
+        let mut m = MemTable::new();
+        m.put(b"a", b"1");
+        m.delete(b"a");
+        assert_eq!(m.get(b"a"), Some(&None));
+        assert_eq!(m.get(b"b"), None);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut m = MemTable::new();
+        m.put(b"c", b"3");
+        m.put(b"a", b"1");
+        m.put(b"b", b"2");
+        let keys: Vec<_> = m.iter().map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut m = MemTable::new();
+        for k in [b"a", b"b", b"c", b"d"] {
+            m.put(k, b"v");
+        }
+        let keys: Vec<_> = m.range(b"b", Some(b"d")).map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec()]);
+        let open: Vec<_> = m.range(b"c", None).map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(open, vec![b"c".to_vec(), b"d".to_vec()]);
+    }
+
+    #[test]
+    fn size_accounting_grows_and_resets() {
+        let mut m = MemTable::new();
+        assert_eq!(m.approx_bytes(), 0);
+        m.put(b"key", &[0u8; 100]);
+        assert!(m.approx_bytes() >= 100);
+        let drained = m.drain_sorted();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(m.approx_bytes(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn drain_is_sorted() {
+        let mut m = MemTable::new();
+        m.put(b"z", b"1");
+        m.delete(b"a");
+        let drained = m.drain_sorted();
+        assert_eq!(drained[0], (b"a".to_vec(), None));
+        assert_eq!(drained[1], (b"z".to_vec(), Some(b"1".to_vec())));
+    }
+}

@@ -1,0 +1,550 @@
+//! Immutable sorted-string tables.
+//!
+//! An SSTable is one sorted run of the LSM tree, produced by flushing a
+//! memtable or by compaction. The file layout is:
+//!
+//! ```text
+//! +--------------------+
+//! | data block 0       |  entries sorted by key, ~4 KiB each,
+//! | data block 1       |  trailed by a CRC-32C
+//! | ...                |
+//! +--------------------+
+//! | index block        |  (first_key, offset, len) per data block
+//! +--------------------+
+//! | bloom filter       |  over all keys in the table
+//! +--------------------+
+//! | footer (40 bytes)  |  offsets + magic
+//! +--------------------+
+//! ```
+//!
+//! Entries carry tombstones (`None` values) so deletions shadow older runs
+//! until compaction drops them.
+//!
+//! Readers load the file once and keep it in memory (the role RocksDB's
+//! block cache plays); block CRCs are verified on first access.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, Bytes};
+use railgun_types::encode::{crc32c, get_bytes, get_uvarint, put_bytes, put_uvarint};
+use railgun_types::{RailgunError, Result};
+
+use crate::bloom::BloomFilter;
+use crate::memtable::Entry;
+
+const MAGIC: u64 = 0x5241_494c_5353_5401; // "RAILSST" v1
+const FOOTER_LEN: usize = 48;
+/// Target uncompressed size of one data block.
+pub const DEFAULT_BLOCK_SIZE: usize = 4096;
+
+/// Value tag: 0 encodes a tombstone, `len + 1` encodes a live value.
+#[inline]
+fn value_tag(entry: &Entry) -> u64 {
+    match entry {
+        None => 0,
+        Some(v) => v.len() as u64 + 1,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Streaming SSTable writer. Keys must be added in strictly increasing order.
+pub struct SstWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    block: Vec<u8>,
+    block_size: usize,
+    /// (first_key, offset, len) per finished block.
+    index: Vec<(Vec<u8>, u64, u64)>,
+    block_first_key: Option<Vec<u8>>,
+    last_key: Option<Vec<u8>>,
+    keys: Vec<Vec<u8>>,
+    offset: u64,
+    entry_count: u64,
+    bloom_bits_per_key: usize,
+}
+
+impl SstWriter {
+    /// Create a writer for `path`, truncating any existing file.
+    pub fn create(path: &Path, block_size: usize, bloom_bits_per_key: usize) -> Result<Self> {
+        let file = File::create(path)?;
+        Ok(SstWriter {
+            path: path.to_path_buf(),
+            out: BufWriter::new(file),
+            block: Vec::with_capacity(block_size + 256),
+            block_size,
+            index: Vec::new(),
+            block_first_key: None,
+            last_key: None,
+            keys: Vec::new(),
+            offset: 0,
+            entry_count: 0,
+            bloom_bits_per_key,
+        })
+    }
+
+    /// Append an entry; keys must arrive in strictly increasing order.
+    pub fn add(&mut self, key: &[u8], entry: &Entry) -> Result<()> {
+        if let Some(last) = &self.last_key {
+            if key <= last.as_slice() {
+                return Err(RailgunError::Storage(format!(
+                    "SstWriter keys out of order: {key:?} after {last:?}"
+                )));
+            }
+        }
+        if self.block_first_key.is_none() {
+            self.block_first_key = Some(key.to_vec());
+        }
+        put_uvarint(&mut self.block, key.len() as u64);
+        put_uvarint(&mut self.block, value_tag(entry));
+        self.block.put_slice(key);
+        if let Some(v) = entry {
+            self.block.put_slice(v);
+        }
+        self.last_key = Some(key.to_vec());
+        self.keys.push(key.to_vec());
+        self.entry_count += 1;
+        if self.block.len() >= self.block_size {
+            self.finish_block()?;
+        }
+        Ok(())
+    }
+
+    fn finish_block(&mut self) -> Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let crc = crc32c(&self.block);
+        self.out.write_all(&self.block)?;
+        self.out.write_all(&crc.to_le_bytes())?;
+        let len = self.block.len() as u64 + 4;
+        let first = self
+            .block_first_key
+            .take()
+            .expect("non-empty block has a first key");
+        self.index.push((first, self.offset, len));
+        self.offset += len;
+        self.block.clear();
+        Ok(())
+    }
+
+    /// Finish the table: write index, bloom, and footer. Returns metadata.
+    pub fn finish(mut self) -> Result<SstMeta> {
+        self.finish_block()?;
+        // Index block.
+        let mut index_buf = Vec::new();
+        put_uvarint(&mut index_buf, self.index.len() as u64);
+        for (first, off, len) in &self.index {
+            put_bytes(&mut index_buf, first);
+            put_uvarint(&mut index_buf, *off);
+            put_uvarint(&mut index_buf, *len);
+        }
+        let index_crc = crc32c(&index_buf);
+        index_buf.extend_from_slice(&index_crc.to_le_bytes());
+        let index_off = self.offset;
+        self.out.write_all(&index_buf)?;
+        // Bloom filter.
+        let bloom = BloomFilter::build(&self.keys, self.bloom_bits_per_key);
+        let mut bloom_buf = Vec::new();
+        bloom.encode(&mut bloom_buf);
+        let bloom_off = index_off + index_buf.len() as u64;
+        self.out.write_all(&bloom_buf)?;
+        // Footer.
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        footer.put_u64_le(index_off);
+        footer.put_u64_le(index_buf.len() as u64);
+        footer.put_u64_le(bloom_off);
+        footer.put_u64_le(bloom_buf.len() as u64);
+        footer.put_u64_le(self.entry_count);
+        footer.put_u64_le(MAGIC);
+        self.out.write_all(&footer)?;
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        let smallest = self.index.first().map(|(k, _, _)| k.clone());
+        let largest = self.last_key.clone();
+        Ok(SstMeta {
+            path: self.path,
+            entry_count: self.entry_count,
+            smallest,
+            largest,
+            file_bytes: bloom_off + bloom_buf.len() as u64 + FOOTER_LEN as u64,
+        })
+    }
+}
+
+/// Metadata describing a finished SSTable.
+#[derive(Debug, Clone)]
+pub struct SstMeta {
+    pub path: PathBuf,
+    pub entry_count: u64,
+    pub smallest: Option<Vec<u8>>,
+    pub largest: Option<Vec<u8>>,
+    pub file_bytes: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A decoded (key, entry) pair from a data block.
+pub type KvEntry = (Vec<u8>, Entry);
+
+/// Reader over one immutable SSTable, fully resident in memory.
+pub struct SstReader {
+    data: Bytes,
+    /// (first_key, offset, len) per data block.
+    index: Vec<(Vec<u8>, u64, u64)>,
+    bloom: BloomFilter,
+    entry_count: u64,
+}
+
+impl SstReader {
+    /// Open and parse `path`.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut file = File::open(path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        Self::from_bytes(Bytes::from(raw))
+    }
+
+    /// Parse a table already resident in memory.
+    pub fn from_bytes(data: Bytes) -> Result<Self> {
+        if data.len() < FOOTER_LEN {
+            return Err(RailgunError::Corruption("sst smaller than footer".into()));
+        }
+        let mut footer = &data[data.len() - FOOTER_LEN..];
+        let index_off = footer.get_u64_le() as usize;
+        let index_len = footer.get_u64_le() as usize;
+        let bloom_off = footer.get_u64_le() as usize;
+        let bloom_len = footer.get_u64_le() as usize;
+        let entry_count = footer.get_u64_le();
+        let magic = footer.get_u64_le();
+        if magic != MAGIC {
+            return Err(RailgunError::Corruption("bad sst magic".into()));
+        }
+        if index_off + index_len > data.len() || bloom_off + bloom_len > data.len() {
+            return Err(RailgunError::Corruption("sst footer offsets out of range".into()));
+        }
+        // Index (with trailing CRC).
+        if index_len < 4 {
+            return Err(RailgunError::Corruption("sst index too small".into()));
+        }
+        let index_raw = &data[index_off..index_off + index_len - 4];
+        let stored_crc = u32::from_le_bytes(
+            data[index_off + index_len - 4..index_off + index_len]
+                .try_into()
+                .expect("4-byte slice"),
+        );
+        if crc32c(index_raw) != stored_crc {
+            return Err(RailgunError::Corruption("sst index crc mismatch".into()));
+        }
+        let mut cur = index_raw;
+        let n = get_uvarint(&mut cur)? as usize;
+        let mut index = Vec::with_capacity(n);
+        for _ in 0..n {
+            let first = get_bytes(&mut cur)?;
+            let off = get_uvarint(&mut cur)?;
+            let len = get_uvarint(&mut cur)?;
+            index.push((first, off, len));
+        }
+        // Bloom.
+        let mut bloom_slice = &data[bloom_off..bloom_off + bloom_len];
+        let bloom = BloomFilter::decode(&mut bloom_slice)?;
+        Ok(SstReader {
+            data,
+            index,
+            bloom,
+            entry_count,
+        })
+    }
+
+    /// Number of entries (tombstones included).
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Total file size in bytes.
+    pub fn file_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Point lookup. `None` = key not in this table; `Some(None)` =
+    /// tombstone; `Some(Some(v))` = live value.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Entry>> {
+        if self.index.is_empty() || !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        // Find the last block whose first_key <= key.
+        let block_idx = match self
+            .index
+            .binary_search_by(|(first, _, _)| first.as_slice().cmp(key))
+        {
+            Ok(i) => i,
+            Err(0) => return Ok(None),
+            Err(i) => i - 1,
+        };
+        for (k, v) in self.block_entries(block_idx)? {
+            match k.as_slice().cmp(key) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => return Ok(Some(v)),
+                std::cmp::Ordering::Greater => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Decode all entries of block `idx`, verifying its CRC.
+    fn block_entries(&self, idx: usize) -> Result<Vec<KvEntry>> {
+        let (_, off, len) = &self.index[idx];
+        let (off, len) = (*off as usize, *len as usize);
+        if len < 4 || off + len > self.data.len() {
+            return Err(RailgunError::Corruption("block out of range".into()));
+        }
+        let payload = &self.data[off..off + len - 4];
+        let stored_crc =
+            u32::from_le_bytes(self.data[off + len - 4..off + len].try_into().expect("4b"));
+        if crc32c(payload) != stored_crc {
+            return Err(RailgunError::Corruption(format!(
+                "block {idx} crc mismatch"
+            )));
+        }
+        let mut cur = payload;
+        let mut out = Vec::new();
+        while cur.has_remaining() {
+            let klen = get_uvarint(&mut cur)? as usize;
+            let vtag = get_uvarint(&mut cur)?;
+            if cur.remaining() < klen {
+                return Err(RailgunError::Corruption("truncated block key".into()));
+            }
+            let key = cur[..klen].to_vec();
+            cur.advance(klen);
+            let entry = if vtag == 0 {
+                None
+            } else {
+                let vlen = (vtag - 1) as usize;
+                if cur.remaining() < vlen {
+                    return Err(RailgunError::Corruption("truncated block value".into()));
+                }
+                let v = cur[..vlen].to_vec();
+                cur.advance(vlen);
+                Some(v)
+            };
+            out.push((key, entry));
+        }
+        Ok(out)
+    }
+
+    /// Iterate every entry in key order. Corrupt blocks end the iteration.
+    pub fn iter(&self) -> SstIter<'_> {
+        SstIter {
+            reader: self,
+            block: 0,
+            entries: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Iterate entries with keys in `[start, end)`.
+    pub fn range<'a>(&'a self, start: &[u8], end: Option<&[u8]>) -> SstRangeIter<'a> {
+        // First candidate block: the last block whose first key <= start.
+        let block = match self
+            .index
+            .binary_search_by(|(first, _, _)| first.as_slice().cmp(start))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        SstRangeIter {
+            inner: SstIter {
+                reader: self,
+                block,
+                entries: Vec::new(),
+                pos: 0,
+            },
+            start: start.to_vec(),
+            end: end.map(<[u8]>::to_vec),
+        }
+    }
+}
+
+/// Full-table iterator.
+pub struct SstIter<'a> {
+    reader: &'a SstReader,
+    block: usize,
+    entries: Vec<KvEntry>,
+    pos: usize,
+}
+
+impl Iterator for SstIter<'_> {
+    type Item = KvEntry;
+
+    fn next(&mut self) -> Option<KvEntry> {
+        loop {
+            if self.pos < self.entries.len() {
+                let item = std::mem::take(&mut self.entries[self.pos]);
+                self.pos += 1;
+                return Some(item);
+            }
+            if self.block >= self.reader.index.len() {
+                return None;
+            }
+            self.entries = self.reader.block_entries(self.block).ok()?;
+            self.block += 1;
+            self.pos = 0;
+        }
+    }
+}
+
+/// Range-bounded iterator.
+pub struct SstRangeIter<'a> {
+    inner: SstIter<'a>,
+    start: Vec<u8>,
+    end: Option<Vec<u8>>,
+}
+
+impl Iterator for SstRangeIter<'_> {
+    type Item = KvEntry;
+
+    fn next(&mut self) -> Option<KvEntry> {
+        for (k, v) in self.inner.by_ref() {
+            if k.as_slice() < self.start.as_slice() {
+                continue;
+            }
+            if let Some(end) = &self.end {
+                if k.as_slice() >= end.as_slice() {
+                    return None;
+                }
+            }
+            return Some((k, v));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("railgun-sst-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn build_table(name: &str, n: u32) -> (PathBuf, SstMeta) {
+        let dir = tmpdir(name);
+        let path = dir.join("t.sst");
+        let mut w = SstWriter::create(&path, 256, 10).unwrap();
+        for i in 0..n {
+            let key = format!("key{i:06}");
+            let entry = if i % 7 == 3 {
+                None
+            } else {
+                Some(format!("value-{i}").into_bytes())
+            };
+            w.add(key.as_bytes(), &entry).unwrap();
+        }
+        let meta = w.finish().unwrap();
+        (path, meta)
+    }
+
+    #[test]
+    fn roundtrip_point_reads() {
+        let (path, meta) = build_table("point", 500);
+        assert_eq!(meta.entry_count, 500);
+        let r = SstReader::open(&path).unwrap();
+        assert_eq!(r.entry_count(), 500);
+        assert_eq!(
+            r.get(b"key000000").unwrap(),
+            Some(Some(b"value-0".to_vec()))
+        );
+        assert_eq!(r.get(b"key000003").unwrap(), Some(None)); // tombstone
+        assert_eq!(r.get(b"key000499").unwrap(), Some(Some(b"value-499".to_vec())));
+        assert_eq!(r.get(b"absent").unwrap(), None);
+        assert_eq!(r.get(b"zzz").unwrap(), None);
+    }
+
+    #[test]
+    fn writer_rejects_unsorted_keys() {
+        let dir = tmpdir("unsorted");
+        let mut w = SstWriter::create(&dir.join("u.sst"), 256, 10).unwrap();
+        w.add(b"b", &Some(vec![1])).unwrap();
+        assert!(w.add(b"a", &Some(vec![2])).is_err());
+        assert!(w.add(b"b", &Some(vec![2])).is_err()); // duplicates too
+    }
+
+    #[test]
+    fn full_iteration_is_sorted_and_complete() {
+        let (path, _) = build_table("iter", 300);
+        let r = SstReader::open(&path).unwrap();
+        let all: Vec<_> = r.iter().collect();
+        assert_eq!(all.len(), 300);
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn range_iteration_bounds() {
+        let (path, _) = build_table("range", 100);
+        let r = SstReader::open(&path).unwrap();
+        let slice: Vec<_> = r
+            .range(b"key000010", Some(b"key000020"))
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(slice.len(), 10);
+        assert_eq!(slice[0], b"key000010".to_vec());
+        assert_eq!(slice[9], b"key000019".to_vec());
+        // Open-ended range reaches the last key.
+        let tail: Vec<_> = r.range(b"key000098", None).collect();
+        assert_eq!(tail.len(), 2);
+    }
+
+    #[test]
+    fn range_start_before_first_key() {
+        let (path, _) = build_table("rangefront", 10);
+        let r = SstReader::open(&path).unwrap();
+        let all: Vec<_> = r.range(b"a", None).collect();
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn corrupted_block_detected() {
+        let (path, _) = build_table("corrupt", 200);
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[10] ^= 0xff; // flip a data byte in the first block
+        std::fs::write(&path, &raw).unwrap();
+        let r = SstReader::open(&path);
+        // Either open fails (entry counting touches the block) or get fails.
+        if let Ok(r) = r {
+            assert!(r.get(b"key000000").is_err());
+        }
+    }
+
+    #[test]
+    fn corrupted_magic_detected() {
+        let (path, _) = build_table("magic", 10);
+        let mut raw = std::fs::read(&path).unwrap();
+        let n = raw.len();
+        raw[n - 1] ^= 0xff;
+        std::fs::write(&path, &raw).unwrap();
+        assert!(SstReader::open(&path).is_err());
+    }
+
+    #[test]
+    fn empty_table_is_readable() {
+        let dir = tmpdir("empty");
+        let path = dir.join("e.sst");
+        let w = SstWriter::create(&path, 256, 10).unwrap();
+        let meta = w.finish().unwrap();
+        assert_eq!(meta.entry_count, 0);
+        let r = SstReader::open(&path).unwrap();
+        assert_eq!(r.get(b"k").unwrap(), None);
+        assert_eq!(r.iter().count(), 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Binary encoding primitives shared by all on-disk and wire formats.
+//!
+//! Every persistent format in Railgun (WAL frames, SSTable blocks, reservoir
+//! chunks, messaging records, checkpoints) is built from these primitives:
+//! little-endian fixed integers, LEB128 varints, zigzag-encoded signed
+//! varints, length-prefixed byte strings, and a CRC-32 (Castagnoli
+//! polynomial, software implementation) for corruption detection.
+//!
+//! Values and events also encode here so that the reservoir chunk format and
+//! the messaging layer agree on one representation.
+
+use bytes::{Buf, BufMut};
+
+use crate::event::{Event, EventId};
+use crate::time::Timestamp;
+use crate::value::Value;
+use crate::{RailgunError, Result};
+
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+/// Append `v` as a LEB128 varint.
+pub fn put_uvarint(buf: &mut impl BufMut, mut v: u64) {
+    while v >= 0x80 {
+        buf.put_u8((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.put_u8(v as u8);
+}
+
+/// Decode a LEB128 varint, advancing `buf`.
+pub fn get_uvarint(buf: &mut impl Buf) -> Result<u64> {
+    let mut shift = 0u32;
+    let mut out = 0u64;
+    loop {
+        if !buf.has_remaining() {
+            return Err(RailgunError::Corruption("truncated varint".into()));
+        }
+        let b = buf.get_u8();
+        if shift == 63 && b > 1 {
+            return Err(RailgunError::Corruption("varint overflows u64".into()));
+        }
+        out |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(RailgunError::Corruption("varint too long".into()));
+        }
+    }
+}
+
+/// Zigzag-map a signed integer to unsigned for varint encoding.
+#[inline]
+pub const fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub const fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append `v` as a zigzag varint.
+pub fn put_ivarint(buf: &mut impl BufMut, v: i64) {
+    put_uvarint(buf, zigzag(v));
+}
+
+/// Decode a zigzag varint.
+pub fn get_ivarint(buf: &mut impl Buf) -> Result<i64> {
+    Ok(unzigzag(get_uvarint(buf)?))
+}
+
+// ---------------------------------------------------------------------------
+// Length-prefixed byte strings
+// ---------------------------------------------------------------------------
+
+/// Append a varint length prefix followed by the bytes.
+pub fn put_bytes(buf: &mut impl BufMut, b: &[u8]) {
+    put_uvarint(buf, b.len() as u64);
+    buf.put_slice(b);
+}
+
+/// Decode a length-prefixed byte string.
+pub fn get_bytes(buf: &mut impl Buf) -> Result<Vec<u8>> {
+    let len = get_uvarint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(RailgunError::Corruption(format!(
+            "byte string of {len} exceeds remaining {}",
+            buf.remaining()
+        )));
+    }
+    let mut out = vec![0u8; len];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+/// Decode a length-prefixed UTF-8 string.
+pub fn get_string(buf: &mut impl Buf) -> Result<String> {
+    String::from_utf8(get_bytes(buf)?)
+        .map_err(|_| RailgunError::Corruption("invalid utf-8 in string".into()))
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32C (Castagnoli), software table implementation
+// ---------------------------------------------------------------------------
+
+const CRC32C_POLY: u32 = 0x82F6_3B78;
+
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut j = 0;
+            while j < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ CRC32C_POLY
+                } else {
+                    crc >> 1
+                };
+                j += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    })
+}
+
+/// CRC-32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Value / Event encoding
+// ---------------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+
+/// Append a [`Value`] in tagged binary form.
+pub fn put_value(buf: &mut impl BufMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+        Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            put_ivarint(buf, *i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            put_bytes(buf, s.as_bytes());
+        }
+    }
+}
+
+/// Decode a [`Value`] written by [`put_value`].
+pub fn get_value(buf: &mut impl Buf) -> Result<Value> {
+    if !buf.has_remaining() {
+        return Err(RailgunError::Corruption("truncated value".into()));
+    }
+    match buf.get_u8() {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL_FALSE => Ok(Value::Bool(false)),
+        TAG_BOOL_TRUE => Ok(Value::Bool(true)),
+        TAG_INT => Ok(Value::Int(get_ivarint(buf)?)),
+        TAG_FLOAT => {
+            if buf.remaining() < 8 {
+                return Err(RailgunError::Corruption("truncated float".into()));
+            }
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        TAG_STR => Ok(Value::Str(get_string(buf)?)),
+        t => Err(RailgunError::Corruption(format!("unknown value tag {t}"))),
+    }
+}
+
+/// Append an [`Event`] (id, timestamp, values) in binary form.
+pub fn put_event(buf: &mut impl BufMut, e: &Event) {
+    put_uvarint(buf, e.id.0);
+    put_ivarint(buf, e.ts.as_millis());
+    put_uvarint(buf, e.values().len() as u64);
+    for v in e.values() {
+        put_value(buf, v);
+    }
+}
+
+/// Decode an [`Event`] written by [`put_event`].
+pub fn get_event(buf: &mut impl Buf) -> Result<Event> {
+    let id = EventId(get_uvarint(buf)?);
+    let ts = Timestamp::from_millis(get_ivarint(buf)?);
+    let n = get_uvarint(buf)? as usize;
+    if n > 1 << 20 {
+        return Err(RailgunError::Corruption(format!(
+            "implausible field count {n}"
+        )));
+    }
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(get_value(buf)?);
+    }
+    Ok(Event::new(id, ts, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX / 2, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut slice = &buf[..];
+            assert_eq!(get_uvarint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn ivarint_roundtrip_boundaries() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123456789] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            assert_eq!(get_ivarint(&mut &buf[..]).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_negatives_stay_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+    }
+
+    #[test]
+    fn truncated_varint_is_error() {
+        let buf = [0x80u8, 0x80];
+        assert!(get_uvarint(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn overlong_varint_is_error() {
+        let buf = [0xffu8; 11];
+        assert!(get_uvarint(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_truncation() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        assert_eq!(get_bytes(&mut &buf[..]).unwrap(), b"hello");
+        // claim 5 bytes but provide 2
+        let bad = [5u8, b'h', b'i'];
+        assert!(get_bytes(&mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn crc32c_known_vector() {
+        // RFC 3720 test vector: 32 bytes of zero.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        // "123456789"
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn value_roundtrip_all_variants() {
+        let vals = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::Float(f64::NAN),
+            Value::Str("αβγ".into()),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            put_value(&mut buf, v);
+        }
+        let mut slice = &buf[..];
+        for v in &vals {
+            let got = get_value(&mut slice).unwrap();
+            match (v, &got) {
+                (Value::Float(a), Value::Float(b)) if a.is_nan() => assert!(b.is_nan()),
+                _ => assert_eq!(v, &got),
+            }
+        }
+    }
+
+    #[test]
+    fn event_roundtrip() {
+        let e = Event::new(
+            EventId(99),
+            Timestamp::from_millis(-5),
+            vec![Value::Str("card".into()), Value::Float(1.25), Value::Null],
+        );
+        let mut buf = Vec::new();
+        put_event(&mut buf, &e);
+        let got = get_event(&mut &buf[..]).unwrap();
+        assert_eq!(e, got);
+    }
+
+    #[test]
+    fn unknown_tag_is_corruption() {
+        let buf = [99u8];
+        assert!(get_value(&mut &buf[..]).is_err());
+    }
+}

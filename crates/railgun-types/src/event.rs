@@ -1,0 +1,101 @@
+//! Stream events.
+//!
+//! An [`Event`] is one element of an unbounded stream: a unique id (used for
+//! at-least-once deduplication, paper §3.3), a millisecond timestamp (used
+//! for window membership), and the positional field values described by the
+//! stream's schema.
+
+use std::sync::Arc;
+
+use crate::time::Timestamp;
+use crate::value::Value;
+
+/// Globally unique event identifier.
+///
+/// The front-end assigns ids; the reservoir deduplicates on them against
+/// chunks still in memory, which combined with the messaging layer's
+/// at-least-once delivery yields exactly-once processing (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u64);
+
+/// One event of a data stream.
+///
+/// Field values are stored positionally, in the order declared by the
+/// stream's [`crate::Schema`]. The value vector is behind an `Arc` because
+/// events are fanned out to one topic per partitioner (paper §4) and
+/// replicated to replica tasks, and cloning must stay cheap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Unique id for deduplication.
+    pub id: EventId,
+    /// Event timestamp; windows slide on this.
+    pub ts: Timestamp,
+    /// Field values in schema order.
+    values: Arc<[Value]>,
+}
+
+impl Event {
+    /// Build an event from its parts.
+    pub fn new(id: EventId, ts: Timestamp, values: Vec<Value>) -> Self {
+        Event {
+            id,
+            ts,
+            values: values.into(),
+        }
+    }
+
+    /// Field values in schema order.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at field index `idx`, if in range.
+    #[inline]
+    pub fn value(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Approximate memory footprint of the event, used by the reservoir for
+    /// chunk sizing.
+    pub fn heap_size(&self) -> usize {
+        std::mem::size_of::<Event>()
+            + self.values.iter().map(Value::heap_size).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheap_clone_shares_values() {
+        let e = Event::new(
+            EventId(1),
+            Timestamp::from_millis(5),
+            vec![Value::Int(1), Value::Str("card-1".into())],
+        );
+        let f = e.clone();
+        assert!(Arc::ptr_eq(&e.values, &f.values));
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn value_access() {
+        let e = Event::new(EventId(7), Timestamp::from_millis(0), vec![Value::Float(2.5)]);
+        assert_eq!(e.value(0), Some(&Value::Float(2.5)));
+        assert_eq!(e.value(1), None);
+        assert_eq!(e.values().len(), 1);
+    }
+
+    #[test]
+    fn heap_size_counts_strings() {
+        let small = Event::new(EventId(0), Timestamp::from_millis(0), vec![Value::Int(1)]);
+        let big = Event::new(
+            EventId(0),
+            Timestamp::from_millis(0),
+            vec![Value::Str("x".repeat(1024))],
+        );
+        assert!(big.heap_size() > small.heap_size() + 1000);
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared data types for the Railgun streaming engine.
+//!
+//! This crate defines the vocabulary every other Railgun crate speaks:
+//! [`Event`]s flowing through streams, the dynamically-typed [`Value`]s
+//! carried by their fields, [`Schema`]s describing field layout (with
+//! versioning for schema evolution, see `railgun-reservoir`'s schema
+//! registry), millisecond-resolution [`Timestamp`]s / [`TimeDelta`]s used by
+//! windows, and the common [`RailgunError`] type.
+//!
+//! Everything here is deliberately small and dependency-free so that the
+//! storage, messaging, and engine crates can share it without coupling.
+
+pub mod encode;
+pub mod error;
+pub mod event;
+pub mod schema;
+pub mod time;
+pub mod value;
+
+pub use error::{RailgunError, Result};
+pub use event::{Event, EventId};
+pub use schema::{FieldDef, FieldType, Schema, SchemaId};
+pub use time::{TimeDelta, Timestamp};
+pub use value::Value;

@@ -1,0 +1,283 @@
+//! Millisecond-resolution event time.
+//!
+//! The paper's windows are time-based with millisecond-level latency targets,
+//! so all of Railgun works in integer milliseconds. [`Timestamp`] is a point
+//! on the event-time axis; [`TimeDelta`] is a span (window size, hop size,
+//! delay offset). Both are thin wrappers over `i64` so they are free to copy
+//! and order.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in event time, in milliseconds since an arbitrary epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+/// A span of event time, in milliseconds. Window sizes, hops, and delays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeDelta(pub i64);
+
+impl Timestamp {
+    /// The smallest representable timestamp.
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    /// The largest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    /// Construct from raw milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: i64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Raw milliseconds since epoch.
+    #[inline]
+    pub const fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// Saturating subtraction of a delta (window lower bounds near MIN).
+    #[inline]
+    pub fn saturating_sub(self, d: TimeDelta) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+
+    /// Saturating addition of a delta.
+    #[inline]
+    pub fn saturating_add(self, d: TimeDelta) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// Floor this timestamp to a multiple of `step` (hop-boundary alignment).
+    ///
+    /// Used by the hopping-window baseline to find pane boundaries. `step`
+    /// must be positive. Handles negative timestamps with floored division.
+    #[inline]
+    pub fn align_down(self, step: TimeDelta) -> Timestamp {
+        debug_assert!(step.0 > 0, "align_down requires a positive step");
+        Timestamp(self.0.div_euclid(step.0) * step.0)
+    }
+}
+
+impl TimeDelta {
+    /// Zero-length span.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Construct from raw milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: i64) -> Self {
+        TimeDelta(ms)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: i64) -> Self {
+        TimeDelta(s * 1_000)
+    }
+
+    /// Construct from whole minutes.
+    #[inline]
+    pub const fn from_minutes(m: i64) -> Self {
+        TimeDelta(m * 60_000)
+    }
+
+    /// Construct from whole hours.
+    #[inline]
+    pub const fn from_hours(h: i64) -> Self {
+        TimeDelta(h * 3_600_000)
+    }
+
+    /// Construct from whole days.
+    #[inline]
+    pub const fn from_days(d: i64) -> Self {
+        TimeDelta(d * 86_400_000)
+    }
+
+    /// Raw milliseconds.
+    #[inline]
+    pub const fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// Span expressed in (truncated) whole seconds.
+    #[inline]
+    pub const fn as_secs(self) -> i64 {
+        self.0 / 1_000
+    }
+
+    /// True iff the span is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+}
+
+impl Add<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl Sub<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn sub(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = TimeDelta;
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign<TimeDelta> for Timestamp {
+    #[inline]
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl Mul<i64> for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn mul(self, rhs: i64) -> TimeDelta {
+        TimeDelta(self.0 * rhs)
+    }
+}
+
+impl Div<TimeDelta> for TimeDelta {
+    type Output = i64;
+    #[inline]
+    fn div(self, rhs: TimeDelta) -> i64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0;
+        if ms % 86_400_000 == 0 && ms != 0 {
+            write!(f, "{}d", ms / 86_400_000)
+        } else if ms % 3_600_000 == 0 && ms != 0 {
+            write!(f, "{}h", ms / 3_600_000)
+        } else if ms % 60_000 == 0 && ms != 0 {
+            write!(f, "{}min", ms / 60_000)
+        } else if ms % 1_000 == 0 && ms != 0 {
+            write!(f, "{}s", ms / 1_000)
+        } else {
+            write!(f, "{}ms", ms)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Timestamp::from_millis(10_000);
+        let d = TimeDelta::from_secs(3);
+        assert_eq!(t + d, Timestamp::from_millis(13_000));
+        assert_eq!((t + d) - d, t);
+        assert_eq!(t + d - t, d);
+    }
+
+    #[test]
+    fn delta_constructors_agree() {
+        assert_eq!(TimeDelta::from_minutes(5), TimeDelta::from_secs(300));
+        assert_eq!(TimeDelta::from_hours(2), TimeDelta::from_minutes(120));
+        assert_eq!(TimeDelta::from_days(1), TimeDelta::from_hours(24));
+    }
+
+    #[test]
+    fn align_down_floors_to_step() {
+        let step = TimeDelta::from_secs(60);
+        assert_eq!(
+            Timestamp::from_millis(61_000).align_down(step),
+            Timestamp::from_millis(60_000)
+        );
+        assert_eq!(
+            Timestamp::from_millis(60_000).align_down(step),
+            Timestamp::from_millis(60_000)
+        );
+        assert_eq!(
+            Timestamp::from_millis(59_999).align_down(step),
+            Timestamp::from_millis(0)
+        );
+    }
+
+    #[test]
+    fn align_down_handles_negative_timestamps() {
+        let step = TimeDelta::from_secs(10);
+        assert_eq!(
+            Timestamp::from_millis(-1).align_down(step),
+            Timestamp::from_millis(-10_000)
+        );
+    }
+
+    #[test]
+    fn saturating_ops_do_not_overflow() {
+        assert_eq!(
+            Timestamp::MIN.saturating_sub(TimeDelta::from_days(7)),
+            Timestamp::MIN
+        );
+        assert_eq!(
+            Timestamp::MAX.saturating_add(TimeDelta::from_days(7)),
+            Timestamp::MAX
+        );
+    }
+
+    #[test]
+    fn display_picks_coarsest_unit() {
+        assert_eq!(TimeDelta::from_days(7).to_string(), "7d");
+        assert_eq!(TimeDelta::from_hours(3).to_string(), "3h");
+        assert_eq!(TimeDelta::from_minutes(5).to_string(), "5min");
+        assert_eq!(TimeDelta::from_secs(15).to_string(), "15s");
+        assert_eq!(TimeDelta::from_millis(250).to_string(), "250ms");
+    }
+
+    #[test]
+    fn delta_division_counts_panes() {
+        // 60-min window with 5-min hop => 12 active panes (paper §2.2).
+        let ws = TimeDelta::from_minutes(60);
+        let hop = TimeDelta::from_minutes(5);
+        assert_eq!(ws / hop, 12);
+        // 1-second hop => 3600 panes.
+        assert_eq!(ws / TimeDelta::from_secs(1), 3600);
+    }
+}

@@ -1,0 +1,64 @@
+//! # Railgun
+//!
+//! A distributed streaming engine with **accurate real-time sliding
+//! windows** under **MAD** requirements — **M**sec-level tail latencies,
+//! **A**ccurate event-by-event window aggregations, **D**istributed and
+//! fault-tolerant operation. This library is a from-scratch Rust
+//! reproduction of *"Railgun: managing large streaming windows under MAD
+//! requirements"* (Gomes, Oliveirinha, Cardoso, Bizarro — Feedzai, VLDB
+//! 2021, arXiv:2106.12626).
+//!
+//! This facade crate re-exports the public API of the workspace crates:
+//!
+//! * [`types`] — events, values, schemas, timestamps.
+//! * [`store`] — the embedded LSM state store (RocksDB substitute).
+//! * [`reservoir`] — the disk-backed event reservoir with eager chunk
+//!   caching and head/tail window iterators.
+//! * [`messaging`] — the Kafka-substitute messaging layer: partitioned
+//!   topics, consumer groups, sticky rebalancing, replay.
+//! * [`engine`] — the Railgun engine proper: query language, task plans,
+//!   aggregators, task processors, processor units, front-end, cluster.
+//! * [`baseline`] — Flink-like hopping-window and rescan baselines used by
+//!   the paper's evaluation.
+//! * [`sim`] — virtual-time harness: open-loop injector, queueing,
+//!   latency/GC models, HDR-style histograms.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use railgun::engine::{Cluster, ClusterConfig};
+//! use railgun::types::{FieldType, Schema, Timestamp, Value};
+//!
+//! // A single-node cluster with an in-process messaging layer.
+//! let mut cluster = Cluster::new(ClusterConfig::single_node()).unwrap();
+//!
+//! // Register the `payments` stream with a `card` partitioner.
+//! let schema = Schema::from_pairs(&[
+//!     ("cardId", FieldType::Str),
+//!     ("merchantId", FieldType::Str),
+//!     ("amount", FieldType::Float),
+//! ]).unwrap();
+//! cluster.create_stream("payments", schema, &["cardId"]).unwrap();
+//!
+//! // Q1 of the paper: per-card sum and count over a 5-minute sliding window.
+//! cluster.register_query(
+//!     "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 minutes",
+//! ).unwrap();
+//!
+//! // Send an event through the front-end and read the aggregations back.
+//! let reply = cluster.send(
+//!     "payments",
+//!     Timestamp::from_millis(1_000),
+//!     vec![Value::from("card-1"), Value::from("m-1"), Value::from(25.0)],
+//! ).unwrap();
+//! assert_eq!(reply.aggregations[0].value, Value::Float(25.0)); // sum
+//! assert_eq!(reply.aggregations[1].value, Value::Int(1));      // count
+//! ```
+
+pub use railgun_baseline as baseline;
+pub use railgun_core as engine;
+pub use railgun_messaging as messaging;
+pub use railgun_reservoir as reservoir;
+pub use railgun_sim as sim;
+pub use railgun_store as store;
+pub use railgun_types as types;

@@ -1,0 +1,283 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! cross-crate invariants they must uphold.
+
+use proptest::prelude::*;
+
+use railgun::engine::agg::{AggContext, AggState};
+use railgun::engine::keys::{decode_state_key, state_key};
+use railgun::engine::lang::AggFunc;
+use railgun::reservoir::{Codec, Reservoir, ReservoirConfig};
+use railgun::sim::Histogram;
+use railgun::store::{Db, DbOptions};
+use railgun::types::encode;
+use railgun::types::{Event, EventId, FieldType, Schema, Timestamp, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9_-]{0,24}".prop_map(Value::Str),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn varints_roundtrip(v in any::<u64>(), s in any::<i64>()) {
+        let mut buf = Vec::new();
+        encode::put_uvarint(&mut buf, v);
+        encode::put_ivarint(&mut buf, s);
+        let mut cur = &buf[..];
+        prop_assert_eq!(encode::get_uvarint(&mut cur).unwrap(), v);
+        prop_assert_eq!(encode::get_ivarint(&mut cur).unwrap(), s);
+        prop_assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn values_roundtrip(v in arb_value()) {
+        let mut buf = Vec::new();
+        encode::put_value(&mut buf, &v);
+        let got = encode::get_value(&mut &buf[..]).unwrap();
+        // NaN-aware comparison.
+        prop_assert!(v.key_eq(&got) || (v.is_null() && got.is_null()));
+    }
+
+    #[test]
+    fn compression_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = Codec::RailZ.compress(&data);
+        let back = Codec::RailZ.decompress(&packed, data.len()).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn compression_roundtrips_repetitive(
+        unit in proptest::collection::vec(any::<u8>(), 1..32),
+        reps in 1usize..200,
+    ) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let packed = Codec::RailZ.compress(&data);
+        let back = Codec::RailZ.decompress(&packed, data.len()).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn state_keys_roundtrip(
+        leaf in 0u32..10_000,
+        bucket in proptest::option::of(-1_000_000_000i64..1_000_000_000),
+        entity in proptest::collection::vec(arb_value(), 0..4),
+    ) {
+        let key = state_key(leaf, bucket.map(Timestamp::from_millis), &entity);
+        let (l, b, e) = decode_state_key(&key).unwrap();
+        prop_assert_eq!(l, leaf);
+        prop_assert_eq!(b, bucket.map(Timestamp::from_millis));
+        prop_assert_eq!(e.len(), entity.len());
+        for (x, y) in e.iter().zip(&entity) {
+            prop_assert!(x.key_eq(y) || (x.is_null() && y.is_null()));
+        }
+    }
+
+    #[test]
+    fn state_keys_injective_on_leaf_and_entity(
+        l1 in 0u32..1000, l2 in 0u32..1000,
+        e1 in "[a-z]{1,8}", e2 in "[a-z]{1,8}",
+    ) {
+        let k1 = state_key(l1, None, &[Value::Str(e1.clone())]);
+        let k2 = state_key(l2, None, &[Value::Str(e2.clone())]);
+        prop_assert_eq!(k1 == k2, l1 == l2 && e1 == e2);
+    }
+
+    #[test]
+    fn histogram_percentiles_bounded_error(
+        mut values in proptest::collection::vec(1u64..10_000_000, 10..500),
+        q in 0.01f64..0.999,
+    ) {
+        let mut h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let exact = values[(((values.len() as f64) * q).ceil() as usize - 1).min(values.len()-1)];
+        let approx = h.percentile(q);
+        // Log-bucketed: bounded relative error (plus rank-rounding slack of
+        // one element in either direction).
+        let lo = values.iter().rev().find(|&&v| v <= exact).copied().unwrap_or(exact);
+        let _ = lo;
+        let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+        prop_assert!(rel < 0.05 || {
+            // allow one-rank slack
+            let pos = values.iter().position(|&v| v == exact).unwrap();
+            let lo = values.get(pos.saturating_sub(1)).copied().unwrap_or(exact);
+            let hi = values.get(pos + 1).copied().unwrap_or(exact);
+            approx as f64 >= lo as f64 * 0.95 && approx as f64 <= hi as f64 * 1.05
+        }, "q={} exact={} approx={}", q, exact, approx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incremental aggregators agree with a naive recompute over any
+    /// windowed insert/evict pattern (sum/count/avg/min/max/stdDev).
+    #[test]
+    fn aggregators_match_naive_model(
+        values in proptest::collection::vec(-1000i64..1000, 1..120),
+        window in 1usize..40,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "railgun-prop-agg-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        let aux = db.create_cf("aux").unwrap();
+        let ctx = AggContext { db: &db, aux_cf: aux, state_key: b"k" };
+        let mut sum = AggState::new(AggFunc::Sum);
+        let mut count = AggState::new(AggFunc::Count);
+        let mut avg = AggState::new(AggFunc::Avg);
+        let mut min = AggState::new(AggFunc::Min);
+        let mut max = AggState::new(AggFunc::Max);
+        let mut sd = AggState::new(AggFunc::StdDev);
+        for i in 0..values.len() {
+            let v = Value::Float(values[i] as f64);
+            for s in [&mut sum, &mut count, &mut avg, &mut min, &mut max, &mut sd] {
+                s.insert(Some(&v), &ctx).unwrap();
+            }
+            if i >= window {
+                let old = Value::Float(values[i - window] as f64);
+                for s in [&mut sum, &mut count, &mut avg, &mut min, &mut max, &mut sd] {
+                    s.evict(Some(&old), &ctx).unwrap();
+                }
+            }
+            // Naive model over the current window.
+            let start = i.saturating_sub(window - 1);
+            let win: Vec<f64> = values[start..=i].iter().map(|&x| x as f64).collect();
+            let nsum: f64 = win.iter().sum();
+            prop_assert!((sum.value().as_f64().unwrap() - nsum).abs() < 1e-6);
+            prop_assert_eq!(count.value().as_i64().unwrap(), win.len() as i64);
+            prop_assert!((avg.value().as_f64().unwrap() - nsum / win.len() as f64).abs() < 1e-6);
+            let nmin = win.iter().copied().fold(f64::INFINITY, f64::min);
+            let nmax = win.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(min.value().as_f64().unwrap(), nmin);
+            prop_assert_eq!(max.value().as_f64().unwrap(), nmax);
+            if win.len() >= 2 {
+                let mean = nsum / win.len() as f64;
+                let var = win.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                    / (win.len() - 1) as f64;
+                prop_assert!(
+                    (sd.value().as_f64().unwrap() - var.sqrt()).abs() < 1e-5,
+                    "stddev drift"
+                );
+            }
+        }
+    }
+
+    /// The reservoir yields every in-order appended event exactly once,
+    /// in timestamp order, for any chunk-size configuration.
+    #[test]
+    fn reservoir_yields_each_event_once(
+        deltas in proptest::collection::vec(0i64..500, 1..300),
+        chunk_events in 2usize..64,
+        advance_step in 1i64..2000,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "railgun-prop-res-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let schema = Schema::from_pairs(&[("x", FieldType::Int)]).unwrap();
+        let cfg = ReservoirConfig {
+            chunk_target_events: chunk_events,
+            cache_capacity_chunks: 3,
+            ..ReservoirConfig::default()
+        };
+        let res = Reservoir::open(&dir, schema, cfg).unwrap();
+        let cursor = res.cursor_at_start();
+        let mut ts = 0i64;
+        let mut yielded: Vec<u64> = Vec::new();
+        let mut max_ts = 0i64;
+        for (i, d) in deltas.iter().enumerate() {
+            ts += d;
+            max_ts = ts;
+            res.append(Event::new(
+                EventId(i as u64),
+                Timestamp::from_millis(ts),
+                vec![Value::Int(i as i64)],
+            ))
+            .unwrap();
+            // Interleave partial advances.
+            if i % 7 == 3 {
+                for e in cursor.advance_upto(Timestamp::from_millis(ts - advance_step)) {
+                    yielded.push(e.id.0);
+                }
+            }
+        }
+        for e in cursor.advance_upto(Timestamp::from_millis(max_ts + 1)) {
+            yielded.push(e.id.0);
+        }
+        // Every event exactly once.
+        let mut sorted = yielded.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), yielded.len(), "no duplicates");
+        prop_assert_eq!(yielded.len(), deltas.len(), "every event yielded");
+    }
+
+    /// The LSM store behaves like a BTreeMap under any operation sequence,
+    /// including across flush/compaction/restart.
+    #[test]
+    fn store_matches_map_model(
+        ops in proptest::collection::vec(
+            (0u8..3, 0u16..64, proptest::collection::vec(any::<u8>(), 0..24)),
+            1..200
+        ),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "railgun-prop-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut model = std::collections::BTreeMap::new();
+        {
+            let db = Db::open(&dir, DbOptions {
+                memtable_budget_bytes: 512, // force frequent flushes
+                compaction_trigger: 3,
+                ..DbOptions::default()
+            }).unwrap();
+            for (op, key, value) in &ops {
+                let key = format!("k{key:04}").into_bytes();
+                match op {
+                    0 => {
+                        db.put(Db::DEFAULT_CF, &key, value).unwrap();
+                        model.insert(key, value.clone());
+                    }
+                    1 => {
+                        db.delete(Db::DEFAULT_CF, &key).unwrap();
+                        model.remove(&key);
+                    }
+                    _ => {
+                        prop_assert_eq!(
+                            db.get(Db::DEFAULT_CF, &key).unwrap(),
+                            model.get(&key).cloned()
+                        );
+                    }
+                }
+            }
+            // Full scan agrees with the model.
+            let scanned = db.scan(Db::DEFAULT_CF, b"", None).unwrap();
+            let expect: Vec<(Vec<u8>, Vec<u8>)> =
+                model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            prop_assert_eq!(scanned, expect);
+        }
+        // Restart (WAL replay + manifest load) preserves everything.
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        for (k, v) in &model {
+            prop_assert_eq!(db.get(Db::DEFAULT_CF, k).unwrap(), Some(v.clone()));
+        }
+    }
+}
