@@ -81,7 +81,7 @@ fn tail_iteration_prefetch_ablation(c: &mut Criterion) {
                     }
                     total += t.elapsed();
                 }
-                total * (iters.max(1) as u32) / (iters.min(20).max(1) as u32)
+                total * (iters.max(1) as u32) / (iters.clamp(1, 20) as u32)
             });
         });
     }

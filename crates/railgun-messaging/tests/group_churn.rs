@@ -60,7 +60,7 @@ proptest! {
         let mut produced: Vec<(TopicPartition, u64)> = Vec::new();
         let mut consumed: HashSet<(TopicPartition, u64)> = HashSet::new();
 
-        let mut drain = |consumers: &mut Vec<Consumer>,
+        let drain = |consumers: &mut Vec<Consumer>,
                          consumed: &mut HashSet<(TopicPartition, u64)>| {
             // Poll in rounds so everybody sees its new assignment first.
             for _ in 0..3 {

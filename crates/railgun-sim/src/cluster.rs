@@ -204,9 +204,30 @@ mod tests {
         let small = run_cluster(&base(3, 20_000.0), &mut rng);
         let mut rng = SmallRng::seed_from_u64(42);
         let large = run_cluster(&base(50, 20_000.0), &mut rng);
+        // Contention inflates every messaging hop, so the *median* moves
+        // with partition count; comparing p95 across different node counts
+        // is too noisy (the tail is dominated by GC pauses, which don't
+        // scale with nodes).
         assert!(
-            large.latencies.percentile(0.95) > small.latencies.percentile(0.95),
-            "broker contention must raise latency at 50 nodes"
+            large.latencies.percentile(0.5) > small.latencies.percentile(0.5),
+            "broker contention must raise median latency at 50 nodes: {} vs {}",
+            large.latencies.percentile(0.5),
+            small.latencies.percentile(0.5)
+        );
+        // Tail coverage without the cross-size noise: pair the same
+        // 50-node run with and without contention. Identical seeds mean
+        // identical draw sequences, so every hop sample strictly
+        // dominates and the tail must move too (§5.3.1's Kafka
+        // bottleneck reaches the high percentiles, not just the median).
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut uncontended_cfg = base(50, 20_000.0);
+        uncontended_cfg.broker_inflation_per_partition = 0.0;
+        let uncontended = run_cluster(&uncontended_cfg, &mut rng);
+        assert!(
+            large.latencies.percentile(0.95) > uncontended.latencies.percentile(0.95),
+            "contention must raise p95 vs an uncontended fleet of the same size: {} vs {}",
+            large.latencies.percentile(0.95),
+            uncontended.latencies.percentile(0.95)
         );
     }
 

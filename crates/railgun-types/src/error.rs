@@ -78,7 +78,7 @@ mod tests {
     #[test]
     fn io_error_converts_and_sources() {
         use std::error::Error;
-        let e: RailgunError = io::Error::new(io::ErrorKind::Other, "disk gone").into();
+        let e: RailgunError = io::Error::other("disk gone").into();
         assert!(e.source().is_some());
         assert!(e.to_string().contains("disk gone"));
     }

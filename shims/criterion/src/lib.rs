@@ -1,0 +1,291 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset Railgun's benches use: `criterion_group!` /
+//! `criterion_main!` (both the plain and `name = ..; config = ..;
+//! targets = ..` forms), `Criterion::bench_function`, benchmark groups,
+//! `BenchmarkId`, and `Bencher::iter` / `iter_custom`. Measurement is a
+//! simple warm-up + timed-batch mean (no bootstrap statistics); passing
+//! `--test` (as `cargo bench -- --test` does) runs every benchmark body
+//! once, exactly like real criterion's test mode.
+//! See `DESIGN.md` § "Vendored dependency shims".
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    test_mode: bool,
+    target_time: Duration,
+    warm_up_time: Duration,
+    /// Number of timed batches the measurement is split into.
+    samples: usize,
+    /// Mean duration of one iteration, filled by `iter*`.
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.mean = Some(Duration::ZERO);
+            return;
+        }
+        // Warm up while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let total_iters = (self.target_time.as_nanos() / per_iter.max(1))
+            .clamp(1, 50_000_000) as u64;
+        // Split the budget into `samples` timed batches (real criterion's
+        // sampling, minus the bootstrap statistics over them).
+        let samples = (self.samples as u64).clamp(1, total_iters);
+        let batch = total_iters / samples;
+        let mut elapsed = Duration::ZERO;
+        let mut done: u64 = 0;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += start.elapsed();
+            done += batch;
+        }
+        self.mean = Some(elapsed / done.max(1) as u32);
+    }
+
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        if self.test_mode {
+            f(1);
+            self.mean = Some(Duration::ZERO);
+            return;
+        }
+        let iters = 10u64;
+        let total = f(iters);
+        self.mean = Some(total / iters as u32);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The harness entry point (configuration builder + runner).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "sample size must be >= 10");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Apply CLI arguments (`--test`, a name filter). Unknown flags that
+    /// cargo/criterion pass (`--bench`, color settings, …) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" | "-t" => self.test_mode = true,
+                "--bench" => {}
+                s if s.starts_with("--") => {
+                    // Flags with a value we don't understand: best-effort
+                    // skip of the value when one follows.
+                    if matches!(s, "--measurement-time" | "--warm-up-time" | "--sample-size") {
+                        let _ = args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            target_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: self.sample_size,
+            mean: None,
+        };
+        f(&mut b);
+        match (self.test_mode, b.mean) {
+            (true, _) => println!("test {id} ... ok"),
+            (false, Some(mean)) => {
+                println!("{id:<56} time: [{}]", fmt_duration(mean));
+            }
+            (false, None) => println!("{id:<56} (no measurement)"),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.id, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let saved = (self.sample_size, self.measurement_time, self.warm_up_time);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            saved,
+        }
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks (`group_name/bench_id`).
+///
+/// Group-level setting overrides (`sample_size`, `measurement_time`) are
+/// scoped to the group like in real criterion: the parent `Criterion`'s
+/// settings are restored when the group is finished/dropped.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    saved: (usize, Duration, Duration),
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "sample size must be >= 10");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        let (sample_size, measurement_time, warm_up_time) = self.saved;
+        self.criterion.sample_size = sample_size;
+        self.criterion.measurement_time = measurement_time;
+        self.criterion.warm_up_time = warm_up_time;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,48 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Size specification accepted by [`vec`]: a fixed length or a range.
+pub trait SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty vec size range");
+        self.start + rng.next_below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty vec size range");
+        self.start() + rng.next_below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
+/// Strategy producing `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

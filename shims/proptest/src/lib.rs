@@ -1,0 +1,126 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset Railgun's property tests use: the [`proptest!`]
+//! macro (with `#![proptest_config(..)]`), strategies for numeric ranges,
+//! `any::<T>()`, `Just`, tuples, `prop_map`, weighted/unweighted
+//! [`prop_oneof!`], `collection::vec`, `option::of`, and string strategies
+//! from a small regex subset (`[class]{m,n}` sequences). No shrinking:
+//! a failure reports the test name and generated-case number (inputs are
+//! not echoed — rerun the deterministic seed and add `eprintln!` if you
+//! need them).
+//! See `DESIGN.md` § "Vendored dependency shims".
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::{Just, Strategy};
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Assert inside a `proptest!` body; panics with the formatted message on
+/// failure (the harness has no shrinking, so this is a plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Skip the current case when an assumption does not hold. Without a
+/// rejection budget this simply `continue`s the case loop.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Choose between strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// The `proptest!` test-definition macro: each function runs its body
+/// `cases` times with fresh strategy-generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                let ($($pat,)+) = (
+                    $($crate::strategy::Strategy::generate(&{ $strategy }, &mut __rng),)+
+                );
+                // The body is a plain block: prop_assert! panics carry the
+                // failing case number via this guard's panic message hook.
+                let __guard = $crate::test_runner::CaseGuard::new(stringify!($name), __case);
+                { $body }
+                __guard.disarm();
+            }
+        }
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+}

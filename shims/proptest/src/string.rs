@@ -1,0 +1,182 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest compiles full regexes into strategies; the shim supports
+//! the subset Railgun's tests actually write: a sequence of atoms, where
+//! an atom is a character class `[a-z0-9_-]` or a literal character, each
+//! with an optional `{n}` / `{m,n}` repetition. Anything outside that
+//! subset panics with a clear message so new tests fail loudly instead of
+//! silently generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Class(Vec<char>),
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in regex {pattern:?}"));
+        match c {
+            ']' => break,
+            '-' => {
+                // Range `a-z` when between two chars, literal '-' otherwise.
+                match (prev, chars.peek()) {
+                    (Some(lo), Some(&hi)) if hi != ']' => {
+                        chars.next();
+                        assert!(lo <= hi, "inverted range in regex {pattern:?}");
+                        for v in (lo as u32 + 1)..=(hi as u32) {
+                            set.push(char::from_u32(v).unwrap());
+                        }
+                        prev = None;
+                    }
+                    _ => {
+                        set.push('-');
+                        prev = Some('-');
+                    }
+                }
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                set.push(esc);
+                prev = Some(esc);
+            }
+            c => {
+                set.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in regex {pattern:?}");
+    set
+}
+
+fn parse_repeat(
+    chars: &mut std::iter::Peekable<std::str::Chars>,
+    pattern: &str,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (lo, hi) = match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad repeat bound"),
+                            hi.trim().parse().expect("bad repeat bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad repeat bound");
+                            (n, n)
+                        }
+                    };
+                    assert!(lo <= hi, "inverted repeat in regex {pattern:?}");
+                    return (lo, hi);
+                }
+                body.push(c);
+            }
+            panic!("unterminated repeat in regex {pattern:?}");
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars, pattern)),
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}")),
+            ),
+            '(' | ')' | '|' | '.' | '^' | '$' => panic!(
+                "regex feature {c:?} in {pattern:?} is outside the proptest-shim subset \
+                 (supported: literal chars, [classes], {{m,n}} / * / + / ? repeats)"
+            ),
+            c => Atom::Literal(c),
+        };
+        let (min, max) = parse_repeat(&mut chars, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generate a string matching `pattern` (within the supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let n = piece.min + rng.next_below((piece.max - piece.min + 1) as u64) as usize;
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Class(set) => {
+                    out.push(set[rng.next_below(set.len() as u64) as usize]);
+                }
+                Atom::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_within_class_and_bounds() {
+        let mut rng = TestRng::deterministic("string-test");
+        for _ in 0..500 {
+            let s = generate_matching("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn supports_dash_and_underscore() {
+        let mut rng = TestRng::deterministic("string-test-2");
+        for _ in 0..500 {
+            let s = generate_matching("[a-zA-Z0-9_-]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn literals_and_repeats() {
+        let mut rng = TestRng::deterministic("string-test-3");
+        let s = generate_matching("ab[0-9]{2}", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with("ab"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Test-loop configuration and the deterministic RNG behind strategies.
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+    /// Accepted for API compatibility; the shim has no persistence.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Deterministic generator (xoshiro256++ seeded from the test name) so a
+/// failing case reproduces on every run.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a) so distinct tests explore distinct
+    /// sequences but every run of one test is identical.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        // Allow an env override so CI can diversify runs explicitly.
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = seed.parse::<u64>() {
+                h = h.wrapping_add(extra.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+        }
+        let mut sm = h;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        Self { s }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection sampling over the unbiased zone.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// RAII guard that reports which generated case was executing if the test
+/// body panics (the shim's substitute for shrink output).
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+}
+
+impl CaseGuard {
+    pub fn new(name: &'static str, case: u32) -> Self {
+        Self { name, case }
+    }
+
+    pub fn disarm(self) {
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let seed_note = match std::env::var("PROPTEST_SEED") {
+                Ok(seed) => format!("rerun with PROPTEST_SEED={seed} reproduces it"),
+                Err(_) => "deterministic seed; rerun reproduces it".to_string(),
+            };
+            eprintln!(
+                "proptest shim: test `{}` failed at generated case #{} ({seed_note})",
+                self.name, self.case
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Smoke test: every example must build and run to completion.
+//!
+//! Examples are living documentation — this keeps them from rotting
+//! silently. Each one is executed via `cargo run --example` (the same
+//! entry point a user would type); `cargo test` has already built the
+//! example binaries by the time this test runs, so the nested cargo
+//! invocations mostly just execute them.
+
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &["quickstart", "plan_sharing", "fraud_rules", "cluster_failover"];
+
+#[test]
+fn every_example_runs_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", example])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}
