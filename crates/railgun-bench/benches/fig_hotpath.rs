@@ -1,0 +1,225 @@
+//! Hot-path throughput baseline: reservoir ingest + cursor drain.
+//!
+//! This is the repo's recorded perf trajectory for the §4.1.1 claim that
+//! per-event reservoir cost is constant and tiny. Four scenarios:
+//!
+//! * `ingest_inorder`  — append N strictly in-order events (the fast path);
+//! * `ingest_late10`   — same, but 10% of events arrive late (within the
+//!   transition hold), exercising the sorted-insert path;
+//! * `drain_cold`      — a cold cursor drains the whole reservoir from
+//!   disk through a small cache (read-miss path: load + decompress);
+//! * `contended`       — one thread appends while a cold cursor drains
+//!   durable chunks; reports both sides' throughput under contention.
+//!
+//! Run modes:
+//!
+//! * `cargo bench -p railgun-bench --bench fig_hotpath` — full run, prints
+//!   a result JSON object to stdout;
+//! * `-- --test` — smoke mode (tiny N, used by CI);
+//! * `-- --out <path>` — additionally write the JSON object to `<path>`.
+//!
+//! Methodology and the committed before/after numbers live in
+//! EXPERIMENTS.md and BENCH_hotpath.json.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use railgun_bench::{compact_schema, FraudGenerator, WorkloadConfig};
+use railgun_reservoir::{Reservoir, ReservoirConfig};
+use railgun_types::{Event, EventId, TimeDelta, Timestamp};
+
+struct Metrics {
+    ingest_inorder_eps: f64,
+    ingest_late10_eps: f64,
+    drain_cold_eps: f64,
+    ingest_contended_eps: f64,
+    drain_contended_eps: f64,
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("railgun-hotpath-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// Pre-generate compact events so generator cost stays out of the timings.
+/// `late_pct` percent of events get a timestamp pulled back (but inside the
+/// transition hold, so they land in a transition chunk via sorted insert).
+fn make_events(n: u64, late_pct: u64, seed_tag: u64) -> Vec<Event> {
+    let mut gen = FraudGenerator::new(WorkloadConfig {
+        seed: 0xB0B0 + seed_tag,
+        ..WorkloadConfig::default()
+    });
+    let mut out = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let base = i as i64;
+        let ts = if late_pct > 0 && i % 100 < late_pct && base > 4_000 {
+            // Deterministic lateness in (0, 4000) ms — inside the hold.
+            base - 1 - ((i * 2_654_435_761) % 3_999) as i64
+        } else {
+            base
+        };
+        out.push(Event::new(
+            EventId(i),
+            Timestamp::from_millis(ts),
+            gen.next_compact(),
+        ));
+    }
+    out
+}
+
+fn ingest(dir: &std::path::Path, cfg: ReservoirConfig, events: Vec<Event>) -> (f64, Reservoir) {
+    let res = Reservoir::open(dir, compact_schema(), cfg).expect("open reservoir");
+    let n = events.len() as f64;
+    let start = Instant::now();
+    for e in events {
+        res.append(e).expect("append");
+    }
+    let eps = n / start.elapsed().as_secs_f64();
+    (eps, res)
+}
+
+/// Drain everything through a cold cursor in bound steps, returning
+/// (events/sec, total yielded).
+fn drain_all(res: &Reservoir, step_ms: i64, max_ts: i64) -> (f64, u64) {
+    let cursor = res.cursor_at_start();
+    let mut buf = Vec::new();
+    let mut yielded = 0u64;
+    let start = Instant::now();
+    let mut bound = step_ms;
+    while bound < max_ts + step_ms {
+        buf.clear();
+        cursor.advance_upto_into(Timestamp::from_millis(bound), &mut buf);
+        yielded += buf.len() as u64;
+        bound += step_ms;
+    }
+    buf.clear();
+    cursor.advance_upto_into(Timestamp::MAX, &mut buf);
+    yielded += buf.len() as u64;
+    (yielded as f64 / start.elapsed().as_secs_f64(), yielded)
+}
+
+fn run(n: u64) -> Metrics {
+    let cold_cfg = || ReservoirConfig {
+        cache_capacity_chunks: 16,
+        ..ReservoirConfig::default()
+    };
+
+    // --- ingest, in-order ------------------------------------------------
+    let dir_inorder = fresh_dir("inorder");
+    let (ingest_inorder_eps, res) = ingest(
+        &dir_inorder,
+        ReservoirConfig::default(),
+        make_events(n, 0, 1),
+    );
+    res.flush_open_chunk().expect("flush");
+    res.flush_io().expect("io");
+    drop(res);
+
+    // --- ingest, 10% late -----------------------------------------------
+    let dir_late = fresh_dir("late10");
+    let (ingest_late10_eps, res) = ingest(
+        &dir_late,
+        ReservoirConfig {
+            transition_hold: TimeDelta::from_millis(5_000),
+            ..ReservoirConfig::default()
+        },
+        make_events(n, 10, 2),
+    );
+    drop(res);
+
+    // --- cold drain -------------------------------------------------------
+    // Reopen the in-order reservoir: empty cache, everything on disk.
+    let res = Reservoir::open(&dir_inorder, compact_schema(), cold_cfg()).expect("reopen");
+    let (drain_cold_eps, yielded) = drain_all(&res, 4_096, n as i64);
+    assert_eq!(yielded, n, "cold drain must see every ingested event");
+    drop(res);
+
+    // --- contended: cold drain vs live ingest -----------------------------
+    let res = Reservoir::open(&dir_inorder, compact_schema(), cold_cfg()).expect("reopen");
+    let fresh: Vec<Event> = {
+        let mut gen = FraudGenerator::new(WorkloadConfig {
+            seed: 0xC0C0,
+            ..WorkloadConfig::default()
+        });
+        (0..n)
+            .map(|i| {
+                Event::new(
+                    EventId(n + i),
+                    Timestamp::from_millis(n as i64 + i as i64),
+                    gen.next_compact(),
+                )
+            })
+            .collect()
+    };
+    let barrier = Barrier::new(2);
+    let (ingest_contended_eps, drain_contended_eps) = std::thread::scope(|s| {
+        let res_ref = &res;
+        let barrier_ref = &barrier;
+        let appender = s.spawn(move || {
+            let count = fresh.len() as f64;
+            barrier_ref.wait();
+            let start = Instant::now();
+            for e in fresh {
+                res_ref.append(e).expect("append");
+            }
+            count / start.elapsed().as_secs_f64()
+        });
+        barrier.wait();
+        let (drain_eps, yielded) = drain_all(&res, 4_096, n as i64);
+        assert!(yielded >= n, "contended drain lost events: {yielded} < {n}");
+        (appender.join().expect("appender thread"), drain_eps)
+    });
+    drop(res);
+
+    Metrics {
+        ingest_inorder_eps,
+        ingest_late10_eps,
+        drain_cold_eps,
+        ingest_contended_eps,
+        drain_contended_eps,
+    }
+}
+
+fn json(mode: &str, n: u64, m: &Metrics) -> String {
+    let chunk_target = ReservoirConfig::default().chunk_target_events;
+    format!(
+        "{{\n  \"bench\": \"fig_hotpath\",\n  \"mode\": \"{mode}\",\n  \"events\": {n},\n  \
+         \"chunk_target_events\": {chunk_target},\n  \"metrics\": {{\n    \
+         \"ingest_inorder_eps\": {:.0},\n    \
+         \"ingest_late10_eps\": {:.0},\n    \
+         \"drain_cold_eps\": {:.0},\n    \
+         \"ingest_contended_eps\": {:.0},\n    \
+         \"drain_contended_eps\": {:.0}\n  }}\n}}\n",
+        m.ingest_inorder_eps,
+        m.ingest_late10_eps,
+        m.drain_cold_eps,
+        m.ingest_contended_eps,
+        m.drain_contended_eps,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let n: u64 = std::env::var("RAILGUN_HOTPATH_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 20_000 } else { 400_000 });
+
+    let metrics = run(n);
+    let doc = json(if smoke { "test" } else { "full" }, n, &metrics);
+    print!("{doc}");
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        std::fs::write(&path, &doc).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+}

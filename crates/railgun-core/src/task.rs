@@ -103,6 +103,7 @@ pub struct TaskProcessor {
     expired_bufs: Vec<Vec<Event>>,
     entering_buf: Vec<Event>,
     encode_buf: Vec<u8>,
+    entity_buf: Vec<Value>,
 }
 
 /// Name of the auxiliary column family for `countDistinct`.
@@ -143,6 +144,7 @@ impl TaskProcessor {
             expired_bufs: Vec::new(),
             entering_buf: Vec::new(),
             encode_buf: Vec::with_capacity(64),
+            entity_buf: Vec::with_capacity(4),
         })
     }
 
@@ -226,14 +228,14 @@ impl TaskProcessor {
             }
         }
 
-        // Phase 2: append to the reservoir (dedup + late policy).
+        // Phase 2: append to the reservoir (dedup + late policy). Only the
+        // stored timestamp is tracked here; the event itself is cloned
+        // just on the rare direct-insert path below (`Event` clones are
+        // cheap Arc bumps, but per-event work on this path adds up).
         let outcome = self.reservoir.append(event.clone())?;
-        let (effective, duplicate) = match outcome {
-            AppendOutcome::Appended => (Some(event.clone()), false),
-            AppendOutcome::LateRewritten(ts) => (
-                Some(Event::new(event.id, ts, event.values().to_vec())),
-                false,
-            ),
+        let (effective_ts, duplicate) = match outcome {
+            AppendOutcome::Appended => (Some(event.ts), false),
+            AppendOutcome::LateRewritten(ts) => (Some(ts), false),
             AppendOutcome::Duplicate => {
                 self.stats.duplicates += 1;
                 (None, true)
@@ -267,9 +269,13 @@ impl TaskProcessor {
             // was skipped by the tail too and must not enter.
             let _ = lower;
             let tail_gate = self.windows[wid].tail_bound;
-            if let Some(e) = &effective {
-                if e.ts < head_bound_pre && e.ts >= tail_gate {
-                    entering.push(e.clone());
+            if let Some(ts) = effective_ts {
+                if ts < head_bound_pre && ts >= tail_gate {
+                    entering.push(if ts == event.ts {
+                        event.clone()
+                    } else {
+                        Event::new(event.id, ts, event.values().to_vec())
+                    });
                 }
             }
             // Expire first, then insert (same relative order as the
@@ -342,11 +348,16 @@ impl TaskProcessor {
             WindowKind::Tumbling(ws) => Some(event.ts.align_down(ws)),
             _ => None,
         };
-        let mut entity = Vec::with_capacity(group.field_indexes.len());
+        // Reused scratch: one entity tuple per (event, leaf) on the hot
+        // path would otherwise allocate per state update.
+        let mut entity = std::mem::take(&mut self.entity_buf);
+        entity.clear();
         for &i in &group.field_indexes {
             entity.push(event.value(i).cloned().unwrap_or(Value::Null));
         }
         let key = state_key(leaf as u32, bucket, &entity);
+        entity.clear();
+        self.entity_buf = entity;
         let field_value = leaf_node.field_index.map(|i| &event.values()[i]);
 
         self.stats.state_reads += 1;

@@ -35,12 +35,19 @@ pub struct ChunkCache {
     /// Logical clock for LRU ordering.
     tick: u64,
     stats: CacheStats,
+    /// Incremental accounting so [`ChunkCache::heap_bytes`] /
+    /// [`ChunkCache::resident_events`] are O(1) — stats polling must never
+    /// walk resident chunks (it shares the reservoir lock with ingest).
+    resident_heap: usize,
+    resident_events: usize,
 }
 
 struct CacheEntry {
     chunk: Arc<DecodedChunk>,
     last_used: u64,
     pinned: bool,
+    /// Heap footprint, computed once at insert.
+    heap: usize,
 }
 
 impl ChunkCache {
@@ -51,6 +58,8 @@ impl ChunkCache {
             entries: HashMap::new(),
             tick: 0,
             stats: CacheStats::default(),
+            resident_heap: 0,
+            resident_events: 0,
         }
     }
 
@@ -111,14 +120,20 @@ impl ChunkCache {
     fn insert_inner(&mut self, chunk: Arc<DecodedChunk>, pinned: bool, _prefetch: bool) {
         self.tick += 1;
         let id = chunk.id;
-        self.entries.insert(
-            id,
-            CacheEntry {
-                chunk,
-                last_used: self.tick,
-                pinned,
-            },
-        );
+        let heap = chunk.heap_bytes();
+        let events = chunk.events.len();
+        let entry = CacheEntry {
+            chunk,
+            last_used: self.tick,
+            pinned,
+            heap,
+        };
+        self.resident_heap += heap;
+        self.resident_events += events;
+        if let Some(prev) = self.entries.insert(id, entry) {
+            self.resident_heap -= prev.heap;
+            self.resident_events -= prev.chunk.events.len();
+        }
         self.evict_to_capacity();
     }
 
@@ -140,7 +155,7 @@ impl ChunkCache {
                 .map(|(id, _)| *id);
             match victim {
                 Some(id) => {
-                    self.entries.remove(&id);
+                    self.remove(id);
                     self.stats.evictions += 1;
                 }
                 None => break, // everything pinned; over-capacity until unpin
@@ -148,9 +163,12 @@ impl ChunkCache {
         }
     }
 
-    /// Drop a chunk outright (used by truncation).
+    /// Drop a chunk outright (used by eviction and truncation).
     pub fn remove(&mut self, id: ChunkId) {
-        self.entries.remove(&id);
+        if let Some(prev) = self.entries.remove(&id) {
+            self.resident_heap -= prev.heap;
+            self.resident_events -= prev.chunk.events.len();
+        }
     }
 
     /// Snapshot of the counters.
@@ -158,14 +176,14 @@ impl ChunkCache {
         self.stats
     }
 
-    /// Total heap bytes of resident chunks.
+    /// Total heap bytes of resident chunks (O(1), maintained incrementally).
     pub fn heap_bytes(&self) -> usize {
-        self.entries.values().map(|e| e.chunk.heap_bytes()).sum()
+        self.resident_heap
     }
 
-    /// Total events resident.
+    /// Total events resident (O(1), maintained incrementally).
     pub fn resident_events(&self) -> usize {
-        self.entries.values().map(|e| e.chunk.events.len()).sum()
+        self.resident_events
     }
 }
 

@@ -31,13 +31,16 @@
 //! both sides compare against the same bound). Cursors never cross a chunk
 //! that can still receive late events, so no event escapes expiry.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use railgun_types::{Event, EventId, RailgunError, Result, Schema, SchemaId, TimeDelta, Timestamp};
+use railgun_types::{
+    Event, EventId, FastHashMap, FastHashSet, RailgunError, Result, Schema, SchemaId, TimeDelta,
+    Timestamp,
+};
 
 use crate::cache::{CacheStats, ChunkCache};
 use crate::compress::Codec;
@@ -169,6 +172,9 @@ struct CursorPos {
     held: Option<Arc<DecodedChunk>>,
     /// Read-ahead already requested for the successor of the held chunk.
     prefetch_sent: bool,
+    /// Bumped on every committed advance; lets the two-phase drain detect
+    /// a concurrent advance of the same cursor across its unlocked I/O.
+    seq: u64,
 }
 
 struct Inner {
@@ -179,11 +185,11 @@ struct Inner {
     open: Option<MutableChunk>,
     transition: Vec<MutableChunk>,
     cache: ChunkCache,
-    files: HashMap<u64, FileInfo>,
-    dedup: HashSet<EventId>,
+    files: FastHashMap<u64, FileInfo>,
+    dedup: FastHashSet<EventId>,
     registry: SchemaRegistry,
     schema_id: SchemaId,
-    cursors: HashMap<u64, CursorPos>,
+    cursors: FastHashMap<u64, CursorPos>,
     next_cursor_id: u64,
     max_seen_ts: Timestamp,
     min_acceptable_ts: Timestamp,
@@ -191,12 +197,10 @@ struct Inner {
 }
 
 enum IoCmd {
-    Persist {
-        chunk: ChunkId,
-        frame: Vec<u8>,
-        first_ts: Timestamp,
-        last_ts: Timestamp,
-    },
+    /// Encode, compress and append a finalized chunk. Encoding happens on
+    /// the I/O thread so the append path never pays it under the lock; the
+    /// events are shared with the cache entry (pinned until durable).
+    Persist(Arc<DecodedChunk>),
     /// Eagerly load a chunk into the cache (read-ahead, §4.1.1).
     Prefetch(ChunkId),
     /// Sync the active file and reply with (active_file, bytes) pairs of
@@ -227,7 +231,7 @@ impl Reservoir {
         let schema_id = registry.register(schema)?;
         let (recovered, metas, next_file) = scan_segments(dir)?;
         let mut chunks = VecDeque::new();
-        let mut files: HashMap<u64, FileInfo> = HashMap::new();
+        let mut files: FastHashMap<u64, FileInfo> = FastHashMap::default();
         let mut max_seen_ts = Timestamp::MIN;
         let mut min_acceptable_ts = Timestamp::MIN;
         let mut first_chunk_id = 0;
@@ -267,6 +271,7 @@ impl Reservoir {
         }
         let stats = ReservoirStats {
             durable_chunks: chunks.len(),
+            files_sealed: files.len() as u64,
             ..ReservoirStats::default()
         };
         let inner = Inner {
@@ -277,10 +282,10 @@ impl Reservoir {
             transition: Vec::new(),
             cache: ChunkCache::new(cfg.cache_capacity_chunks),
             files,
-            dedup: HashSet::new(),
+            dedup: FastHashSet::default(),
             registry,
             schema_id,
-            cursors: HashMap::new(),
+            cursors: FastHashMap::default(),
             next_cursor_id: 0,
             max_seen_ts,
             min_acceptable_ts,
@@ -319,10 +324,16 @@ impl Reservoir {
     }
 
     /// Append one event. See [`AppendOutcome`].
+    ///
+    /// The common case — an event at or past the open chunk's tail — is a
+    /// bounds-checked push plus O(1) metadata updates; only genuinely
+    /// out-of-order arrivals pay the binary-search insert.
     pub fn append(&self, mut event: Event) -> Result<AppendOutcome> {
         let mut inner = self.shared.inner.lock();
         let inner = &mut *inner;
-        if inner.dedup.contains(&event.id) {
+        // Single dedup probe: insert up front, roll back on the (rare)
+        // late-discard path below.
+        if !inner.dedup.insert(event.id) {
             inner.stats.duplicates += 1;
             return Ok(AppendOutcome::Duplicate);
         }
@@ -330,6 +341,7 @@ impl Reservoir {
         if event.ts < inner.min_acceptable_ts {
             match self.shared.cfg.late_policy {
                 LatePolicy::Discard => {
+                    inner.dedup.remove(&event.id);
                     inner.stats.late_discarded += 1;
                     return Ok(AppendOutcome::LateDiscarded);
                 }
@@ -352,8 +364,47 @@ impl Reservoir {
             .last()
             .and_then(|t| t.events.last().map(|e| e.ts))
             .unwrap_or(inner.min_acceptable_ts);
-        let target_transition = if event.ts >= boundary {
-            None
+        inner.stats.appended += 1;
+        if event.ts >= boundary {
+            if inner.open.is_none() {
+                let id = ChunkId(inner.next_chunk_id);
+                inner.next_chunk_id += 1;
+                inner.chunks.push_back(ChunkMeta {
+                    id,
+                    first_ts: event.ts,
+                    last_ts: event.ts,
+                    count: 0,
+                    state: ChunkState::Open,
+                });
+                inner.open = Some(MutableChunk {
+                    id,
+                    events: Vec::with_capacity(self.shared.cfg.chunk_target_events),
+                    bytes: 0,
+                });
+            }
+            let open = inner.open.as_mut().expect("just ensured");
+            let id = open.id;
+            let pos = insert_sorted(open, event);
+            let oi = (id.0 - inner.first_chunk_id) as usize;
+            if pos.appended {
+                // Fast path: tail push. Metadata refresh is O(1) and the
+                // cursor fixup loop is skipped entirely when no cursor is
+                // live (fixup is still required with cursors: one may sit
+                // on this chunk with a bound past the new event).
+                let meta = &mut inner.chunks[oi];
+                meta.last_ts = pos.ts;
+                meta.count += 1;
+                if meta.count == 1 {
+                    meta.first_ts = pos.ts;
+                }
+                if !inner.cursors.is_empty() {
+                    Self::fixup_cursors(inner, id, &pos);
+                }
+            } else {
+                Self::fixup_cursors(inner, id, &pos);
+                Self::refresh_meta_open(inner, oi);
+            }
+            self.maybe_close_open(inner);
         } else {
             // `transition` is non-empty here: with no transition chunks the
             // boundary equals `min_acceptable_ts`, and anything below that
@@ -365,47 +416,15 @@ impl Reservoir {
             // timestamp below that cursor's bound (see the fixup in
             // `fixup_cursors`), so cursors can safely move past drained
             // transition chunks.
-            inner
+            let ti = inner
                 .transition
                 .iter()
                 .position(|t| t.events.last().is_some_and(|e| e.ts >= event.ts))
-                .or(Some(inner.transition.len().saturating_sub(1)))
-        };
-
-        inner.dedup.insert(event.id);
-        inner.stats.appended += 1;
-        match target_transition {
-            Some(ti) => {
-                let id = inner.transition[ti].id;
-                let pos = insert_sorted(&mut inner.transition[ti], event);
-                Self::fixup_cursors(inner, id, pos);
-                Self::refresh_meta(inner, ti);
-            }
-            None => {
-                if inner.open.is_none() {
-                    let id = ChunkId(inner.next_chunk_id);
-                    inner.next_chunk_id += 1;
-                    inner.chunks.push_back(ChunkMeta {
-                        id,
-                        first_ts: event.ts,
-                        last_ts: event.ts,
-                        count: 0,
-                        state: ChunkState::Open,
-                    });
-                    inner.open = Some(MutableChunk {
-                        id,
-                        events: Vec::with_capacity(self.shared.cfg.chunk_target_events),
-                        bytes: 0,
-                    });
-                }
-                let open = inner.open.as_mut().expect("just ensured");
-                let id = open.id;
-                let pos = insert_sorted(open, event);
-                Self::fixup_cursors(inner, id, pos);
-                let oi = (id.0 - inner.first_chunk_id) as usize;
-                Self::refresh_meta_open(inner, oi);
-                self.maybe_close_open(inner);
-            }
+                .unwrap_or(inner.transition.len() - 1);
+            let id = inner.transition[ti].id;
+            let pos = insert_sorted(&mut inner.transition[ti], event);
+            Self::fixup_cursors(inner, id, &pos);
+            Self::refresh_meta(inner, ti);
         }
         self.finalize_ready_transitions(inner)?;
         Ok(outcome)
@@ -414,7 +433,7 @@ impl Reservoir {
     /// After inserting at sorted position `pos` in chunk `chunk`, cursors
     /// whose bound already passed the event's position skip it (see module
     /// docs for why this stays consistent with the engine's window bound).
-    fn fixup_cursors(inner: &mut Inner, chunk: ChunkId, pos: InsertPos) {
+    fn fixup_cursors(inner: &mut Inner, chunk: ChunkId, pos: &InsertPos) {
         for cur in inner.cursors.values_mut() {
             if cur.chunk == chunk.0 && pos.ts < cur.bound {
                 debug_assert!(pos.index <= cur.idx);
@@ -490,6 +509,10 @@ impl Reservoir {
         Ok(())
     }
 
+    /// Finalize a closed chunk: pin its events in the cache and hand them to
+    /// the I/O thread, which encodes, compresses and appends them. Keeping
+    /// serialization off this path means `append` never stalls behind a
+    /// chunk close for more than the O(1) bookkeeping here.
     fn finalize_chunk(&self, inner: &mut Inner, chunk: MutableChunk) -> Result<()> {
         debug_assert!(!chunk.events.is_empty(), "chunks close only when non-empty");
         for e in &chunk.events {
@@ -497,15 +520,6 @@ impl Reservoir {
         }
         let first_ts = chunk.events.first().expect("non-empty").ts;
         let last_ts = chunk.events.last().expect("non-empty").ts;
-        let mut frame = Vec::new();
-        encode_chunk(
-            &mut frame,
-            chunk.id,
-            inner.schema_id,
-            self.shared.cfg.codec,
-            &chunk.events,
-        );
-        inner.stats.bytes_written += frame.len() as u64;
         inner.stats.chunks_finalized += 1;
         inner.min_acceptable_ts = inner.min_acceptable_ts.max(last_ts);
         let decoded = Arc::new(DecodedChunk {
@@ -515,17 +529,12 @@ impl Reservoir {
             last_ts,
             events: chunk.events,
         });
-        inner.cache.insert_pinned(decoded);
+        inner.cache.insert_pinned(Arc::clone(&decoded));
         let mi = (chunk.id.0 - inner.first_chunk_id) as usize;
         inner.chunks[mi].state = ChunkState::Pending;
         self.shared
             .io_tx
-            .send(IoCmd::Persist {
-                chunk: chunk.id,
-                frame,
-                first_ts,
-                last_ts,
-            })
+            .send(IoCmd::Persist(decoded))
             .map_err(|_| RailgunError::Storage("reservoir io thread is gone".into()))?;
         Ok(())
     }
@@ -565,27 +574,61 @@ impl Reservoir {
     }
 
     /// Create a cursor positioned at the first event with `ts >= from`.
+    ///
+    /// Seeding follows the same lock discipline as the two-phase drain: if
+    /// the starting chunk is cold, the cursor is registered first (pinning
+    /// the chunk against truncation), then the segment read + decompression
+    /// happen without the lock, and the seek index is published afterwards.
     pub fn cursor_at(&self, from: Timestamp) -> Cursor {
-        let mut inner = self.shared.inner.lock();
-        let inner = &mut *inner;
+        let mut guard = self.shared.inner.lock();
+        let inner = &mut *guard;
         let mut pos = CursorPos {
             chunk: inner.next_chunk_id,
             idx: 0,
             bound: Timestamp::MIN,
             held: None,
             prefetch_sent: false,
+            seq: 0,
         };
+        let mut cold: Option<ChunkLocation> = None;
         // Find the first chunk whose last event is >= from.
-        for meta in inner.chunks.iter() {
-            if meta.count > 0 && meta.last_ts >= from {
-                pos.chunk = meta.id.0;
-                pos.idx = self.first_idx_at(inner, meta.id, from);
-                break;
+        let start = inner
+            .chunks
+            .iter()
+            .find(|m| m.count > 0 && m.last_ts >= from)
+            .map(|m| m.id);
+        if let Some(chunk_id) = start {
+            pos.chunk = chunk_id.0;
+            match Self::resident_seek(inner, chunk_id, from) {
+                Some(idx) => pos.idx = idx,
+                // Not resident: seek unlocked below. On a read error the
+                // index stays 0, matching the old degraded behaviour.
+                None => cold = durable_location(inner, chunk_id).ok(),
             }
         }
+        let chunk_no = pos.chunk;
         let id = inner.next_cursor_id;
         inner.next_cursor_id += 1;
         inner.cursors.insert(id, pos);
+        if let Some(loc) = cold {
+            drop(guard);
+            if let Ok(decoded) = read_chunk_at(&self.shared.dir, loc) {
+                let decoded = Arc::new(decoded);
+                let mut inner = self.shared.inner.lock();
+                let inner = &mut *inner;
+                if chunk_no >= inner.first_chunk_id && !inner.cache.contains(ChunkId(chunk_no))
+                {
+                    inner.cache.insert(Arc::clone(&decoded));
+                }
+                if let Some(cur) = inner.cursors.get_mut(&id) {
+                    // The handle is not returned yet, so nothing advanced
+                    // the cursor; fixups don't apply at bound MIN either.
+                    debug_assert!(cur.chunk == chunk_no && cur.idx == 0);
+                    cur.idx = decoded.events.partition_point(|e| e.ts < from);
+                    cur.held = Some(decoded);
+                }
+            }
+        }
         Cursor {
             shared: Arc::clone(&self.shared),
             id,
@@ -597,19 +640,21 @@ impl Reservoir {
         self.cursor_at(Timestamp::MIN)
     }
 
-    fn first_idx_at(&self, inner: &mut Inner, chunk: ChunkId, from: Timestamp) -> usize {
+    /// Seek index of the first event with `ts >= from` in `chunk`, if the
+    /// chunk is resident in memory (open, transition, or cached).
+    fn resident_seek(inner: &mut Inner, chunk: ChunkId, from: Timestamp) -> Option<usize> {
         if let Some(open) = &inner.open {
             if open.id == chunk {
-                return open.events.partition_point(|e| e.ts < from);
+                return Some(open.events.partition_point(|e| e.ts < from));
             }
         }
         if let Some(t) = inner.transition.iter().find(|t| t.id == chunk) {
-            return t.events.partition_point(|e| e.ts < from);
+            return Some(t.events.partition_point(|e| e.ts < from));
         }
-        match load_chunk(&self.shared, inner, chunk) {
-            Ok(c) => c.events.partition_point(|e| e.ts < from),
-            Err(_) => 0,
-        }
+        inner
+            .cache
+            .get(chunk)
+            .map(|c| c.events.partition_point(|e| e.ts < from))
     }
 
     /// Drop durable chunks entirely below `before` (event time), deleting
@@ -637,6 +682,7 @@ impl Reservoir {
             inner.chunks.pop_front();
             inner.first_chunk_id = id.0 + 1;
             inner.cache.remove(id);
+            inner.stats.durable_chunks = inner.stats.durable_chunks.saturating_sub(1);
             dropped += 1;
             if let Some(fi) = inner.files.get_mut(&loc.file.0) {
                 fi.remaining_chunks = fi.remaining_chunks.saturating_sub(1);
@@ -646,6 +692,7 @@ impl Reservoir {
                     )
                     .ok();
                     inner.files.remove(&loc.file.0);
+                    inner.stats.files_sealed = inner.stats.files_sealed.saturating_sub(1);
                 }
             }
         }
@@ -684,31 +731,25 @@ impl Reservoir {
     }
 
     /// Statistics snapshot.
+    ///
+    /// Every field is either a maintained counter or an O(1) gauge (the
+    /// cache keeps incremental byte/event accounting; `durable_chunks` and
+    /// `files_sealed` are updated at state transitions), so polling stats
+    /// never walks chunks or cached events and cannot stall ingest — the
+    /// only remaining per-call work is O(#transition chunks), which the
+    /// watermark keeps tiny.
     pub fn stats(&self) -> ReservoirStats {
         let inner = self.shared.inner.lock();
         let mut s = inner.stats.clone();
         s.cache = inner.cache.stats();
-        s.durable_chunks = inner
-            .chunks
-            .iter()
-            .filter(|m| matches!(m.state, ChunkState::Durable(_)))
-            .count();
         s.open_events = inner.open.as_ref().map_or(0, |o| o.events.len());
         s.transition_events = inner.transition.iter().map(|t| t.events.len()).sum();
         s.cached_events = inner.cache.resident_events();
         s.events_in_memory = s.open_events + s.transition_events + s.cached_events;
         s.memory_bytes = inner.cache.heap_bytes()
-            + inner
-                .open
-                .as_ref()
-                .map_or(0, |o| o.events.iter().map(Event::heap_size).sum())
-            + inner
-                .transition
-                .iter()
-                .map(|t| t.events.iter().map(Event::heap_size).sum::<usize>())
-                .sum::<usize>();
+            + inner.open.as_ref().map_or(0, |o| o.bytes)
+            + inner.transition.iter().map(|t| t.bytes).sum::<usize>();
         s.cursors = inner.cursors.len();
-        s.files_sealed = inner.files.values().filter(|f| f.sealed).count() as u64;
         s
     }
 
@@ -730,17 +771,38 @@ impl Drop for Reservoir {
 struct InsertPos {
     index: usize,
     ts: Timestamp,
+    /// True when the event was pushed at the tail (the append fast path).
+    appended: bool,
 }
 
 /// Insert an event into a mutable chunk keeping timestamp order (equal
 /// timestamps keep arrival order). Returns the insert position.
+///
+/// In-order arrivals (`ts` at or past the current tail) take a plain push;
+/// only out-of-order events pay the binary search + memmove. Both paths
+/// produce the identical final ordering (pinned by a property test below).
 fn insert_sorted(chunk: &mut MutableChunk, event: Event) -> InsertPos {
     let ts = event.ts;
-    let bytes = event.heap_size();
-    let idx = chunk.events.partition_point(|e| e.ts <= ts);
-    chunk.events.insert(idx, event);
-    chunk.bytes += bytes;
-    InsertPos { index: idx, ts }
+    chunk.bytes += event.heap_size();
+    match chunk.events.last() {
+        Some(last) if ts < last.ts => {
+            let idx = chunk.events.partition_point(|e| e.ts <= ts);
+            chunk.events.insert(idx, event);
+            InsertPos {
+                index: idx,
+                ts,
+                appended: false,
+            }
+        }
+        _ => {
+            chunk.events.push(event);
+            InsertPos {
+                index: chunk.events.len() - 1,
+                ts,
+                appended: true,
+            }
+        }
+    }
 }
 
 /// Load a durable/pending chunk through the cache (demand path). Eager
@@ -786,20 +848,89 @@ impl Cursor {
     /// Yield every not-yet-yielded event with `ts < bound` into `out`,
     /// advancing the cursor. Bounds are monotonic: a smaller-or-equal bound
     /// than a previous call yields nothing.
+    ///
+    /// ## Two-phase drain (lock discipline)
+    ///
+    /// Under the reservoir lock, the cursor only ever **resolves positions
+    /// and batch-copies from chunks already in memory** (open, transition,
+    /// held, or cached) using `partition_point` + slice extends. When it
+    /// runs into a durable chunk that is not resident, it *commits its
+    /// position, releases the lock*, performs the segment read + RailZ
+    /// decompression unlocked, then re-acquires the lock to publish the
+    /// chunk and continue. A cursor catching up on cold chunks therefore
+    /// never blocks `append`.
+    ///
+    /// The committed position keeps truncation away from the in-flight
+    /// chunk, and a sequence number detects a concurrent advance of the
+    /// *same* cursor across the unlocked window (events are then yielded to
+    /// exactly one of the callers; each event is still yielded once).
     pub fn advance_upto_into(&self, bound: Timestamp, out: &mut Vec<Event>) {
-        let mut inner = self.shared.inner.lock();
-        let inner = &mut *inner;
-        let mut pos = match inner.cursors.get(&self.id) {
-            Some(p) => p.clone(),
-            None => return,
-        };
-        if bound <= pos.bound {
-            return;
+        let mut guard = self.shared.inner.lock();
+        loop {
+            let inner = &mut *guard;
+            let mut pos = match inner.cursors.get(&self.id) {
+                Some(p) => p.clone(),
+                None => return,
+            };
+            if pos.bound >= bound {
+                // Monotonic-bound rejection — either this call's bound is
+                // not ahead of the cursor, or a concurrent caller with this
+                // bound (or larger) completed meanwhile and yielded the
+                // remaining events below it.
+                return;
+            }
+            // Phase 1 (locked): drain everything resident in memory. The
+            // position (chunk, idx) commits progressively, but the bound
+            // only commits once the drain fully reaches it — a failed cold
+            // load below must leave the bound where it was, so a later call
+            // at the same bound retries instead of silently skipping.
+            let pending = self.drain_resident(inner, &mut pos, bound, out);
+            if pending.is_none() {
+                pos.bound = bound;
+            }
+            pos.seq = pos.seq.wrapping_add(1);
+            let my_seq = pos.seq;
+            inner.cursors.insert(self.id, pos);
+            let Some((chunk_no, loc)) = pending else {
+                return;
+            };
+            // Phase 2 (unlocked): cold chunk — disk read + decompression
+            // happen without the lock, so ingest keeps flowing.
+            drop(guard);
+            let decoded = match read_chunk_at(&self.shared.dir, loc) {
+                Ok(d) => Arc::new(d),
+                Err(_) => return, // bound not committed; a later call retries
+            };
+            guard = self.shared.inner.lock();
+            let inner = &mut *guard;
+            if chunk_no >= inner.first_chunk_id && !inner.cache.contains(ChunkId(chunk_no)) {
+                inner.cache.insert(Arc::clone(&decoded));
+            }
+            match inner.cursors.get_mut(&self.id) {
+                Some(cur) if cur.seq == my_seq && cur.chunk == chunk_no => {
+                    cur.held = Some(decoded);
+                    cur.prefetch_sent = false;
+                }
+                Some(_) => {} // concurrently moved; next iteration re-reads
+                None => return,
+            }
         }
-        pos.bound = bound;
+    }
+
+    /// Locked phase of [`Cursor::advance_upto_into`]: batch-copy events
+    /// below `bound` from in-memory chunks into `out`, advancing `pos`.
+    /// Returns the location of the first non-resident chunk blocking
+    /// progress, if any.
+    fn drain_resident(
+        &self,
+        inner: &mut Inner,
+        pos: &mut CursorPos,
+        bound: Timestamp,
+        out: &mut Vec<Event>,
+    ) -> Option<(u64, ChunkLocation)> {
         loop {
             if pos.chunk >= inner.next_chunk_id || pos.chunk < inner.first_chunk_id {
-                break;
+                return None;
             }
             let mi = (pos.chunk - inner.first_chunk_id) as usize;
             let state = inner.chunks[mi].state;
@@ -807,8 +938,8 @@ impl Cursor {
                 ChunkState::Open => {
                     pos.held = None;
                     let open = inner.open.as_ref().expect("open meta implies open chunk");
-                    drain_mutable(&open.events, &mut pos, bound, out);
-                    break; // never cross the open chunk
+                    drain_slice(&open.events, pos, bound, out);
+                    return None; // never cross the open chunk
                 }
                 ChunkState::Transition => {
                     pos.held = None;
@@ -817,16 +948,14 @@ impl Cursor {
                         .iter()
                         .find(|t| t.id.0 == pos.chunk)
                         .expect("transition meta implies transition chunk");
-                    let len = t.events.len();
-                    drain_mutable(&t.events, &mut pos, bound, out);
-                    if pos.idx == len {
+                    if drain_slice(&t.events, pos, bound, out) {
                         // Fully drained: safe to move on. Late events that
                         // land behind us are below our bound by the routing
                         // invariant and get skipped via `fixup_cursors`.
                         pos.chunk += 1;
                         pos.idx = 0;
                     } else {
-                        break;
+                        return None;
                     }
                 }
                 ChunkState::Pending | ChunkState::Durable(_) => {
@@ -834,22 +963,25 @@ impl Cursor {
                     // cache is only consulted on chunk transitions.
                     let decoded = match &pos.held {
                         Some(held) if held.id.0 == pos.chunk => Arc::clone(held),
-                        _ => {
-                            let loaded =
-                                match load_chunk(&self.shared, inner, ChunkId(pos.chunk)) {
-                                    Ok(d) => d,
-                                    Err(_) => break,
-                                };
-                            pos.held = Some(Arc::clone(&loaded));
-                            pos.prefetch_sent = false;
-                            loaded
-                        }
+                        _ => match inner.cache.get(ChunkId(pos.chunk)) {
+                            Some(hit) => {
+                                pos.held = Some(Arc::clone(&hit));
+                                pos.prefetch_sent = false;
+                                hit
+                            }
+                            None => {
+                                // Cold: hand the location to phase 2.
+                                // Pending chunks are pinned in cache, so a
+                                // miss here implies a durable location.
+                                match durable_location(inner, ChunkId(pos.chunk)) {
+                                    Ok(loc) => return Some((pos.chunk, loc)),
+                                    Err(_) => return None,
+                                }
+                            }
+                        },
                     };
                     let events = &decoded.events;
-                    while pos.idx < events.len() && events[pos.idx].ts < bound {
-                        out.push(events[pos.idx].clone());
-                        pos.idx += 1;
-                    }
+                    let done = drain_slice(events, pos, bound, out);
                     // Eager read-ahead, issued just-in-time (when the
                     // iterator is most of the way through its chunk) so
                     // prefetched chunks are not evicted before use.
@@ -863,17 +995,16 @@ impl Cursor {
                             let _ = self.shared.io_tx.send(IoCmd::Prefetch(next));
                         }
                     }
-                    if pos.idx == events.len() {
+                    if done {
                         pos.chunk += 1;
                         pos.idx = 0;
                         pos.held = None;
                     } else {
-                        break;
+                        return None;
                     }
                 }
             }
         }
-        inner.cursors.insert(self.id, pos);
     }
 
     /// Convenience wrapper collecting into a fresh vector.
@@ -919,30 +1050,44 @@ impl Drop for Cursor {
     }
 }
 
-fn drain_mutable(events: &[Event], pos: &mut CursorPos, bound: Timestamp, out: &mut Vec<Event>) {
-    while pos.idx < events.len() && events[pos.idx].ts < bound {
-        out.push(events[pos.idx].clone());
-        pos.idx += 1;
-    }
+/// Batch-copy every event with `ts < bound` from `events[pos.idx..]` into
+/// `out` (one `partition_point` + one slice extend instead of a per-event
+/// compare-and-push loop). Returns true when the chunk is fully drained.
+fn drain_slice(events: &[Event], pos: &mut CursorPos, bound: Timestamp, out: &mut Vec<Event>) -> bool {
+    let start = pos.idx.min(events.len());
+    let end = start + events[start..].partition_point(|e| e.ts < bound);
+    out.extend_from_slice(&events[start..end]);
+    pos.idx = end;
+    end == events.len()
 }
 
 fn io_loop(shared: Arc<Shared>, mut writer: SegmentWriter, rx: Receiver<IoCmd>) {
+    let mut frame = Vec::new();
     while let Ok(cmd) = rx.recv() {
         match cmd {
-            IoCmd::Persist {
-                chunk,
-                frame,
-                first_ts,
-                last_ts,
-            } => {
-                match writer.append(&frame, first_ts, last_ts) {
+            IoCmd::Persist(decoded) => {
+                // Encode + compress here, off the append path. The events
+                // are shared with the pinned cache entry, so readers are
+                // already served while this runs.
+                frame.clear();
+                encode_chunk(
+                    &mut frame,
+                    decoded.id,
+                    decoded.schema,
+                    shared.cfg.codec,
+                    &decoded.events,
+                );
+                let chunk = decoded.id;
+                match writer.append(&frame, decoded.first_ts, decoded.last_ts) {
                     Ok(loc) => {
                         let mut inner = shared.inner.lock();
                         let inner = &mut *inner;
+                        inner.stats.bytes_written += frame.len() as u64;
                         if chunk.0 >= inner.first_chunk_id {
                             let mi = (chunk.0 - inner.first_chunk_id) as usize;
                             if let Some(meta) = inner.chunks.get_mut(mi) {
                                 meta.state = ChunkState::Durable(loc);
+                                inner.stats.durable_chunks += 1;
                             }
                         }
                         let entry =
@@ -953,7 +1098,10 @@ fn io_loop(shared: Arc<Shared>, mut writer: SegmentWriter, rx: Receiver<IoCmd>) 
                         entry.remaining_chunks += 1;
                         for sealed in writer.take_sealed() {
                             if let Some(fi) = inner.files.get_mut(&sealed.file.0) {
-                                fi.sealed = true;
+                                if !fi.sealed {
+                                    fi.sealed = true;
+                                    inner.stats.files_sealed += 1;
+                                }
                             }
                         }
                         inner.cache.unpin(chunk);
@@ -1007,4 +1155,81 @@ fn io_loop(shared: Arc<Shared>, mut writer: SegmentWriter, rx: Receiver<IoCmd>) 
         }
     }
     let _ = writer.sync();
+}
+
+#[cfg(test)]
+mod insert_path_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use railgun_types::Value;
+
+    /// The pre-fast-path insert: always binary-search + `Vec::insert`.
+    fn insert_reference(events: &mut Vec<Event>, event: Event) {
+        let idx = events.partition_point(|e| e.ts <= event.ts);
+        events.insert(idx, event);
+    }
+
+    fn chunk_bytes(events: &[Event]) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_chunk(
+            &mut out,
+            ChunkId(9),
+            SchemaId(1),
+            crate::compress::Codec::RailZ,
+            events,
+        );
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The append fast path and the reference insert path must produce
+        /// byte-identical finalized chunks for any arrival order, including
+        /// shuffled-late inputs and timestamp ties (which keep arrival
+        /// order on both paths).
+        #[test]
+        fn fast_path_matches_reference_insert(
+            lateness in proptest::collection::vec(0i64..40, 1..200),
+        ) {
+            let mut fast = MutableChunk {
+                id: ChunkId(9),
+                events: Vec::new(),
+                bytes: 0,
+            };
+            let mut reference: Vec<Event> = Vec::new();
+            for (i, late) in lateness.iter().enumerate() {
+                // Mostly in-order stream with a sprinkle of late arrivals
+                // (ties included: `late` may equal the step gap exactly).
+                let ts = i as i64 * 10 - late;
+                let e = Event::new(
+                    EventId(i as u64),
+                    Timestamp::from_millis(ts),
+                    vec![Value::Int(i as i64)],
+                );
+                insert_sorted(&mut fast, e.clone());
+                insert_reference(&mut reference, e);
+            }
+            prop_assert_eq!(&fast.events, &reference);
+            prop_assert_eq!(chunk_bytes(&fast.events), chunk_bytes(&reference));
+        }
+    }
+
+    #[test]
+    fn tail_ties_take_the_fast_path() {
+        let mut chunk = MutableChunk {
+            id: ChunkId(0),
+            events: Vec::new(),
+            bytes: 0,
+        };
+        let e = |id: u64, ts: i64| {
+            Event::new(EventId(id), Timestamp::from_millis(ts), vec![Value::Int(id as i64)])
+        };
+        assert!(insert_sorted(&mut chunk, e(1, 10)).appended);
+        assert!(insert_sorted(&mut chunk, e(2, 10)).appended, "equal ts appends at tail");
+        assert!(!insert_sorted(&mut chunk, e(3, 5)).appended, "late event takes slow path");
+        assert!(insert_sorted(&mut chunk, e(4, 10)).appended);
+        let ids: Vec<u64> = chunk.events.iter().map(|ev| ev.id.0).collect();
+        assert_eq!(ids, vec![3, 1, 2, 4], "ties keep arrival order");
+    }
 }

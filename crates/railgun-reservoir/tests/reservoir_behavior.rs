@@ -494,3 +494,76 @@ fn peek_ts_reports_next_event() {
     c.advance_upto(Timestamp::from_millis(150));
     assert_eq!(c.peek_ts(), Some(Timestamp::from_millis(200)));
 }
+
+/// Tentpole regression (PR 2): a cold cursor catching up on durable chunks
+/// must not serialize against `append`. One thread ingests while another
+/// drains everything from disk through a tiny cache; both must make
+/// progress, every event must be yielded exactly once, in timestamp order,
+/// and always below the bound the drainer asked for.
+#[test]
+fn concurrent_append_and_cold_drain() {
+    let dir = fresh("concurrent-cold");
+    let cfg = ReservoirConfig {
+        chunk_target_events: 32,
+        chunk_target_bytes: 1 << 20,
+        file_target_bytes: 16 << 10,
+        cache_capacity_chunks: 2,
+        prefetch: false, // every chunk transition is a real disk load
+        ..ReservoirConfig::default()
+    };
+    const OLD: u64 = 8_000;
+    const NEW: u64 = 8_000;
+    {
+        let res = Reservoir::open(&dir, schema(), cfg.clone()).unwrap();
+        for i in 0..OLD {
+            res.append(ev(i, i as i64)).unwrap();
+        }
+        res.flush_open_chunk().unwrap();
+        res.flush_io().unwrap();
+    }
+    // Reopen: cache is cold, all OLD chunks are durable on disk.
+    let res = Reservoir::open(&dir, schema(), cfg).unwrap();
+    let drained = std::thread::scope(|s| {
+        let res_ref = &res;
+        let appender = s.spawn(move || {
+            for i in 0..NEW {
+                let id = OLD + i;
+                assert_eq!(
+                    res_ref.append(ev(id, id as i64)).unwrap(),
+                    AppendOutcome::Appended
+                );
+            }
+        });
+        // Drain the durable backlog concurrently with the appends.
+        let cursor = res.cursor_at_start();
+        let mut drained: Vec<Event> = Vec::new();
+        let mut bound = 0i64;
+        while (drained.len() as u64) < OLD {
+            bound += 256;
+            let batch = cursor.advance_upto(Timestamp::from_millis(bound));
+            assert!(
+                batch.iter().all(|e| e.ts < Timestamp::from_millis(bound)),
+                "yielded event at/above the requested bound"
+            );
+            drained.extend(batch);
+            assert!(
+                bound <= (OLD + NEW) as i64 + 256,
+                "drainer starved: only {} of {OLD} after exhausting bounds",
+                drained.len()
+            );
+        }
+        appender.join().unwrap();
+        // Appender done: one final advance must surface everything else.
+        drained.extend(cursor.advance_upto(Timestamp::MAX));
+        drained
+    });
+    assert_eq!(drained.len() as u64, OLD + NEW, "every event yielded exactly once");
+    assert!(
+        drained.windows(2).all(|w| w[0].ts <= w[1].ts),
+        "drain must stay in timestamp order"
+    );
+    let mut ids: Vec<u64> = drained.iter().map(|e| e.id.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len() as u64, OLD + NEW, "no duplicates, no losses");
+}

@@ -105,41 +105,61 @@ pub fn get_string(buf: &mut impl Buf) -> Result<String> {
 }
 
 // ---------------------------------------------------------------------------
-// CRC-32C (Castagnoli), software table implementation
+// CRC-32C (Castagnoli), software slicing-by-8 implementation
 // ---------------------------------------------------------------------------
 
 const CRC32C_POLY: u32 = 0x82F6_3B78;
 
-fn crc_table() -> &'static [u32; 256] {
+/// Eight derived lookup tables: `tables()[0]` is the classic byte-at-a-time
+/// table; `tables()[k][b]` advances the CRC of byte `b` through `k` further
+/// zero bytes, letting the hot loop fold 8 input bytes per iteration
+/// (slicing-by-8). This runs on every chunk append and every chunk load.
+fn crc_tables() -> &'static [[u32; 256]; 8] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        let mut i = 0usize;
-        while i < 256 {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, slot) in t[0].iter_mut().enumerate() {
             let mut crc = i as u32;
-            let mut j = 0;
-            while j < 8 {
+            for _ in 0..8 {
                 crc = if crc & 1 != 0 {
                     (crc >> 1) ^ CRC32C_POLY
                 } else {
                     crc >> 1
                 };
-                j += 1;
             }
-            table[i] = crc;
-            i += 1;
+            *slot = crc;
         }
-        table
+        for k in 1..8 {
+            for i in 0..256usize {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xff) as usize];
+            }
+        }
+        t
     })
 }
 
-/// CRC-32C of `data`.
+/// CRC-32C of `data` (slicing-by-8; identical values to the byte-at-a-time
+/// definition — the wire format is pinned by the known-vector tests).
 pub fn crc32c(data: &[u8]) -> u32 {
-    let table = crc_table();
+    let t = crc_tables();
     let mut crc = !0u32;
-    for &b in data {
-        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xff) as usize];
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes(c[0..4].try_into().expect("4 bytes")) ^ crc;
+        let hi = u32::from_le_bytes(c[4..8].try_into().expect("4 bytes"));
+        crc = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xff) as usize]
+            ^ t[2][((hi >> 8) & 0xff) as usize]
+            ^ t[1][((hi >> 16) & 0xff) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ u32::from(b)) & 0xff) as usize];
     }
     !crc
 }
@@ -285,6 +305,43 @@ mod tests {
         assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
         // "123456789"
         assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        // RFC 3720: 32 bytes of 0xFF.
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        // RFC 3720: bytes 0x00..0x1F ascending.
+        let asc: Vec<u8> = (0u8..0x20).collect();
+        assert_eq!(crc32c(&asc), 0x46DD_794E);
+    }
+
+    #[test]
+    fn crc32c_matches_bitwise_reference_at_all_alignments() {
+        // Slicing-by-8 must agree with the bit-by-bit definition for every
+        // length mod 8 (covers the chunked loop + remainder tail).
+        fn reference(data: &[u8]) -> u32 {
+            let mut crc = !0u32;
+            for &b in data {
+                crc ^= u32::from(b);
+                for _ in 0..8 {
+                    crc = if crc & 1 != 0 {
+                        (crc >> 1) ^ 0x82F6_3B78
+                    } else {
+                        crc >> 1
+                    };
+                }
+            }
+            !crc
+        }
+        let mut x = 0x9E3779B9u32;
+        let data: Vec<u8> = (0..257)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32c(&data[..len]), reference(&data[..len]), "len={len}");
+        }
     }
 
     #[test]

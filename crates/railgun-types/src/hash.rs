@@ -1,0 +1,113 @@
+//! Fast non-cryptographic hashing for hot-path maps.
+//!
+//! The reservoir probes its dedup set and cursor map on **every** appended
+//! event; `std`'s default SipHash costs more than the rest of the append
+//! fast path combined. This is the FxHash construction (rotate + xor +
+//! multiply, as used by rustc) — not DoS-resistant, which is fine for
+//! internal maps keyed by ids the system itself assigns.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the [`FxHasher`] (drop-in for hot-path maps).
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the [`FxHasher`].
+pub type FastHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// FxHash: one rotate-xor-multiply per word of input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(tail) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FastHashMap<u64, &str> = FastHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        let mut s: FastHashSet<u64> = FastHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn sequential_ids_spread() {
+        // Low bits (bucket selectors) must differ across sequential keys.
+        let mut low_bits = FastHashSet::default();
+        for i in 0u64..1024 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            low_bits.insert(h.finish() & 0x3ff);
+        }
+        assert!(low_bits.len() > 512, "got {} distinct buckets", low_bits.len());
+    }
+
+    #[test]
+    fn byte_slices_include_length() {
+        let mut a = FxHasher::default();
+        a.write(b"ab");
+        let mut b = FxHasher::default();
+        b.write(b"ab\0");
+        assert_ne!(a.finish(), b.finish(), "length must disambiguate tails");
+    }
+}

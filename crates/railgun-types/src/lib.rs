@@ -13,11 +13,13 @@
 pub mod encode;
 pub mod error;
 pub mod event;
+pub mod hash;
 pub mod schema;
 pub mod time;
 pub mod value;
 
 pub use error::{RailgunError, Result};
+pub use hash::{FastHashMap, FastHashSet};
 pub use event::{Event, EventId};
 pub use schema::{FieldDef, FieldType, Schema, SchemaId};
 pub use time::{TimeDelta, Timestamp};

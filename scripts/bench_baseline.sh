@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# bench-baseline: smoke-run the hot-path benchmark and validate that both
+# its output and the committed BENCH_hotpath.json parse as JSON, so perf
+# tooling regressions fail loudly in CI instead of silently.
+#
+# Usage:
+#   scripts/bench_baseline.sh          # smoke mode (CI): tiny N
+#   scripts/bench_baseline.sh --full   # full measurement run
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE_ARGS="--test"
+if [ "${1:-}" = "--full" ]; then
+  MODE_ARGS=""
+fi
+
+# Absolute path: cargo runs bench binaries with the package dir as CWD.
+OUT="$(pwd)/target/bench_hotpath_smoke.json"
+# shellcheck disable=SC2086  # MODE_ARGS is intentionally word-split
+cargo bench -p railgun-bench --bench fig_hotpath -- $MODE_ARGS --out "$OUT"
+
+validate() {
+  f="$1"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$f" >/dev/null
+  elif command -v jq >/dev/null 2>&1; then
+    jq . "$f" >/dev/null
+  else
+    # Minimal sanity check without a JSON tool: non-empty, balanced braces.
+    [ -s "$f" ] && grep -q '"bench"' "$f"
+  fi
+  echo "ok: $f parses"
+}
+
+validate "$OUT"
+validate BENCH_hotpath.json
