@@ -1,0 +1,388 @@
+//! Multi-core scaling baseline: throughput and tail latency of the
+//! threaded cluster runtime vs worker-thread count and in-flight depth.
+//!
+//! Two complementary dimensions, recorded in BENCH_scaling.json:
+//!
+//! * **measured** — the real threaded runtime on this machine: an
+//!   in-process cluster is `start()`ed (one OS thread per processor
+//!   unit), concurrent `ClusterClient` threads pipeline events through
+//!   `send_async`/`collect`, and wall-clock throughput plus per-request
+//!   p50/p99 round-trip latency are reported for 1/2/4/8 units and for a
+//!   sweep of in-flight depths. These numbers are whatever the hardware
+//!   gives — on a single-core container the unit sweep is flat by
+//!   physics, while the in-flight sweep still shows real pipelining gains
+//!   (depth hides the request round-trip).
+//! * **modeled** — per-event service time measured on the real task
+//!   processor, composed through the fleet queueing model exactly like
+//!   the Figure 10 reproduction (DESIGN.md substitution #5): U
+//!   single-threaded FIFO servers, Zipf key skew routed by the real
+//!   partition hash, max sustained rate searched under the paper's M
+//!   requirement (p99.9 < 250 ms, §5.3 protocol). This is the multi-core
+//!   scaling curve the threaded runtime delivers when each worker thread
+//!   actually owns a core.
+//!
+//! Run modes mirror `fig_hotpath`:
+//!
+//! * `cargo bench -p railgun-bench --bench fig_scaling` — full run;
+//! * `-- --test` — smoke mode (tiny N, used by CI);
+//! * `-- --out <path>` — additionally write the JSON to `<path>`.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use railgun_bench::{compact_schema, FraudGenerator, ServicePool, WorkloadConfig, Zipf};
+use railgun_core::{Cluster, ClusterConfig, TaskConfig, TaskProcessor};
+use railgun_messaging::partition_for_key;
+use railgun_sim::FifoServer;
+use railgun_types::{Event, EventId, Timestamp, Value};
+
+/// Partitions per event topic in every configuration (the concurrency
+/// ceiling; units share them).
+const PARTITIONS: u32 = 8;
+/// The paper's M requirement: p99.9 under 250 ms (§2).
+const M_LIMIT_US: u64 = 250_000;
+
+const Q_PER_CARD: &str =
+    "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 min";
+const Q_DISTINCT: &str =
+    "SELECT countDistinct(merchantId) FROM payments GROUP BY cardId OVER infinite";
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("railgun-scaling-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn pct(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 * q) as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+// --- measured: the real threaded runtime ---------------------------------
+
+struct Measured {
+    eps: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Drive a started cluster with `clients` threads × `depth` in-flight
+/// pipelined requests each, `events_per_client` events per thread.
+fn run_real(tag: &str, units: u32, clients: usize, depth: usize, events_per_client: usize) -> Measured {
+    let mut cfg = ClusterConfig {
+        nodes: 1,
+        units_per_node: units,
+        partitions: PARTITIONS,
+        replication: 1,
+        ..ClusterConfig::default()
+    };
+    cfg.data_root = fresh_dir(tag);
+    cfg.max_in_flight = depth.max(1) * 2;
+    cfg.collect_timeout_ms = 60_000;
+    let mut cluster = Cluster::new(cfg).expect("cluster boots");
+    cluster
+        .create_stream("payments", compact_schema(), &["cardId"])
+        .expect("stream");
+    cluster.register_query(Q_PER_CARD).expect("q1");
+    cluster.register_query(Q_DISTINCT).expect("q2");
+    cluster.start().expect("threaded start");
+
+    let mut handles_input = Vec::new();
+    for c in 0..clients {
+        // Pre-generate this client's events so generator cost stays out of
+        // the timed section.
+        let mut gen = FraudGenerator::new(WorkloadConfig {
+            seed: 0x5CA1E + c as u64,
+            ..WorkloadConfig::default()
+        });
+        let events: Vec<(Timestamp, Vec<Value>)> = (0..events_per_client)
+            .map(|i| {
+                (
+                    Timestamp::from_millis((i * clients + c) as i64),
+                    gen.next_compact(),
+                )
+            })
+            .collect();
+        handles_input.push((cluster.client().expect("client"), events));
+    }
+
+    let barrier = Barrier::new(clients + 1);
+    let total_events = (clients * events_per_client) as f64;
+    let (wall, mut latencies) = std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for (mut client, events) in handles_input {
+            let barrier = &barrier;
+            joins.push(s.spawn(move || {
+                let mut lats: Vec<u64> = Vec::with_capacity(events.len());
+                let mut window: Vec<(u64, Instant)> = Vec::with_capacity(depth);
+                barrier.wait();
+                for (ts, values) in events {
+                    let sent = Instant::now();
+                    let id = client
+                        .send_async("payments", ts, values)
+                        .expect("send_async");
+                    window.push((id, sent));
+                    if window.len() >= depth {
+                        let (oldest, at) = window.remove(0);
+                        client.collect(oldest).expect("collect");
+                        lats.push(at.elapsed().as_micros().max(1) as u64);
+                    }
+                }
+                for (id, at) in window {
+                    client.collect(id).expect("drain");
+                    lats.push(at.elapsed().as_micros().max(1) as u64);
+                }
+                lats
+            }));
+        }
+        barrier.wait();
+        let start = Instant::now();
+        let mut all = Vec::new();
+        for j in joins {
+            all.extend(j.join().expect("client thread"));
+        }
+        (start.elapsed(), all)
+    });
+    cluster.stop().expect("clean stop");
+    latencies.sort_unstable();
+    Measured {
+        eps: total_events / wall.as_secs_f64(),
+        p50_us: pct(&latencies, 0.50),
+        p99_us: pct(&latencies, 0.99),
+    }
+}
+
+// --- modeled: measured service time through the queueing model -----------
+
+/// Measure per-event service time on one real task processor running the
+/// same two queries the cluster runs (fig10 methodology).
+fn measure_service(events: u64) -> ServicePool {
+    let mut gen = FraudGenerator::new(WorkloadConfig::default());
+    let mut tp = TaskProcessor::open(
+        &fresh_dir("service"),
+        "payments--cardId",
+        0,
+        compact_schema(),
+        TaskConfig::default(),
+    )
+    .expect("task processor");
+    for q in [Q_PER_CARD, Q_DISTINCT] {
+        tp.register_query(&railgun_core::parse_query(q).expect("query parses"))
+            .expect("register");
+    }
+    ServicePool::measure(events, |seq| {
+        let values = gen.next_compact();
+        tp.process_event(&Event::new(
+            EventId(seq),
+            Timestamp::from_millis(seq as i64 * 2),
+            values,
+        ))
+        .expect("measured event");
+    })
+}
+
+/// Simulate `events` arrivals at `rate_eps` over `units` FIFO servers with
+/// the real partition hash and Zipf key skew; returns sojourn p99 and
+/// p99.9 in µs plus the busiest server's utilization over the horizon.
+/// The utilization term is what makes "sustained" mean steady-state: a
+/// rate above a server's capacity can keep its p99.9 under the limit for
+/// a finite horizon while its backlog diverges.
+fn simulate(
+    pool: &ServicePool,
+    units: u32,
+    rate_eps: f64,
+    events: u64,
+    seed: u64,
+) -> (u64, u64, f64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let zipf = Zipf::new(50_000, 1.05);
+    let mut servers: Vec<FifoServer> = (0..units).map(|_| FifoServer::new()).collect();
+    let gap_us = 1.0e6 / rate_eps;
+    let mut sojourns: Vec<u64> = Vec::with_capacity(events as usize);
+    let mut arrival = 0.0f64;
+    for seq in 0..events {
+        // Jittered open-loop arrivals around the offered rate.
+        arrival += gap_us * rng.gen_range(0.5..1.5);
+        let key = format!("card-{:08}", zipf.sample(&mut rng));
+        let partition = partition_for_key(key.as_bytes(), PARTITIONS);
+        let unit = (partition % units) as usize;
+        let service = pool.sample(seq, 0);
+        let (_start, done) = servers[unit].offer(arrival as u64, service);
+        sojourns.push(done - arrival as u64);
+    }
+    let horizon = arrival as u64;
+    let max_util = servers
+        .iter()
+        .map(|s| s.utilization(horizon))
+        .fold(0.0, f64::max);
+    sojourns.sort_unstable();
+    (pct(&sojourns, 0.99), pct(&sojourns, 0.999), max_util)
+}
+
+struct Modeled {
+    sustained_eps: f64,
+    p99_us: u64,
+    p999_us: u64,
+}
+
+/// Highest offered rate whose p99.9 sojourn stays under the M requirement
+/// *and* whose busiest server stays below saturation (the §5.3 protocol:
+/// "as much load as possible, in a sustained way, without breaching the M
+/// requirement" — "sustained" is the utilization guard).
+fn modeled_sustained(pool: &ServicePool, units: u32, events: u64) -> Modeled {
+    let cap = units as f64 * 1.0e6 / pool.mean_us();
+    let (mut lo, mut hi) = (cap * 0.05, cap * 1.5);
+    let mut best = Modeled {
+        sustained_eps: lo,
+        p99_us: 0,
+        p999_us: 0,
+    };
+    for i in 0..14 {
+        let rate = 0.5 * (lo + hi);
+        let (p99, p999, max_util) = simulate(pool, units, rate, events, 0xF1C5 + i);
+        if p999 < M_LIMIT_US && max_util < 0.98 {
+            best = Modeled {
+                sustained_eps: rate,
+                p99_us: p99,
+                p999_us: p999,
+            };
+            lo = rate;
+        } else {
+            hi = rate;
+        }
+    }
+    best
+}
+
+// --- output ---------------------------------------------------------------
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let unit_counts: &[u32] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let depths: &[usize] = if smoke { &[1, 8] } else { &[1, 4, 16, 64] };
+    let events_per_client = if smoke { 300 } else { 5_000 };
+    let clients = if smoke { 2 } else { 4 };
+    let service_events = if smoke { 3_000 } else { 50_000 };
+    let sim_events = if smoke { 20_000 } else { 200_000 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("# fig_scaling: measured threaded runtime ({cores} core(s) available)");
+    let mut measured_units = Vec::new();
+    for &u in unit_counts {
+        let m = run_real(&format!("u{u}"), u, clients, 16.min(events_per_client), events_per_client);
+        eprintln!(
+            "#   units={u}: {:.0} ev/s, p50 {} µs, p99 {} µs",
+            m.eps, m.p50_us, m.p99_us
+        );
+        measured_units.push((u, m));
+    }
+    let mut measured_depth = Vec::new();
+    for &d in depths {
+        let m = run_real(&format!("d{d}"), 4.min(*unit_counts.last().unwrap()), clients, d, events_per_client);
+        eprintln!(
+            "#   inflight={d}: {:.0} ev/s, p50 {} µs, p99 {} µs",
+            m.eps, m.p50_us, m.p99_us
+        );
+        measured_depth.push((d, m));
+    }
+
+    eprintln!("# fig_scaling: modeled multi-core composition (fig10 methodology)");
+    let pool = measure_service(service_events);
+    eprintln!("#   measured service mean: {:.1} µs/event", pool.mean_us());
+    let mut modeled = Vec::new();
+    for &u in unit_counts {
+        let m = modeled_sustained(&pool, u, sim_events);
+        eprintln!(
+            "#   units={u}: sustained {:.0} ev/s (p99 {:.1} ms, p99.9 {:.1} ms)",
+            m.sustained_eps,
+            m.p99_us as f64 / 1000.0,
+            m.p999_us as f64 / 1000.0
+        );
+        modeled.push((u, m));
+    }
+    let rate_of = |target: u32| {
+        modeled
+            .iter()
+            .find(|(u, _)| *u == target)
+            .map(|(_, m)| m.sustained_eps)
+    };
+    let speedup = match (rate_of(1), rate_of(4).or_else(|| rate_of(2))) {
+        (Some(base), Some(top)) if base > 0.0 => top / base,
+        _ => 0.0,
+    };
+    let speedup_units = if rate_of(4).is_some() { 4 } else { 2 };
+
+    // -- JSON ---------------------------------------------------------------
+    let mode = if smoke { "test" } else { "full" };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"bench\": \"fig_scaling\",\n  \"mode\": \"{mode}\",\n"));
+    json.push_str(&format!(
+        "  \"machine\": {{ \"available_cores\": {cores} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"measured\": {{\n    \"note\": \"real threaded runtime on this machine; unit scaling is bounded by available_cores, the in-flight sweep shows pipelining\",\n    \"clients\": {clients},\n    \"events_per_client\": {events_per_client},\n"
+    ));
+    json.push_str("    \"by_units\": [\n");
+    for (i, (u, m)) in measured_units.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"units\": {u}, \"eps\": {:.0}, \"p50_us\": {}, \"p99_us\": {} }}{}\n",
+            m.eps,
+            m.p50_us,
+            m.p99_us,
+            if i + 1 < measured_units.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n    \"by_inflight\": [\n");
+    for (i, (d, m)) in measured_depth.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"inflight\": {d}, \"eps\": {:.0}, \"p50_us\": {}, \"p99_us\": {} }}{}\n",
+            m.eps,
+            m.p50_us,
+            m.p99_us,
+            if i + 1 < measured_depth.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str(&format!(
+        "  \"modeled\": {{\n    \"note\": \"measured per-event service time composed through the fleet queueing model (DESIGN.md substitution #5), Zipf key skew, M requirement p99.9 < 250 ms\",\n    \"service_mean_us\": {:.1},\n",
+        pool.mean_us()
+    ));
+    json.push_str("    \"by_units\": [\n");
+    for (i, (u, m)) in modeled.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"units\": {u}, \"sustained_eps\": {:.0}, \"p99_ms\": {:.2}, \"p999_ms\": {:.2} }}{}\n",
+            m.sustained_eps,
+            m.p99_us as f64 / 1000.0,
+            m.p999_us as f64 / 1000.0,
+            if i + 1 < modeled.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "    ],\n    \"speedup_{speedup_units}u_vs_1u\": {speedup:.2}\n  }}\n}}\n"
+    ));
+
+    print!("{json}");
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        std::fs::write(&path, &json).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -10,6 +10,8 @@
 //! | `fig9a_window_size` | Figure 9(a) — Railgun latency across window sizes 5 min → 7 days |
 //! | `fig9b_iterators` | Figure 9(b) — Railgun latency across 20 → 240 reservoir iterators |
 //! | `fig10_node_scaling` | Figure 10 — per-node throughput & tail latency, 1 → 50 nodes |
+//! | `fig_hotpath` | perf baseline — reservoir ingest/drain hot path (BENCH_hotpath.json) |
+//! | `fig_scaling` | perf baseline — threaded runtime vs worker threads & in-flight depth (BENCH_scaling.json) |
 //! | `micro_*` | Criterion microbenchmarks & ablations (aggregators, reservoir, store, messaging, rebalance) |
 //!
 //! Set `RAILGUN_BENCH_SCALE=full` for paper-length runs (the default

@@ -1,18 +1,28 @@
 //! In-process cluster harness.
 //!
 //! Assembles a whole Railgun deployment — message bus, nodes, processor
-//! units, the shared sticky assignment strategy — behind a synchronous
-//! facade used by the examples, the integration tests, and the benchmark
-//! drivers. `send` pumps the cluster until the reply for the event has
-//! been collected, mirroring the six steps of Figure 3 deterministically.
+//! units, the shared sticky assignment strategy — behind a facade used by
+//! the examples, the integration tests, and the benchmark drivers.
+//!
+//! Two execution modes (DESIGN.md § "Execution modes"):
+//!
+//! * **pump** (default) — `send` pumps the cluster inline until the reply
+//!   for the event has been collected, mirroring the six steps of
+//!   Figure 3 deterministically;
+//! * **threaded** — [`Cluster::start`] spawns one worker thread per
+//!   processor unit; clients then pipeline many requests with
+//!   [`Cluster::send_async`] / [`Cluster::try_collect`] (or per-thread
+//!   [`ClusterClient`]s) while the synchronous `send` keeps working as a
+//!   thin wrapper.
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use railgun_messaging::{BusConfig, MessageBus};
+use railgun_messaging::{BusClock, BusConfig, MessageBus};
 use railgun_types::{RailgunError, Result, Schema, Timestamp, Value};
 
-use crate::frontend::ClientResponse;
+use crate::frontend::{ClientResponse, FrontEnd};
 use crate::node::Node;
 use crate::rebalance::RailgunStrategy;
 use crate::task::TaskConfig;
@@ -35,6 +45,16 @@ pub struct ClusterConfig {
     pub max_pump_iterations: usize,
     /// Per-task checkpoint cadence in events (0 disables; §4.1.3).
     pub checkpoint_every: u64,
+    /// Bus clock mode. [`BusClock::Manual`] (default) keeps tests and the
+    /// simulation deterministic; the threaded runtime typically wants
+    /// [`BusClock::Auto`] so heartbeats and session expiry follow wall
+    /// time without an external driver.
+    pub clock: BusClock,
+    /// Per-front-end cap on in-flight requests (backpressure; see
+    /// `FrontEnd`).
+    pub max_in_flight: usize,
+    /// Wall-clock deadline for blocking collects in threaded mode.
+    pub collect_timeout_ms: u64,
 }
 
 impl ClusterConfig {
@@ -69,6 +89,9 @@ impl Default for ClusterConfig {
             session_timeout_ms: 10_000,
             max_pump_iterations: 64,
             checkpoint_every: 0,
+            clock: BusClock::Manual,
+            max_in_flight: 1_024,
+            collect_timeout_ms: 10_000,
         }
     }
 }
@@ -81,6 +104,20 @@ pub struct SendOutcome {
     pub duplicate: bool,
 }
 
+/// Correlation handle for an asynchronous send: which node's front-end
+/// owns the request (by stable node **id**, so tickets survive other
+/// nodes being killed or decommissioned), and its id there. Request ids
+/// are per-front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket {
+    pub node: u32,
+    pub request_id: u64,
+}
+
+/// Client ids start here so their reply topics and event-id namespaces
+/// never collide with node front-ends (node ids are small and dense).
+const CLIENT_ID_BASE: u32 = 1 << 20;
+
 /// An in-process Railgun cluster.
 pub struct Cluster {
     bus: MessageBus,
@@ -88,6 +125,7 @@ pub struct Cluster {
     strategy: Arc<RailgunStrategy>,
     config: ClusterConfig,
     next_node_id: u32,
+    next_client_id: u32,
     rr_node: usize,
 }
 
@@ -96,6 +134,7 @@ impl Cluster {
     pub fn new(config: ClusterConfig) -> Result<Self> {
         let bus = MessageBus::new(BusConfig {
             session_timeout_ms: config.session_timeout_ms,
+            clock: config.clock,
         });
         let strategy = Arc::new(RailgunStrategy::new(config.replication));
         let mut nodes = Vec::with_capacity(config.nodes as usize);
@@ -108,6 +147,7 @@ impl Cluster {
                 config.task.clone(),
                 Arc::clone(&strategy),
                 config.checkpoint_every,
+                config.max_in_flight,
             )?);
         }
         Ok(Cluster {
@@ -115,6 +155,7 @@ impl Cluster {
             nodes,
             strategy,
             next_node_id: config.nodes,
+            next_client_id: CLIENT_ID_BASE,
             config,
             rr_node: 0,
         })
@@ -156,7 +197,10 @@ impl Cluster {
         self.settle()
     }
 
-    /// Pump every node a few times so ops/rebalances propagate.
+    /// Pump every node a few times so ops/rebalances propagate. In
+    /// threaded mode the units apply ops asynchronously on their worker
+    /// threads, so this only drives the front-ends (registrations are
+    /// picked up within the workers' wakeup latency).
     pub fn settle(&mut self) -> Result<()> {
         for _ in 0..4 {
             for node in &mut self.nodes {
@@ -166,20 +210,47 @@ impl Cluster {
         Ok(())
     }
 
+    /// Start the threaded runtime: every processor unit of every node
+    /// moves onto its own OS thread (§3.2). Idempotent. The deterministic
+    /// pump path remains available after [`Cluster::stop`].
+    pub fn start(&mut self) -> Result<()> {
+        for node in &mut self.nodes {
+            node.start()?;
+        }
+        Ok(())
+    }
+
+    /// Stop the threaded runtime (if running) and return to pump mode with
+    /// all unit state intact. Idempotent; propagates worker panics/errors.
+    pub fn stop(&mut self) -> Result<()> {
+        let mut result = Ok(());
+        for node in &mut self.nodes {
+            if let Err(e) = node.stop() {
+                result = Err(e);
+            }
+        }
+        result
+    }
+
+    /// True while any node runs its units on worker threads.
+    pub fn is_running(&self) -> bool {
+        self.nodes.iter().any(Node::is_running)
+    }
+
     /// Send one event through a front-end (round-robin across nodes) and
-    /// pump until its aggregations arrive.
+    /// wait for its aggregations — a thin synchronous wrapper around
+    /// [`Cluster::send_async`] + [`Cluster::collect`].
     pub fn send(
         &mut self,
         stream: &str,
         ts: Timestamp,
         values: Vec<Value>,
     ) -> Result<SendOutcome> {
-        let node_idx = self.rr_node % self.nodes.len();
-        self.rr_node += 1;
-        self.send_via(node_idx, stream, ts, values)
+        let ticket = self.send_async(stream, ts, values)?;
+        self.collect(ticket)
     }
 
-    /// Send through a specific node's front-end.
+    /// Send through a specific node's front-end and wait for the reply.
     pub fn send_via(
         &mut self,
         node_idx: usize,
@@ -187,37 +258,151 @@ impl Cluster {
         ts: Timestamp,
         values: Vec<Value>,
     ) -> Result<SendOutcome> {
-        let request_id = self.nodes[node_idx].send_event(stream, ts, values)?;
-        for _ in 0..self.config.max_pump_iterations {
-            let mut found = None;
-            for (i, node) in self.nodes.iter_mut().enumerate() {
-                let (responses, _) = node.pump()?;
-                for r in responses {
-                    if i == node_idx && r.request_id == request_id {
-                        found = Some(r);
-                    }
-                }
-            }
-            if let Some(r) = found {
-                return Ok(SendOutcome {
-                    request_id: r.request_id,
-                    aggregations: r.aggregations,
-                    duplicate: r.duplicate,
-                });
-            }
-        }
-        Err(RailgunError::Engine(format!(
-            "no reply for request {request_id} after {} pump iterations",
-            self.config.max_pump_iterations
-        )))
+        let ticket = self.send_async_via(node_idx, stream, ts, values)?;
+        self.collect(ticket)
     }
 
-    /// Pump all nodes once, returning collected client responses.
+    /// Fire-and-correlate: publish one event through a round-robin
+    /// front-end and return a [`Ticket`] immediately. Many requests can be
+    /// outstanding at once, bounded per front-end by
+    /// `ClusterConfig::max_in_flight` ([`RailgunError::Backpressure`]
+    /// when exceeded — collect and retry).
+    pub fn send_async(
+        &mut self,
+        stream: &str,
+        ts: Timestamp,
+        values: Vec<Value>,
+    ) -> Result<Ticket> {
+        let node_idx = self.rr_node % self.nodes.len();
+        self.rr_node += 1;
+        self.send_async_via(node_idx, stream, ts, values)
+    }
+
+    /// [`Cluster::send_async`] through a specific node's front-end.
+    pub fn send_async_via(
+        &mut self,
+        node_idx: usize,
+        stream: &str,
+        ts: Timestamp,
+        values: Vec<Value>,
+    ) -> Result<Ticket> {
+        if node_idx >= self.nodes.len() {
+            return Err(RailgunError::InvalidArgument(format!("no node {node_idx}")));
+        }
+        let request_id = self.nodes[node_idx].send_event(stream, ts, values)?;
+        Ok(Ticket {
+            node: self.nodes[node_idx].id,
+            request_id,
+        })
+    }
+
+    /// Resolve a ticket's owning node to its current index, erroring if
+    /// that node has left the cluster.
+    fn ticket_node(&self, ticket: Ticket) -> Result<usize> {
+        self.nodes
+            .iter()
+            .position(|n| n.id == ticket.node)
+            .ok_or_else(|| {
+                RailgunError::InvalidArgument(format!(
+                    "ticket for departed node {}",
+                    ticket.node
+                ))
+            })
+    }
+
+    /// Non-blocking collect: pump once and claim the response for `ticket`
+    /// if it has arrived.
+    pub fn try_collect(&mut self, ticket: Ticket) -> Result<Option<SendOutcome>> {
+        let idx = self.ticket_node(ticket)?;
+        if self.is_running() {
+            // Workers drive the units; only the owning front-end needs a
+            // pump (which also health-checks its node's workers).
+            self.nodes[idx].pump()?;
+        } else {
+            for node in &mut self.nodes {
+                node.pump()?;
+            }
+        }
+        Ok(self.nodes[idx]
+            .try_take_response(ticket.request_id)
+            .map(outcome))
+    }
+
+    /// Abandon an outstanding request: frees its in-flight slot (and any
+    /// already-completed response). Call after a collect timeout so
+    /// repeated failures cannot wedge the front-end in permanent
+    /// backpressure. Returns true if anything was dropped.
+    pub fn cancel(&mut self, ticket: Ticket) -> bool {
+        self.ticket_node(ticket)
+            .map(|idx| self.nodes[idx].abandon_request(ticket.request_id))
+            .unwrap_or(false)
+    }
+
+    /// Blocking collect. In pump mode this iterates the deterministic
+    /// pump exactly as the original synchronous `send` did (bounded by
+    /// `max_pump_iterations`); in threaded mode it parks on the bus wakeup
+    /// path until the reply arrives or `collect_timeout_ms` elapses.
+    pub fn collect(&mut self, ticket: Ticket) -> Result<SendOutcome> {
+        if self.is_running() {
+            let deadline =
+                Instant::now() + Duration::from_millis(self.config.collect_timeout_ms);
+            loop {
+                let seen = self.bus.version();
+                if let Some(out) = self.try_collect(ticket)? {
+                    return Ok(out);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    // Free the in-flight slot: a reply that never came
+                    // must not count against the backpressure cap forever.
+                    self.cancel(ticket);
+                    return Err(RailgunError::Engine(format!(
+                        "no reply for request {} on node {} within {} ms",
+                        ticket.request_id, ticket.node, self.config.collect_timeout_ms
+                    )));
+                }
+                self.bus
+                    .wait_for_activity(seen, (deadline - now).min(Duration::from_millis(50)));
+            }
+        } else {
+            for _ in 0..self.config.max_pump_iterations {
+                if let Some(out) = self.try_collect(ticket)? {
+                    return Ok(out);
+                }
+            }
+            self.cancel(ticket);
+            Err(RailgunError::Engine(format!(
+                "no reply for request {} after {} pump iterations",
+                ticket.request_id, self.config.max_pump_iterations
+            )))
+        }
+    }
+
+    /// Create an independent client handle with its own front-end and
+    /// reply topic. Clients are cheap, own their request-id space, and are
+    /// `Send` — spawn one per client thread against a started cluster to
+    /// drive many in-flight requests concurrently.
+    pub fn client(&mut self) -> Result<ClusterClient> {
+        let id = self.next_client_id;
+        self.next_client_id += 1;
+        let mut frontend = FrontEnd::new(&self.bus, id, self.config.max_in_flight)?;
+        // Learn every stream registered before this client existed.
+        frontend.sync_ops()?;
+        Ok(ClusterClient {
+            frontend,
+            bus: self.bus.clone(),
+            collect_timeout: Duration::from_millis(self.config.collect_timeout_ms),
+        })
+    }
+
+    /// Pump all nodes once, returning every completed-but-unclaimed client
+    /// response (legacy harness consumption; async callers use
+    /// [`Cluster::try_collect`] instead).
     pub fn pump(&mut self) -> Result<Vec<ClientResponse>> {
         let mut out = Vec::new();
         for node in &mut self.nodes {
-            let (responses, _) = node.pump()?;
-            out.extend(responses);
+            node.pump()?;
+            out.extend(node.take_responses());
         }
         Ok(out)
     }
@@ -239,20 +424,26 @@ impl Cluster {
     }
 
     /// Kill a node abruptly (no goodbye): its consumers simply stop
-    /// heartbeating; the bus expels them after the session timeout.
+    /// heartbeating; the bus expels them after the session timeout. Worker
+    /// threads (if the node was threaded) are joined first — stopping a
+    /// worker never unsubscribes its consumers, so the failure detection
+    /// path is exercised identically in both modes.
     pub fn kill_node(&mut self, idx: usize) -> Result<()> {
         if idx >= self.nodes.len() {
             return Err(RailgunError::InvalidArgument(format!("no node {idx}")));
         }
-        drop(self.nodes.remove(idx));
+        let mut node = self.nodes.remove(idx);
+        let _ = node.stop();
+        drop(node);
         Ok(())
     }
 
-    /// Add a fresh node to the running cluster (elasticity).
+    /// Add a fresh node to the running cluster (elasticity). If the
+    /// cluster is running threaded, the new node starts threaded too.
     pub fn add_node(&mut self) -> Result<u32> {
         let id = self.next_node_id;
         self.next_node_id += 1;
-        let node = Node::new(
+        let mut node = Node::new(
             &self.bus,
             id,
             self.config.units_per_node,
@@ -260,7 +451,11 @@ impl Cluster {
             self.config.task.clone(),
             Arc::clone(&self.strategy),
             self.config.checkpoint_every,
+            self.config.max_in_flight,
         )?;
+        if self.is_running() {
+            node.start()?;
+        }
         self.nodes.push(node);
         self.settle()?;
         Ok(id)
@@ -274,5 +469,96 @@ impl Cluster {
     /// Mutable node access (benches probing task state).
     pub fn nodes_mut(&mut self) -> &mut [Node] {
         &mut self.nodes
+    }
+}
+
+fn outcome(r: ClientResponse) -> SendOutcome {
+    SendOutcome {
+        request_id: r.request_id,
+        aggregations: r.aggregations,
+        duplicate: r.duplicate,
+    }
+}
+
+/// An independent client of a (typically started) cluster: its own
+/// front-end, reply topic and request-id space over the shared bus.
+///
+/// Created with [`Cluster::client`]; `Send`, so each client thread owns
+/// one and drives many in-flight requests against the worker threads
+/// without touching the `Cluster` itself. Collection only pumps this
+/// client's own front-end, so against a *pump-mode* cluster someone else
+/// must still drive the processor units (the harness's `pump`/`settle`).
+pub struct ClusterClient {
+    frontend: FrontEnd,
+    bus: MessageBus,
+    collect_timeout: Duration,
+}
+
+impl ClusterClient {
+    /// Publish one event; returns its request id immediately. Bounded by
+    /// the front-end's in-flight cap ([`RailgunError::Backpressure`]).
+    pub fn send_async(
+        &mut self,
+        stream: &str,
+        ts: Timestamp,
+        values: Vec<Value>,
+    ) -> Result<u64> {
+        self.frontend.send_event(stream, ts, values)
+    }
+
+    /// Non-blocking collect: drain replies and claim `request_id` if done.
+    pub fn try_collect(&mut self, request_id: u64) -> Result<Option<SendOutcome>> {
+        self.frontend.pump()?;
+        Ok(self.frontend.try_take(request_id).map(outcome))
+    }
+
+    /// Blocking collect: park on the bus wakeup path until the response
+    /// arrives or the client's collect timeout elapses.
+    pub fn collect(&mut self, request_id: u64) -> Result<SendOutcome> {
+        let deadline = Instant::now() + self.collect_timeout;
+        loop {
+            let seen = self.bus.version();
+            if let Some(out) = self.try_collect(request_id)? {
+                return Ok(out);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.cancel(request_id);
+                return Err(RailgunError::Engine(format!(
+                    "client: no reply for request {request_id} within {:?}",
+                    self.collect_timeout
+                )));
+            }
+            self.bus
+                .wait_for_activity(seen, (deadline - now).min(Duration::from_millis(50)));
+        }
+    }
+
+    /// Synchronous convenience: [`ClusterClient::send_async`] +
+    /// [`ClusterClient::collect`].
+    pub fn send(
+        &mut self,
+        stream: &str,
+        ts: Timestamp,
+        values: Vec<Value>,
+    ) -> Result<SendOutcome> {
+        let id = self.send_async(stream, ts, values)?;
+        self.collect(id)
+    }
+
+    /// Abandon an outstanding request, freeing its in-flight slot (called
+    /// automatically when [`ClusterClient::collect`] times out).
+    pub fn cancel(&mut self, request_id: u64) -> bool {
+        self.frontend.abandon(request_id)
+    }
+
+    /// Requests still awaiting replies.
+    pub fn pending_count(&self) -> usize {
+        self.frontend.pending_count()
+    }
+
+    /// The client's in-flight cap.
+    pub fn max_in_flight(&self) -> usize {
+        self.frontend.max_in_flight()
     }
 }

@@ -5,6 +5,15 @@
 //! topics** (step 2 of Figure 3), collects the per-topic aggregation
 //! replies from its dedicated reply topic (steps 4-5), and assembles the
 //! single response returned to the client (step 6).
+//!
+//! Requests are fully pipelined: [`FrontEnd::send_event`] registers the
+//! request in an in-flight correlation table and returns immediately, so
+//! one client can keep many requests outstanding; completed responses
+//! accumulate keyed by request id and are claimed with
+//! [`FrontEnd::try_take`]. The table is bounded (`max_in_flight`) —
+//! exceeding it fails with [`RailgunError::Backpressure`] until the
+//! caller collects, which is what keeps a fast producer from flooding the
+//! bus under MAD load.
 
 use std::collections::HashMap;
 
@@ -52,13 +61,19 @@ pub struct FrontEnd {
     streams: HashMap<String, StreamMeta>,
     next_request_id: u64,
     next_event_seq: u64,
+    /// In-flight correlation table: request id → partially-assembled
+    /// response (bounded by `max_in_flight`).
     pending: HashMap<u64, Pending>,
-    completed: Vec<ClientResponse>,
+    /// Completed responses awaiting collection, by request id.
+    completed: HashMap<u64, ClientResponse>,
+    /// In-flight cap: `send_event` refuses new requests past this.
+    max_in_flight: usize,
 }
 
 impl FrontEnd {
     /// Create the front-end of node `node`, creating its reply topic.
-    pub fn new(bus: &MessageBus, node: u32) -> Result<Self> {
+    /// `max_in_flight` bounds the in-flight correlation table.
+    pub fn new(bus: &MessageBus, node: u32, max_in_flight: usize) -> Result<Self> {
         let reply_topic = reply_topic_name(node);
         // Idempotent: the topic may survive a front-end restart.
         let _ = bus.create_topic(&reply_topic, 1, 1);
@@ -77,7 +92,8 @@ impl FrontEnd {
             next_request_id: 1,
             next_event_seq: 1,
             pending: HashMap::new(),
-            completed: Vec::new(),
+            completed: HashMap::new(),
+            max_in_flight: max_in_flight.max(1),
         })
     }
 
@@ -179,6 +195,20 @@ impl FrontEnd {
         ts: Timestamp,
         values: Vec<Value>,
     ) -> Result<u64> {
+        // Completed-but-unclaimed responses count against the cap too:
+        // a fire-and-forget caller must not grow the correlation table
+        // without bound just because its replies arrived.
+        let outstanding = self.pending.len() + self.completed.len();
+        if outstanding >= self.max_in_flight {
+            return Err(RailgunError::Backpressure(format!(
+                "front-end {} has {} requests outstanding ({} in flight, {} uncollected; cap {}); collect before sending more",
+                self.node,
+                outstanding,
+                self.pending.len(),
+                self.completed.len(),
+                self.max_in_flight
+            )));
+        }
         let meta = self
             .streams
             .get(stream)
@@ -217,32 +247,12 @@ impl FrontEnd {
 
     /// Drain the reply topic, completing pending requests (steps 5-6).
     /// Also applies operational requests published by other front-ends.
-    pub fn pump(&mut self) -> Result<Vec<ClientResponse>> {
+    /// Completed responses land in the correlation table — claim them with
+    /// [`FrontEnd::try_take`] or [`FrontEnd::take_completed`].
+    pub fn pump(&mut self) -> Result<()> {
         // Ops from other nodes keep this front-end's stream map current.
         let ops = self.ops.poll(64)?;
-        for msg in ops.messages {
-            if let Ok(OpRequest::CreateStream {
-                stream,
-                schema,
-                partitioners,
-                ..
-            }) = decode_op(&msg.payload)
-            {
-                if let std::collections::hash_map::Entry::Vacant(slot) =
-                    self.streams.entry(stream)
-                {
-                    let mut indexes = Vec::new();
-                    for p in &partitioners {
-                        indexes.push(schema.require(p)?);
-                    }
-                    slot.insert(StreamMeta {
-                        schema,
-                        partitioners,
-                        partitioner_indexes: indexes,
-                    });
-                }
-            }
-        }
+        self.apply_remote_ops(&ops.messages)?;
         let polled = self.replies.poll(256)?;
         for msg in polled.messages {
             let reply = decode_reply(&msg.payload)?;
@@ -252,20 +262,102 @@ impl FrontEnd {
                 p.aggregations.extend(reply.results);
                 if p.received >= p.expected {
                     let done = self.pending.remove(&reply.request_id).expect("present");
-                    self.completed.push(ClientResponse {
-                        request_id: reply.request_id,
-                        aggregations: done.aggregations,
-                        duplicate: done.duplicate,
-                    });
+                    self.completed.insert(
+                        reply.request_id,
+                        ClientResponse {
+                            request_id: reply.request_id,
+                            aggregations: done.aggregations,
+                            duplicate: done.duplicate,
+                        },
+                    );
                 }
             }
         }
-        Ok(std::mem::take(&mut self.completed))
+        Ok(())
+    }
+
+    /// Apply stream create/delete ops published by other front-ends so
+    /// this one's stream map stays current.
+    fn apply_remote_ops(&mut self, messages: &[railgun_messaging::Message]) -> Result<()> {
+        for msg in messages {
+            match decode_op(&msg.payload) {
+                Ok(OpRequest::CreateStream {
+                    stream,
+                    schema,
+                    partitioners,
+                    ..
+                }) => {
+                    if let std::collections::hash_map::Entry::Vacant(slot) =
+                        self.streams.entry(stream)
+                    {
+                        let mut indexes = Vec::new();
+                        for p in &partitioners {
+                            indexes.push(schema.require(p)?);
+                        }
+                        slot.insert(StreamMeta {
+                            schema,
+                            partitioners,
+                            partitioner_indexes: indexes,
+                        });
+                    }
+                }
+                Ok(OpRequest::DeleteStream { stream }) => {
+                    self.streams.remove(&stream);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Replay the whole operational log so a freshly-created front-end
+    /// (e.g. a [`crate::cluster::ClusterClient`]) learns every stream that
+    /// existed before it was born.
+    pub fn sync_ops(&mut self) -> Result<()> {
+        loop {
+            let ops = self.ops.poll(256)?;
+            if ops.messages.is_empty() {
+                return Ok(());
+            }
+            self.apply_remote_ops(&ops.messages)?;
+        }
+    }
+
+    /// Claim the completed response for `request_id`, if it has arrived.
+    pub fn try_take(&mut self, request_id: u64) -> Option<ClientResponse> {
+        self.completed.remove(&request_id)
+    }
+
+    /// Abandon a request: drop its in-flight slot and any completed
+    /// response. Late replies for an abandoned id are ignored by `pump`
+    /// (no pending entry). Returns true if anything was dropped.
+    pub fn abandon(&mut self, request_id: u64) -> bool {
+        let pending = self.pending.remove(&request_id).is_some();
+        let completed = self.completed.remove(&request_id).is_some();
+        pending || completed
+    }
+
+    /// Drain every completed response (in request-id order, so the legacy
+    /// pump-harness consumption stays deterministic).
+    pub fn take_completed(&mut self) -> Vec<ClientResponse> {
+        let mut out: Vec<ClientResponse> = self.completed.drain().map(|(_, r)| r).collect();
+        out.sort_by_key(|r| r.request_id);
+        out
     }
 
     /// Number of requests still waiting for replies.
     pub fn pending_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Number of completed responses not yet claimed.
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// The in-flight cap.
+    pub fn max_in_flight(&self) -> usize {
+        self.max_in_flight
     }
 
     /// Known streams.

@@ -15,9 +15,13 @@
 //! * [`rebalance`] — the sticky, locality-aware assignment strategy
 //!   (Figure 7);
 //! * [`frontend`] — the front-end layer routing events to partitioner
-//!   topics and collecting replies (§3.1);
+//!   topics and collecting replies (§3.1), with a pipelined in-flight
+//!   correlation table;
+//! * [`runtime`] — the threaded execution runtime: one OS thread per
+//!   processor unit, parked on the bus wakeup path when idle (§3.2);
 //! * [`node`] / [`cluster`] — node assembly and an in-process cluster
-//!   harness used by examples, tests and benches;
+//!   harness used by examples, tests and benches, running either
+//!   deterministically pumped or threaded (`start`/`stop`);
 //! * [`api`] — client-facing types and wire encodings.
 
 pub mod agg;
@@ -30,11 +34,13 @@ pub mod lang;
 pub mod node;
 pub mod plan;
 pub mod rebalance;
+pub mod runtime;
 pub mod task;
 pub mod unit;
 
 pub use api::{AggregationResult, EventRequest, OpRequest, Reply};
-pub use cluster::{Cluster, ClusterConfig, SendOutcome};
+pub use cluster::{Cluster, ClusterClient, ClusterConfig, SendOutcome, Ticket};
+pub use runtime::Runtime;
 pub use lang::{parse_query, AggFunc, Query, WindowKind, WindowSpec};
 pub use plan::{MetricHandle, Plan};
 pub use rebalance::RailgunStrategy;

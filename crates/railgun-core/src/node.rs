@@ -4,6 +4,16 @@
 //! All nodes are equal (§3: "to simplify development, all Railgun nodes
 //! are equal and composed by layers"): each has a front-end accepting
 //! client traffic and a back-end of processor units computing metrics.
+//!
+//! The back-end runs in one of two execution modes (see DESIGN.md
+//! § "Execution modes"):
+//!
+//! * **pump** (default) — units are driven inline by [`Node::pump`],
+//!   deterministic, used by tests and the simulation;
+//! * **threaded** — [`Node::start`] moves every unit onto its own OS
+//!   thread (the paper's one-thread-per-unit discipline, §3.2);
+//!   [`Node::stop`] joins the threads and hands the units back, so the
+//!   node can return to pump mode with all task state intact.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -13,19 +23,30 @@ use railgun_types::{Result, Schema, Timestamp, Value};
 
 use crate::frontend::{ClientResponse, FrontEnd};
 use crate::rebalance::RailgunStrategy;
+use crate::runtime::Runtime;
 use crate::task::TaskConfig;
 use crate::unit::{ProcessorUnit, PumpReport, UnitConfig};
+
+/// The node's back-end units, in whichever execution mode is active.
+enum Backend {
+    /// Units driven inline by [`Node::pump`].
+    Pump(Vec<ProcessorUnit>),
+    /// Units owned by worker threads.
+    Threaded(Runtime),
+}
 
 /// One Railgun node.
 pub struct Node {
     pub id: u32,
     frontend: FrontEnd,
-    units: Vec<ProcessorUnit>,
+    backend: Backend,
     bus: MessageBus,
 }
 
 impl Node {
-    /// Assemble a node with `units` processor units.
+    /// Assemble a node with `units` processor units (pump mode; call
+    /// [`Node::start`] to go threaded).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         bus: &MessageBus,
         id: u32,
@@ -34,8 +55,9 @@ impl Node {
         task: TaskConfig,
         strategy: Arc<RailgunStrategy>,
         checkpoint_every: u64,
+        max_in_flight: usize,
     ) -> Result<Self> {
-        let frontend = FrontEnd::new(bus, id)?;
+        let frontend = FrontEnd::new(bus, id, max_in_flight)?;
         let mut unit_vec = Vec::with_capacity(units as usize);
         for u in 0..units {
             unit_vec.push(ProcessorUnit::new(
@@ -54,9 +76,55 @@ impl Node {
         Ok(Node {
             id,
             frontend,
-            units: unit_vec,
+            backend: Backend::Pump(unit_vec),
             bus: bus.clone(),
         })
+    }
+
+    /// Move every unit onto its own worker thread. Idempotent: a node that
+    /// is already threaded stays untouched. If spawning fails, the node
+    /// keeps (the surviving) units in pump mode and reports the error.
+    pub fn start(&mut self) -> Result<()> {
+        if let Backend::Pump(units) = &mut self.backend {
+            let units = std::mem::take(units);
+            match Runtime::spawn(self.bus.clone(), units) {
+                Ok(runtime) => self.backend = Backend::Threaded(runtime),
+                Err((units, e)) => {
+                    self.backend = Backend::Pump(units);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stop the worker threads (if any) and return to pump mode with the
+    /// same units. Idempotent; reports any worker panic/error.
+    pub fn stop(&mut self) -> Result<()> {
+        match std::mem::replace(&mut self.backend, Backend::Pump(Vec::new())) {
+            Backend::Pump(units) => {
+                self.backend = Backend::Pump(units);
+                Ok(())
+            }
+            Backend::Threaded(runtime) => {
+                let (units, result) = runtime.stop();
+                self.backend = Backend::Pump(units);
+                result
+            }
+        }
+    }
+
+    /// True while the back-end runs on worker threads.
+    pub fn is_running(&self) -> bool {
+        matches!(self.backend, Backend::Threaded(_))
+    }
+
+    /// Errors once any worker thread has failed (threaded mode only).
+    pub fn health(&self) -> Result<()> {
+        match &self.backend {
+            Backend::Pump(_) => Ok(()),
+            Backend::Threaded(runtime) => runtime.health(),
+        }
     }
 
     /// Client entry: register a stream through this node.
@@ -92,14 +160,45 @@ impl Node {
         self.frontend.send_event(stream, ts, values)
     }
 
-    /// Pump the front-end (reply collection) and every processor unit once.
-    pub fn pump(&mut self) -> Result<(Vec<ClientResponse>, Vec<PumpReport>)> {
-        let mut reports = Vec::with_capacity(self.units.len());
-        for unit in &mut self.units {
-            reports.push(unit.pump()?);
-        }
-        let responses = self.frontend.pump()?;
-        Ok((responses, reports))
+    /// Pump the front-end (reply collection) and — in pump mode — every
+    /// processor unit once. In threaded mode the units are pumped by their
+    /// worker threads, so only the front-end is driven (after a health
+    /// check, so a dead worker surfaces here instead of as a timeout).
+    ///
+    /// Completed responses accumulate in the front-end's correlation table;
+    /// claim them by id with [`Node::try_take_response`] or drain them all
+    /// with [`Node::take_responses`].
+    pub fn pump(&mut self) -> Result<Vec<PumpReport>> {
+        let reports = match &mut self.backend {
+            Backend::Pump(units) => {
+                let mut reports = Vec::with_capacity(units.len());
+                for unit in units {
+                    reports.push(unit.pump()?);
+                }
+                reports
+            }
+            Backend::Threaded(runtime) => {
+                runtime.health()?;
+                Vec::new()
+            }
+        };
+        self.frontend.pump()?;
+        Ok(reports)
+    }
+
+    /// Claim the completed response for `request_id`, if it has arrived.
+    pub fn try_take_response(&mut self, request_id: u64) -> Option<ClientResponse> {
+        self.frontend.try_take(request_id)
+    }
+
+    /// Abandon an outstanding request (frees its in-flight slot).
+    pub fn abandon_request(&mut self, request_id: u64) -> bool {
+        self.frontend.abandon(request_id)
+    }
+
+    /// Drain every completed response (legacy pump-harness consumption).
+    pub fn take_responses(&mut self) -> Vec<ClientResponse> {
+        self.frontend.take_completed()
     }
 
     /// Requests awaiting replies on this node's front-end.
@@ -107,20 +206,32 @@ impl Node {
         self.frontend.pending_count()
     }
 
-    /// This node's processor units (diagnostics).
+    /// This node's processor units (diagnostics). Empty while threaded —
+    /// the units are owned by their worker threads.
     pub fn units(&self) -> &[ProcessorUnit] {
-        &self.units
+        match &self.backend {
+            Backend::Pump(units) => units,
+            Backend::Threaded(_) => &[],
+        }
     }
 
-    /// Mutable access to units (benches probing task processors).
+    /// Mutable access to units (benches probing task processors). Empty
+    /// while threaded.
     pub fn units_mut(&mut self) -> &mut [ProcessorUnit] {
-        &mut self.units
+        match &mut self.backend {
+            Backend::Pump(units) => units,
+            Backend::Threaded(_) => &mut [],
+        }
     }
 
-    /// Gracefully leave all consumer groups (decommission).
+    /// Gracefully leave all consumer groups (decommission). Stops worker
+    /// threads first if the node is running threaded.
     pub fn shutdown(&mut self) {
-        for unit in &mut self.units {
-            unit.shutdown();
+        let _ = self.stop();
+        if let Backend::Pump(units) = &mut self.backend {
+            for unit in units {
+                unit.shutdown();
+            }
         }
     }
 }

@@ -11,15 +11,20 @@
 //! 4. routes every message to its task processor,
 //! 5. replies to the reply topic — for active tasks only.
 //!
-//! The unit is deliberately pump-driven (no internal thread): examples and
-//! the cluster harness can run units on real threads, while tests and the
-//! simulation drive them deterministically.
+//! The unit is deliberately pump-driven (no internal thread): tests and
+//! the simulation drive [`ProcessorUnit::pump`] deterministically, while
+//! the threaded runtime (`runtime` module) wraps the same pump in
+//! [`ProcessorUnit::run_loop`] — one OS thread per unit, parked on the
+//! bus's wakeup path when idle (the paper's one-logical-thread-per-unit
+//! discipline, §3.2).
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use railgun_messaging::{Consumer, MessageBus, Producer, TopicPartition};
+use railgun_messaging::{Consumer, Message, MessageBus, Producer, TopicPartition};
 use railgun_types::{RailgunError, Result, Schema};
 
 use crate::api::{
@@ -66,6 +71,7 @@ struct StreamMeta {
 /// One processor unit (Algorithm 1).
 pub struct ProcessorUnit {
     cfg: UnitConfig,
+    bus: MessageBus,
     producer: Producer,
     active: Consumer,
     replica: Consumer,
@@ -82,6 +88,9 @@ pub struct ProcessorUnit {
     /// Events processed per task since its last checkpoint.
     since_checkpoint: HashMap<TopicPartition, u64>,
     checkpoint_seq: u64,
+    /// Reusable poll scratch — the pump fetches into this instead of
+    /// allocating a fresh `Vec` per consumer per iteration.
+    scratch: Vec<Message>,
 }
 
 /// Consumer group shared by every active consumer (§3.3).
@@ -98,6 +107,7 @@ impl ProcessorUnit {
         ops.assign(vec![TopicPartition::new(OPS_TOPIC, 0)]);
         Ok(ProcessorUnit {
             cfg,
+            bus: bus.clone(),
             producer,
             active,
             replica,
@@ -111,6 +121,7 @@ impl ProcessorUnit {
             replica_assignment: Vec::new(),
             since_checkpoint: HashMap::new(),
             checkpoint_seq: 0,
+            scratch: Vec::new(),
         })
     }
 
@@ -153,18 +164,23 @@ impl ProcessorUnit {
     /// One trip around Algorithm 1's loop.
     pub fn pump(&mut self) -> Result<PumpReport> {
         let mut report = PumpReport::default();
+        // The scratch buffer is moved out for the duration of the pump so
+        // it can be filled while `self` methods are called; it returns at
+        // the end (error paths simply rebuild capacity on the next pump).
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
 
         // 1. Operational requests.
-        let ops = self.ops.poll(self.cfg.max_poll)?;
-        for msg in &ops.messages {
+        self.ops.poll_into(self.cfg.max_poll, &mut buf)?;
+        for msg in buf.drain(..) {
             let op = decode_op(&msg.payload)?;
             self.apply_op(op)?;
             report.ops_applied += 1;
         }
 
         // 2. Active tasks.
-        let polled = match self.active.poll(self.cfg.max_poll) {
-            Ok(p) => p,
+        let rebalanced = match self.active.poll_into(self.cfg.max_poll, &mut buf) {
+            Ok(r) => r,
             Err(RailgunError::Messaging(_)) => {
                 // Expelled after a heartbeat lapse — rejoin the group (the
                 // same recovery a Kafka client performs on session expiry).
@@ -173,13 +189,14 @@ impl ProcessorUnit {
             }
             Err(e) => return Err(e),
         };
-        if let Some(assignment) = polled.rebalanced {
+        if let Some(assignment) = rebalanced {
             report.rebalanced = true;
-            self.on_rebalance(assignment)?;
             // Messages fetched in the same poll may predate the seek —
             // drop them; the repositioned consumer re-reads next pump.
+            buf.clear();
+            self.on_rebalance(assignment)?;
         } else {
-            for msg in polled.messages {
+            for msg in buf.drain(..) {
                 let tp = msg.topic_partition();
                 if let Some((reply, reply_topic)) =
                     self.process_message(&tp, msg.offset, &msg.payload)?
@@ -194,18 +211,43 @@ impl ProcessorUnit {
         }
 
         // 3. Replica tasks (no replies, §4.2).
-        let polled = self.replica.poll(self.cfg.max_poll)?;
-        for msg in polled.messages {
+        self.replica.poll_into(self.cfg.max_poll, &mut buf)?;
+        for msg in buf.drain(..) {
             let tp = msg.topic_partition();
             self.process_message(&tp, msg.offset, &msg.payload)?;
             report.replica_events += 1;
         }
+        self.scratch = buf;
 
         // 4. Periodic synchronized checkpoints (§4.1.3).
         if self.cfg.checkpoint_every > 0 {
             report.checkpoints += self.maybe_checkpoint()?;
         }
         Ok(report)
+    }
+
+    /// Drive the pump until `stop` is raised: the body of one worker
+    /// thread in the threaded runtime. After an idle pump (no ops, no
+    /// events, no rebalance) the thread parks on the bus wakeup path
+    /// instead of spinning; it still wakes at a heartbeat interval so
+    /// group membership cannot lapse while parked. The bus version is
+    /// sampled *before* the pump, so anything produced mid-pump re-runs
+    /// the loop immediately instead of being missed.
+    pub fn run_loop(&mut self, stop: &AtomicBool) -> Result<()> {
+        let heartbeat =
+            Duration::from_millis((self.bus.session_timeout_ms() / 4).clamp(1, 500));
+        while !stop.load(Ordering::Acquire) {
+            let seen = self.bus.version();
+            let report = self.pump()?;
+            let idle = report.ops_applied == 0
+                && report.active_events == 0
+                && report.replica_events == 0
+                && !report.rebalanced;
+            if idle {
+                self.bus.wait_for_activity(seen, heartbeat);
+            }
+        }
+        Ok(())
     }
 
     /// Checkpoint every task whose event count passed the threshold and

@@ -13,12 +13,24 @@
 //! * **manual assignment** outside any group (used by replica consumers,
 //!   which by design all subscribe to the same partitions, §4.2).
 //!
-//! Time is logical: the harness advances the bus clock explicitly with
-//! [`MessageBus::advance_to`], which makes failure detection deterministic
-//! in tests and lets the simulation drive everything from virtual time.
+//! Time is logical by default: the harness advances the bus clock
+//! explicitly with [`MessageBus::advance_to`], which makes failure
+//! detection deterministic in tests and lets the simulation drive
+//! everything from virtual time. The threaded runtime instead switches the
+//! bus to [`BusClock::Auto`], where the clock follows wall time (with a
+//! monotonic guard) so heartbeats and session expiry work without an
+//! external driver.
+//!
+//! The bus also carries a blocking wakeup path for worker threads: every
+//! mutation that could unblock a consumer (produce, assignment change,
+//! topic change, member expiry) bumps an internal version counter and
+//! signals a [`std::sync::Condvar`], so parked workers
+//! ([`crate::Consumer::poll_blocking`], [`MessageBus::wait_for_activity`])
+//! wake immediately instead of spinning.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use railgun_types::{RailgunError, Result};
@@ -29,17 +41,34 @@ use crate::assignment::{
 use crate::log::PartitionLog;
 use crate::record::TopicPartition;
 
+/// How the bus clock advances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BusClock {
+    /// Logical time, driven explicitly by [`MessageBus::advance_to`]
+    /// (deterministic tests, discrete-event simulation).
+    #[default]
+    Manual,
+    /// Wall-clock time: `now_ms` follows a monotonic `Instant` anchored
+    /// when the mode was entered, and every clock read runs heartbeat
+    /// expiry. Used by the threaded runtime where no harness pumps time.
+    Auto,
+}
+
 /// Bus-wide configuration.
 #[derive(Debug, Clone)]
 pub struct BusConfig {
     /// Expel a group member if it has not heartbeated for this long.
     pub session_timeout_ms: u64,
+    /// Clock mode the bus starts in (switchable via
+    /// [`MessageBus::set_clock`]).
+    pub clock: BusClock,
 }
 
 impl Default for BusConfig {
     fn default() -> Self {
         BusConfig {
             session_timeout_ms: 10_000,
+            clock: BusClock::Manual,
         }
     }
 }
@@ -79,6 +108,14 @@ pub(crate) struct GroupState {
     pub needs_rebalance: bool,
 }
 
+/// Anchor for [`BusClock::Auto`]: wall time elapsed since `epoch` is added
+/// to `base_ms` (the logical time when auto mode was entered), keeping the
+/// clock continuous and monotonic across mode switches.
+pub(crate) struct AutoClock {
+    epoch: Instant,
+    base_ms: u64,
+}
+
 pub(crate) struct BusInner {
     pub topics: HashMap<String, TopicState>,
     pub groups: HashMap<String, GroupState>,
@@ -86,17 +123,30 @@ pub(crate) struct BusInner {
     pub next_member_id: MemberId,
     pub stats: BusStats,
     pub config: BusConfig,
+    /// Bumped on every mutation that could unblock a consumer; waiters
+    /// compare against the value they observed to avoid missed wakeups.
+    pub version: u64,
+    pub auto: Option<AutoClock>,
 }
 
 /// Handle to the shared in-process bus. Cheap to clone.
 #[derive(Clone)]
 pub struct MessageBus {
     pub(crate) inner: Arc<Mutex<BusInner>>,
+    /// Signaled (with `inner`'s mutex) whenever `inner.version` changes.
+    pub(crate) wakeup: Arc<std::sync::Condvar>,
 }
 
 impl MessageBus {
     /// Create a bus with the given configuration.
     pub fn new(config: BusConfig) -> Self {
+        let auto = match config.clock {
+            BusClock::Manual => None,
+            BusClock::Auto => Some(AutoClock {
+                epoch: Instant::now(),
+                base_ms: 0,
+            }),
+        };
         MessageBus {
             inner: Arc::new(Mutex::new(BusInner {
                 topics: HashMap::new(),
@@ -105,7 +155,10 @@ impl MessageBus {
                 next_member_id: 1,
                 stats: BusStats::default(),
                 config,
+                version: 0,
+                auto,
             })),
+            wakeup: Arc::new(std::sync::Condvar::new()),
         }
     }
 
@@ -140,6 +193,9 @@ impl MessageBus {
                 g.needs_rebalance = true;
             }
         }
+        Self::bump(&mut inner);
+        drop(inner);
+        self.wakeup.notify_all();
         Ok(())
     }
 
@@ -153,6 +209,9 @@ impl MessageBus {
         for g in inner.groups.values_mut() {
             g.needs_rebalance = true;
         }
+        Self::bump(&mut inner);
+        drop(inner);
+        self.wakeup.notify_all();
         Ok(())
     }
 
@@ -201,11 +260,30 @@ impl MessageBus {
 
     /// Advance the logical clock; expels members whose heartbeats expired
     /// and recomputes assignments for affected groups.
+    ///
+    /// The clock is **monotonic**: a `now_ms` at or before the current
+    /// time is ignored, so a misbehaving driver can never rewind liveness
+    /// deadlines (a member heartbeated at t=100 must not be judged against
+    /// a clock that moved back to t=50).
     pub fn advance_to(&self, now_ms: u64) {
         let mut inner = self.inner.lock();
         if now_ms <= inner.now_ms {
             return;
         }
+        let expired = Self::advance_locked(&mut inner, now_ms);
+        if expired {
+            // Assignment changed — wake parked consumers so they pick up
+            // the new generation promptly.
+            Self::bump(&mut inner);
+            drop(inner);
+            self.wakeup.notify_all();
+        }
+    }
+
+    /// Move the (already-validated, strictly larger) clock forward and run
+    /// heartbeat expiry. Returns true iff any member was expelled.
+    pub(crate) fn advance_locked(inner: &mut BusInner, now_ms: u64) -> bool {
+        debug_assert!(now_ms > inner.now_ms);
         inner.now_ms = now_ms;
         let timeout = inner.config.session_timeout_ms;
         let mut any_expired = false;
@@ -219,13 +297,131 @@ impl MessageBus {
             }
         }
         if any_expired {
-            Self::run_pending_rebalances(&mut inner);
+            Self::run_pending_rebalances(inner);
+        }
+        any_expired
+    }
+
+    /// In [`BusClock::Auto`], pull `now_ms` up to wall time (monotonic) and
+    /// run heartbeat expiry; no-op under [`BusClock::Manual`]. Returns true
+    /// iff any member was expelled (callers should then notify waiters).
+    pub(crate) fn refresh_clock_locked(inner: &mut BusInner) -> bool {
+        let Some(auto) = &inner.auto else {
+            return false;
+        };
+        let wall_ms = auto
+            .base_ms
+            .saturating_add(auto.epoch.elapsed().as_millis() as u64);
+        if wall_ms > inner.now_ms {
+            let expired = Self::advance_locked(inner, wall_ms);
+            if expired {
+                Self::bump(inner);
+            }
+            expired
+        } else {
+            false
         }
     }
 
-    /// Current logical time.
+    /// Bump the bus version (call with the lock held before waking).
+    pub(crate) fn bump(inner: &mut BusInner) {
+        inner.version = inner.version.wrapping_add(1);
+    }
+
+    /// Switch the clock mode. Entering [`BusClock::Auto`] anchors wall time
+    /// at the current logical time; returning to [`BusClock::Manual`]
+    /// freezes the clock at its latest value. Both transitions preserve
+    /// monotonicity.
+    pub fn set_clock(&self, clock: BusClock) {
+        let mut inner = self.inner.lock();
+        match clock {
+            BusClock::Auto => {
+                if inner.auto.is_none() {
+                    inner.auto = Some(AutoClock {
+                        epoch: Instant::now(),
+                        base_ms: inner.now_ms,
+                    });
+                    inner.config.clock = BusClock::Auto;
+                }
+            }
+            BusClock::Manual => {
+                Self::refresh_clock_locked(&mut inner);
+                inner.auto = None;
+                inner.config.clock = BusClock::Manual;
+            }
+        }
+        Self::bump(&mut inner);
+        drop(inner);
+        self.wakeup.notify_all();
+    }
+
+    /// Current clock mode.
+    pub fn clock(&self) -> BusClock {
+        self.inner.lock().config.clock
+    }
+
+    /// Configured session timeout.
+    pub fn session_timeout_ms(&self) -> u64 {
+        self.inner.lock().config.session_timeout_ms
+    }
+
+    /// Current bus version: changes whenever anything a consumer could
+    /// observe changed (produce, assignment, topics, expiry).
+    pub fn version(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let expired = Self::refresh_clock_locked(&mut inner);
+        let v = inner.version;
+        drop(inner);
+        if expired {
+            self.wakeup.notify_all();
+        }
+        v
+    }
+
+    /// Bump the version and wake every parked consumer (used by runtimes
+    /// to broadcast a stop signal through the blocking poll path).
+    pub fn wake_all(&self) {
+        let mut inner = self.inner.lock();
+        Self::bump(&mut inner);
+        drop(inner);
+        self.wakeup.notify_all();
+    }
+
+    /// Park the caller until the bus version moves past `seen` or `timeout`
+    /// elapses; returns the current version. Spurious wakeups are possible
+    /// (callers re-poll regardless). In [`BusClock::Auto`] the clock is
+    /// refreshed on both edges so expiry keeps running while workers park.
+    pub fn wait_for_activity(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut inner = self.inner.lock();
+        let mut expired = Self::refresh_clock_locked(&mut inner);
+        let mut v = inner.version;
+        if v == seen && !expired {
+            let (mut guard, _timed_out) = match self.wakeup.wait_timeout(inner, timeout) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            expired = Self::refresh_clock_locked(&mut guard);
+            v = guard.version;
+            drop(guard);
+        } else {
+            drop(inner);
+        }
+        if expired {
+            self.wakeup.notify_all();
+        }
+        v
+    }
+
+    /// Current logical time (refreshed first under [`BusClock::Auto`]).
     pub fn now_ms(&self) -> u64 {
-        self.inner.lock().now_ms
+        let mut inner = self.inner.lock();
+        let expired = Self::refresh_clock_locked(&mut inner);
+        let now = inner.now_ms;
+        drop(inner);
+        if expired {
+            self.wakeup.notify_all();
+        }
+        now
     }
 
     /// Statistics snapshot.
@@ -386,6 +582,141 @@ mod tests {
         bus.advance_to(100);
         bus.advance_to(50); // ignored
         assert_eq!(bus.now_ms(), 100);
+    }
+
+    #[test]
+    fn regressing_clock_does_not_rewind_liveness_deadlines() {
+        // A clock driven backwards must not expel members whose heartbeats
+        // are fresh relative to the *real* (monotonic) clock, nor extend
+        // the life of stale ones.
+        use crate::assignment::StickyStrategy;
+        use crate::consumer::Consumer;
+        let bus = MessageBus::new(BusConfig {
+            session_timeout_ms: 1_000,
+            ..BusConfig::default()
+        });
+        bus.create_topic("t", 2, 1).unwrap();
+        let mut c1 = Consumer::new(bus.clone());
+        let mut c2 = Consumer::new(bus.clone());
+        c1.subscribe("g", &["t"], vec![], std::sync::Arc::new(StickyStrategy))
+            .unwrap();
+        c2.subscribe("g", &["t"], vec![], std::sync::Arc::new(StickyStrategy))
+            .unwrap();
+        bus.advance_to(800);
+        c1.heartbeat(); // c1 fresh at t=800; c2 last heartbeated at t=0
+        bus.advance_to(100); // regress: ignored, deadlines unchanged
+        assert_eq!(bus.now_ms(), 800);
+        assert_eq!(bus.group_assignment("g").len(), 2, "nobody expelled yet");
+        // t=1200: c2 (last heartbeat 0) is stale, c1 (800) is alive. Were
+        // the regress honored, now-last_heartbeat would underflow/clamp and
+        // c2 would survive.
+        bus.advance_to(1_200);
+        let members = bus.group_assignment("g");
+        assert_eq!(members.len(), 1, "stale member expelled");
+        assert!(members.contains_key(&c1.member_id()));
+    }
+
+    #[test]
+    fn version_changes_on_produce_and_topic_changes() {
+        let bus = MessageBus::with_defaults();
+        let v0 = bus.version();
+        bus.create_topic("t", 1, 1).unwrap();
+        let v1 = bus.version();
+        assert_ne!(v0, v1);
+        let producer = crate::producer::Producer::new(bus.clone());
+        producer.send("t", b"k", b"v".to_vec()).unwrap();
+        let v2 = bus.version();
+        assert_ne!(v1, v2);
+        bus.delete_topic("t").unwrap();
+        assert_ne!(v2, bus.version());
+    }
+
+    #[test]
+    fn wait_for_activity_wakes_on_produce() {
+        let bus = MessageBus::with_defaults();
+        bus.create_topic("t", 1, 1).unwrap();
+        let seen = bus.version();
+        let waiter = {
+            let bus = bus.clone();
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                bus.wait_for_activity(seen, Duration::from_secs(10));
+                start.elapsed()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        crate::producer::Producer::new(bus.clone())
+            .send("t", b"k", b"v".to_vec())
+            .unwrap();
+        let waited = waiter.join().unwrap();
+        assert!(
+            waited < Duration::from_secs(5),
+            "waiter should be woken by the produce, waited {waited:?}"
+        );
+    }
+
+    #[test]
+    fn wait_for_activity_respects_timeout() {
+        let bus = MessageBus::with_defaults();
+        let seen = bus.version();
+        let start = Instant::now();
+        let v = bus.wait_for_activity(seen, Duration::from_millis(20));
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        assert_eq!(v, seen, "nothing happened");
+    }
+
+    #[test]
+    fn auto_clock_advances_and_expels_without_advance_to() {
+        use crate::assignment::StickyStrategy;
+        use crate::consumer::Consumer;
+        let bus = MessageBus::new(BusConfig {
+            session_timeout_ms: 40,
+            clock: BusClock::Auto,
+        });
+        bus.create_topic("t", 2, 1).unwrap();
+        let mut c1 = Consumer::new(bus.clone());
+        let mut c2 = Consumer::new(bus.clone());
+        c1.subscribe("g", &["t"], vec![], std::sync::Arc::new(StickyStrategy))
+            .unwrap();
+        c2.subscribe("g", &["t"], vec![], std::sync::Arc::new(StickyStrategy))
+            .unwrap();
+        c1.poll(1).unwrap();
+        c2.poll(1).unwrap();
+        let t0 = bus.now_ms();
+        // c2 goes silent; keep c1 heartbeating past the session timeout.
+        // One of these polls observes the expiry-driven rebalance.
+        let mut takeover = None;
+        for _ in 0..8 {
+            std::thread::sleep(Duration::from_millis(10));
+            if let Some(a) = c1.poll(1).unwrap().rebalanced {
+                takeover = Some(a);
+            }
+        }
+        assert!(bus.now_ms() > t0, "auto clock advances on its own");
+        assert_eq!(
+            takeover.map(|a| a.len()),
+            Some(2),
+            "silent member expelled by wall-clock expiry; survivor owns all"
+        );
+        assert!(c2.poll(1).is_err(), "expelled consumer errors");
+    }
+
+    #[test]
+    fn set_clock_round_trip_keeps_monotonic_time() {
+        let bus = MessageBus::with_defaults();
+        bus.advance_to(500);
+        bus.set_clock(BusClock::Auto);
+        assert_eq!(bus.clock(), BusClock::Auto);
+        std::thread::sleep(Duration::from_millis(15));
+        let in_auto = bus.now_ms();
+        assert!(in_auto >= 500, "auto clock anchored at the logical time");
+        bus.set_clock(BusClock::Manual);
+        let frozen = bus.now_ms();
+        assert!(frozen >= in_auto);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(bus.now_ms(), frozen, "manual clock is frozen again");
+        bus.advance_to(frozen.saturating_sub(10)); // regress still ignored
+        assert_eq!(bus.now_ms(), frozen);
     }
 
     #[test]

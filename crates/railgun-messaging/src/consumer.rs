@@ -9,6 +9,7 @@
 //! same (topic, partition) (§3.3).
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use railgun_types::{RailgunError, Result};
 
@@ -40,6 +41,10 @@ pub struct Consumer {
     assignment: Vec<TopicPartition>,
     positions: HashMap<TopicPartition, u64>,
     seen_generation: u64,
+    /// Bus version observed by the last poll — the anchor
+    /// [`Consumer::poll_blocking`] parks against so a produce between poll
+    /// and park can never be missed.
+    last_poll_version: u64,
 }
 
 impl Consumer {
@@ -59,6 +64,7 @@ impl Consumer {
             assignment: Vec::new(),
             positions: HashMap::new(),
             seen_generation: 0,
+            last_poll_version: 0,
         }
     }
 
@@ -107,6 +113,9 @@ impl Consumer {
         );
         g.needs_rebalance = true;
         MessageBus::run_pending_rebalances(&mut inner);
+        MessageBus::bump(&mut inner);
+        drop(inner);
+        self.bus.wakeup.notify_all();
         self.mode = Mode::Group {
             name: group.to_owned(),
         };
@@ -126,6 +135,9 @@ impl Consumer {
                 }
             }
             MessageBus::run_pending_rebalances(&mut inner);
+            MessageBus::bump(&mut inner);
+            drop(inner);
+            self.bus.wakeup.notify_all();
         }
         self.mode = Mode::Unattached;
         self.assignment.clear();
@@ -162,73 +174,127 @@ impl Consumer {
     /// new assignment generation.
     pub fn poll(&mut self, max_records: usize) -> Result<PollResult> {
         let mut result = PollResult::default();
-        let mut inner = self.bus.inner.lock();
-        let now = inner.now_ms;
-        if let Mode::Group { name } = &self.mode {
-            let name = name.clone();
-            let g = inner
-                .groups
-                .get_mut(&name)
-                .ok_or_else(|| RailgunError::Messaging(format!("group `{name}` vanished")))?;
-            let generation = g.generation;
-            let committed = if let Some(m) = g.members.get_mut(&self.id) {
-                m.last_heartbeat_ms = now;
-                if m.seen_generation != generation {
-                    m.seen_generation = generation;
-                    Some((m.assignment.clone(), g.committed.clone()))
-                } else {
-                    None
-                }
-            } else {
-                // Expelled (heartbeat timeout). Rejoin with empty state.
-                return Err(RailgunError::Messaging(format!(
-                    "consumer {} expelled from group `{name}`",
-                    self.id
-                )));
-            };
-            if let Some((assignment, committed)) = committed {
-                self.seen_generation = generation;
-                // Keep positions of retained partitions; new ones start at
-                // the committed offset (or 0).
-                self.positions.retain(|tp, _| assignment.contains(tp));
-                for tp in &assignment {
-                    let start = committed.get(tp).copied().unwrap_or(0);
-                    self.positions.entry(tp.clone()).or_insert(start);
-                }
-                self.assignment = assignment.clone();
-                result.rebalanced = Some(assignment);
-            }
-        }
-        // Fetch round-robin across assigned partitions.
-        let mut remaining = max_records;
-        for tp in &self.assignment {
-            if remaining == 0 {
-                break;
-            }
-            let Some(topic) = inner.topics.get(&tp.topic) else {
-                continue;
-            };
-            let Some(log) = topic.partitions.get(tp.partition as usize) else {
-                continue;
-            };
-            let pos = self.positions.entry(tp.clone()).or_insert(0);
-            let records = log.read_from(*pos, remaining);
-            if let Some(last) = records.last() {
-                *pos = last.offset + 1;
-            }
-            remaining -= records.len();
-            for r in records {
-                result.messages.push(Message {
-                    topic: tp.topic.clone(),
-                    partition: tp.partition,
-                    offset: r.offset,
-                    key: r.key,
-                    payload: r.payload,
-                });
-            }
-        }
-        inner.stats.records_consumed += result.messages.len() as u64;
+        result.rebalanced = self.poll_into(max_records, &mut result.messages)?;
         Ok(result)
+    }
+
+    /// Like [`Consumer::poll`], but appends fetched messages to `out`
+    /// (which the caller typically reuses across polls) instead of
+    /// allocating a fresh `Vec` on every call — the processor-unit pump
+    /// loop's hot path. Returns the new assignment if the group moved to a
+    /// new generation since the last poll.
+    pub fn poll_into(
+        &mut self,
+        max_records: usize,
+        out: &mut Vec<Message>,
+    ) -> Result<Option<Vec<TopicPartition>>> {
+        let mut rebalanced = None;
+        let mut inner = self.bus.inner.lock();
+        // If refresh expels someone, parked peers are woken after the lock
+        // drops (every exit path below funnels through that notify).
+        let expired = MessageBus::refresh_clock_locked(&mut inner);
+        let now = inner.now_ms;
+        let outcome = 'poll: {
+            if let Mode::Group { name } = &self.mode {
+                let name = name.clone();
+                let Some(g) = inner.groups.get_mut(&name) else {
+                    break 'poll Err(RailgunError::Messaging(format!(
+                        "group `{name}` vanished"
+                    )));
+                };
+                let generation = g.generation;
+                let committed = if let Some(m) = g.members.get_mut(&self.id) {
+                    m.last_heartbeat_ms = now;
+                    if m.seen_generation != generation {
+                        m.seen_generation = generation;
+                        Some((m.assignment.clone(), g.committed.clone()))
+                    } else {
+                        None
+                    }
+                } else {
+                    // Expelled (heartbeat timeout). Rejoin with empty state.
+                    break 'poll Err(RailgunError::Messaging(format!(
+                        "consumer {} expelled from group `{name}`",
+                        self.id
+                    )));
+                };
+                if let Some((assignment, committed)) = committed {
+                    self.seen_generation = generation;
+                    // Keep positions of retained partitions; new ones start
+                    // at the committed offset (or 0).
+                    self.positions.retain(|tp, _| assignment.contains(tp));
+                    for tp in &assignment {
+                        let start = committed.get(tp).copied().unwrap_or(0);
+                        self.positions.entry(tp.clone()).or_insert(start);
+                    }
+                    self.assignment = assignment.clone();
+                    rebalanced = Some(assignment);
+                }
+            }
+            // Fetch round-robin across assigned partitions.
+            let mut remaining = max_records;
+            let mut fetched = 0u64;
+            for tp in &self.assignment {
+                if remaining == 0 {
+                    break;
+                }
+                let Some(topic) = inner.topics.get(&tp.topic) else {
+                    continue;
+                };
+                let Some(log) = topic.partitions.get(tp.partition as usize) else {
+                    continue;
+                };
+                let pos = self.positions.entry(tp.clone()).or_insert(0);
+                let records = log.read_from(*pos, remaining);
+                if let Some(last) = records.last() {
+                    *pos = last.offset + 1;
+                }
+                remaining -= records.len();
+                fetched += records.len() as u64;
+                for r in records {
+                    out.push(Message {
+                        topic: tp.topic.clone(),
+                        partition: tp.partition,
+                        offset: r.offset,
+                        key: r.key,
+                        payload: r.payload,
+                    });
+                }
+            }
+            inner.stats.records_consumed += fetched;
+            self.last_poll_version = inner.version;
+            Ok(rebalanced)
+        };
+        drop(inner);
+        if expired {
+            self.bus.wakeup.notify_all();
+        }
+        outcome
+    }
+
+    /// Poll, parking on the bus wakeup path when nothing is available:
+    /// returns as soon as messages or a new assignment arrive, or with an
+    /// empty result after `timeout`. While parked the consumer still wakes
+    /// at a heartbeat interval (a quarter of the session timeout) so group
+    /// membership cannot lapse, and under [`crate::BusClock::Auto`] those
+    /// wakes also drive session expiry.
+    pub fn poll_blocking(&mut self, max_records: usize, timeout: Duration) -> Result<PollResult> {
+        let deadline = Instant::now() + timeout;
+        let heartbeat = Duration::from_millis(
+            (self.bus.session_timeout_ms() / 4).clamp(1, 1_000),
+        );
+        loop {
+            let result = self.poll(max_records)?;
+            if !result.messages.is_empty() || result.rebalanced.is_some() {
+                return Ok(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(result);
+            }
+            let wait = (deadline - now).min(heartbeat);
+            self.bus.wait_for_activity(self.last_poll_version, wait);
+        }
     }
 
     /// Commit a consumed offset (the *next* offset to read) for `tp`.
@@ -252,6 +318,7 @@ impl Consumer {
     pub fn heartbeat(&self) {
         if let Mode::Group { name } = &self.mode {
             let mut inner = self.bus.inner.lock();
+            MessageBus::refresh_clock_locked(&mut inner);
             let now = inner.now_ms;
             if let Some(g) = inner.groups.get_mut(name) {
                 if let Some(m) = g.members.get_mut(&self.id) {
@@ -366,6 +433,7 @@ mod tests {
     fn heartbeat_timeout_expels_member() {
         let bus = MessageBus::new(crate::bus::BusConfig {
             session_timeout_ms: 1_000,
+            ..Default::default()
         });
         bus.create_topic("events", 2, 1).unwrap();
         let mut c1 = Consumer::new(bus.clone());
@@ -458,5 +526,85 @@ mod tests {
         p.send("events", b"k", vec![1]).unwrap();
         let mut c = Consumer::new(bus);
         assert!(c.poll(10).unwrap().messages.is_empty());
+    }
+
+    #[test]
+    fn poll_into_reuses_scratch_and_matches_poll() {
+        let (bus, p) = bus_with_topic(2);
+        for i in 0..10u8 {
+            p.send("events", &[i], vec![i]).unwrap();
+        }
+        let mut c = Consumer::new(bus.clone());
+        c.assign(bus.partitions_of(&["events".to_string()]));
+        let mut scratch = Vec::new();
+        assert!(c.poll_into(4, &mut scratch).unwrap().is_none());
+        assert_eq!(scratch.len(), 4);
+        let cap = scratch.capacity();
+        scratch.clear();
+        assert!(c.poll_into(100, &mut scratch).unwrap().is_none());
+        assert_eq!(scratch.len(), 6, "resumes where the first poll stopped");
+        assert!(scratch.capacity() >= cap, "buffer reused, not reallocated away");
+        scratch.clear();
+        c.poll_into(100, &mut scratch).unwrap();
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn poll_blocking_wakes_on_produce() {
+        let (bus, p) = bus_with_topic(1);
+        let mut c = Consumer::new(bus.clone());
+        c.assign(vec![TopicPartition::new("events", 0)]);
+        assert!(c.poll(10).unwrap().messages.is_empty());
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            p.send("events", b"k", vec![7]).unwrap();
+        });
+        let start = std::time::Instant::now();
+        let r = c
+            .poll_blocking(10, std::time::Duration::from_secs(10))
+            .unwrap();
+        producer.join().unwrap();
+        assert_eq!(r.messages.len(), 1);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "woken by the produce, not the timeout"
+        );
+    }
+
+    #[test]
+    fn poll_blocking_times_out_empty() {
+        let (bus, _p) = bus_with_topic(1);
+        let mut c = Consumer::new(bus);
+        c.assign(vec![TopicPartition::new("events", 0)]);
+        let start = std::time::Instant::now();
+        let r = c
+            .poll_blocking(10, std::time::Duration::from_millis(25))
+            .unwrap();
+        assert!(r.messages.is_empty());
+        assert!(start.elapsed() >= std::time::Duration::from_millis(20));
+    }
+
+    #[test]
+    fn poll_blocking_returns_on_rebalance() {
+        let (bus, _p) = bus_with_topic(2);
+        let mut c1 = Consumer::new(bus.clone());
+        c1.subscribe("g", &["events"], vec![], Arc::new(StickyStrategy))
+            .unwrap();
+        c1.poll(1).unwrap();
+        let joiner = {
+            let bus = bus.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                let mut c2 = Consumer::new(bus);
+                c2.subscribe("g", &["events"], vec![], Arc::new(StickyStrategy))
+                    .unwrap();
+                c2
+            })
+        };
+        let r = c1
+            .poll_blocking(10, std::time::Duration::from_secs(10))
+            .unwrap();
+        let _c2 = joiner.join().unwrap();
+        assert!(r.rebalanced.is_some(), "woken by the generation change");
     }
 }

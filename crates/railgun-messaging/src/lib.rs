@@ -17,11 +17,17 @@
 //! * **manual assignment** for replica consumers that must follow the same
 //!   partitions as the active consumer.
 //!
-//! Time is logical and driven by the harness ([`MessageBus::advance_to`]),
-//! which makes failure-detection tests and discrete-event simulations
-//! deterministic. Broker network latency is *not* modeled here — the
-//! `railgun-sim` crate owns latency models and injects them where the
-//! benches measure end-to-end time.
+//! Time is logical and driven by the harness ([`MessageBus::advance_to`])
+//! by default, which makes failure-detection tests and discrete-event
+//! simulations deterministic; the threaded runtime switches to
+//! [`BusClock::Auto`] so heartbeats and session expiry follow wall time
+//! with no external driver. Consumers can also **block** instead of
+//! spinning: [`Consumer::poll_blocking`] parks on the bus's internal
+//! wakeup path (a version counter + condvar signaled by every produce,
+//! assignment change and expiry) until something observable happens.
+//! Broker network latency is *not* modeled here — the `railgun-sim`
+//! crate owns latency models and injects them where the benches measure
+//! end-to-end time.
 //!
 //! ```
 //! use railgun_messaging::{Consumer, MessageBus, Producer, StickyStrategy, TopicPartition};
@@ -52,7 +58,7 @@ pub use assignment::{
     moved_partitions, AssignmentContext, AssignmentStrategy, MemberId, MemberInfo,
     RoundRobinStrategy, StickyStrategy,
 };
-pub use bus::{BusConfig, BusStats, MessageBus};
+pub use bus::{BusClock, BusConfig, BusStats, MessageBus};
 pub use consumer::{Consumer, PollResult};
 pub use producer::{partition_for_key, Producer};
 pub use record::{Message, Record, TopicPartition};

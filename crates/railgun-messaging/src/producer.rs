@@ -41,7 +41,12 @@ impl Producer {
             .map(|t| t.partitions.len() as u32)
             .ok_or_else(|| RailgunError::NotFound(format!("topic `{topic}`")))?;
         let partition = partition_for_key(key, nparts);
-        self.append_locked(&mut inner, topic, partition, key, payload)
+        let out = self.append_locked(&mut inner, topic, partition, key, payload);
+        drop(inner);
+        if out.is_ok() {
+            self.bus.wakeup.notify_all();
+        }
+        out
     }
 
     /// Publish to an explicit partition (reply topics use one partition per
@@ -54,7 +59,12 @@ impl Producer {
         payload: Vec<u8>,
     ) -> Result<(TopicPartition, u64)> {
         let mut inner = self.bus.inner.lock();
-        self.append_locked(&mut inner, topic, partition, key, payload)
+        let out = self.append_locked(&mut inner, topic, partition, key, payload);
+        drop(inner);
+        if out.is_ok() {
+            self.bus.wakeup.notify_all();
+        }
+        out
     }
 
     fn append_locked(
@@ -76,6 +86,7 @@ impl Producer {
         let offset = log.append(key.to_vec(), payload);
         inner.stats.records_produced += 1;
         inner.stats.bytes_produced += bytes;
+        MessageBus::bump(inner);
         Ok((TopicPartition::new(topic, partition), offset))
     }
 }

@@ -29,6 +29,9 @@ pub enum RailgunError {
     NotFound(String),
     /// Invalid argument provided by the caller.
     InvalidArgument(String),
+    /// The caller exceeded a bounded in-flight capacity and must retry
+    /// after collecting outstanding work (front-end backpressure, §3.1).
+    Backpressure(String),
 }
 
 impl fmt::Display for RailgunError {
@@ -44,6 +47,7 @@ impl fmt::Display for RailgunError {
             RailgunError::Engine(m) => write!(f, "engine error: {m}"),
             RailgunError::NotFound(m) => write!(f, "not found: {m}"),
             RailgunError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            RailgunError::Backpressure(m) => write!(f, "backpressure: {m}"),
         }
     }
 }

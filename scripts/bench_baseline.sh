@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
-# bench-baseline: smoke-run the hot-path benchmark and validate that both
-# its output and the committed BENCH_hotpath.json parse as JSON, so perf
-# tooling regressions fail loudly in CI instead of silently.
+# bench-baseline: smoke-run the perf-baseline benchmarks (hot path +
+# threaded-runtime scaling) and validate that both their output and the
+# committed BENCH_*.json files parse as JSON, so perf tooling regressions
+# fail loudly in CI instead of silently.
 #
 # Usage:
 #   scripts/bench_baseline.sh          # smoke mode (CI): tiny N
 #   scripts/bench_baseline.sh --full   # full measurement run
+#                                      # (use its output to refresh the
+#                                      # committed BENCH_*.json files)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,10 +18,13 @@ if [ "${1:-}" = "--full" ]; then
   MODE_ARGS=""
 fi
 
-# Absolute path: cargo runs bench binaries with the package dir as CWD.
+# Absolute paths: cargo runs bench binaries with the package dir as CWD.
 OUT="$(pwd)/target/bench_hotpath_smoke.json"
+SCALING_OUT="$(pwd)/target/bench_scaling_smoke.json"
 # shellcheck disable=SC2086  # MODE_ARGS is intentionally word-split
 cargo bench -p railgun-bench --bench fig_hotpath -- $MODE_ARGS --out "$OUT"
+# shellcheck disable=SC2086
+cargo bench -p railgun-bench --bench fig_scaling -- $MODE_ARGS --out "$SCALING_OUT"
 
 validate() {
   f="$1"
@@ -34,4 +40,6 @@ validate() {
 }
 
 validate "$OUT"
+validate "$SCALING_OUT"
 validate BENCH_hotpath.json
+validate BENCH_scaling.json

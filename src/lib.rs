@@ -54,6 +54,47 @@
 //! assert_eq!(reply.aggregations[0].value, Value::Float(25.0)); // sum
 //! assert_eq!(reply.aggregations[1].value, Value::Int(1));      // count
 //! ```
+//!
+//! ## Threaded runtime
+//!
+//! `Cluster::start` moves every processor unit onto its own OS thread
+//! (the paper's one-thread-per-unit discipline, §3.2); clients then
+//! pipeline many in-flight requests with `send_async`/`collect` instead
+//! of one blocking round-trip at a time (see DESIGN.md § "Execution
+//! modes"):
+//!
+//! ```
+//! use railgun::engine::{Cluster, ClusterConfig};
+//! use railgun::types::{FieldType, Schema, Timestamp, Value};
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::single_node()).unwrap();
+//! let schema = Schema::from_pairs(&[
+//!     ("cardId", FieldType::Str),
+//!     ("amount", FieldType::Float),
+//! ]).unwrap();
+//! cluster.create_stream("payments", schema, &["cardId"]).unwrap();
+//! cluster.register_query(
+//!     "SELECT count(*) FROM payments GROUP BY cardId OVER sliding 5 minutes",
+//! ).unwrap();
+//!
+//! cluster.start().unwrap(); // one worker thread per processor unit
+//! let mut client = cluster.client().unwrap();
+//! // Pipeline a window of requests, then collect by request id.
+//! let ids: Vec<u64> = (0..8)
+//!     .map(|i| {
+//!         client.send_async(
+//!             "payments",
+//!             Timestamp::from_millis(1_000 + i),
+//!             vec![Value::from("card-1"), Value::from(1.0)],
+//!         ).unwrap()
+//!     })
+//!     .collect();
+//! for id in ids {
+//!     let reply = client.collect(id).unwrap();
+//!     assert!(!reply.aggregations.is_empty());
+//! }
+//! cluster.stop().unwrap(); // deterministic pump mode remains available
+//! ```
 
 pub use railgun_baseline as baseline;
 pub use railgun_core as engine;
