@@ -9,7 +9,7 @@
 //!   from the last *closed* pane. Fast while the hop is large; per-event
 //!   cost and state size blow up as the hop shrinks toward real-time
 //!   behaviour (Figure 8), and accuracy is structurally limited (Figure 1).
-//! * [`rescan`] — Flink's custom fraud-detection solution [21]: store all
+//! * [`rescan`] — Flink's custom fraud-detection solution \[21\]: store all
 //!   events, recompute every aggregation from scratch per event. Accurate
 //!   but quadratic.
 //!

@@ -1,4 +1,4 @@
-//! The "Flink custom solution" baseline (§2.2, [21]).
+//! The "Flink custom solution" baseline (§2.2, \[21\]).
 //!
 //! Flink's own answer to accurate low-latency fraud metrics: persist every
 //! event in RocksDB and, **for each new event, recompute each aggregation

@@ -33,7 +33,7 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use railgun_bench::{compact_schema, FraudGenerator, ServicePool, WorkloadConfig, Zipf};
+use railgun_bench::{compact_schema, queries, FraudGenerator, ServicePool, WorkloadConfig, Zipf};
 use railgun_core::{Cluster, ClusterConfig, TaskConfig, TaskProcessor};
 use railgun_messaging::partition_for_key;
 use railgun_sim::FifoServer;
@@ -45,10 +45,6 @@ const PARTITIONS: u32 = 8;
 /// The paper's M requirement: p99.9 under 250 ms (§2).
 const M_LIMIT_US: u64 = 250_000;
 
-const Q_PER_CARD: &str =
-    "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 min";
-const Q_DISTINCT: &str =
-    "SELECT countDistinct(merchantId) FROM payments GROUP BY cardId OVER infinite";
 
 fn fresh_dir(tag: &str) -> std::path::PathBuf {
     let d = std::env::temp_dir().join(format!("railgun-scaling-{}-{tag}", std::process::id()));
@@ -89,8 +85,12 @@ fn run_real(tag: &str, units: u32, clients: usize, depth: usize, events_per_clie
     cluster
         .create_stream("payments", compact_schema(), &["cardId"])
         .expect("stream");
-    cluster.register_query(Q_PER_CARD).expect("q1");
-    cluster.register_query(Q_DISTINCT).expect("q2");
+    // Queries go through the typed builder path (plan-identical to their
+    // text forms; keyed replies either way).
+    cluster.register(&queries::per_card()).expect("q1");
+    cluster
+        .register(&queries::distinct_merchants())
+        .expect("q2");
     cluster.start().expect("threaded start");
 
     let mut handles_input = Vec::new();
@@ -172,9 +172,8 @@ fn measure_service(events: u64) -> ServicePool {
         TaskConfig::default(),
     )
     .expect("task processor");
-    for q in [Q_PER_CARD, Q_DISTINCT] {
-        tp.register_query(&railgun_core::parse_query(q).expect("query parses"))
-            .expect("register");
+    for q in [queries::per_card(), queries::distinct_merchants()] {
+        tp.register_query(&q).expect("register");
     }
     ServicePool::measure(events, |seq| {
         let values = gen.next_compact();

@@ -23,4 +23,6 @@ pub mod figures;
 pub mod workload;
 
 pub use figures::{bench_scale, fmt_ms, print_header, print_mad_check, print_series, BenchScale, ServicePool};
-pub use workload::{compact_schema, payments_schema, FraudGenerator, WorkloadConfig, Zipf};
+pub use workload::{
+    compact_schema, payments_schema, queries, FraudGenerator, WorkloadConfig, Zipf,
+};

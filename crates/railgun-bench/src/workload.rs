@@ -15,6 +15,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use railgun_core::lang::{mins, Agg, Query, Window};
 use railgun_types::{FieldType, Schema, Value};
 
 /// Number of fields in the paper's dataset.
@@ -220,6 +221,36 @@ pub fn compact_schema() -> Schema {
     .expect("static schema is valid")
 }
 
+/// The standard bench queries, constructed with the typed query builder
+/// (the builder compiles to the same plan as the equivalent text —
+/// pinned by `tests/query_lifecycle.rs` — so bench results are directly
+/// comparable across both front doors).
+pub mod queries {
+    use super::*;
+
+    /// Per-card `sum(amount), count(*)` over a 5-minute sliding window
+    /// (the paper's Q1).
+    pub fn per_card() -> Query {
+        Query::select(Agg::sum("amount"))
+            .select(Agg::count())
+            .from("payments")
+            .group_by(["cardId"])
+            .over(Window::sliding(mins(5)))
+            .build()
+            .expect("static query is valid")
+    }
+
+    /// Per-card `countDistinct(merchantId)` over an infinite window.
+    pub fn distinct_merchants() -> Query {
+        Query::select(Agg::count_distinct("merchantId"))
+            .from("payments")
+            .group_by(["cardId"])
+            .over(Window::infinite())
+            .build()
+            .expect("static query is valid")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +301,25 @@ mod tests {
         let mut g = FraudGenerator::new(WorkloadConfig::default());
         let values = g.next_compact();
         compact_schema().check_values(&values).unwrap();
+    }
+
+    #[test]
+    fn builder_queries_match_their_text_forms() {
+        use railgun_core::parse_query;
+        assert_eq!(
+            queries::per_card(),
+            parse_query(
+                "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 min"
+            )
+            .unwrap()
+        );
+        assert_eq!(
+            queries::distinct_merchants(),
+            parse_query(
+                "SELECT countDistinct(merchantId) FROM payments GROUP BY cardId OVER infinite"
+            )
+            .unwrap()
+        );
     }
 
     #[test]

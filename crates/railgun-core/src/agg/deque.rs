@@ -1,5 +1,5 @@
 //! Sliding-window min/max via a monotonic deque (paper §4.1.3, citing
-//! Knuth [30]).
+//! Knuth \[30\]).
 //!
 //! The classic algorithm: on insert, drop dominated elements from the back;
 //! on evict (in insertion order), drop the front if it has expired. Each

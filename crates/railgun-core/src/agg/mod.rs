@@ -3,15 +3,15 @@
 //! Every aggregator supports O(1)-ish `insert` and `evict` so real-time
 //! sliding windows can update metrics with exactly the events entering and
 //! leaving the window — never recomputing from scratch (the failure mode of
-//! the Flink custom solution [21], reproduced in `railgun-baseline`).
+//! the Flink custom solution \[21\], reproduced in `railgun-baseline`).
 //!
 //! State is serialized to bytes and stored per `(plan leaf, entity)` key in
 //! the task processor's state store, matching the paper's description:
 //! "each key holds the aggregation current value for the specific window
 //! and the specific entity", with auxiliary data per type:
 //!
-//! * `avg` carries a count; `stdDev` the Welford triple [50];
-//! * `max`/`min` a monotonic deque [30] ([`deque`]);
+//! * `avg` carries a count; `stdDev` the Welford triple \[50\];
+//! * `max`/`min` a monotonic deque \[30\] ([`deque`]);
 //! * `countDistinct` keeps per-value counts in a dedicated **column
 //!   family** of the state store.
 

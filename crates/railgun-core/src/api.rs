@@ -11,6 +11,37 @@ use railgun_types::encode::{
 };
 use railgun_types::{Event, FieldDef, FieldType, RailgunError, Result, Schema, Value};
 
+/// Version byte leading every [`OpRequest`] and [`Reply`] payload.
+///
+/// Wire version 2 introduced query lifecycle ids: `RegisterQuery` carries
+/// a [`QueryId`], `UnregisterQuery` exists, and reply aggregations are
+/// keyed by `(QueryId, aggregation index)`. The byte value (`0xA2` =
+/// `0xA0 | 2`) is deliberately outside the version-1 op-tag range (v1
+/// ops started directly with a tag, `1..=3`), so **every** v1 op fails
+/// the version check with a [`RailgunError::Corruption`] naming the
+/// mismatch — the ops topic is the durable, replayed channel, and no v1
+/// op can silently misdecode. Replies are transient (produced and
+/// consumed by the same build over the in-process bus, never replayed
+/// across an upgrade), so their version byte is a sanity check rather
+/// than a cross-version guarantee: a v1 reply whose leading
+/// `uvarint(request_id)` byte happened to be `0xA2` would pass it.
+pub const WIRE_VERSION: u8 = 0xA2;
+
+/// Stable identifier of a registered query.
+///
+/// Assigned by the front-end that accepts the registration
+/// (`front-end id << 32 | sequence`), broadcast with the query on the ops
+/// topic, and used to address its aggregations in replies and to
+/// unregister it later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{:x}", self.0)
+    }
+}
+
 /// An event wrapped with routing info, as published to event topics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventRequest {
@@ -21,15 +52,36 @@ pub struct EventRequest {
     pub event: Event,
 }
 
-/// One computed aggregation in a reply.
+/// One computed aggregation in a reply, addressed by
+/// `(query, index)` — the registered query it belongs to and the
+/// position of the aggregation in that query's SELECT list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggregationResult {
+    /// The registered query this value belongs to.
+    pub query: QueryId,
+    /// Index of the aggregation in the query's SELECT list.
+    pub index: u32,
     /// Display name, e.g. `sum(amount) over sliding 5min`.
     pub name: String,
     /// The entity this value belongs to (group-by values of the event).
     pub entity: Vec<Value>,
     /// Current aggregation value.
     pub value: Value,
+}
+
+/// Find the aggregation keyed `(query, index)` in a result list.
+///
+/// Each `(query, index)` pair appears at most once per assembled client
+/// response: a query's metrics are computed on exactly one event topic,
+/// and only the active task of that topic replies.
+pub fn find_keyed(
+    results: &[AggregationResult],
+    query: QueryId,
+    index: usize,
+) -> Option<&AggregationResult> {
+    results
+        .iter()
+        .find(|r| r.query == query && r.index as usize == index)
 }
 
 /// A task processor's answer for one event (sent to the reply topic).
@@ -57,8 +109,13 @@ pub enum OpRequest {
     },
     /// Remove a stream and its metrics.
     DeleteStream { stream: String },
-    /// Register the metrics of a query (text form; parsed at each node).
-    RegisterQuery { query_text: String },
+    /// Register the metrics of a query under a stable id (text form;
+    /// parsed at each node).
+    RegisterQuery { id: QueryId, query_text: String },
+    /// Remove a registered query's metrics: its aggregations disappear
+    /// from replies and its aggregator state and window cursors are torn
+    /// down on every task.
+    UnregisterQuery { id: QueryId },
 }
 
 /// Topic name for a (stream, partitioner) pair.
@@ -69,6 +126,24 @@ pub fn topic_name(stream: &str, partitioner: &str) -> String {
 /// Split a topic name back into (stream, partitioner).
 pub fn parse_topic_name(topic: &str) -> Option<(&str, &str)> {
     topic.split_once("--")
+}
+
+/// Validate a stream or partitioner name before it becomes part of a
+/// topic name. Empty names and names containing the `--` topic separator
+/// are rejected — [`parse_topic_name`] splits at the *first* `--`, so a
+/// stream named `a--b` would silently mis-split into `("a", "b--…")`.
+pub fn validate_topic_component(kind: &str, name: &str) -> Result<()> {
+    if name.is_empty() {
+        return Err(RailgunError::InvalidArgument(format!(
+            "{kind} name must not be empty"
+        )));
+    }
+    if name.contains("--") {
+        return Err(RailgunError::InvalidArgument(format!(
+            "{kind} name `{name}` must not contain `--` (reserved as the topic separator)"
+        )));
+    }
+    Ok(())
 }
 
 /// Reply topic for a front-end node.
@@ -106,14 +181,30 @@ pub fn decode_event_request(mut buf: &[u8]) -> Result<EventRequest> {
     })
 }
 
+fn check_version(buf: &mut &[u8], what: &str) -> Result<()> {
+    if !buf.has_remaining() {
+        return Err(RailgunError::Corruption(format!("empty {what}")));
+    }
+    let v = buf.get_u8();
+    if v != WIRE_VERSION {
+        return Err(RailgunError::Corruption(format!(
+            "unsupported {what} wire version {v} (expected {WIRE_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
 /// Encode a [`Reply`].
 pub fn encode_reply(reply: &Reply) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
+    buf.put_u8(WIRE_VERSION);
     put_uvarint(&mut buf, reply.request_id);
     put_bytes(&mut buf, reply.source_topic.as_bytes());
     buf.put_u8(u8::from(reply.duplicate));
     put_uvarint(&mut buf, reply.results.len() as u64);
     for r in &reply.results {
+        put_uvarint(&mut buf, r.query.0);
+        put_uvarint(&mut buf, u64::from(r.index));
         put_bytes(&mut buf, r.name.as_bytes());
         put_uvarint(&mut buf, r.entity.len() as u64);
         for v in &r.entity {
@@ -126,6 +217,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
 
 /// Decode a [`Reply`].
 pub fn decode_reply(mut buf: &[u8]) -> Result<Reply> {
+    check_version(&mut buf, "reply")?;
     let request_id = get_uvarint(&mut buf)?;
     let source_topic = get_string(&mut buf)?;
     if !buf.has_remaining() {
@@ -135,6 +227,8 @@ pub fn decode_reply(mut buf: &[u8]) -> Result<Reply> {
     let n = get_uvarint(&mut buf)? as usize;
     let mut results = Vec::with_capacity(n);
     for _ in 0..n {
+        let query = QueryId(get_uvarint(&mut buf)?);
+        let index = get_uvarint(&mut buf)? as u32;
         let name = get_string(&mut buf)?;
         let ne = get_uvarint(&mut buf)? as usize;
         let mut entity = Vec::with_capacity(ne);
@@ -143,6 +237,8 @@ pub fn decode_reply(mut buf: &[u8]) -> Result<Reply> {
         }
         let value = railgun_types::encode::get_value(&mut buf)?;
         results.push(AggregationResult {
+            query,
+            index,
             name,
             entity,
             value,
@@ -159,6 +255,7 @@ pub fn decode_reply(mut buf: &[u8]) -> Result<Reply> {
 const OP_CREATE_STREAM: u8 = 1;
 const OP_DELETE_STREAM: u8 = 2;
 const OP_REGISTER_QUERY: u8 = 3;
+const OP_UNREGISTER_QUERY: u8 = 4;
 
 fn encode_field_type(t: FieldType) -> u8 {
     match t {
@@ -184,6 +281,7 @@ fn decode_field_type(b: u8) -> Result<FieldType> {
 /// Encode an [`OpRequest`].
 pub fn encode_op(op: &OpRequest) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
+    buf.put_u8(WIRE_VERSION);
     match op {
         OpRequest::CreateStream {
             stream,
@@ -208,9 +306,14 @@ pub fn encode_op(op: &OpRequest) -> Vec<u8> {
             buf.put_u8(OP_DELETE_STREAM);
             put_bytes(&mut buf, stream.as_bytes());
         }
-        OpRequest::RegisterQuery { query_text } => {
+        OpRequest::RegisterQuery { id, query_text } => {
             buf.put_u8(OP_REGISTER_QUERY);
+            put_uvarint(&mut buf, id.0);
             put_bytes(&mut buf, query_text.as_bytes());
+        }
+        OpRequest::UnregisterQuery { id } => {
+            buf.put_u8(OP_UNREGISTER_QUERY);
+            put_uvarint(&mut buf, id.0);
         }
     }
     buf
@@ -218,8 +321,9 @@ pub fn encode_op(op: &OpRequest) -> Vec<u8> {
 
 /// Decode an [`OpRequest`].
 pub fn decode_op(mut buf: &[u8]) -> Result<OpRequest> {
+    check_version(&mut buf, "op")?;
     if !buf.has_remaining() {
-        return Err(RailgunError::Corruption("empty op".into()));
+        return Err(RailgunError::Corruption("truncated op".into()));
     }
     match buf.get_u8() {
         OP_CREATE_STREAM => {
@@ -251,7 +355,11 @@ pub fn decode_op(mut buf: &[u8]) -> Result<OpRequest> {
             stream: get_string(&mut buf)?,
         }),
         OP_REGISTER_QUERY => Ok(OpRequest::RegisterQuery {
+            id: QueryId(get_uvarint(&mut buf)?),
             query_text: get_string(&mut buf)?,
+        }),
+        OP_UNREGISTER_QUERY => Ok(OpRequest::UnregisterQuery {
+            id: QueryId(get_uvarint(&mut buf)?),
         }),
         other => Err(RailgunError::Corruption(format!("unknown op tag {other}"))),
     }
@@ -322,11 +430,15 @@ mod tests {
             duplicate: true,
             results: vec![
                 AggregationResult {
+                    query: QueryId(7),
+                    index: 0,
                     name: "sum(amount) over sliding 5min".into(),
                     entity: vec![Value::Str("card-1".into())],
                     value: Value::Float(120.5),
                 },
                 AggregationResult {
+                    query: QueryId(7),
+                    index: 1,
                     name: "count(*) over sliding 5min".into(),
                     entity: vec![Value::Str("card-1".into())],
                     value: Value::Int(3),
@@ -335,6 +447,12 @@ mod tests {
         };
         let buf = encode_reply(&reply);
         assert_eq!(decode_reply(&buf).unwrap(), reply);
+        assert_eq!(
+            find_keyed(&reply.results, QueryId(7), 1).unwrap().value,
+            Value::Int(3)
+        );
+        assert!(find_keyed(&reply.results, QueryId(8), 0).is_none());
+        assert!(find_keyed(&reply.results, QueryId(7), 2).is_none());
     }
 
     #[test]
@@ -354,14 +472,43 @@ mod tests {
                 stream: "payments".into(),
             },
             OpRequest::RegisterQuery {
+                id: QueryId(0x1_0000_0001),
                 query_text: "SELECT count(*) FROM payments GROUP BY cardId OVER sliding 5 min"
                     .into(),
+            },
+            OpRequest::UnregisterQuery {
+                id: QueryId(0x1_0000_0001),
             },
         ];
         for op in ops {
             let buf = encode_op(&op);
+            assert_eq!(buf[0], WIRE_VERSION, "version byte leads every op");
             assert_eq!(decode_op(&buf).unwrap(), op, "{op:?}");
         }
+    }
+
+    #[test]
+    fn v1_payloads_rejected_by_version_check() {
+        // A version-1 op started directly with the tag byte (1..=3) —
+        // all outside the 0xA2 version byte, so every v1 payload fails
+        // the version check up front, never silently misdecoding.
+        for tag in [1u8, 2, 3] {
+            let err = decode_op(&[tag, 4, b'a', b'b', b'c', b'd']).unwrap_err();
+            assert!(
+                err.to_string().contains("wire version"),
+                "tag {tag}: {err}"
+            );
+        }
+        let err = decode_reply(&[1, 0, 0]).unwrap_err();
+        assert!(err.to_string().contains("wire version"), "{err}");
+    }
+
+    #[test]
+    fn topic_component_validation() {
+        assert!(validate_topic_component("stream", "payments").is_ok());
+        assert!(validate_topic_component("stream", "").is_err());
+        assert!(validate_topic_component("stream", "pay--ments").is_err());
+        assert!(validate_topic_component("partitioner", "card--id").is_err());
     }
 
     #[test]

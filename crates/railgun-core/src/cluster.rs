@@ -22,7 +22,9 @@ use std::time::{Duration, Instant};
 use railgun_messaging::{BusClock, BusConfig, MessageBus};
 use railgun_types::{RailgunError, Result, Schema, Timestamp, Value};
 
-use crate::frontend::{ClientResponse, FrontEnd};
+use crate::api::{find_keyed, AggregationResult, QueryId};
+use crate::frontend::{ClientResponse, FrontEnd, RegisteredQuery};
+use crate::lang::Query;
 use crate::node::Node;
 use crate::rebalance::RailgunStrategy;
 use crate::task::TaskConfig;
@@ -96,12 +98,41 @@ impl Default for ClusterConfig {
     }
 }
 
-/// Result of a synchronous send.
+/// Result of a synchronous send. Aggregations are keyed by
+/// `(QueryId, index)` — address them with the typed accessors instead of
+/// matching on display names.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SendOutcome {
     pub request_id: u64,
-    pub aggregations: Vec<crate::api::AggregationResult>,
+    pub aggregations: Vec<AggregationResult>,
     pub duplicate: bool,
+}
+
+impl SendOutcome {
+    /// The aggregation keyed `(query, index)`, if present.
+    pub fn get(&self, query: QueryId, index: usize) -> Option<&AggregationResult> {
+        find_keyed(&self.aggregations, query, index)
+    }
+
+    /// The value keyed `(query, index)` as an `f64` (ints widen).
+    pub fn get_f64(&self, query: QueryId, index: usize) -> Option<f64> {
+        self.get(query, index).and_then(|a| a.value.as_f64())
+    }
+
+    /// The value keyed `(query, index)` as an `i64`.
+    pub fn get_i64(&self, query: QueryId, index: usize) -> Option<i64> {
+        self.get(query, index).and_then(|a| a.value.as_i64())
+    }
+
+    /// The value keyed `(query, index)` as a string slice.
+    pub fn get_str(&self, query: QueryId, index: usize) -> Option<&str> {
+        self.get(query, index).and_then(|a| a.value.as_str())
+    }
+
+    /// The value keyed `(query, index)` as a bool.
+    pub fn get_bool(&self, query: QueryId, index: usize) -> Option<bool> {
+        self.get(query, index).and_then(|a| a.value.as_bool())
+    }
 }
 
 /// Correlation handle for an asynchronous send: which node's front-end
@@ -184,10 +215,39 @@ impl Cluster {
         self.settle()
     }
 
-    /// Register a query and propagate it to every unit.
-    pub fn register_query(&mut self, query_text: &str) -> Result<()> {
-        self.nodes[0].register_query(query_text)?;
+    /// Register a textual query and propagate it to every unit. Returns
+    /// the query's stable id — the key its aggregations carry in replies
+    /// and the handle for [`Cluster::unregister_query`].
+    pub fn register_query(&mut self, query_text: &str) -> Result<QueryId> {
+        let id = self.nodes[0].register_query(query_text)?;
+        self.settle()?;
+        Ok(id)
+    }
+
+    /// Register a builder-constructed query (see
+    /// [`crate::lang::QueryBuilder`]) and propagate it to every unit.
+    pub fn register(&mut self, query: &Query) -> Result<QueryId> {
+        let id = self.nodes[0].register_query_ast(query)?;
+        self.settle()?;
+        Ok(id)
+    }
+
+    /// Unregister a query everywhere: its aggregations disappear from
+    /// replies and every task tears down its aggregator state and any
+    /// window cursors nothing else shares.
+    pub fn unregister_query(&mut self, id: QueryId) -> Result<()> {
+        self.nodes[0].unregister_query(id)?;
         self.settle()
+    }
+
+    /// Live query registrations, in id order.
+    pub fn queries(&self) -> Vec<RegisteredQuery> {
+        self.nodes[0].queries()
+    }
+
+    /// Schema of a registered stream, if known.
+    pub fn stream_schema(&self, stream: &str) -> Option<Schema> {
+        self.nodes[0].stream_schema(stream)
     }
 
     /// Remove a stream: broadcasts the deletion (units drop its task
@@ -550,6 +610,39 @@ impl ClusterClient {
     /// automatically when [`ClusterClient::collect`] times out).
     pub fn cancel(&mut self, request_id: u64) -> bool {
         self.frontend.abandon(request_id)
+    }
+
+    /// Register a textual query through this client's front-end.
+    ///
+    /// **Propagation is asynchronous**: the registration travels the ops
+    /// topic and each worker applies it on its next pump, so an event
+    /// sent immediately after this returns may still be processed under
+    /// the old plan (its reply then lacks the new query's aggregations).
+    /// [`Cluster::register_query`] settles the ops topic before
+    /// returning; clients of a threaded cluster have no such barrier —
+    /// registrations converge within the workers' wakeup latency.
+    pub fn register_query(&mut self, query_text: &str) -> Result<QueryId> {
+        self.frontend.register_query(query_text)
+    }
+
+    /// Register a builder-constructed query through this client's
+    /// front-end. Propagation is asynchronous — see
+    /// [`ClusterClient::register_query`].
+    pub fn register(&mut self, query: &Query) -> Result<QueryId> {
+        self.frontend.register_query_ast(query)
+    }
+
+    /// Unregister a query by id. Propagation is asynchronous — see
+    /// [`ClusterClient::register_query`]; replies may carry the query's
+    /// aggregations until every worker has applied the teardown.
+    pub fn unregister_query(&mut self, id: QueryId) -> Result<()> {
+        self.frontend.unregister_query(id)
+    }
+
+    /// Live query registrations this client knows of (kept current as
+    /// its front-end pumps the ops topic).
+    pub fn queries(&self) -> Vec<RegisteredQuery> {
+        self.frontend.queries()
     }
 
     /// Requests still awaiting replies.

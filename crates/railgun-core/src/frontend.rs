@@ -22,20 +22,57 @@ use railgun_types::encode::put_value;
 use railgun_types::{Event, EventId, RailgunError, Result, Schema, Timestamp, Value};
 
 use crate::api::{
-    decode_op, decode_reply, encode_event_request, encode_op, reply_topic_name, topic_name,
-    AggregationResult, EventRequest, OpRequest, CHECKPOINT_TOPIC, OPS_TOPIC,
+    decode_op, decode_reply, encode_event_request, encode_op, find_keyed, reply_topic_name,
+    topic_name, validate_topic_component, AggregationResult, EventRequest, OpRequest, QueryId,
+    CHECKPOINT_TOPIC, OPS_TOPIC,
 };
-use crate::lang::parse_query;
+use crate::lang::{parse_query, Query};
 
 /// A completed client response: every routed topic has replied.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClientResponse {
     pub request_id: u64,
     /// Aggregations from every topic the event was routed to, in leaf
-    /// order per topic.
+    /// order per topic, each keyed by `(query, index)`.
     pub aggregations: Vec<AggregationResult>,
     /// True iff any task reported the event as a duplicate.
     pub duplicate: bool,
+}
+
+impl ClientResponse {
+    /// The aggregation keyed `(query, index)`, if the reply carries it.
+    pub fn get(&self, query: QueryId, index: usize) -> Option<&AggregationResult> {
+        find_keyed(&self.aggregations, query, index)
+    }
+
+    /// The value keyed `(query, index)` as an `f64` (ints widen).
+    pub fn get_f64(&self, query: QueryId, index: usize) -> Option<f64> {
+        self.get(query, index).and_then(|a| a.value.as_f64())
+    }
+
+    /// The value keyed `(query, index)` as an `i64`.
+    pub fn get_i64(&self, query: QueryId, index: usize) -> Option<i64> {
+        self.get(query, index).and_then(|a| a.value.as_i64())
+    }
+
+    /// The value keyed `(query, index)` as a string slice.
+    pub fn get_str(&self, query: QueryId, index: usize) -> Option<&str> {
+        self.get(query, index).and_then(|a| a.value.as_str())
+    }
+
+    /// The value keyed `(query, index)` as a bool.
+    pub fn get_bool(&self, query: QueryId, index: usize) -> Option<bool> {
+        self.get(query, index).and_then(|a| a.value.as_bool())
+    }
+}
+
+/// A query registration known to a front-end (its own or replicated from
+/// the ops topic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisteredQuery {
+    pub id: QueryId,
+    pub text: String,
+    pub query: Query,
 }
 
 #[derive(Debug, Clone)]
@@ -59,8 +96,13 @@ pub struct FrontEnd {
     replies: Consumer,
     ops: Consumer,
     streams: HashMap<String, StreamMeta>,
+    /// Cluster-wide query registry (kept current via the ops topic).
+    queries: HashMap<QueryId, RegisteredQuery>,
     next_request_id: u64,
     next_event_seq: u64,
+    /// Sequence for locally-assigned query ids
+    /// (`node << 32 | next_query_seq`).
+    next_query_seq: u32,
     /// In-flight correlation table: request id → partially-assembled
     /// response (bounded by `max_in_flight`).
     pending: HashMap<u64, Pending>,
@@ -89,8 +131,10 @@ impl FrontEnd {
             replies,
             ops,
             streams: HashMap::new(),
+            queries: HashMap::new(),
             next_request_id: 1,
             next_event_seq: 1,
+            next_query_seq: 1,
             pending: HashMap::new(),
             completed: HashMap::new(),
             max_in_flight: max_in_flight.max(1),
@@ -112,6 +156,12 @@ impl FrontEnd {
             return Err(RailgunError::InvalidArgument(
                 "a stream needs at least one partitioner".into(),
             ));
+        }
+        // Stream and partitioner names both become topic-name components;
+        // reject anything `parse_topic_name` would silently mis-split.
+        validate_topic_component("stream", stream)?;
+        for p in partitioners {
+            validate_topic_component("partitioner", p)?;
         }
         let mut indexes = Vec::with_capacity(partitioners.len());
         for p in partitioners {
@@ -139,9 +189,30 @@ impl FrontEnd {
         Ok(())
     }
 
-    /// Register a query's metrics, validating it against the stream.
-    pub fn register_query(&mut self, query_text: &str) -> Result<()> {
+    /// Register a textual query's metrics, validating it against the
+    /// stream. Returns the query's stable id — the key its aggregations
+    /// carry in replies, and the handle for unregistering it later.
+    pub fn register_query(&mut self, query_text: &str) -> Result<QueryId> {
         let query = parse_query(query_text)?;
+        self.register_parsed(query, query_text.to_owned())
+    }
+
+    /// Register a builder-constructed query. The AST is rendered to its
+    /// textual form for the wire (every node parses it — the same path a
+    /// hand-written statement takes), which [`QueryBuilder`]'s build-time
+    /// validation guarantees is lossless.
+    ///
+    /// [`QueryBuilder`]: crate::lang::QueryBuilder
+    pub fn register_query_ast(&mut self, query: &Query) -> Result<QueryId> {
+        // Enforce the builder↔parser equivalence contract at the
+        // boundary: what the nodes will parse must be exactly what was
+        // built (a real check, not a debug assert — an AST that renders
+        // to different semantics must never reach the ops topic).
+        let text = query.check_text_roundtrip()?;
+        self.register_parsed(query.clone(), text)
+    }
+
+    fn register_parsed(&mut self, query: Query, text: String) -> Result<QueryId> {
         let meta = self
             .streams
             .get(&query.stream)
@@ -161,12 +232,42 @@ impl FrontEnd {
                 query.group_by, query.stream, meta.partitioners
             )));
         }
+        let id = QueryId((u64::from(self.node) << 32) | u64::from(self.next_query_seq));
+        self.next_query_seq += 1;
         let op = OpRequest::RegisterQuery {
-            query_text: query_text.to_owned(),
+            id,
+            query_text: text.clone(),
         };
         self.producer
             .send_to_partition(OPS_TOPIC, 0, &[], encode_op(&op))?;
+        self.queries
+            .insert(id, RegisteredQuery { id, text, query });
+        Ok(id)
+    }
+
+    /// Unregister a query: broadcast the teardown op. The id must be a
+    /// live registration (any front-end's — the registry replicates via
+    /// the ops topic).
+    pub fn unregister_query(&mut self, id: QueryId) -> Result<()> {
+        if !self.queries.contains_key(&id) {
+            return Err(RailgunError::NotFound(format!("query {id}")));
+        }
+        // Broadcast before touching the registry: if the send fails the
+        // query is still running cluster-wide, and it must stay listed
+        // (and re-unregisterable) here.
+        let op = OpRequest::UnregisterQuery { id };
+        self.producer
+            .send_to_partition(OPS_TOPIC, 0, &[], encode_op(&op))?;
+        self.queries.remove(&id);
         Ok(())
+    }
+
+    /// Every live query registration this front-end knows of, in id
+    /// order.
+    pub fn queries(&self) -> Vec<RegisteredQuery> {
+        let mut out: Vec<RegisteredQuery> = self.queries.values().cloned().collect();
+        out.sort_by_key(|q| q.id);
+        out
     }
 
     /// Remove a stream (§3.1): broadcast the deletion op and delete the
@@ -184,6 +285,7 @@ impl FrontEnd {
         for p in &meta.partitioners {
             bus.delete_topic(&topic_name(stream, p)).ok();
         }
+        self.queries.retain(|_, q| q.query.stream != stream);
         Ok(())
     }
 
@@ -303,8 +405,33 @@ impl FrontEnd {
                 }
                 Ok(OpRequest::DeleteStream { stream }) => {
                     self.streams.remove(&stream);
+                    // Queries die with their stream, cluster-wide.
+                    self.queries.retain(|_, q| q.query.stream != stream);
                 }
-                _ => {}
+                Ok(OpRequest::RegisterQuery { id, query_text }) => {
+                    if let std::collections::hash_map::Entry::Vacant(slot) =
+                        self.queries.entry(id)
+                    {
+                        // Ops are validated before broadcast, but the ops
+                        // topic is durable and replayed — a registration
+                        // this build's grammar cannot parse (e.g. written
+                        // by a newer build) must not brick the front-end,
+                        // so it is skipped rather than escalated. The
+                        // registry then under-reports it; processing is
+                        // unaffected (units parse independently).
+                        if let Ok(query) = parse_query(&query_text) {
+                            slot.insert(RegisteredQuery {
+                                id,
+                                text: query_text,
+                                query,
+                            });
+                        }
+                    }
+                }
+                Ok(OpRequest::UnregisterQuery { id }) => {
+                    self.queries.remove(&id);
+                }
+                Err(_) => {}
             }
         }
         Ok(())
@@ -358,6 +485,11 @@ impl FrontEnd {
     /// The in-flight cap.
     pub fn max_in_flight(&self) -> usize {
         self.max_in_flight
+    }
+
+    /// Schema of a known stream.
+    pub fn stream_schema(&self, stream: &str) -> Option<Schema> {
+        self.streams.get(stream).map(|m| m.schema.clone())
     }
 
     /// Known streams.

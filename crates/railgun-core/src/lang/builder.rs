@@ -1,0 +1,538 @@
+//! Typed, programmatic construction of the Figure-4 query AST.
+//!
+//! The builder produces exactly the same [`Query`] values the text parser
+//! does, so both front doors compile to identical task plans — the
+//! equivalence contract pinned by `tests/query_lifecycle.rs` and
+//! documented in DESIGN.md § "Client API":
+//!
+//! ```
+//! use railgun_core::lang::{mins, Agg, Query, Window};
+//!
+//! let q = Query::select(Agg::sum("amount"))
+//!     .select(Agg::count())
+//!     .from("payments")
+//!     .group_by(["cardId"])
+//!     .over(Window::sliding(mins(5)))
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(
+//!     q,
+//!     railgun_core::lang::parse_query(
+//!         "SELECT sum(amount), count(*) FROM payments \
+//!          GROUP BY cardId OVER sliding 5 min"
+//!     ).unwrap()
+//! );
+//! ```
+//!
+//! Filters are built from [`field`] and [`lit`] with fluent combinators:
+//!
+//! ```
+//! use railgun_core::lang::{field, mins, Agg, Query, Window};
+//!
+//! let q = Query::select(Agg::count())
+//!     .from("payments")
+//!     .filter(field("amount").gt(100).and(field("country").eq_to("PT")))
+//!     .group_by(["cardId"])
+//!     .over(Window::sliding(mins(5)).delayed_by(mins(1)))
+//!     .build()
+//!     .unwrap();
+//! assert!(q.filter.is_some());
+//! ```
+
+use railgun_types::{RailgunError, Result, TimeDelta, Value};
+
+use crate::expr::{ArithOp, CmpOp};
+use crate::lang::ast::{AggFunc, AggSpec, PExpr, Query, WindowSpec};
+
+/// Window expressions, by their paper name. `Window::sliding(mins(5))`
+/// reads like Figure 4; the alias is the same type the AST stores.
+pub type Window = WindowSpec;
+
+/// `n` milliseconds.
+pub fn millis(n: i64) -> TimeDelta {
+    TimeDelta::from_millis(n)
+}
+
+/// `n` seconds.
+pub fn secs(n: i64) -> TimeDelta {
+    TimeDelta::from_secs(n)
+}
+
+/// `n` minutes.
+pub fn mins(n: i64) -> TimeDelta {
+    TimeDelta::from_minutes(n)
+}
+
+/// `n` hours.
+pub fn hours(n: i64) -> TimeDelta {
+    TimeDelta::from_hours(n)
+}
+
+/// `n` days.
+pub fn days(n: i64) -> TimeDelta {
+    TimeDelta::from_days(n)
+}
+
+/// Constructors for the aggregation functions of Figure 4.
+///
+/// Each returns the [`AggSpec`] the parser would produce for the same
+/// SELECT item.
+pub struct Agg;
+
+impl Agg {
+    /// `count(*)`.
+    pub fn count() -> AggSpec {
+        AggSpec {
+            func: AggFunc::Count,
+            field: None,
+        }
+    }
+
+    /// `count(field)`.
+    pub fn count_field(field: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Count,
+            field: Some(field.into()),
+        }
+    }
+
+    /// `sum(field)`.
+    pub fn sum(field: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Sum,
+            field: Some(field.into()),
+        }
+    }
+
+    /// `avg(field)`.
+    pub fn avg(field: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Avg,
+            field: Some(field.into()),
+        }
+    }
+
+    /// `stdDev(field)` (sample standard deviation).
+    pub fn std_dev(field: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::StdDev,
+            field: Some(field.into()),
+        }
+    }
+
+    /// `max(field)`.
+    pub fn max(field: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Max,
+            field: Some(field.into()),
+        }
+    }
+
+    /// `min(field)`.
+    pub fn min(field: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Min,
+            field: Some(field.into()),
+        }
+    }
+
+    /// `last(field)`.
+    pub fn last(field: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Last,
+            field: Some(field.into()),
+        }
+    }
+
+    /// `prev(field)`.
+    pub fn prev(field: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Prev,
+            field: Some(field.into()),
+        }
+    }
+
+    /// `countDistinct(field)`.
+    pub fn count_distinct(field: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::CountDistinct,
+            field: Some(field.into()),
+        }
+    }
+}
+
+/// A field reference in a filter expression: `field("amount").gt(100)`.
+pub fn field(name: impl Into<String>) -> PExpr {
+    PExpr::Field(name.into())
+}
+
+/// A literal in a filter expression. Usually implicit — comparison
+/// combinators accept `impl Into<PExpr>`, and `i64`/`f64`/`bool`/`&str`
+/// all convert — but available for explicitness.
+pub fn lit(value: impl Into<Value>) -> PExpr {
+    PExpr::Lit(value.into())
+}
+
+impl From<i64> for PExpr {
+    fn from(v: i64) -> Self {
+        PExpr::Lit(Value::Int(v))
+    }
+}
+
+impl From<i32> for PExpr {
+    fn from(v: i32) -> Self {
+        PExpr::Lit(Value::Int(i64::from(v)))
+    }
+}
+
+impl From<f64> for PExpr {
+    fn from(v: f64) -> Self {
+        PExpr::Lit(Value::Float(v))
+    }
+}
+
+impl From<bool> for PExpr {
+    fn from(v: bool) -> Self {
+        PExpr::Lit(Value::Bool(v))
+    }
+}
+
+impl From<&str> for PExpr {
+    fn from(v: &str) -> Self {
+        PExpr::Lit(Value::Str(v.into()))
+    }
+}
+
+impl From<String> for PExpr {
+    fn from(v: String) -> Self {
+        PExpr::Lit(Value::Str(v))
+    }
+}
+
+impl From<Value> for PExpr {
+    fn from(v: Value) -> Self {
+        PExpr::Lit(v)
+    }
+}
+
+impl PExpr {
+    fn cmp(self, op: CmpOp, rhs: impl Into<PExpr>) -> PExpr {
+        PExpr::Cmp(op, Box::new(self), Box::new(rhs.into()))
+    }
+
+    fn arith(self, op: ArithOp, rhs: impl Into<PExpr>) -> PExpr {
+        PExpr::Arith(op, Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// `self = rhs` (named to avoid clashing with [`PartialEq::eq`]).
+    pub fn eq_to(self, rhs: impl Into<PExpr>) -> PExpr {
+        self.cmp(CmpOp::Eq, rhs)
+    }
+
+    /// `self != rhs`.
+    pub fn ne_to(self, rhs: impl Into<PExpr>) -> PExpr {
+        self.cmp(CmpOp::Ne, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: impl Into<PExpr>) -> PExpr {
+        self.cmp(CmpOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: impl Into<PExpr>) -> PExpr {
+        self.cmp(CmpOp::Le, rhs)
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: impl Into<PExpr>) -> PExpr {
+        self.cmp(CmpOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: impl Into<PExpr>) -> PExpr {
+        self.cmp(CmpOp::Ge, rhs)
+    }
+
+    /// `self AND rhs`.
+    pub fn and(self, rhs: impl Into<PExpr>) -> PExpr {
+        PExpr::And(Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// `self OR rhs`.
+    pub fn or(self, rhs: impl Into<PExpr>) -> PExpr {
+        PExpr::Or(Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> PExpr {
+        PExpr::Not(Box::new(self))
+    }
+
+    /// `self IS NULL`.
+    pub fn is_null(self) -> PExpr {
+        PExpr::IsNull(Box::new(self))
+    }
+
+    /// `self IS NOT NULL`.
+    pub fn is_not_null(self) -> PExpr {
+        PExpr::IsNotNull(Box::new(self))
+    }
+}
+
+/// Arithmetic on filter expressions uses the real operators:
+/// `field("amount") + field("fee")`, `field("retries") * 2`.
+impl<R: Into<PExpr>> std::ops::Add<R> for PExpr {
+    type Output = PExpr;
+    fn add(self, rhs: R) -> PExpr {
+        self.arith(ArithOp::Add, rhs)
+    }
+}
+
+impl<R: Into<PExpr>> std::ops::Sub<R> for PExpr {
+    type Output = PExpr;
+    fn sub(self, rhs: R) -> PExpr {
+        self.arith(ArithOp::Sub, rhs)
+    }
+}
+
+impl<R: Into<PExpr>> std::ops::Mul<R> for PExpr {
+    type Output = PExpr;
+    fn mul(self, rhs: R) -> PExpr {
+        self.arith(ArithOp::Mul, rhs)
+    }
+}
+
+impl<R: Into<PExpr>> std::ops::Div<R> for PExpr {
+    type Output = PExpr;
+    fn div(self, rhs: R) -> PExpr {
+        self.arith(ArithOp::Div, rhs)
+    }
+}
+
+impl Query {
+    /// Start building a query from its first SELECT item.
+    pub fn select(agg: AggSpec) -> QueryBuilder {
+        QueryBuilder {
+            select: vec![agg],
+            stream: None,
+            filter: None,
+            group_by: Vec::new(),
+            window: None,
+        }
+    }
+}
+
+/// Fluent builder for [`Query`] — see the [module docs](self) for the
+/// full shape. [`QueryBuilder::build`] validates that the statement is
+/// complete (a stream and a window) and expressible in the textual
+/// grammar, so a built query always survives [`Query::to_text`] →
+/// [`parse_query`](crate::lang::parse_query) unchanged.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    select: Vec<AggSpec>,
+    stream: Option<String>,
+    filter: Option<PExpr>,
+    group_by: Vec<String>,
+    window: Option<WindowSpec>,
+}
+
+impl QueryBuilder {
+    /// Add another SELECT item.
+    pub fn select(mut self, agg: AggSpec) -> Self {
+        self.select.push(agg);
+        self
+    }
+
+    /// The stream the query reads (`FROM`).
+    pub fn from(mut self, stream: impl Into<String>) -> Self {
+        self.stream = Some(stream.into());
+        self
+    }
+
+    /// The filter predicate (`WHERE`). Calling it twice ANDs the
+    /// predicates.
+    pub fn filter(mut self, predicate: PExpr) -> Self {
+        self.filter = Some(match self.filter.take() {
+            Some(existing) => existing.and(predicate),
+            None => predicate,
+        });
+        self
+    }
+
+    /// The grouping fields (`GROUP BY`). Extends any previous call.
+    pub fn group_by<I, S>(mut self, fields: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.group_by.extend(fields.into_iter().map(Into::into));
+        self
+    }
+
+    /// The window expression (`OVER`).
+    pub fn over(mut self, window: WindowSpec) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Finalize into a [`Query`], validating completeness and textual
+    /// expressibility (the wire carries query text).
+    pub fn build(self) -> Result<Query> {
+        let stream = self.stream.ok_or_else(|| {
+            RailgunError::InvalidArgument("query builder: missing `.from(stream)`".into())
+        })?;
+        let window = self.window.ok_or_else(|| {
+            RailgunError::InvalidArgument("query builder: missing `.over(window)`".into())
+        })?;
+        let query = Query {
+            select: self.select,
+            stream,
+            filter: self.filter,
+            group_by: self.group_by,
+            window,
+        };
+        // The wire format is text: render AND re-parse at the build site,
+        // so anything the grammar cannot carry — or would reparse to a
+        // different AST — is rejected now instead of at registration.
+        query.check_text_roundtrip()?;
+        Ok(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse_query;
+
+    #[test]
+    fn builder_matches_parser_q1() {
+        let built = Query::select(Agg::sum("amount"))
+            .select(Agg::count())
+            .from("payments")
+            .group_by(["cardId"])
+            .over(Window::sliding(mins(5)))
+            .build()
+            .unwrap();
+        let parsed = parse_query(
+            "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn builder_matches_parser_with_filter_and_delay() {
+        let built = Query::select(Agg::count())
+            .from("payments")
+            .filter(
+                field("amount")
+                    .gt(100)
+                    .and(field("country").eq_to("PT"))
+                    .or(field("retries").le(2).not()),
+            )
+            .group_by(["cardId"])
+            .over(Window::sliding(secs(30)).delayed_by(mins(2)))
+            .build()
+            .unwrap();
+        let parsed = parse_query(
+            "SELECT count(*) FROM payments \
+             WHERE amount > 100 AND country = 'PT' OR NOT retries <= 2 \
+             GROUP BY cardId OVER sliding 30 s delayed by 2 min",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn to_text_roundtrips_builder_queries() {
+        let queries = [
+            Query::select(Agg::count())
+                .from("s")
+                .over(Window::infinite())
+                .build()
+                .unwrap(),
+            Query::select(Agg::avg("amount"))
+                .select(Agg::count_distinct("merchantId"))
+                .from("payments")
+                .filter(
+                    (field("amount") + field("fee"))
+                        .ge(10.5)
+                        .and(field("email").is_not_null()),
+                )
+                .group_by(["cardId", "merchantId"])
+                .over(Window::tumbling(hours(1)))
+                .build()
+                .unwrap(),
+            Query::select(Agg::max("x"))
+                .from("s")
+                .filter(field("flag").eq_to(true).or(field("note").is_null()))
+                .group_by(["k"])
+                .over(Window::sliding(millis(1500)).delayed_by(days(1)))
+                .build()
+                .unwrap(),
+            // NOT nested *under* a comparison: the unparse must
+            // parenthesize the NOT as a unit or this reparses as
+            // Not(Cmp(..)) instead of Cmp(Not(..), ..).
+            Query::select(Agg::count())
+                .from("s")
+                .filter(field("x").not().eq_to(true))
+                .group_by(["k"])
+                .over(Window::infinite())
+                .build()
+                .unwrap(),
+            Query::select(Agg::count())
+                .from("s")
+                .filter(field("a").is_null().not().and(field("b").gt(1).not().not()))
+                .group_by(["k"])
+                .over(Window::infinite())
+                .build()
+                .unwrap(),
+        ];
+        for q in queries {
+            let text = q.to_text().unwrap();
+            let reparsed = parse_query(&text).unwrap();
+            assert_eq!(reparsed, q, "roundtrip failed for: {text}");
+        }
+    }
+
+    #[test]
+    fn incomplete_builders_rejected() {
+        assert!(Query::select(Agg::count())
+            .over(Window::infinite())
+            .build()
+            .is_err());
+        assert!(Query::select(Agg::count()).from("s").build().is_err());
+    }
+
+    #[test]
+    fn inexpressible_queries_rejected_at_build() {
+        // A stream name the grammar cannot lex.
+        assert!(Query::select(Agg::count())
+            .from("has spaces")
+            .over(Window::infinite())
+            .build()
+            .is_err());
+        // A non-finite float literal.
+        assert!(Query::select(Agg::count())
+            .from("s")
+            .filter(field("x").gt(f64::NAN))
+            .over(Window::infinite())
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn double_filter_ands() {
+        let q = Query::select(Agg::count())
+            .from("s")
+            .filter(field("a").gt(1))
+            .filter(field("b").lt(2))
+            .group_by(["k"])
+            .over(Window::infinite())
+            .build()
+            .unwrap();
+        assert!(matches!(q.filter, Some(PExpr::And(_, _))));
+    }
+}

@@ -6,8 +6,10 @@
 //! performs joins in an enrichment stage before the streaming engine.
 
 pub mod ast;
+pub mod builder;
 pub mod lexer;
 pub mod parser;
 
 pub use ast::{AggFunc, AggSpec, PExpr, Query, WindowKind, WindowSpec};
+pub use builder::{days, field, hours, lit, millis, mins, secs, Agg, QueryBuilder, Window};
 pub use parser::parse_query;

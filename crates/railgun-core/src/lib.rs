@@ -11,7 +11,7 @@
 //! * [`agg`] — incremental aggregators with O(1) insert/evict;
 //! * [`plan`] — shared-prefix task plan DAGs (Figure 6);
 //! * [`task`] — task processors: reservoir + state store + plan (§4.1);
-//! * [`unit`] — processor units running Algorithm 1;
+//! * [`unit`](mod@unit) — processor units running Algorithm 1;
 //! * [`rebalance`] — the sticky, locality-aware assignment strategy
 //!   (Figure 7);
 //! * [`frontend`] — the front-end layer routing events to partitioner
@@ -22,7 +22,11 @@
 //! * [`node`] / [`cluster`] — node assembly and an in-process cluster
 //!   harness used by examples, tests and benches, running either
 //!   deterministically pumped or threaded (`start`/`stop`);
-//! * [`api`] — client-facing types and wire encodings.
+//! * [`api`] — client-facing types and wire encodings, including the
+//!   stable [`QueryId`]s that key reply aggregations;
+//! * [`session`] — the typed client facade: session handles, the
+//!   programmatic query builder's registration path, schema-checked
+//!   named-field event building, and keyed typed replies.
 
 pub mod agg;
 pub mod api;
@@ -35,13 +39,19 @@ pub mod node;
 pub mod plan;
 pub mod rebalance;
 pub mod runtime;
+pub mod session;
 pub mod task;
 pub mod unit;
 
-pub use api::{AggregationResult, EventRequest, OpRequest, Reply};
+pub use api::{find_keyed, AggregationResult, EventRequest, OpRequest, QueryId, Reply};
 pub use cluster::{Cluster, ClusterClient, ClusterConfig, SendOutcome, Ticket};
 pub use runtime::Runtime;
-pub use lang::{parse_query, AggFunc, Query, WindowKind, WindowSpec};
-pub use plan::{MetricHandle, Plan};
+pub use lang::{
+    parse_query, Agg, AggFunc, Query, QueryBuilder, Window, WindowKind, WindowSpec,
+};
+pub use plan::{MetricHandle, MetricRef, Plan, PlanDiff};
 pub use rebalance::RailgunStrategy;
+pub use session::{
+    EventBuilder, QueryHandle, Session, StreamEvent, StreamHandle, TypedReply,
+};
 pub use task::{TaskConfig, TaskProcessor, TaskStats};

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use railgun_messaging::MessageBus;
 use railgun_types::{Result, Schema, Timestamp, Value};
 
+use crate::api::QueryId;
 use crate::frontend::{ClientResponse, FrontEnd};
 use crate::rebalance::RailgunStrategy;
 use crate::runtime::Runtime;
@@ -140,9 +141,31 @@ impl Node {
             .create_stream(&self.bus, stream, schema, partitioners, partitions, replication)
     }
 
-    /// Client entry: register a query through this node.
-    pub fn register_query(&mut self, query_text: &str) -> Result<()> {
+    /// Client entry: register a textual query through this node; returns
+    /// its stable id.
+    pub fn register_query(&mut self, query_text: &str) -> Result<QueryId> {
         self.frontend.register_query(query_text)
+    }
+
+    /// Client entry: register a builder-constructed query through this
+    /// node; returns its stable id.
+    pub fn register_query_ast(&mut self, query: &crate::lang::Query) -> Result<QueryId> {
+        self.frontend.register_query_ast(query)
+    }
+
+    /// Client entry: unregister a query by id.
+    pub fn unregister_query(&mut self, id: QueryId) -> Result<()> {
+        self.frontend.unregister_query(id)
+    }
+
+    /// Live query registrations known to this node's front-end.
+    pub fn queries(&self) -> Vec<crate::frontend::RegisteredQuery> {
+        self.frontend.queries()
+    }
+
+    /// Schema of a stream this node's front-end knows.
+    pub fn stream_schema(&self, stream: &str) -> Option<Schema> {
+        self.frontend.stream_schema(stream)
     }
 
     /// Client entry: delete a stream through this node.

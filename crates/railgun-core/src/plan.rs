@@ -9,6 +9,7 @@
 
 use railgun_types::{RailgunError, Result, Schema};
 
+use crate::api::QueryId;
 use crate::expr::Expr;
 use crate::lang::{AggFunc, Query, WindowSpec};
 
@@ -47,8 +48,21 @@ pub struct GroupNode {
     pub leaves: Vec<LeafId>,
 }
 
-/// Aggregator leaf. `names` collects the display names of every registered
-/// metric sharing this leaf (identical aggregations are computed once).
+/// One registered metric riding on a leaf: which query it belongs to,
+/// its position in that query's SELECT list, and its display name.
+/// Identical aggregations from different queries share one leaf and show
+/// up as multiple refs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricRef {
+    pub query: QueryId,
+    pub index: u32,
+    pub name: String,
+}
+
+/// Aggregator leaf. `refs` lists every registered metric sharing this
+/// leaf (identical aggregations are computed once); a leaf with no refs
+/// is **dead** — detached from the DAG walk, its state torn down, kept in
+/// the vec only so leaf ids (state-key prefixes) stay stable.
 #[derive(Debug)]
 pub struct LeafNode {
     pub group: GroupId,
@@ -57,13 +71,27 @@ pub struct LeafNode {
     pub func: AggFunc,
     pub field_name: Option<String>,
     pub field_index: Option<usize>,
-    pub names: Vec<String>,
+    pub refs: Vec<MetricRef>,
 }
 
-/// A registered metric: which leaf computes it.
+impl LeafNode {
+    /// True while at least one registered metric uses this leaf.
+    pub fn is_live(&self) -> bool {
+        !self.refs.is_empty()
+    }
+
+    /// Display names of the metrics sharing this leaf.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.refs.iter().map(|r| r.name.as_str())
+    }
+}
+
+/// A registered metric: which leaf computes it, and its reply key.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricHandle {
     pub leaf: LeafId,
+    pub query: QueryId,
+    pub index: u32,
     pub name: String,
 }
 
@@ -82,12 +110,19 @@ impl Plan {
         Plan::default()
     }
 
-    /// Merge a parsed query into the plan, sharing prefix nodes, and
-    /// return a handle per SELECT item (in order).
+    /// Merge a query into the plan under its registered id, sharing
+    /// prefix nodes, and return a handle per SELECT item (in order).
     ///
     /// `schema` resolves field names; the same schema must be used for all
-    /// queries of a task (one stream per task).
-    pub fn add_query(&mut self, query: &Query, schema: &Schema) -> Result<Vec<MetricHandle>> {
+    /// queries of a task (one stream per task). Re-adding an id already in
+    /// the plan is idempotent (op-log replays deliver registrations more
+    /// than once).
+    pub fn add_query(
+        &mut self,
+        id: QueryId,
+        query: &Query,
+        schema: &Schema,
+    ) -> Result<Vec<MetricHandle>> {
         // Resolve pieces first so failures leave the plan untouched.
         let filter_expr = query
             .filter
@@ -117,16 +152,89 @@ impl Plan {
         let fid = self.filter_node(wid, filter_expr);
         let gid = self.group_node(fid, &query.group_by, &group_indexes);
         let mut handles = Vec::with_capacity(query.select.len());
-        for (agg, idx) in query.select.iter().zip(leaf_fields) {
-            let name = format!("{} over {}", agg.display(), query.window.display());
-            let leaf = self.leaf_node(gid, agg.func, agg.field.clone(), idx, &name);
-            handles.push(MetricHandle { leaf, name });
+        for (index, (agg, idx)) in query.select.iter().zip(leaf_fields).enumerate() {
+            let name = query.metric_name(index).expect("index is in range");
+            let metric = MetricRef {
+                query: id,
+                index: index as u32,
+                name: name.clone(),
+            };
+            let leaf = self.leaf_node(gid, agg.func, agg.field.clone(), idx, metric);
+            handles.push(MetricHandle {
+                leaf,
+                query: id,
+                index: index as u32,
+                name,
+            });
         }
         Ok(handles)
     }
 
+    /// Detach every metric of `id` from the plan and report what died.
+    ///
+    /// Leaves that lose their last ref are detached from their group's
+    /// walk list (their ids — and therefore everyone else's state keys —
+    /// stay stable) and reported so the task can delete their aggregator
+    /// state. Groups, filters and windows whose subtrees empty out are
+    /// pruned the same way; windows that end up with no filters are
+    /// reported so their reservoir cursors can be dropped.
+    pub fn remove_query(&mut self, id: QueryId) -> PlanDiff {
+        let mut diff = PlanDiff::default();
+        for (leaf_id, leaf) in self.leaves.iter_mut().enumerate() {
+            let before = leaf.refs.len();
+            leaf.refs.retain(|r| r.query != id);
+            diff.removed_refs += before - leaf.refs.len();
+            if before > 0 && leaf.refs.is_empty() {
+                diff.dead_leaves.push(leaf_id);
+            }
+        }
+        if diff.removed_refs == 0 {
+            return diff;
+        }
+        // Prune empty subtrees bottom-up, keeping every node id stable.
+        for group in &mut self.groups {
+            group
+                .leaves
+                .retain(|&l| !self.leaves[l].refs.is_empty());
+        }
+        for filter in &mut self.filters {
+            filter
+                .groups
+                .retain(|&g| !self.groups[g].leaves.is_empty());
+        }
+        for (wid, window) in self.windows.iter_mut().enumerate() {
+            let before = window.filters.len();
+            window
+                .filters
+                .retain(|&f| !self.filters[f].groups.is_empty());
+            if before > 0 && window.filters.is_empty() {
+                diff.dead_windows.push(wid);
+            }
+        }
+        diff
+    }
+
+    /// The distinct query ids currently registered in the plan.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        let mut ids: Vec<QueryId> = self
+            .leaves
+            .iter()
+            .flat_map(|l| l.refs.iter().map(|r| r.query))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     fn window_node(&mut self, spec: WindowSpec) -> WindowId {
-        if let Some(i) = self.windows.iter().position(|w| w.spec == spec) {
+        // Dead windows (no filters after pruning) are never revived: a
+        // revived window would need fresh backfill cursors, so re-use of
+        // the spec gets a fresh node instead.
+        if let Some(i) = self
+            .windows
+            .iter()
+            .position(|w| w.spec == spec && !w.filters.is_empty())
+        {
             return i;
         }
         self.windows.push(WindowNode {
@@ -184,13 +292,17 @@ impl Plan {
         func: AggFunc,
         field_name: Option<String>,
         field_index: Option<usize>,
-        name: &str,
+        metric: MetricRef,
     ) -> LeafId {
         if let Some(&i) = self.groups[group].leaves.iter().find(|&&i| {
             self.leaves[i].func == func && self.leaves[i].field_index == field_index
         }) {
-            if !self.leaves[i].names.iter().any(|n| n == name) {
-                self.leaves[i].names.push(name.to_owned());
+            if !self.leaves[i]
+                .refs
+                .iter()
+                .any(|r| r.query == metric.query && r.index == metric.index)
+            {
+                self.leaves[i].refs.push(metric);
             }
             return i;
         }
@@ -203,26 +315,41 @@ impl Plan {
             func,
             field_name,
             field_index,
-            names: vec![name.to_owned()],
+            refs: vec![metric],
         });
         let id = self.leaves.len() - 1;
         self.groups[group].leaves.push(id);
         id
     }
 
-    /// Number of state-store keys touched per event — the paper's "amount
-    /// of keys accessed per event match the number of DAG's leaves".
+    /// Number of **live** state-store keys touched per event — the
+    /// paper's "amount of keys accessed per event match the number of
+    /// DAG's leaves". Dead (unregistered) leaves don't count.
     pub fn leaf_count(&self) -> usize {
-        self.leaves.len()
+        self.leaves.iter().filter(|l| l.is_live()).count()
     }
 
-    /// True iff any window never expires events (disables reservoir
-    /// truncation).
+    /// True iff any **live** window never expires events (disables
+    /// reservoir truncation).
     pub fn has_infinite_window(&self) -> bool {
-        self.windows
-            .iter()
-            .any(|w| matches!(w.spec.kind, crate::lang::WindowKind::Infinite))
+        self.windows.iter().any(|w| {
+            !w.filters.is_empty()
+                && matches!(w.spec.kind, crate::lang::WindowKind::Infinite)
+        })
     }
+}
+
+/// What [`Plan::remove_query`] tore out of the plan.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PlanDiff {
+    /// Metric refs removed (0 ⇒ the query was not in this plan).
+    pub removed_refs: usize,
+    /// Leaves that lost their last ref — their aggregator state can be
+    /// deleted.
+    pub dead_leaves: Vec<LeafId>,
+    /// Windows that lost their last filter — their reservoir cursors can
+    /// be dropped.
+    pub dead_windows: Vec<WindowId>,
 }
 
 #[cfg(test)]
@@ -240,6 +367,10 @@ mod tests {
         .unwrap()
     }
 
+    fn qid(n: u64) -> QueryId {
+        QueryId(n)
+    }
+
     #[test]
     fn figure_6_dag_shape() {
         // Q1 + Q2 of Example 1: one shared window, two group-bys, three
@@ -253,13 +384,14 @@ mod tests {
             "SELECT avg(amount) FROM payments GROUP BY merchantId OVER sliding 5 min",
         )
         .unwrap();
-        plan.add_query(&q1, &schema()).unwrap();
-        plan.add_query(&q2, &schema()).unwrap();
+        plan.add_query(qid(1), &q1, &schema()).unwrap();
+        plan.add_query(qid(2), &q2, &schema()).unwrap();
         assert_eq!(plan.windows.len(), 1, "shared window node");
         assert_eq!(plan.filters.len(), 1, "shared pass-through filter");
         assert_eq!(plan.groups.len(), 2, "card + merchant group-bys");
         assert_eq!(plan.leaves.len(), 3, "sum, count, avg");
         assert_eq!(plan.leaf_count(), 3);
+        assert_eq!(plan.query_ids(), vec![qid(1), qid(2)]);
     }
 
     #[test]
@@ -269,23 +401,27 @@ mod tests {
             parse_query("SELECT count(*) FROM s GROUP BY cardId OVER sliding 5 min").unwrap();
         let q2 =
             parse_query("SELECT count(*) FROM s GROUP BY cardId OVER sliding 10 min").unwrap();
-        plan.add_query(&q1, &schema()).unwrap();
-        plan.add_query(&q2, &schema()).unwrap();
+        plan.add_query(qid(1), &q1, &schema()).unwrap();
+        plan.add_query(qid(2), &q2, &schema()).unwrap();
         assert_eq!(plan.windows.len(), 2);
         assert_eq!(plan.leaves.len(), 2);
     }
 
     #[test]
-    fn identical_metric_shares_leaf_with_alias() {
+    fn identical_metric_shares_leaf_with_two_refs() {
         let mut plan = Plan::new();
         let q = parse_query(
             "SELECT sum(amount) FROM s GROUP BY cardId OVER sliding 5 min",
         )
         .unwrap();
-        let h1 = plan.add_query(&q, &schema()).unwrap();
-        let h2 = plan.add_query(&q, &schema()).unwrap();
+        let h1 = plan.add_query(qid(1), &q, &schema()).unwrap();
+        let h2 = plan.add_query(qid(2), &q, &schema()).unwrap();
         assert_eq!(h1[0].leaf, h2[0].leaf);
         assert_eq!(plan.leaves.len(), 1);
+        assert_eq!(plan.leaves[0].refs.len(), 2, "one ref per registration");
+        // Replaying the same registration id is idempotent.
+        plan.add_query(qid(1), &q, &schema()).unwrap();
+        assert_eq!(plan.leaves[0].refs.len(), 2);
     }
 
     #[test]
@@ -303,9 +439,9 @@ mod tests {
             "SELECT sum(amount) FROM s WHERE amount > 100 GROUP BY cardId OVER sliding 5 min",
         )
         .unwrap();
-        plan.add_query(&q1, &schema()).unwrap();
-        plan.add_query(&q2, &schema()).unwrap();
-        plan.add_query(&q3, &schema()).unwrap();
+        plan.add_query(qid(1), &q1, &schema()).unwrap();
+        plan.add_query(qid(2), &q2, &schema()).unwrap();
+        plan.add_query(qid(3), &q3, &schema()).unwrap();
         assert_eq!(plan.windows.len(), 1);
         assert_eq!(plan.filters.len(), 2, "two distinct predicates");
         assert_eq!(plan.groups.len(), 2, "one group node per filter branch");
@@ -319,14 +455,14 @@ mod tests {
             "SELECT sum(nope) FROM s GROUP BY cardId OVER sliding 5 min",
         )
         .unwrap();
-        assert!(plan.add_query(&q, &schema()).is_err());
+        assert!(plan.add_query(qid(1), &q, &schema()).is_err());
         assert_eq!(plan.windows.len(), 0);
         assert_eq!(plan.leaves.len(), 0);
         let q2 = parse_query(
             "SELECT sum(amount) FROM s GROUP BY nope OVER sliding 5 min",
         )
         .unwrap();
-        assert!(plan.add_query(&q2, &schema()).is_err());
+        assert!(plan.add_query(qid(2), &q2, &schema()).is_err());
         assert_eq!(plan.groups.len(), 0);
     }
 
@@ -344,7 +480,7 @@ mod tests {
             group_by: vec!["cardId".into()],
             window: WindowSpec::sliding(TimeDelta::from_minutes(1)),
         };
-        assert!(plan.add_query(&q, &schema()).is_err());
+        assert!(plan.add_query(qid(1), &q, &schema()).is_err());
     }
 
     #[test]
@@ -352,7 +488,71 @@ mod tests {
         let mut plan = Plan::new();
         let q = parse_query("SELECT countDistinct(merchantId) FROM s GROUP BY cardId OVER infinite")
             .unwrap();
-        plan.add_query(&q, &schema()).unwrap();
+        plan.add_query(qid(1), &q, &schema()).unwrap();
         assert!(plan.has_infinite_window());
+        // ...and it stops counting once the query is unregistered.
+        plan.remove_query(qid(1));
+        assert!(!plan.has_infinite_window());
+    }
+
+    #[test]
+    fn remove_query_reports_dead_leaves_and_windows() {
+        let mut plan = Plan::new();
+        let q1 = parse_query(
+            "SELECT sum(amount), count(*) FROM s GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        let q2 = parse_query(
+            "SELECT count(*) FROM s GROUP BY cardId OVER sliding 10 min",
+        )
+        .unwrap();
+        plan.add_query(qid(1), &q1, &schema()).unwrap();
+        plan.add_query(qid(2), &q2, &schema()).unwrap();
+        assert_eq!(plan.leaf_count(), 3);
+
+        let diff = plan.remove_query(qid(1));
+        assert_eq!(diff.removed_refs, 2);
+        assert_eq!(diff.dead_leaves, vec![0, 1], "sum + count of q1");
+        assert_eq!(diff.dead_windows, vec![0], "the 5-min window died");
+        assert_eq!(plan.leaf_count(), 1, "q2's count survives");
+        assert_eq!(plan.query_ids(), vec![qid(2)]);
+
+        // Removing an unknown/already-removed id is a no-op.
+        let diff = plan.remove_query(qid(1));
+        assert_eq!(diff, PlanDiff::default());
+    }
+
+    #[test]
+    fn shared_leaf_survives_partial_removal() {
+        let mut plan = Plan::new();
+        let q = parse_query(
+            "SELECT sum(amount) FROM s GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        plan.add_query(qid(1), &q, &schema()).unwrap();
+        plan.add_query(qid(2), &q, &schema()).unwrap();
+        let diff = plan.remove_query(qid(1));
+        assert_eq!(diff.removed_refs, 1);
+        assert!(diff.dead_leaves.is_empty(), "q2 still uses the leaf");
+        assert!(diff.dead_windows.is_empty());
+        assert_eq!(plan.leaf_count(), 1);
+    }
+
+    #[test]
+    fn dead_window_is_not_revived_by_reregistration() {
+        let mut plan = Plan::new();
+        let q = parse_query(
+            "SELECT count(*) FROM s GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        plan.add_query(qid(1), &q, &schema()).unwrap();
+        plan.remove_query(qid(1));
+        // Same window spec again: a *fresh* window node (the old one's
+        // runtime cursors are gone; a revival would skip backfill).
+        plan.add_query(qid(2), &q, &schema()).unwrap();
+        assert_eq!(plan.windows.len(), 2);
+        assert!(plan.windows[0].filters.is_empty(), "old node stays dead");
+        assert_eq!(plan.windows[1].filters.len(), 1);
+        assert_eq!(plan.leaf_count(), 1);
     }
 }

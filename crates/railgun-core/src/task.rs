@@ -34,8 +34,8 @@ use railgun_types::{
 };
 
 use crate::agg::{AggContext, AggState};
-use crate::api::AggregationResult;
-use crate::keys::state_key;
+use crate::api::{AggregationResult, QueryId};
+use crate::keys::{leaf_prefix, state_key};
 use crate::lang::{Query, WindowKind};
 use crate::plan::{LeafId, MetricHandle, Plan, WindowId};
 
@@ -95,7 +95,10 @@ pub struct TaskProcessor {
     reservoir: Reservoir,
     db: Db,
     aux_cf: ColumnFamilyId,
-    windows: Vec<WindowRuntime>,
+    /// One runtime per plan window node, index-aligned with
+    /// `plan.windows`. `None` = the window died with its last query
+    /// (cursors dropped, §5.2's iterator count shrinks accordingly).
+    windows: Vec<Option<WindowRuntime>>,
     config: TaskConfig,
     stats: TaskStats,
     events_since_truncate: u64,
@@ -158,12 +161,27 @@ impl TaskProcessor {
         &self.schema
     }
 
-    /// Register a query's metrics on this task. New windows create head and
-    /// tail cursors; the head starts far enough back to **backfill** the
-    /// new metric from events already in the reservoir (§6's future work,
-    /// supported here via the reservoir's random reads).
+    /// Register a query's metrics on this task under an anonymous id
+    /// derived from the query text (convenience for single-process and
+    /// test use; the cluster path assigns front-end ids — see
+    /// [`TaskProcessor::register_query_as`]).
     pub fn register_query(&mut self, query: &Query) -> Result<Vec<MetricHandle>> {
-        let handles = self.plan.add_query(query, &self.schema)?;
+        self.register_query_as(derived_query_id(query), query)
+    }
+
+    /// Register a query's metrics on this task under `id`. New windows
+    /// create head and tail cursors; the head starts far enough back to
+    /// **backfill** the new metric from events already in the reservoir
+    /// (§6's future work, supported here via the reservoir's random
+    /// reads). Re-registering the same id is idempotent.
+    pub fn register_query_as(
+        &mut self,
+        id: QueryId,
+        query: &Query,
+    ) -> Result<Vec<MetricHandle>> {
+        let pre_leaf_count = self.plan.leaves.len();
+        let pre_window_count = self.windows.len();
+        let handles = self.plan.add_query(id, query, &self.schema)?;
         // Create runtimes for any window nodes added by this query.
         while self.windows.len() < self.plan.windows.len() {
             let wid = self.windows.len();
@@ -193,14 +211,116 @@ impl TaskProcessor {
                 WindowKind::Sliding(_) => Some(self.reservoir.cursor_at(from)),
                 _ => None,
             };
-            self.windows.push(WindowRuntime {
+            self.windows.push(Some(WindowRuntime {
                 head,
                 tail,
                 head_bound: Timestamp::MIN,
                 tail_bound: Timestamp::MIN,
-            });
+            }));
+        }
+        // A brand-new leaf attached to a *pre-existing* window gets no
+        // events from that window's (already advanced) head cursor, so it
+        // must backfill the window's current content directly — otherwise
+        // a metric re-registered onto a shared window (or a new
+        // aggregation added to one) would silently start from zero.
+        let mut seen = Vec::new();
+        for h in &handles {
+            if h.leaf < pre_leaf_count || seen.contains(&h.leaf) {
+                continue; // shared leaf: its state is already live
+            }
+            seen.push(h.leaf);
+            if self.plan.leaves[h.leaf].window < pre_window_count {
+                self.backfill_leaf(h.leaf)?;
+            }
         }
         Ok(handles)
+    }
+
+    /// Replay the current content of an existing window into one fresh
+    /// leaf (filter applied, inserts only). The window's in-content range
+    /// is derived from its runtime bounds: events already inserted
+    /// (`ts < head_bound`) and not yet evicted.
+    fn backfill_leaf(&mut self, leaf: LeafId) -> Result<()> {
+        let leaf_node = &self.plan.leaves[leaf];
+        let (wid, fid, gid) = (leaf_node.window, leaf_node.filter, leaf_node.group);
+        let Some(wr) = self.windows[wid].as_ref() else {
+            return Ok(());
+        };
+        let upper = wr.head_bound;
+        if upper == Timestamp::MIN {
+            // Nothing has flowed through the window yet: the head cursor
+            // still covers everything the leaf needs to see.
+            return Ok(());
+        }
+        let spec = self.plan.windows[wid].spec;
+        let lower = match spec.kind {
+            WindowKind::Sliding(_) => wr.tail_bound,
+            // Only the bucket the window currently reports matters.
+            WindowKind::Tumbling(ws) => (upper - TimeDelta::from_millis(1)).align_down(ws),
+            WindowKind::Infinite => Timestamp::MIN,
+        };
+        let cursor = self.reservoir.cursor_at(lower);
+        let mut events = Vec::new();
+        cursor.advance_upto_into(upper, &mut events);
+        drop(cursor);
+        for event in &events {
+            let passes = match &self.plan.filters[fid].expr {
+                Some(expr) => expr.matches(event.values()),
+                None => true,
+            };
+            if passes {
+                self.update_leaf(leaf, gid, event, true)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Tear down a registered query: detach its metrics from the plan,
+    /// delete the aggregator state of leaves nothing else shares, and
+    /// drop the reservoir cursors of windows no other query uses.
+    ///
+    /// Returns `true` iff the query had metrics on this task.
+    pub fn unregister_query(&mut self, id: QueryId) -> Result<bool> {
+        let diff = self.plan.remove_query(id);
+        if diff.removed_refs == 0 {
+            return Ok(false);
+        }
+        let mut distinct_prefixes: Vec<[u8; 4]> = Vec::new();
+        for &leaf in &diff.dead_leaves {
+            // Aggregator state in the default CF: bounded prefix scan.
+            let prefix = leaf_prefix(leaf as u32);
+            for (key, _) in self.db.scan_prefix(Db::DEFAULT_CF, &prefix)? {
+                self.db.delete(Db::DEFAULT_CF, &key)?;
+                self.stats.state_writes += 1;
+            }
+            if self.plan.leaves[leaf].func == crate::lang::AggFunc::CountDistinct {
+                distinct_prefixes.push(prefix);
+            }
+        }
+        // `countDistinct` aux counters embed the state key
+        // length-prefixed, so they are matched by decoding rather than by
+        // raw prefix — one pass over the aux CF covers every dead leaf.
+        if !distinct_prefixes.is_empty() {
+            for (key, _) in self.db.scan_prefix(self.aux_cf, &[])? {
+                if distinct_prefixes
+                    .iter()
+                    .any(|p| aux_key_has_leaf(&key, p))
+                {
+                    self.db.delete(self.aux_cf, &key)?;
+                }
+            }
+        }
+        for &wid in &diff.dead_windows {
+            // Dropping the runtime drops its head/tail cursors — the
+            // §5.2(b) iterator count shrinks immediately.
+            self.windows[wid] = None;
+        }
+        Ok(true)
+    }
+
+    /// The ids of the queries registered on this task.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.plan.query_ids()
     }
 
     /// Process one event end-to-end: advance windows, store the event,
@@ -218,12 +338,12 @@ impl TaskProcessor {
         for wid in 0..nwindows {
             let spec = self.plan.windows[wid].spec;
             self.expired_bufs[wid].clear();
-            if let (WindowKind::Sliding(ws), Some(tail)) =
-                (spec.kind, self.windows[wid].tail.as_ref())
-            {
+            let Some(wr) = self.windows[wid].as_mut() else {
+                continue; // window torn down with its last query
+            };
+            if let (WindowKind::Sliding(ws), Some(tail)) = (spec.kind, wr.tail.as_ref()) {
                 let lower = t_eval - spec.delay - ws;
                 tail.advance_upto_into(lower, &mut self.expired_bufs[wid]);
-                let wr = &mut self.windows[wid];
                 wr.tail_bound = wr.tail_bound.max(lower);
             }
         }
@@ -248,19 +368,21 @@ impl TaskProcessor {
 
         // Phase 3: per window, collect entering events and apply the DAG.
         for wid in 0..nwindows {
+            if self.windows[wid].is_none() {
+                continue;
+            }
             let spec = self.plan.windows[wid].spec;
             let upper = t_eval - spec.delay;
             let lower = match spec.kind {
                 WindowKind::Sliding(ws) => upper - ws,
                 WindowKind::Tumbling(_) | WindowKind::Infinite => Timestamp::MIN,
             };
-            let head_bound_pre = self.windows[wid].head_bound;
+            let wr = self.windows[wid].as_mut().expect("checked above");
+            let head_bound_pre = wr.head_bound;
             let mut entering = std::mem::take(&mut self.entering_buf);
             entering.clear();
-            self.windows[wid]
-                .head
-                .advance_upto_into(upper, &mut entering);
-            self.windows[wid].head_bound = self.windows[wid].head_bound.max(upper);
+            wr.head.advance_upto_into(upper, &mut entering);
+            wr.head_bound = wr.head_bound.max(upper);
             // Direct insert of a late (or timestamp-rewritten) arrival that
             // the head's fixup skipped (ts < head_bound_pre). The lower
             // gate is the tail cursor's *monotonic* bound: an event at or
@@ -268,7 +390,7 @@ impl TaskProcessor {
             // inserting it here keeps the streams paired; anything below it
             // was skipped by the tail too and must not enter.
             let _ = lower;
-            let tail_gate = self.windows[wid].tail_bound;
+            let tail_gate = wr.tail_bound;
             if let Some(ts) = effective_ts {
                 if ts < head_bound_pre && ts >= tail_gate {
                     entering.push(if ts == event.ts {
@@ -381,7 +503,10 @@ impl TaskProcessor {
         self.db.put(Db::DEFAULT_CF, &key, &self.encode_buf)
     }
 
-    /// Read the current value of every leaf for the event's entities.
+    /// Read the current value of every live leaf for the event's
+    /// entities, emitting one keyed result per registered metric — a leaf
+    /// shared by several queries is read once and reported under each
+    /// `(query, index)` key.
     fn collect_results(
         &mut self,
         event: &Event,
@@ -389,6 +514,9 @@ impl TaskProcessor {
     ) -> Result<Vec<AggregationResult>> {
         let mut out = Vec::with_capacity(self.plan.leaves.len());
         for (leaf_idx, leaf) in self.plan.leaves.iter().enumerate() {
+            if !leaf.is_live() {
+                continue; // unregistered
+            }
             let group = &self.plan.groups[leaf.group];
             let spec = self.plan.windows[leaf.window].spec;
             let bucket = match spec.kind {
@@ -411,11 +539,28 @@ impl TaskProcessor {
                 Some(v) => v?,
                 None => AggState::new(leaf.func).value(),
             };
-            out.push(AggregationResult {
-                name: leaf.names[0].clone(),
-                entity,
-                value,
-            });
+            // Move entity/value into the last ref; clone only for the
+            // extra refs of a shared leaf (refs.len() == 1 is the common
+            // case — no per-event clone on the hot path).
+            let last = leaf.refs.len() - 1;
+            let mut value = value;
+            for (i, r) in leaf.refs.iter().enumerate() {
+                let (e, v) = if i == last {
+                    (
+                        std::mem::take(&mut entity),
+                        std::mem::replace(&mut value, Value::Null),
+                    )
+                } else {
+                    (entity.clone(), value.clone())
+                };
+                out.push(AggregationResult {
+                    query: r.query,
+                    index: r.index,
+                    name: r.name.clone(),
+                    entity: e,
+                    value: v,
+                });
+            }
         }
         Ok(out)
     }
@@ -424,13 +569,14 @@ impl TaskProcessor {
         if self.plan.has_infinite_window() {
             return Ok(()); // keep full history
         }
-        if self.plan.windows.is_empty() {
-            // No metrics registered yet: nothing bounds retention, and
-            // future metrics may backfill from any depth — keep everything.
-            return Ok(());
-        }
+        // Only live windows bound retention; a torn-down window must not
+        // keep pinning history. With no live metrics nothing bounds
+        // retention — and future metrics may backfill from any depth — so
+        // keep everything.
         let mut max_span = TimeDelta::ZERO;
-        for w in &self.plan.windows {
+        let mut any_live = false;
+        for w in self.plan.windows.iter().filter(|w| !w.filters.is_empty()) {
+            any_live = true;
             let span = match w.spec.kind {
                 WindowKind::Sliding(ws) | WindowKind::Tumbling(ws) => ws + w.spec.delay,
                 WindowKind::Infinite => return Ok(()),
@@ -438,6 +584,9 @@ impl TaskProcessor {
             if span > max_span {
                 max_span = span;
             }
+        }
+        if !any_live {
+            return Ok(());
         }
         let before = t_eval - max_span - self.config.retention_margin;
         self.reservoir.truncate_before(before)?;
@@ -507,6 +656,31 @@ impl TaskProcessor {
     /// Number of live reservoir cursors (the paper's "iterators", §5.2(b)).
     pub fn iterator_count(&self) -> usize {
         self.reservoir.stats().cursors
+    }
+}
+
+/// Stable anonymous id for direct (non-cluster) registrations: an FxHash
+/// of the query's textual form, with the high bit set so it can never
+/// collide with front-end-assigned ids (front-end ids embed node ids,
+/// which stay far below 2^31).
+fn derived_query_id(query: &Query) -> QueryId {
+    use std::hash::Hasher;
+    let mut h = railgun_types::hash::FxHasher::default();
+    match query.to_text() {
+        Ok(text) => h.write(text.as_bytes()),
+        Err(_) => h.write(format!("{query:?}").as_bytes()),
+    }
+    QueryId(h.finish() | (1 << 63))
+}
+
+/// True iff `aux_key` belongs to a state key starting with `prefix`.
+/// Aux keys are `uvarint(state_key.len()) ++ state_key ++ value-bytes`
+/// (see `agg::aux_key`).
+fn aux_key_has_leaf(aux_key: &[u8], prefix: &[u8]) -> bool {
+    let mut cur = aux_key;
+    match railgun_types::encode::get_uvarint(&mut cur) {
+        Ok(len) => cur.len() >= len as usize && cur[..prefix.len().min(cur.len())] == *prefix,
+        Err(_) => false,
     }
 }
 
@@ -864,6 +1038,167 @@ mod tests {
         let after = tp.stats();
         // 3 leaves → 3 insert writes (no expiry yet).
         assert_eq!(after.state_writes - before.state_writes, 3);
+    }
+
+    #[test]
+    fn unregister_tears_down_state_and_cursors() {
+        let mut tp = proc("unregister");
+        let q1 = parse_query(
+            "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        let q2 = parse_query(
+            "SELECT countDistinct(merchantId) FROM payments GROUP BY cardId OVER infinite",
+        )
+        .unwrap();
+        let h1 = tp.register_query(&q1).unwrap();
+        let h2 = tp.register_query(&q2).unwrap();
+        let qid1 = h1[0].query;
+        let qid2 = h2[0].query;
+        assert_eq!(tp.query_ids(), {
+            let mut ids = vec![qid1, qid2];
+            ids.sort_unstable();
+            ids
+        });
+        for i in 0..5 {
+            tp.process_event(&ev(i, 1_000 * i as i64, "A", "m", 2.0)).unwrap();
+        }
+        let cursors_before = tp.iterator_count();
+        assert_eq!(tp.leaf_count(), 3);
+
+        // Tear q1 down: its sliding window (head+tail cursors) dies, its
+        // two leaves' state is deleted, q2 keeps serving.
+        assert!(tp.unregister_query(qid1).unwrap());
+        assert_eq!(tp.leaf_count(), 1, "only countDistinct remains");
+        assert!(
+            tp.iterator_count() < cursors_before,
+            "dead window must drop its cursors ({} -> {})",
+            cursors_before,
+            tp.iterator_count()
+        );
+        // Default-CF state of the dead leaves (prefix 0 and 1) is gone.
+        assert!(tp
+            .db
+            .scan_prefix(Db::DEFAULT_CF, &leaf_prefix(0))
+            .unwrap()
+            .is_empty());
+        assert!(tp
+            .db
+            .scan_prefix(Db::DEFAULT_CF, &leaf_prefix(1))
+            .unwrap()
+            .is_empty());
+
+        // Replies no longer carry q1's aggregations.
+        let (r, _) = tp.process_event(&ev(100, 6_000, "A", "m2", 3.0)).unwrap();
+        assert!(r.iter().all(|a| a.query == qid2), "{r:?}");
+        assert_eq!(result_value(&r, "countDistinct"), Value::Int(2));
+
+        // Unregistering twice is a no-op.
+        assert!(!tp.unregister_query(qid1).unwrap());
+    }
+
+    #[test]
+    fn unregister_count_distinct_clears_aux_state() {
+        let mut tp = proc("unregister-aux");
+        let q = parse_query(
+            "SELECT countDistinct(merchantId) FROM payments GROUP BY cardId OVER infinite",
+        )
+        .unwrap();
+        let h = tp.register_query(&q).unwrap();
+        tp.process_event(&ev(1, 0, "A", "m1", 1.0)).unwrap();
+        tp.process_event(&ev(2, 1_000, "A", "m2", 1.0)).unwrap();
+        assert!(!tp.db.scan_prefix(tp.aux_cf, &[]).unwrap().is_empty());
+        tp.unregister_query(h[0].query).unwrap();
+        assert!(
+            tp.db.scan_prefix(tp.aux_cf, &[]).unwrap().is_empty(),
+            "aux counters torn down with the leaf"
+        );
+    }
+
+    #[test]
+    fn reregistration_after_unregister_starts_fresh_with_backfill() {
+        let mut tp = proc("rereg");
+        let q = parse_query(
+            "SELECT count(*) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        let h = tp.register_query(&q).unwrap();
+        for i in 0..4 {
+            tp.process_event(&ev(i, 1_000 + 100 * i as i64, "A", "m", 1.0))
+                .unwrap();
+        }
+        tp.unregister_query(h[0].query).unwrap();
+        // Re-register (the derived id is the same — that's fine, the old
+        // plan nodes are dead): a fresh leaf backfills from the reservoir.
+        tp.register_query(&q).unwrap();
+        let (r, _) = tp.process_event(&ev(99, 2_000, "A", "m", 1.0)).unwrap();
+        assert_eq!(
+            result_value(&r, "count(*)"),
+            Value::Int(5),
+            "4 backfilled + 1 new"
+        );
+    }
+
+    #[test]
+    fn new_leaf_on_live_shared_window_backfills() {
+        // q1 keeps the 5-min window alive; q2 is unregistered and then
+        // re-registered onto the *same live* window — its fresh leaf must
+        // backfill the window's current content to stay exact.
+        let mut tp = proc("shared-backfill");
+        let q1 = parse_query(
+            "SELECT count(*) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        let q2 = parse_query(
+            "SELECT sum(amount) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        tp.register_query(&q1).unwrap();
+        let h2 = tp.register_query(&q2).unwrap();
+        for i in 0..4 {
+            tp.process_event(&ev(i, 1_000 + 100 * i as i64, "A", "m", 2.5))
+                .unwrap();
+        }
+        tp.unregister_query(h2[0].query).unwrap();
+        tp.register_query(&q2).unwrap();
+        let (r, _) = tp.process_event(&ev(99, 2_000, "A", "m", 2.5)).unwrap();
+        assert_eq!(
+            result_value(&r, "sum(amount)"),
+            Value::Float(12.5),
+            "4 backfilled in-window events + 1 new"
+        );
+        assert_eq!(result_value(&r, "count(*)"), Value::Int(5), "q1 untouched");
+
+        // Same mechanism for a genuinely new aggregation added late to a
+        // live window (not just re-registration).
+        let q3 = parse_query(
+            "SELECT max(amount) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        tp.register_query(&q3).unwrap();
+        let (r, _) = tp.process_event(&ev(100, 3_000, "A", "m", 1.0)).unwrap();
+        assert_eq!(result_value(&r, "max(amount)"), Value::Float(2.5));
+    }
+
+    #[test]
+    fn results_are_keyed_by_query_and_index() {
+        let mut tp = proc("keyed");
+        let q = parse_query(
+            "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        let handles = tp.register_query(&q).unwrap();
+        let (r, _) = tp.process_event(&ev(1, 1_000, "A", "m", 7.5)).unwrap();
+        let qid = handles[0].query;
+        assert_eq!(
+            crate::api::find_keyed(&r, qid, 0).unwrap().value,
+            Value::Float(7.5)
+        );
+        assert_eq!(
+            crate::api::find_keyed(&r, qid, 1).unwrap().value,
+            Value::Int(1)
+        );
+        assert!(crate::api::find_keyed(&r, qid, 2).is_none());
     }
 
     #[test]

@@ -29,7 +29,7 @@ use railgun_types::{RailgunError, Result, Schema};
 
 use crate::api::{
     decode_event_request, decode_op, encode_checkpoint, encode_reply, parse_topic_name,
-    CheckpointRecord, OpRequest, Reply, CHECKPOINT_TOPIC, OPS_TOPIC,
+    CheckpointRecord, OpRequest, QueryId, Reply, CHECKPOINT_TOPIC, OPS_TOPIC,
 };
 use crate::lang::{parse_query, Query};
 use crate::rebalance::{ProcessorIdentity, RailgunStrategy};
@@ -78,7 +78,8 @@ pub struct ProcessorUnit {
     ops: Consumer,
     strategy: Arc<RailgunStrategy>,
     streams: HashMap<String, StreamMeta>,
-    queries: Vec<Query>,
+    /// Registered queries in op-log order, keyed by their stable ids.
+    queries: Vec<(QueryId, Query)>,
     tasks: HashMap<TopicPartition, TaskProcessor>,
     /// Next offset to process per task (so promotions replica→active keep
     /// their position instead of replaying).
@@ -310,23 +311,35 @@ impl ProcessorUnit {
                     parse_topic_name(&tp.topic).map(|(s, _)| s) != Some(stream.as_str())
                 };
                 self.tasks.retain(|tp, _| not_of_stream(tp));
-                // Offsets and checkpoint counters die with the stream — a
-                // recreated stream of the same name starts a fresh log.
+                // Offsets, checkpoint counters and registered queries die
+                // with the stream — a recreated stream of the same name
+                // starts a fresh log with no metrics.
                 self.task_offsets.retain(|tp, _| not_of_stream(tp));
                 self.since_checkpoint.retain(|tp, _| not_of_stream(tp));
                 self.active_assignment.retain(not_of_stream);
                 self.replica_assignment.retain(not_of_stream);
+                self.queries.retain(|(_, q)| q.stream != stream);
                 self.resubscribe()?;
             }
-            OpRequest::RegisterQuery { query_text } => {
+            OpRequest::RegisterQuery { id, query_text } => {
+                if self.queries.iter().any(|(qid, _)| *qid == id) {
+                    return Ok(()); // op-log replay: already registered
+                }
                 let query = parse_query(&query_text)?;
                 let topic = self.query_topic(&query)?;
                 for (tp, task) in self.tasks.iter_mut() {
                     if tp.topic == topic {
-                        task.register_query(&query)?;
+                        task.register_query_as(id, &query)?;
                     }
                 }
-                self.queries.push(query);
+                self.queries.push((id, query));
+            }
+            OpRequest::UnregisterQuery { id } => {
+                self.queries.retain(|(qid, _)| *qid != id);
+                for task in self.tasks.values_mut() {
+                    // No-op on tasks the query never touched.
+                    task.unregister_query(id)?;
+                }
             }
         }
         Ok(())
@@ -414,9 +427,9 @@ impl ProcessorUnit {
             meta.schema.clone(),
             self.cfg.task.clone(),
         )?;
-        for q in &self.queries {
+        for (id, q) in &self.queries {
             if self.query_topic(q)? == tp.topic {
-                task.register_query(q)?;
+                task.register_query_as(*id, q)?;
             }
         }
         Ok(task)
@@ -448,6 +461,11 @@ impl ProcessorUnit {
         } else {
             Ok(None)
         }
+    }
+
+    /// Registered queries, in op-log order (diagnostics).
+    pub fn queries(&self) -> &[(QueryId, Query)] {
+        &self.queries
     }
 
     /// Current active tasks.

@@ -4,7 +4,7 @@
 //! *sustained* rate regardless of how the system responds, and latency is
 //! measured from each event's **scheduled** send time to its reply. A
 //! stalled server therefore penalizes every queued event, not just the one
-//! in flight — the correction for the coordinated-omission problem [26]
+//! in flight — the correction for the coordinated-omission problem \[26\]
 //! the paper applies.
 
 use rand::Rng;

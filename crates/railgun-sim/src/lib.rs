@@ -14,7 +14,7 @@
 //!   against the published curves (constants documented in
 //!   EXPERIMENTS.md);
 //! * [`injector`] — open-loop injection with coordinated-omission-corrected
-//!   measurement [26], as in §5;
+//!   measurement \[26\], as in §5;
 //! * [`cluster`] — the fleet-scale composition used for Figure 10,
 //!   including the broker-contention effect the paper observed at 35+
 //!   nodes.

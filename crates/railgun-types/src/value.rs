@@ -1,6 +1,6 @@
 //! Dynamically-typed field values.
 //!
-//! Railgun events carry fields whose types are declared by a [`Schema`]
+//! Railgun events carry fields whose types are declared by a [`Schema`](crate::Schema)
 //! (see [`crate::schema`]). [`Value`] is the runtime representation used by
 //! filter expressions, group-by key extraction, and aggregator inputs.
 

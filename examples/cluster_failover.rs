@@ -1,13 +1,16 @@
 //! Distributed operation: elasticity, abrupt node failure, and failover to
 //! replicas under the Figure 7 sticky assignment strategy.
 //!
-//! A 3-node cluster with replication factor 2 serves per-card counts.
-//! One node is killed without warning; the messaging layer's heartbeat
-//! timeout expels it, the sticky strategy fails its tasks over to the
-//! processors already holding replicas, and per-card metrics stay exact.
+//! A 3-node cluster with replication factor 2 serves per-card counts
+//! registered through the typed query builder. One node is killed without
+//! warning; the messaging layer's heartbeat timeout expels it, the sticky
+//! strategy fails its tasks over to the processors already holding
+//! replicas, and per-card metrics stay exact — read back through keyed
+//! `(QueryId, index)` reply accessors.
 //!
 //! Run with: `cargo run --release --example cluster_failover`
 
+use railgun::engine::lang::{hours, Agg, Query, Window};
 use railgun::engine::{Cluster, ClusterConfig};
 use railgun::types::{FieldType, Schema, Timestamp, Value};
 
@@ -29,11 +32,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let schema = Schema::from_pairs(&[("cardId", FieldType::Str), ("amount", FieldType::Float)])?;
     cluster.create_stream("payments", schema, &["cardId"])?;
-    cluster.register_query(
-        "SELECT count(*), sum(amount) FROM payments GROUP BY cardId OVER sliding 1 hours",
+    let per_card = cluster.register(
+        &Query::select(Agg::count())
+            .select(Agg::sum("amount"))
+            .from("payments")
+            .group_by(["cardId"])
+            .over(Window::sliding(hours(1)))
+            .build()?,
     )?;
 
     println!("3 nodes, 6 partitions, replication factor 2");
+    println!("registered query {per_card} ({} known)", cluster.queries().len());
     println!("strategy generation: {}", cluster.strategy().generation());
 
     // Phase 1: traffic across 6 cards.
@@ -72,8 +81,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Timestamp::from_millis(60_000 + card),
             vec![Value::from(format!("card-{card}")), Value::from(10.0)],
         )?;
-        let count = reply.aggregations[0].value.as_i64().unwrap_or(-1);
-        let sum = reply.aggregations[1].value.as_f64().unwrap_or(-1.0);
+        let count = reply.get_i64(per_card, 0).unwrap_or(-1);
+        let sum = reply.get_f64(per_card, 1).unwrap_or(-1.0);
         let exact = count == 4 && (sum - 40.0).abs() < 1e-9;
         all_exact &= exact;
         println!(
@@ -93,7 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "  card-0 after scale-out: count={} (exactness preserved)",
-        reply.aggregations[0].value
+        reply.get_i64(per_card, 0).unwrap_or(-1)
     );
     println!("\nFailover + elasticity with exact per-entity metrics — the D in MAD.");
     Ok(())

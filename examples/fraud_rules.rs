@@ -27,10 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let timestamps: Vec<i64> = minutes.iter().map(|m| (m * MIN) as i64).collect();
 
     // --- Railgun: real-time sliding window -------------------------------
+    // This example deliberately stays on the *textual* query path (the
+    // other examples use the typed builder): both front doors compile to
+    // the same plan — the equivalence the test suite pins — and both get
+    // keyed replies addressed by the returned QueryId.
     let mut cluster = Cluster::new(ClusterConfig::single_node())?;
     let schema = Schema::from_pairs(&[("cardId", FieldType::Str), ("amount", FieldType::Float)])?;
     cluster.create_stream("payments", schema, &["cardId"])?;
-    cluster.register_query(
+    let rule_query = cluster.register_query(
         "SELECT count(*) FROM payments GROUP BY cardId OVER sliding 5 minutes",
     )?;
 
@@ -42,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Timestamp::from_millis(*ts),
             vec![Value::from("card-X"), Value::from(100.0)],
         )?;
-        let count = reply.aggregations[0].value.as_i64().unwrap_or(0);
+        let count = reply.get_i64(rule_query, 0).unwrap_or(0);
         let blocked = count > 4;
         railgun_blocked |= blocked;
         println!(

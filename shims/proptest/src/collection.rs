@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Size specification accepted by [`vec`]: a fixed length or a range.
+/// Size specification accepted by [`vec`](fn@vec): a fixed length or a range.
 pub trait SizeRange {
     fn pick(&self, rng: &mut TestRng) -> usize;
 }

@@ -25,35 +25,64 @@
 //!
 //! ## Quickstart
 //!
+//! The typed client API: a [`Session`] owns the cluster and hands out
+//! stream and query **handles**. Queries are built programmatically
+//! (compiling to exactly the plan the text parser would produce), events
+//! are built by field name and schema-checked, and replies are addressed
+//! by `(query handle, SELECT index)` — no display-name string matching:
+//!
 //! ```
-//! use railgun::engine::{Cluster, ClusterConfig};
-//! use railgun::types::{FieldType, Schema, Timestamp, Value};
+//! use railgun::engine::lang::{mins, Agg, Query, Window};
+//! use railgun::engine::ClusterConfig;
+//! use railgun::types::{FieldType, Timestamp};
+//! use railgun::Session;
 //!
-//! // A single-node cluster with an in-process messaging layer.
-//! let mut cluster = Cluster::new(ClusterConfig::single_node()).unwrap();
+//! let mut session = Session::new(ClusterConfig::single_node()).unwrap();
 //!
-//! // Register the `payments` stream with a `card` partitioner.
-//! let schema = Schema::from_pairs(&[
-//!     ("cardId", FieldType::Str),
-//!     ("merchantId", FieldType::Str),
-//!     ("amount", FieldType::Float),
-//! ]).unwrap();
-//! cluster.create_stream("payments", schema, &["cardId"]).unwrap();
+//! // Register the `payments` stream with a `cardId` partitioner.
+//! let payments = session.create_stream(
+//!     "payments",
+//!     &[
+//!         ("cardId", FieldType::Str),
+//!         ("merchantId", FieldType::Str),
+//!         ("amount", FieldType::Float),
+//!     ],
+//!     &["cardId"],
+//! ).unwrap();
 //!
 //! // Q1 of the paper: per-card sum and count over a 5-minute sliding window.
-//! cluster.register_query(
-//!     "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 5 minutes",
+//! let per_card = session.register(
+//!     Query::select(Agg::sum("amount"))
+//!         .select(Agg::count())
+//!         .from("payments")
+//!         .group_by(["cardId"])
+//!         .over(Window::sliding(mins(5))),
 //! ).unwrap();
 //!
-//! // Send an event through the front-end and read the aggregations back.
-//! let reply = cluster.send(
-//!     "payments",
-//!     Timestamp::from_millis(1_000),
-//!     vec![Value::from("card-1"), Value::from("m-1"), Value::from(25.0)],
-//! ).unwrap();
-//! assert_eq!(reply.aggregations[0].value, Value::Float(25.0)); // sum
-//! assert_eq!(reply.aggregations[1].value, Value::Int(1));      // count
+//! // Send a named-field event and read the aggregations back, keyed.
+//! let event = payments
+//!     .event(Timestamp::from_millis(1_000))
+//!     .set("cardId", "card-1")
+//!     .set("merchantId", "m-1")
+//!     .set("amount", 25.0)
+//!     .build()
+//!     .unwrap();
+//! let reply = session.send(event).unwrap();
+//! assert_eq!(reply.get_f64(&per_card, 0), Some(25.0)); // sum(amount)
+//! assert_eq!(reply.get_i64(&per_card, 1), Some(1));    // count(*)
+//!
+//! // Full lifecycle: list and unregister — tasks tear the metrics down.
+//! assert_eq!(session.queries().len(), 1);
+//! session.unregister(&per_card).unwrap();
+//! assert!(session.queries().is_empty());
 //! ```
+//!
+//! Textual queries ([`Session::register_text`], Figure 4 syntax) remain a
+//! first-class front door — the builder compiles to byte-identical plans
+//! (test-pinned) — and the positional `Cluster::send(stream, ts, values)`
+//! path still works as a thin shim under the typed facade.
+//!
+//! [`Session::register_text`]: engine::session::Session::register_text
 //!
 //! ## Threaded runtime
 //!
@@ -73,7 +102,7 @@
 //!     ("amount", FieldType::Float),
 //! ]).unwrap();
 //! cluster.create_stream("payments", schema, &["cardId"]).unwrap();
-//! cluster.register_query(
+//! let per_card = cluster.register_query(
 //!     "SELECT count(*) FROM payments GROUP BY cardId OVER sliding 5 minutes",
 //! ).unwrap();
 //!
@@ -91,7 +120,7 @@
 //!     .collect();
 //! for id in ids {
 //!     let reply = client.collect(id).unwrap();
-//!     assert!(!reply.aggregations.is_empty());
+//!     assert!(reply.get_i64(per_card, 0).is_some(), "keyed count present");
 //! }
 //! cluster.stop().unwrap(); // deterministic pump mode remains available
 //! ```
@@ -103,3 +132,9 @@ pub use railgun_reservoir as reservoir;
 pub use railgun_sim as sim;
 pub use railgun_store as store;
 pub use railgun_types as types;
+
+// The typed client API, re-exported at the crate root (the engine module
+// remains the full toolbox).
+pub use railgun_core::{
+    EventBuilder, QueryHandle, QueryId, Session, StreamEvent, StreamHandle, TypedReply,
+};

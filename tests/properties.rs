@@ -4,13 +4,17 @@
 use proptest::prelude::*;
 
 use railgun::engine::agg::{AggContext, AggState};
+use railgun::engine::api::{
+    decode_op, decode_reply, encode_op, encode_reply, AggregationResult, OpRequest, QueryId,
+    Reply, WIRE_VERSION,
+};
 use railgun::engine::keys::{decode_state_key, state_key};
 use railgun::engine::lang::AggFunc;
 use railgun::reservoir::{Codec, Reservoir, ReservoirConfig};
 use railgun::sim::Histogram;
 use railgun::store::{Db, DbOptions};
 use railgun::types::encode;
-use railgun::types::{Event, EventId, FieldType, Schema, Timestamp, Value};
+use railgun::types::{Event, EventId, FieldDef, FieldType, Schema, Timestamp, Value};
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -20,6 +24,80 @@ fn arb_value() -> impl Strategy<Value = Value> {
         (-1e12f64..1e12).prop_map(Value::Float),
         "[a-zA-Z0-9_-]{0,24}".prop_map(Value::Str),
     ]
+}
+
+fn arb_field_type() -> impl Strategy<Value = FieldType> {
+    prop_oneof![
+        Just(FieldType::Bool),
+        Just(FieldType::Int),
+        Just(FieldType::Float),
+        Just(FieldType::Str),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = OpRequest> {
+    prop_oneof![
+        (
+            "[a-zA-Z][a-zA-Z0-9_]{0,12}",
+            proptest::collection::vec(arb_field_type(), 1..6),
+            proptest::collection::vec("[a-z]{1,8}", 1..4),
+            1u32..64,
+        )
+            .prop_map(|(stream, types, partitioners, partitions)| {
+                // Unique field names by construction.
+                let fields = types
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| FieldDef::new(format!("f{i}"), *t))
+                    .collect();
+                OpRequest::CreateStream {
+                    stream,
+                    schema: Schema::new(fields).expect("unique names"),
+                    partitioners,
+                    partitions,
+                }
+            }),
+        "[a-z]{1,12}".prop_map(|stream| OpRequest::DeleteStream { stream }),
+        (any::<u64>(), "[a-zA-Z0-9_() *,>=<.-]{0,64}").prop_map(|(id, query_text)| {
+            OpRequest::RegisterQuery {
+                id: QueryId(id),
+                query_text,
+            }
+        }),
+        any::<u64>().prop_map(|id| OpRequest::UnregisterQuery { id: QueryId(id) }),
+    ]
+}
+
+fn arb_agg_result() -> impl Strategy<Value = AggregationResult> {
+    (
+        any::<u64>(),
+        0u32..8,
+        "[a-zA-Z0-9_() ]{0,24}",
+        proptest::collection::vec(arb_value(), 0..3),
+        arb_value(),
+    )
+        .prop_map(|(query, index, name, entity, value)| AggregationResult {
+            query: QueryId(query),
+            index,
+            name,
+            entity,
+            value,
+        })
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    (
+        any::<u64>(),
+        "[a-z-]{1,16}",
+        any::<bool>(),
+        proptest::collection::vec(arb_agg_result(), 0..5),
+    )
+        .prop_map(|(request_id, source_topic, duplicate, results)| Reply {
+            request_id,
+            source_topic,
+            duplicate,
+            results,
+        })
 }
 
 proptest! {
@@ -87,6 +165,43 @@ proptest! {
         let k1 = state_key(l1, None, &[Value::Str(e1.clone())]);
         let k2 = state_key(l2, None, &[Value::Str(e2.clone())]);
         prop_assert_eq!(k1 == k2, l1 == l2 && e1 == e2);
+    }
+
+    /// Every `OpRequest` variant — including the v2 lifecycle ops
+    /// `RegisterQuery { id, .. }` and `UnregisterQuery` — survives its
+    /// wire encoding byte-exactly.
+    #[test]
+    fn op_requests_roundtrip(op in arb_op()) {
+        let buf = encode_op(&op);
+        prop_assert_eq!(buf[0], WIRE_VERSION, "version byte leads the op");
+        prop_assert_eq!(decode_op(&buf).unwrap(), op);
+    }
+
+    /// Replies with keyed aggregation results roundtrip, and the keys
+    /// (`QueryId`, index) survive exactly.
+    #[test]
+    fn replies_roundtrip(reply in arb_reply()) {
+        let buf = encode_reply(&reply);
+        prop_assert_eq!(buf[0], WIRE_VERSION, "version byte leads the reply");
+        let decoded = decode_reply(&buf).unwrap();
+        prop_assert_eq!(decoded, reply);
+    }
+
+    /// Any payload led by a non-current version byte is rejected with a
+    /// decode error — old v1 payloads (which began with the op tag) can
+    /// never be silently misparsed.
+    #[test]
+    fn bad_version_byte_is_a_decode_error(
+        v in any::<u8>(),
+        tail in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        prop_assume!(v != WIRE_VERSION);
+        let mut buf = vec![v];
+        buf.extend_from_slice(&tail);
+        let op_err = decode_op(&buf).unwrap_err();
+        prop_assert!(op_err.to_string().contains("wire version"), "{}", op_err);
+        let reply_err = decode_reply(&buf).unwrap_err();
+        prop_assert!(reply_err.to_string().contains("wire version"), "{}", reply_err);
     }
 
     #[test]
