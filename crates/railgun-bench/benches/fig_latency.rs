@@ -1,0 +1,326 @@
+//! Real-runtime latency baseline: **measured** end-to-end percentiles
+//! through the threaded cluster runtime (BENCH_latency.json).
+//!
+//! Every earlier figure bench reports either microbenchmark throughput or
+//! *simulated* queueing latencies (DESIGN.md substitution #5). This bench
+//! closes the loop the telemetry plane (PR 5) opened: it boots a real
+//! threaded cluster with telemetry on, pipelines client traffic through
+//! `send_async`/`collect`, and reports two independent views of the same
+//! run —
+//!
+//! * **client-observed** — per-request round-trip latency measured with
+//!   wall-clock timestamps at the client (the ground truth);
+//! * **engine-observed** — the engine's own `Session::metrics()`
+//!   snapshot: front-end enqueue→reply ladder, per-query ladders with
+//!   SLO breach counts, and the inner stage histograms (unit process,
+//!   reservoir append, store WAL).
+//!
+//! The headline query runs under the paper's M requirement as its SLO
+//! (`.with_slo(millis(250))`, p99.9 < 250 ms, §2) — breaches are
+//! reported, not asserted, since CI containers make no latency promises.
+//!
+//! Run modes mirror `fig_hotpath`/`fig_scaling`:
+//!
+//! * `cargo bench -p railgun-bench --bench fig_latency` — full run;
+//! * `-- --test` — smoke mode (tiny N, used by CI);
+//! * `-- --out <path>` — additionally write the JSON to `<path>`.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use railgun_bench::{compact_schema, queries, FraudGenerator, WorkloadConfig};
+use railgun_core::lang::{millis, mins, Agg, Window};
+use railgun_core::metrics::MetricsSnapshot;
+use railgun_core::{ClusterConfig, Query, QueryId, Session};
+use railgun_types::{Histogram, LatencyLadder, Timestamp, Value};
+
+/// The paper's M requirement in milliseconds (p99.9 bound, §2) — the
+/// headline query's SLO budget.
+const SLO_MS: i64 = 250;
+/// Partitions per event topic.
+const PARTITIONS: u32 = 4;
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("railgun-latency-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+struct RunOutput {
+    eps: f64,
+    client_hist: Histogram,
+    engine: MetricsSnapshot,
+    slo_query: QueryId,
+}
+
+/// Boot a telemetry-enabled threaded cluster, drive it with `clients`
+/// threads × `depth` pipelined in-flight requests each, and return both
+/// latency views.
+fn run_threaded(
+    tag: &str,
+    units: u32,
+    clients: usize,
+    depth: usize,
+    events_per_client: usize,
+) -> RunOutput {
+    let mut cfg = ClusterConfig {
+        nodes: 1,
+        units_per_node: units,
+        partitions: PARTITIONS,
+        replication: 1,
+        ..ClusterConfig::default()
+    };
+    cfg.data_root = fresh_dir(tag);
+    cfg.max_in_flight = depth.max(1) * 2;
+    cfg.collect_timeout_ms = 60_000;
+    cfg.telemetry = true;
+    let mut session = Session::new(cfg).expect("cluster boots");
+    session
+        .create_stream(
+            "payments",
+            &[
+                ("cardId", railgun_types::FieldType::Str),
+                ("merchantId", railgun_types::FieldType::Str),
+                ("amount", railgun_types::FieldType::Float),
+            ],
+            &["cardId"],
+        )
+        .expect("stream");
+    debug_assert_eq!(
+        session.stream("payments").unwrap().schema(),
+        &compact_schema()
+    );
+    // The headline query carries the paper's M requirement as its SLO.
+    let slo_query = session
+        .register(
+            Query::select(Agg::sum("amount"))
+                .select(Agg::count())
+                .from("payments")
+                .group_by(["cardId"])
+                .over(Window::sliding(mins(5)))
+                .with_slo(millis(SLO_MS)),
+        )
+        .expect("q1");
+    session
+        .register(queries::distinct_merchants())
+        .expect("q2");
+    session.cluster_mut().start().expect("threaded start");
+
+    let mut handles_input = Vec::new();
+    for c in 0..clients {
+        let mut gen = FraudGenerator::new(WorkloadConfig {
+            seed: 0x1A7E_0000 + c as u64,
+            ..WorkloadConfig::default()
+        });
+        let events: Vec<(Timestamp, Vec<Value>)> = (0..events_per_client)
+            .map(|i| {
+                (
+                    Timestamp::from_millis((i * clients + c) as i64),
+                    gen.next_compact(),
+                )
+            })
+            .collect();
+        handles_input.push((session.cluster_mut().client().expect("client"), events));
+    }
+
+    let barrier = Barrier::new(clients + 1);
+    let total_events = (clients * events_per_client) as f64;
+    let (wall, latencies) = std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for (mut client, events) in handles_input {
+            let barrier = &barrier;
+            joins.push(s.spawn(move || {
+                let mut lats: Vec<u64> = Vec::with_capacity(events.len());
+                let mut window: Vec<(u64, Instant)> = Vec::with_capacity(depth);
+                barrier.wait();
+                for (ts, values) in events {
+                    let sent = Instant::now();
+                    let id = client
+                        .send_async("payments", ts, values)
+                        .expect("send_async");
+                    window.push((id, sent));
+                    if window.len() >= depth {
+                        let (oldest, at) = window.remove(0);
+                        client.collect(oldest).expect("collect");
+                        lats.push(at.elapsed().as_micros().max(1) as u64);
+                    }
+                }
+                for (id, at) in window {
+                    client.collect(id).expect("drain");
+                    lats.push(at.elapsed().as_micros().max(1) as u64);
+                }
+                lats
+            }));
+        }
+        barrier.wait();
+        let start = Instant::now();
+        let mut all = Vec::new();
+        for j in joins {
+            all.extend(j.join().expect("client thread"));
+        }
+        (start.elapsed(), all)
+    });
+    // Snapshot while the workers still own the tasks (the state that used
+    // to be unobservable), then stop cleanly.
+    let engine = session.metrics();
+    session.cluster_mut().stop().expect("clean stop");
+
+    let mut client_hist = Histogram::default();
+    for us in latencies {
+        client_hist.record(us);
+    }
+    RunOutput {
+        eps: total_events / wall.as_secs_f64(),
+        client_hist,
+        engine,
+        slo_query: slo_query.id(),
+    }
+}
+
+fn ladder_json(indent: &str, ladder: &LatencyLadder) -> String {
+    format!(
+        "{{ \"count\": {}, \"p50\": {}, \"p90\": {}, \"p95\": {}, \"p99\": {}, \
+         \"p999\": {}, \"p9999\": {}, \"max\": {}, \"mean\": {:.1} }}{indent}",
+        ladder.count,
+        ladder.p50_us,
+        ladder.p90_us,
+        ladder.p95_us,
+        ladder.p99_us,
+        ladder.p999_us,
+        ladder.p9999_us,
+        ladder.max_us,
+        ladder.mean_us,
+        indent = indent,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let units = 2u32;
+    let clients = if smoke { 2 } else { 4 };
+    let depth = if smoke { 8 } else { 16 };
+    let events_per_client = if smoke { 400 } else { 10_000 };
+    let closed_events = if smoke { 200 } else { 2_000 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("# fig_latency: measured end-to-end latency, threaded runtime ({cores} core(s))");
+    let pipelined = run_threaded("pipelined", units, clients, depth, events_per_client);
+    let pipe_ladder = LatencyLadder::from_histogram(&pipelined.client_hist);
+    eprintln!(
+        "#   pipelined (depth {depth}): {:.0} ev/s, p50 {} µs, p99 {} µs, p99.9 {} µs, p99.99 {} µs",
+        pipelined.eps, pipe_ladder.p50_us, pipe_ladder.p99_us, pipe_ladder.p999_us,
+        pipe_ladder.p9999_us
+    );
+    let closed = run_threaded("closed", units, clients, 1, closed_events);
+    let closed_ladder = LatencyLadder::from_histogram(&closed.client_hist);
+    eprintln!(
+        "#   closed loop (depth 1): {:.0} ev/s, p50 {} µs, p99 {} µs",
+        closed.eps, closed_ladder.p50_us, closed_ladder.p99_us
+    );
+
+    let engine = &pipelined.engine;
+    let fe = engine.frontend_ladder();
+    eprintln!(
+        "#   engine view: frontend e2e p50 {} µs / p99 {} µs over {} requests",
+        fe.p50_us, fe.p99_us, fe.count
+    );
+    let slo_metrics = engine
+        .query(pipelined.slo_query)
+        .expect("SLO query tracked");
+    eprintln!(
+        "#   SLO ({SLO_MS} ms): {} completions, {} breaches",
+        slo_metrics.completed, slo_metrics.breaches
+    );
+
+    // -- JSON ---------------------------------------------------------------
+    let mode = if smoke { "test" } else { "full" };
+    let stage = |h: &Histogram| LatencyLadder::from_histogram(h);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"fig_latency\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"machine\": {{ \"available_cores\": {cores} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"config\": {{ \"units\": {units}, \"partitions\": {PARTITIONS}, \"clients\": {clients}, \"inflight\": {depth}, \"events_per_client\": {events_per_client}, \"slo_ms\": {SLO_MS} }},\n"
+    ));
+    json.push_str("  \"measured\": {\n");
+    json.push_str(
+        "    \"note\": \"client-observed end-to-end latency (µs) through the real threaded runtime — measured wall clock, not modeled\",\n",
+    );
+    json.push_str(&format!(
+        "    \"pipelined\": {{ \"eps\": {:.0}, \"e2e_us\": {} }},\n",
+        pipelined.eps,
+        ladder_json("", &pipe_ladder)
+    ));
+    json.push_str(&format!(
+        "    \"closed_loop\": {{ \"eps\": {:.0}, \"e2e_us\": {} }}\n",
+        closed.eps,
+        ladder_json("", &closed_ladder)
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"engine\": {\n");
+    json.push_str(
+        "    \"note\": \"the engine's own telemetry plane (Session::metrics) for the pipelined run\",\n",
+    );
+    json.push_str(&format!(
+        "    \"frontend_e2e_us\": {},\n",
+        ladder_json("", &fe)
+    ));
+    json.push_str(&format!(
+        "    \"unit_process_us\": {},\n",
+        ladder_json("", &stage(&engine.stages.unit_process))
+    ));
+    json.push_str(&format!(
+        "    \"reservoir_append_us\": {},\n",
+        ladder_json("", &stage(&engine.stages.reservoir_append))
+    ));
+    json.push_str(&format!(
+        "    \"store_wal_append_us\": {},\n",
+        ladder_json("", &stage(&engine.stages.store_wal_append))
+    ));
+    json.push_str("    \"per_query\": [\n");
+    for (i, q) in engine.queries.iter().enumerate() {
+        let slo_ms = q
+            .slo
+            .map(|d| d.as_millis().to_string())
+            .unwrap_or_else(|| "null".into());
+        json.push_str(&format!(
+            "      {{ \"query\": \"{}\", \"slo_ms\": {slo_ms}, \"completed\": {}, \"breaches\": {}, \"latency_us\": {} }}{}\n",
+            q.id,
+            q.completed,
+            q.breaches,
+            ladder_json("", &q.ladder()),
+            if i + 1 < engine.queries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"counters\": {{ \"backpressure_rejections\": {}, \"slo_breaches\": {}, \"reservoir_chunk_misses\": {}, \"events_processed\": {} }}\n",
+        engine.counters.backpressure_rejections,
+        engine.counters.slo_breaches,
+        engine.counters.reservoir_chunk_misses,
+        engine.tasks.events_processed
+    ));
+    json.push_str("  }\n}\n");
+
+    print!("{json}");
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        std::fs::write(&path, &json).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+}

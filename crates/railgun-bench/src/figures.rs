@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use railgun_sim::Histogram;
+use railgun_types::Histogram;
 
 /// Measurement/simulation sizes.
 #[derive(Debug, Clone, Copy)]

@@ -12,6 +12,7 @@
 //! | `fig10_node_scaling` | Figure 10 — per-node throughput & tail latency, 1 → 50 nodes |
 //! | `fig_hotpath` | perf baseline — reservoir ingest/drain hot path (BENCH_hotpath.json) |
 //! | `fig_scaling` | perf baseline — threaded runtime vs worker threads & in-flight depth (BENCH_scaling.json) |
+//! | `fig_latency` | perf baseline — **measured** end-to-end latency percentiles through the threaded runtime, client- and engine-observed (BENCH_latency.json) |
 //! | `micro_*` | Criterion microbenchmarks & ablations (aggregators, reservoir, store, messaging, rebalance) |
 //!
 //! Set `RAILGUN_BENCH_SCALE=full` for paper-length runs (the default

@@ -20,11 +20,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use railgun_messaging::{BusClock, BusConfig, MessageBus};
-use railgun_types::{RailgunError, Result, Schema, Timestamp, Value};
+use railgun_types::{RailgunError, Result, Schema, TimeDelta, Timestamp, Value};
 
 use crate::api::{find_keyed, AggregationResult, QueryId};
 use crate::frontend::{ClientResponse, FrontEnd, RegisteredQuery};
 use crate::lang::Query;
+use crate::metrics::{EngineTelemetry, MetricsSnapshot};
 use crate::node::Node;
 use crate::rebalance::RailgunStrategy;
 use crate::task::TaskConfig;
@@ -57,6 +58,13 @@ pub struct ClusterConfig {
     pub max_in_flight: usize,
     /// Wall-clock deadline for blocking collects in threaded mode.
     pub collect_timeout_ms: u64,
+    /// Enable the telemetry plane: stage latency histograms (front-end
+    /// enqueue→reply, unit poll/process, reservoir append, store
+    /// WAL/flush), per-query ladders, and the chunk-miss counter. Off by
+    /// default — the off state records nothing and never reads the clock
+    /// (see the `metrics` module's cost contract). Snapshot with
+    /// [`Cluster::metrics_snapshot`].
+    pub telemetry: bool,
 }
 
 impl ClusterConfig {
@@ -94,6 +102,7 @@ impl Default for ClusterConfig {
             clock: BusClock::Manual,
             max_in_flight: 1_024,
             collect_timeout_ms: 10_000,
+            telemetry: false,
         }
     }
 }
@@ -155,6 +164,7 @@ pub struct Cluster {
     nodes: Vec<Node>,
     strategy: Arc<RailgunStrategy>,
     config: ClusterConfig,
+    telemetry: Arc<EngineTelemetry>,
     next_node_id: u32,
     next_client_id: u32,
     rr_node: usize,
@@ -162,11 +172,20 @@ pub struct Cluster {
 
 impl Cluster {
     /// Boot a cluster per `config`.
-    pub fn new(config: ClusterConfig) -> Result<Self> {
+    pub fn new(mut config: ClusterConfig) -> Result<Self> {
         let bus = MessageBus::new(BusConfig {
             session_timeout_ms: config.session_timeout_ms,
             clock: config.clock,
         });
+        let telemetry = Arc::new(EngineTelemetry::new(config.telemetry));
+        // Inject the hub's recorders into the task substrates' configs so
+        // every task processor of every node records into the shared
+        // stage histograms (all disabled no-ops when telemetry is off).
+        config.task.stats_registry = telemetry.task_registry();
+        config.task.reservoir.append_recorder = telemetry.reservoir_append_recorder();
+        config.task.reservoir.chunk_miss_counter = telemetry.chunk_miss_counter();
+        config.task.store.wal_recorder = telemetry.store_wal_recorder();
+        config.task.store.flush_recorder = telemetry.store_flush_recorder();
         let strategy = Arc::new(RailgunStrategy::new(config.replication));
         let mut nodes = Vec::with_capacity(config.nodes as usize);
         for id in 0..config.nodes {
@@ -179,17 +198,37 @@ impl Cluster {
                 Arc::clone(&strategy),
                 config.checkpoint_every,
                 config.max_in_flight,
+                Arc::clone(&telemetry),
             )?);
         }
         Ok(Cluster {
             bus,
             nodes,
             strategy,
+            telemetry,
             next_node_id: config.nodes,
             next_client_id: CLIENT_ID_BASE,
             config,
             rr_node: 0,
         })
+    }
+
+    /// Snapshot the cluster's telemetry: per-stage latency histograms,
+    /// per-query percentile ladders keyed by [`QueryId`], engine counters
+    /// and aggregated task stats. Cheap; counters are monotonic between
+    /// snapshots. Stage histograms are empty unless
+    /// `ClusterConfig::telemetry` was set (task stats are always live).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// Register (or replace) the latency budget of query `id`:
+    /// completions slower than `budget` count as SLO breaches (per query
+    /// and in [`crate::metrics::EngineCounters::slo_breaches`]), and the
+    /// front-ends escalate [`RailgunError::Backpressure`] under overload
+    /// per the documented policy (see the `metrics` module docs).
+    pub fn set_query_slo(&mut self, id: QueryId, budget: TimeDelta) {
+        self.telemetry.set_slo(id, budget);
     }
 
     /// The shared message bus (benches/diagnostics).
@@ -445,7 +484,12 @@ impl Cluster {
     pub fn client(&mut self) -> Result<ClusterClient> {
         let id = self.next_client_id;
         self.next_client_id += 1;
-        let mut frontend = FrontEnd::new(&self.bus, id, self.config.max_in_flight)?;
+        let mut frontend = FrontEnd::new(
+            &self.bus,
+            id,
+            self.config.max_in_flight,
+            Arc::clone(&self.telemetry),
+        )?;
         // Learn every stream registered before this client existed.
         frontend.sync_ops()?;
         Ok(ClusterClient {
@@ -512,6 +556,7 @@ impl Cluster {
             Arc::clone(&self.strategy),
             self.config.checkpoint_every,
             self.config.max_in_flight,
+            Arc::clone(&self.telemetry),
         )?;
         if self.is_running() {
             node.start()?;

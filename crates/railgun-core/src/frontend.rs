@@ -15,7 +15,9 @@
 //! caller collects, which is what keeps a fast producer from flooding the
 //! bus under MAD load.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
 
 use railgun_messaging::{Consumer, MessageBus, Producer, TopicPartition};
 use railgun_types::encode::put_value;
@@ -27,6 +29,7 @@ use crate::api::{
     CHECKPOINT_TOPIC, OPS_TOPIC,
 };
 use crate::lang::{parse_query, Query};
+use crate::metrics::{EngineTelemetry, QueryTelemetry, SLO_OVERLOAD_MULTIPLIER};
 
 /// A completed client response: every routed topic has replied.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +90,10 @@ struct Pending {
     received: usize,
     aggregations: Vec<AggregationResult>,
     duplicate: bool,
+    /// Send time, taken only when the telemetry plane wants request
+    /// timing (stage telemetry on, or an SLO registered) — `None`
+    /// otherwise, so the off state never reads the clock.
+    sent_at: Option<Instant>,
 }
 
 /// One node's front-end layer.
@@ -110,12 +117,28 @@ pub struct FrontEnd {
     completed: HashMap<u64, ClientResponse>,
     /// In-flight cap: `send_event` refuses new requests past this.
     max_in_flight: usize,
+    /// The cluster's telemetry hub (disabled hub when telemetry is off).
+    telemetry: Arc<EngineTelemetry>,
+    /// Per-front-end cache of the hub's per-query entries, so recording
+    /// a completion does not take the hub's registry lock in steady
+    /// state (entries are shared `Arc`s; SLO updates still apply).
+    query_telemetry: railgun_types::FastHashMap<QueryId, Arc<QueryTelemetry>>,
+    /// Send times of timed in-flight requests, in send order — the
+    /// overload policy reads the (lazily pruned) front for the oldest
+    /// outstanding request's age. Empty while request timing is off.
+    inflight_ages: VecDeque<(u64, Instant)>,
 }
 
 impl FrontEnd {
     /// Create the front-end of node `node`, creating its reply topic.
-    /// `max_in_flight` bounds the in-flight correlation table.
-    pub fn new(bus: &MessageBus, node: u32, max_in_flight: usize) -> Result<Self> {
+    /// `max_in_flight` bounds the in-flight correlation table;
+    /// `telemetry` is the cluster's shared recording hub.
+    pub fn new(
+        bus: &MessageBus,
+        node: u32,
+        max_in_flight: usize,
+        telemetry: Arc<EngineTelemetry>,
+    ) -> Result<Self> {
         let reply_topic = reply_topic_name(node);
         // Idempotent: the topic may survive a front-end restart.
         let _ = bus.create_topic(&reply_topic, 1, 1);
@@ -138,6 +161,9 @@ impl FrontEnd {
             pending: HashMap::new(),
             completed: HashMap::new(),
             max_in_flight: max_in_flight.max(1),
+            telemetry,
+            query_telemetry: railgun_types::FastHashMap::default(),
+            inflight_ages: VecDeque::new(),
         })
     }
 
@@ -302,6 +328,7 @@ impl FrontEnd {
         // without bound just because its replies arrived.
         let outstanding = self.pending.len() + self.completed.len();
         if outstanding >= self.max_in_flight {
+            self.telemetry.count_backpressure();
             return Err(RailgunError::Backpressure(format!(
                 "front-end {} has {} requests outstanding ({} in flight, {} uncollected; cap {}); collect before sending more",
                 self.node,
@@ -310,6 +337,25 @@ impl FrontEnd {
                 self.completed.len(),
                 self.max_in_flight
             )));
+        }
+        // SLO overload policy (see `metrics` module docs): with a latency
+        // budget registered, escalate Backpressure *before* the table
+        // fills once the oldest in-flight request is hopelessly past the
+        // strictest budget — queueing more work can only add breaches.
+        let strictest_us = self.telemetry.strictest_slo_us();
+        if strictest_us > 0 && outstanding >= self.max_in_flight / 2 {
+            if let Some(oldest_us) = self.oldest_inflight_age_us() {
+                let limit = strictest_us.saturating_mul(SLO_OVERLOAD_MULTIPLIER);
+                if oldest_us > limit {
+                    self.telemetry.count_backpressure();
+                    return Err(RailgunError::Backpressure(format!(
+                        "front-end {} in SLO overload: oldest in-flight request is {} µs old \
+                         (> {}× the strictest SLO budget of {} µs) with {} outstanding; \
+                         collect or shed load",
+                        self.node, oldest_us, SLO_OVERLOAD_MULTIPLIER, strictest_us, outstanding
+                    )));
+                }
+            }
         }
         let meta = self
             .streams
@@ -335,6 +381,23 @@ impl FrontEnd {
             self.producer
                 .send(&topic_name(stream, p), &key, payload.clone())?;
         }
+        let sent_at = if self.telemetry.wants_request_timing() {
+            // Lazily prune completed/abandoned entries from the front so
+            // the deque is bounded by the number of requests genuinely in
+            // flight (amortized O(1) per send), independent of whether the
+            // overload check below ever runs.
+            while let Some((id, _)) = self.inflight_ages.front() {
+                if self.pending.contains_key(id) {
+                    break;
+                }
+                self.inflight_ages.pop_front();
+            }
+            let now = Instant::now();
+            self.inflight_ages.push_back((request_id, now));
+            Some(now)
+        } else {
+            None
+        };
         self.pending.insert(
             request_id,
             Pending {
@@ -342,9 +405,24 @@ impl FrontEnd {
                 received: 0,
                 aggregations: Vec::new(),
                 duplicate: false,
+                sent_at,
             },
         );
         Ok(request_id)
+    }
+
+    /// Age in µs of the oldest request still awaiting replies, pruning
+    /// entries whose requests completed or were abandoned.
+    fn oldest_inflight_age_us(&mut self) -> Option<u64> {
+        while let Some((id, _)) = self.inflight_ages.front() {
+            if self.pending.contains_key(id) {
+                break;
+            }
+            self.inflight_ages.pop_front();
+        }
+        self.inflight_ages
+            .front()
+            .map(|(_, at)| at.elapsed().as_micros() as u64)
     }
 
     /// Drain the reply topic, completing pending requests (steps 5-6).
@@ -364,6 +442,13 @@ impl FrontEnd {
                 p.aggregations.extend(reply.results);
                 if p.received >= p.expected {
                     let done = self.pending.remove(&reply.request_id).expect("present");
+                    if let Some(at) = done.sent_at {
+                        self.telemetry.observe_completion_cached(
+                            &mut self.query_telemetry,
+                            &done.aggregations,
+                            at.elapsed().as_micros() as u64,
+                        );
+                    }
                     self.completed.insert(
                         reply.request_id,
                         ClientResponse {

@@ -320,6 +320,7 @@ impl Query {
             filter: None,
             group_by: Vec::new(),
             window: None,
+            slo: None,
         }
     }
 }
@@ -336,6 +337,10 @@ pub struct QueryBuilder {
     filter: Option<PExpr>,
     group_by: Vec<String>,
     window: Option<WindowSpec>,
+    /// Optional latency budget (SLO) — not part of the query semantics
+    /// (the produced [`Query`] AST is unchanged), consumed by
+    /// `Session::register` to arm per-query breach tracking.
+    slo: Option<TimeDelta>,
 }
 
 impl QueryBuilder {
@@ -377,8 +382,42 @@ impl QueryBuilder {
         self
     }
 
+    /// Declare a latency budget (SLO) for this query: when registered
+    /// through `Session::register`, completions slower than `budget` are
+    /// counted as breaches in the cluster's
+    /// [`MetricsSnapshot`](crate::metrics::MetricsSnapshot), and the
+    /// front-ends escalate `Backpressure` under overload (see the
+    /// `metrics` module's documented policy).
+    ///
+    /// The budget is *operational* metadata: it does not change the
+    /// query's semantics or its AST (builder↔parser equivalence is
+    /// untouched), so two registrations of the same statement with
+    /// different budgets compute identical metrics.
+    ///
+    /// Because the budget is not part of the [`Query`] AST, it only
+    /// takes effect when the **builder itself** is passed to
+    /// `Session::register` — calling [`QueryBuilder::build`] first
+    /// drops it (register the returned [`Query`] and call
+    /// `Cluster::set_query_slo` yourself if you need the two-step
+    /// form).
+    pub fn with_slo(mut self, budget: TimeDelta) -> Self {
+        self.slo = Some(budget);
+        self
+    }
+
+    /// The declared latency budget, if any.
+    pub fn slo(&self) -> Option<TimeDelta> {
+        self.slo
+    }
+
     /// Finalize into a [`Query`], validating completeness and textual
     /// expressibility (the wire carries query text).
+    ///
+    /// Note: a latency budget declared with [`QueryBuilder::with_slo`]
+    /// is **not** carried by the returned [`Query`] (budgets are
+    /// operational metadata, not query semantics). Pass the builder
+    /// directly to `Session::register` for the SLO to be armed, or arm
+    /// it explicitly with `Cluster::set_query_slo`.
     pub fn build(self) -> Result<Query> {
         let stream = self.stream.ok_or_else(|| {
             RailgunError::InvalidArgument("query builder: missing `.from(stream)`".into())

@@ -24,6 +24,9 @@
 //!   deterministically pumped or threaded (`start`/`stop`);
 //! * [`api`] — client-facing types and wire encodings, including the
 //!   stable [`QueryId`]s that key reply aggregations;
+//! * [`metrics`] — the telemetry and SLO plane: in-engine stage latency
+//!   histograms, per-query percentile ladders and budget-breach
+//!   counters, and the documented overload policy;
 //! * [`session`] — the typed client facade: session handles, the
 //!   programmatic query builder's registration path, schema-checked
 //!   named-field event building, and keyed typed replies.
@@ -35,6 +38,7 @@ pub mod expr;
 pub mod frontend;
 pub mod keys;
 pub mod lang;
+pub mod metrics;
 pub mod node;
 pub mod plan;
 pub mod rebalance;
@@ -45,6 +49,10 @@ pub mod unit;
 
 pub use api::{find_keyed, AggregationResult, EventRequest, OpRequest, QueryId, Reply};
 pub use cluster::{Cluster, ClusterClient, ClusterConfig, SendOutcome, Ticket};
+pub use metrics::{
+    EngineCounters, EngineTelemetry, MetricsSnapshot, QueryMetrics, SharedTaskStats,
+    StageLatencies, TaskStatsRegistry,
+};
 pub use runtime::Runtime;
 pub use lang::{
     parse_query, Agg, AggFunc, Query, QueryBuilder, Window, WindowKind, WindowSpec,

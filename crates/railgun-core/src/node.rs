@@ -23,6 +23,7 @@ use railgun_types::{Result, Schema, Timestamp, Value};
 
 use crate::api::QueryId;
 use crate::frontend::{ClientResponse, FrontEnd};
+use crate::metrics::EngineTelemetry;
 use crate::rebalance::RailgunStrategy;
 use crate::runtime::Runtime;
 use crate::task::TaskConfig;
@@ -57,8 +58,9 @@ impl Node {
         strategy: Arc<RailgunStrategy>,
         checkpoint_every: u64,
         max_in_flight: usize,
+        telemetry: Arc<EngineTelemetry>,
     ) -> Result<Self> {
-        let frontend = FrontEnd::new(bus, id, max_in_flight)?;
+        let frontend = FrontEnd::new(bus, id, max_in_flight, Arc::clone(&telemetry))?;
         let mut unit_vec = Vec::with_capacity(units as usize);
         for u in 0..units {
             unit_vec.push(ProcessorUnit::new(
@@ -70,6 +72,8 @@ impl Node {
                     task: task.clone(),
                     max_poll: 256,
                     checkpoint_every,
+                    poll_recorder: telemetry.unit_poll_recorder(),
+                    process_recorder: telemetry.unit_process_recorder(),
                 },
                 Arc::clone(&strategy),
             )?);

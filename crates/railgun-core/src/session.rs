@@ -65,12 +65,13 @@
 use std::sync::Arc;
 
 use railgun_types::{
-    FieldType, RailgunError, Result, Schema, Timestamp, Value,
+    FieldType, RailgunError, Result, Schema, TimeDelta, Timestamp, Value,
 };
 
 use crate::api::{AggregationResult, QueryId};
 use crate::cluster::{Cluster, ClusterConfig, SendOutcome};
 use crate::lang::{Query, QueryBuilder};
+use crate::metrics::MetricsSnapshot;
 
 /// A typed client session owning an in-process [`Cluster`].
 pub struct Session {
@@ -146,10 +147,16 @@ impl Session {
     /// Register a builder-constructed query and return its handle.
     ///
     /// Accepts the builder directly (`.over(...)` without `.build()`) or
-    /// a finished [`Query`].
+    /// a finished [`Query`]. A latency budget declared with
+    /// [`QueryBuilder::with_slo`] is registered with the cluster's
+    /// telemetry plane — see [`Session::metrics`].
     pub fn register(&mut self, query: impl IntoQuery) -> Result<QueryHandle> {
+        let slo = query.slo();
         let query = query.into_query()?;
         let id = self.cluster.register(&query)?;
+        if let Some(budget) = slo {
+            self.cluster.set_query_slo(id, budget);
+        }
         Ok(QueryHandle { id, query })
     }
 
@@ -198,12 +205,72 @@ impl Session {
         let outcome = self.cluster.send(stream, ts, values)?;
         Ok(TypedReply { outcome })
     }
+
+    /// Snapshot the engine's telemetry: per-stage latency histograms,
+    /// per-query percentile ladders keyed by [`QueryId`], SLO breach
+    /// counters, and aggregated task stats.
+    ///
+    /// Stage histograms fill only when the cluster was built with
+    /// `ClusterConfig::telemetry = true`; declaring an SLO with
+    /// [`QueryBuilder::with_slo`] arms per-query tracking either way:
+    ///
+    /// ```
+    /// use railgun_core::lang::{millis, mins, Agg, Query, Window};
+    /// use railgun_core::session::Session;
+    /// use railgun_core::ClusterConfig;
+    /// use railgun_types::{FieldType, Timestamp};
+    ///
+    /// let mut config = ClusterConfig::single_node();
+    /// config.telemetry = true; // stage histograms on
+    /// # config.data_root = std::env::temp_dir()
+    /// #     .join(format!("railgun-metrics-doc-{}", std::process::id()));
+    /// # std::fs::remove_dir_all(&config.data_root).ok();
+    /// let mut session = Session::new(config).unwrap();
+    /// let payments = session
+    ///     .create_stream("payments", &[("cardId", FieldType::Str)], &["cardId"])
+    ///     .unwrap();
+    /// let per_card = session
+    ///     .register(
+    ///         Query::select(Agg::count())
+    ///             .from("payments")
+    ///             .group_by(["cardId"])
+    ///             .over(Window::sliding(mins(5)))
+    ///             .with_slo(millis(250)), // latency budget: p(100) ≤ 250 ms
+    ///     )
+    ///     .unwrap();
+    ///
+    /// let event = payments
+    ///     .event(Timestamp::from_millis(1_000))
+    ///     .set("cardId", "card-1")
+    ///     .build()
+    ///     .unwrap();
+    /// session.send(event).unwrap();
+    ///
+    /// let metrics = session.metrics();
+    /// let q = metrics.query(per_card.id()).expect("tracked per QueryId");
+    /// assert_eq!(q.completed, 1);
+    /// let ladder = q.ladder(); // p50/p90/…/p99.99 in µs
+    /// assert!(ladder.p50_us <= ladder.p999_us);
+    /// assert_eq!(metrics.tasks.events_processed, 1);
+    /// assert!(metrics.stages.frontend_e2e.count() >= 1);
+    /// ```
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.cluster.metrics_snapshot()
+    }
 }
 
 /// Conversion into a finished [`Query`] — lets [`Session::register`]
 /// accept a [`QueryBuilder`] chain directly.
 pub trait IntoQuery {
+    /// Finalize into the query AST.
     fn into_query(self) -> Result<Query>;
+
+    /// The latency budget riding along, if the source carries one
+    /// ([`QueryBuilder::with_slo`]). Budgets are operational metadata,
+    /// not query semantics, so plain [`Query`] values have none.
+    fn slo(&self) -> Option<TimeDelta> {
+        None
+    }
 }
 
 impl IntoQuery for Query {
@@ -221,6 +288,10 @@ impl IntoQuery for &Query {
 impl IntoQuery for QueryBuilder {
     fn into_query(self) -> Result<Query> {
         self.build()
+    }
+
+    fn slo(&self) -> Option<TimeDelta> {
+        QueryBuilder::slo(self)
     }
 }
 

@@ -26,6 +26,8 @@
 //! exact.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use railgun_reservoir::{AppendOutcome, Cursor, Reservoir, ReservoirConfig};
 use railgun_store::{ColumnFamilyId, Db, DbOptions};
@@ -37,6 +39,7 @@ use crate::agg::{AggContext, AggState};
 use crate::api::{AggregationResult, QueryId};
 use crate::keys::{leaf_prefix, state_key};
 use crate::lang::{Query, WindowKind};
+use crate::metrics::{SharedTaskStats, TaskStatsRegistry};
 use crate::plan::{LeafId, MetricHandle, Plan, WindowId};
 
 /// Tuning for a task processor.
@@ -48,6 +51,11 @@ pub struct TaskConfig {
     pub truncate_every: u64,
     /// Extra retention beyond the largest window (safety margin).
     pub retention_margin: TimeDelta,
+    /// Registry new task processors publish their [`SharedTaskStats`] to,
+    /// making [`TaskStats`] reachable cluster-wide (even while the
+    /// threaded runtime owns the processors). The default is a private
+    /// registry per config; the cluster injects its shared one.
+    pub stats_registry: TaskStatsRegistry,
 }
 
 impl Default for TaskConfig {
@@ -57,11 +65,13 @@ impl Default for TaskConfig {
             store: DbOptions::default(),
             truncate_every: 4096,
             retention_margin: TimeDelta::from_minutes(1),
+            stats_registry: TaskStatsRegistry::default(),
         }
     }
 }
 
-/// Monotonic counters for one task processor.
+/// Monotonic counters for one task processor (a point-in-time snapshot
+/// of its [`SharedTaskStats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TaskStats {
     pub events_processed: u64,
@@ -100,7 +110,9 @@ pub struct TaskProcessor {
     /// (cursors dropped, §5.2's iterator count shrinks accordingly).
     windows: Vec<Option<WindowRuntime>>,
     config: TaskConfig,
-    stats: TaskStats,
+    /// Shared atomic counters, published to the config's registry so the
+    /// metrics plane can read them while a worker thread owns this task.
+    stats: Arc<SharedTaskStats>,
     events_since_truncate: u64,
     /// Per-window scratch buffers reused across events (hot path).
     expired_bufs: Vec<Vec<Event>>,
@@ -132,6 +144,8 @@ impl TaskProcessor {
             Some(cf) => cf,
             None => db.create_cf(AUX_CF_NAME)?,
         };
+        let stats = Arc::new(SharedTaskStats::default());
+        config.stats_registry.register(&stats);
         Ok(TaskProcessor {
             topic: topic.to_owned(),
             partition,
@@ -142,7 +156,7 @@ impl TaskProcessor {
             aux_cf,
             windows: Vec::new(),
             config,
-            stats: TaskStats::default(),
+            stats,
             events_since_truncate: 0,
             expired_bufs: Vec::new(),
             entering_buf: Vec::new(),
@@ -291,7 +305,7 @@ impl TaskProcessor {
             let prefix = leaf_prefix(leaf as u32);
             for (key, _) in self.db.scan_prefix(Db::DEFAULT_CF, &prefix)? {
                 self.db.delete(Db::DEFAULT_CF, &key)?;
-                self.stats.state_writes += 1;
+                self.stats.state_writes.fetch_add(1, Ordering::Relaxed);
             }
             if self.plan.leaves[leaf].func == crate::lang::AggFunc::CountDistinct {
                 distinct_prefixes.push(prefix);
@@ -329,7 +343,7 @@ impl TaskProcessor {
     pub fn process_event(&mut self, event: &Event) -> Result<(Vec<AggregationResult>, bool)> {
         self.schema.check_values(event.values())?;
         let t_eval = event.ts + TimeDelta::from_millis(1);
-        self.stats.events_processed += 1;
+        self.stats.events_processed.fetch_add(1, Ordering::Relaxed);
 
         // Phase 1: advance every tail (expirations) BEFORE the append, so
         // the reservoir's late-event fixups see the new bounds.
@@ -357,11 +371,11 @@ impl TaskProcessor {
             AppendOutcome::Appended => (Some(event.ts), false),
             AppendOutcome::LateRewritten(ts) => (Some(ts), false),
             AppendOutcome::Duplicate => {
-                self.stats.duplicates += 1;
+                self.stats.duplicates.fetch_add(1, Ordering::Relaxed);
                 (None, true)
             }
             AppendOutcome::LateDiscarded => {
-                self.stats.late_dropped += 1;
+                self.stats.late_dropped.fetch_add(1, Ordering::Relaxed);
                 (None, false)
             }
         };
@@ -410,8 +424,8 @@ impl TaskProcessor {
             for e in &entering {
                 self.apply_dag(wid, e, true)?;
             }
-            self.stats.evictions += expired.len() as u64;
-            self.stats.inserts += entering.len() as u64;
+            self.stats.evictions.fetch_add(expired.len() as u64, Ordering::Relaxed);
+            self.stats.inserts.fetch_add(entering.len() as u64, Ordering::Relaxed);
             self.expired_bufs[wid] = expired;
             self.entering_buf = entering;
         }
@@ -482,7 +496,7 @@ impl TaskProcessor {
         self.entity_buf = entity;
         let field_value = leaf_node.field_index.map(|i| &event.values()[i]);
 
-        self.stats.state_reads += 1;
+        self.stats.state_reads.fetch_add(1, Ordering::Relaxed);
         let mut state = match self.db.get_in(Db::DEFAULT_CF, &key, AggState::decode)? {
             Some(decoded) => decoded?,
             None => AggState::new(leaf_node.func),
@@ -499,7 +513,7 @@ impl TaskProcessor {
         }
         self.encode_buf.clear();
         state.encode(&mut self.encode_buf);
-        self.stats.state_writes += 1;
+        self.stats.state_writes.fetch_add(1, Ordering::Relaxed);
         self.db.put(Db::DEFAULT_CF, &key, &self.encode_buf)
     }
 
@@ -531,7 +545,7 @@ impl TaskProcessor {
                 entity.push(event.value(i).cloned().unwrap_or(Value::Null));
             }
             let key = state_key(leaf_idx as u32, bucket, &entity);
-            self.stats.state_reads += 1;
+            self.stats.state_reads.fetch_add(1, Ordering::Relaxed);
             let value = match self
                 .db
                 .get_in(Db::DEFAULT_CF, &key, |raw| AggState::decode(raw).map(|s| s.value()))?
@@ -635,7 +649,7 @@ impl TaskProcessor {
 
     /// Statistics snapshot.
     pub fn stats(&self) -> TaskStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Reservoir statistics (memory accounting for §5.2).

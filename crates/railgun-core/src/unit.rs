@@ -49,6 +49,11 @@ pub struct UnitConfig {
     /// reservoir and state store are checkpointed together and the (task,
     /// offset) record is published to the checkpoint topic (§4.1.3).
     pub checkpoint_every: u64,
+    /// Telemetry: active-consumer poll duration, one sample per pump
+    /// (off by default — disabled recorders never read the clock).
+    pub poll_recorder: railgun_types::Recorder,
+    /// Telemetry: per-message task processing duration (off by default).
+    pub process_recorder: railgun_types::Recorder,
 }
 
 /// What happened during one pump.
@@ -180,7 +185,10 @@ impl ProcessorUnit {
         }
 
         // 2. Active tasks.
-        let rebalanced = match self.active.poll_into(self.cfg.max_poll, &mut buf) {
+        let poll_timer = self.cfg.poll_recorder.start();
+        let polled = self.active.poll_into(self.cfg.max_poll, &mut buf);
+        self.cfg.poll_recorder.finish(poll_timer);
+        let rebalanced = match polled {
             Ok(r) => r,
             Err(RailgunError::Messaging(_)) => {
                 // Expelled after a heartbeat lapse — rejoin the group (the
@@ -199,9 +207,10 @@ impl ProcessorUnit {
         } else {
             for msg in buf.drain(..) {
                 let tp = msg.topic_partition();
-                if let Some((reply, reply_topic)) =
-                    self.process_message(&tp, msg.offset, &msg.payload)?
-                {
+                let timer = self.cfg.process_recorder.start();
+                let processed = self.process_message(&tp, msg.offset, &msg.payload);
+                self.cfg.process_recorder.finish(timer);
+                if let Some((reply, reply_topic)) = processed? {
                     let payload = encode_reply(&reply);
                     self.producer
                         .send_to_partition(&reply_topic, 0, &[], payload)?;
@@ -215,7 +224,10 @@ impl ProcessorUnit {
         self.replica.poll_into(self.cfg.max_poll, &mut buf)?;
         for msg in buf.drain(..) {
             let tp = msg.topic_partition();
-            self.process_message(&tp, msg.offset, &msg.payload)?;
+            let timer = self.cfg.process_recorder.start();
+            let processed = self.process_message(&tp, msg.offset, &msg.payload);
+            self.cfg.process_recorder.finish(timer);
+            processed?;
             report.replica_events += 1;
         }
         self.scratch = buf;

@@ -40,6 +40,10 @@ pub struct ChunkCache {
     /// walk resident chunks (it shares the reservoir lock with ingest).
     resident_heap: usize,
     resident_events: usize,
+    /// Shared telemetry mirror of [`CacheStats::misses`] — lets the
+    /// engine's metrics plane observe cold-drain chunk misses without
+    /// reaching into the reservoir (disabled by default).
+    miss_counter: railgun_types::Counter,
 }
 
 struct CacheEntry {
@@ -60,7 +64,14 @@ impl ChunkCache {
             stats: CacheStats::default(),
             resident_heap: 0,
             resident_events: 0,
+            miss_counter: railgun_types::Counter::disabled(),
         }
+    }
+
+    /// Attach a shared telemetry counter that mirrors
+    /// [`CacheStats::misses`] (each miss increments both).
+    pub fn set_miss_counter(&mut self, counter: railgun_types::Counter) {
+        self.miss_counter = counter;
     }
 
     /// Configured capacity in chunks.
@@ -90,6 +101,7 @@ impl ChunkCache {
             }
             None => {
                 self.stats.misses += 1;
+                self.miss_counter.incr();
                 None
             }
         }

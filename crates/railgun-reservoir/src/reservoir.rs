@@ -38,8 +38,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use railgun_types::{
-    Event, EventId, FastHashMap, FastHashSet, RailgunError, Result, Schema, SchemaId, TimeDelta,
-    Timestamp,
+    Counter, Event, EventId, FastHashMap, FastHashSet, RailgunError, Recorder, Result, Schema,
+    SchemaId, TimeDelta, Timestamp,
 };
 
 use crate::cache::{CacheStats, ChunkCache};
@@ -79,6 +79,15 @@ pub struct ReservoirConfig {
     pub codec: Codec,
     /// Eagerly load the next chunk when a cursor enters a new one.
     pub prefetch: bool,
+    /// Telemetry: append-latency recorder (off by default — a disabled
+    /// recorder never reads the clock, keeping the PR-2 hot-path numbers
+    /// intact; see `railgun_types::metrics`).
+    pub append_recorder: Recorder,
+    /// Telemetry: cold-drain chunk-miss counter, mirroring
+    /// [`CacheStats::misses`](crate::CacheStats) into a handle the
+    /// engine's metrics plane can read without reaching into the
+    /// reservoir (off by default).
+    pub chunk_miss_counter: Counter,
 }
 
 impl Default for ReservoirConfig {
@@ -92,6 +101,8 @@ impl Default for ReservoirConfig {
             late_policy: LatePolicy::Discard,
             codec: Codec::RailZ,
             prefetch: true,
+            append_recorder: Recorder::disabled(),
+            chunk_miss_counter: Counter::disabled(),
         }
     }
 }
@@ -280,7 +291,11 @@ impl Reservoir {
             next_chunk_id,
             open: None,
             transition: Vec::new(),
-            cache: ChunkCache::new(cfg.cache_capacity_chunks),
+            cache: {
+                let mut cache = ChunkCache::new(cfg.cache_capacity_chunks);
+                cache.set_miss_counter(cfg.chunk_miss_counter.clone());
+                cache
+            },
             files,
             dedup: FastHashSet::default(),
             registry,
@@ -328,7 +343,18 @@ impl Reservoir {
     /// The common case — an event at or past the open chunk's tail — is a
     /// bounds-checked push plus O(1) metadata updates; only genuinely
     /// out-of-order arrivals pay the binary-search insert.
-    pub fn append(&self, mut event: Event) -> Result<AppendOutcome> {
+    ///
+    /// When [`ReservoirConfig::append_recorder`] is enabled, the full
+    /// append latency (lock wait included — that is what the task
+    /// processor experiences) is recorded in microseconds.
+    pub fn append(&self, event: Event) -> Result<AppendOutcome> {
+        let timer = self.shared.cfg.append_recorder.start();
+        let outcome = self.append_inner(event);
+        self.shared.cfg.append_recorder.finish(timer);
+        outcome
+    }
+
+    fn append_inner(&self, mut event: Event) -> Result<AppendOutcome> {
         let mut inner = self.shared.inner.lock();
         let inner = &mut *inner;
         // Single dedup probe: insert up front, roll back on the (rare)

@@ -16,7 +16,7 @@
 
 use rand::Rng;
 
-use crate::histogram::Histogram;
+use railgun_types::Histogram;
 use crate::latency::{GcModel, KafkaHopModel, LogNormal};
 use crate::queueing::FifoServer;
 

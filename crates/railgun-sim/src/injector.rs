@@ -9,7 +9,7 @@
 
 use rand::Rng;
 
-use crate::histogram::Histogram;
+use railgun_types::Histogram;
 use crate::latency::{GcModel, KafkaHopModel};
 use crate::queueing::FifoServer;
 

@@ -7,8 +7,9 @@
 //! parts a laptop cannot — sustained wall-clock load, a broker fleet, a
 //! garbage collector — as calibrated models:
 //!
-//! * [`histogram`] — HDR-style latency histograms with the paper's
-//!   percentile ladder;
+//! * [`histogram`] — compatibility re-export of the HDR-style latency
+//!   histogram, which moved to [`railgun_types::histogram`] so the real
+//!   engine's telemetry plane shares it;
 //! * [`queueing`] — FIFO servers modeling single-threaded processor units;
 //! * [`latency`] — messaging-hop, GC-pause and disk-miss models calibrated
 //!   against the published curves (constants documented in
@@ -26,7 +27,9 @@ pub mod latency;
 pub mod queueing;
 
 pub use cluster::{max_sustainable_rate, run_cluster, ClusterRunSummary, ClusterSimConfig};
-pub use histogram::Histogram;
+// Non-deprecated compatibility path: `railgun_sim::Histogram` stays valid
+// (same type); the deprecated alias lives at `railgun_sim::histogram`.
+pub use railgun_types::Histogram;
 pub use injector::{run_open_loop, InjectorConfig, RunSummary};
 pub use latency::{DiskModel, GcModel, KafkaHopModel, LogNormal};
 pub use queueing::FifoServer;

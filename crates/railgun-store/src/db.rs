@@ -16,7 +16,7 @@ use std::path::{Path, PathBuf};
 use bytes::{Buf, BufMut};
 use parking_lot::Mutex;
 use railgun_types::encode::{crc32c, get_string, get_uvarint, put_bytes, put_uvarint};
-use railgun_types::{RailgunError, Result};
+use railgun_types::{RailgunError, Recorder, Result};
 
 use crate::memtable::{Entry, MemTable};
 use crate::merge::MergeIter;
@@ -39,6 +39,12 @@ pub struct DbOptions {
     pub compaction_trigger: usize,
     /// fsync the WAL on every write (durable, slow) instead of on flush.
     pub sync_wal: bool,
+    /// Telemetry: WAL-append latency recorder (off by default — a
+    /// disabled recorder never reads the clock; see
+    /// `railgun_types::metrics`).
+    pub wal_recorder: Recorder,
+    /// Telemetry: memtable-flush latency recorder (off by default).
+    pub flush_recorder: Recorder,
 }
 
 impl Default for DbOptions {
@@ -49,6 +55,8 @@ impl Default for DbOptions {
             bloom_bits_per_key: 10,
             compaction_trigger: 4,
             sync_wal: false,
+            wal_recorder: Recorder::disabled(),
+            flush_recorder: Recorder::disabled(),
         }
     }
 }
@@ -268,7 +276,9 @@ impl Db {
         if !inner.cfs.contains_key(&cf) {
             return Err(RailgunError::NotFound(format!("column family {cf}")));
         }
+        let timer = self.opts.wal_recorder.start();
         inner.wal.append_put(cf, key, value)?;
+        self.opts.wal_recorder.finish(timer);
         inner
             .cfs
             .get_mut(&cf)
@@ -284,7 +294,9 @@ impl Db {
         if !inner.cfs.contains_key(&cf) {
             return Err(RailgunError::NotFound(format!("column family {cf}")));
         }
+        let timer = self.opts.wal_recorder.start();
         inner.wal.append_delete(cf, key)?;
+        self.opts.wal_recorder.finish(timer);
         inner
             .cfs
             .get_mut(&cf)
@@ -393,6 +405,13 @@ impl Db {
         if cf_ids.is_empty() {
             return Ok(());
         }
+        let timer = self.opts.flush_recorder.start();
+        let result = self.flush_cfs_locked(inner, cf_ids);
+        self.opts.flush_recorder.finish(timer);
+        result
+    }
+
+    fn flush_cfs_locked(&self, inner: &mut Inner, cf_ids: Vec<ColumnFamilyId>) -> Result<()> {
         for id in cf_ids {
             let file_no = inner.next_file_no;
             inner.next_file_no += 1;

@@ -7,6 +7,11 @@
 //! registry), millisecond-resolution [`Timestamp`]s / [`TimeDelta`]s used by
 //! windows, and the common [`RailgunError`] type.
 //!
+//! It also hosts the shared observability vocabulary: the log-bucketed
+//! [`Histogram`] (moved here from `railgun-sim`) and the near-zero-cost
+//! [`metrics`] recording layer ([`Recorder`]/[`Counter`]) the engine's
+//! telemetry plane records stage latencies through.
+//!
 //! Everything here is deliberately small and dependency-free so that the
 //! storage, messaging, and engine crates can share it without coupling.
 
@@ -14,6 +19,8 @@ pub mod encode;
 pub mod error;
 pub mod event;
 pub mod hash;
+pub mod histogram;
+pub mod metrics;
 pub mod schema;
 pub mod time;
 pub mod value;
@@ -21,6 +28,8 @@ pub mod value;
 pub use error::{RailgunError, Result};
 pub use hash::{FastHashMap, FastHashSet};
 pub use event::{Event, EventId};
+pub use histogram::Histogram;
+pub use metrics::{AtomicHistogram, Counter, LatencyLadder, Recorder};
 pub use schema::{FieldDef, FieldType, Schema, SchemaId};
 pub use time::{TimeDelta, Timestamp};
 pub use value::Value;

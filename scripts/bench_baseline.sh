@@ -1,8 +1,14 @@
 #!/usr/bin/env sh
 # bench-baseline: smoke-run the perf-baseline benchmarks (hot path +
-# threaded-runtime scaling) and validate that both their output and the
-# committed BENCH_*.json files parse as JSON, so perf tooling regressions
-# fail loudly in CI instead of silently.
+# threaded-runtime scaling + real-runtime latency) and validate that both
+# their output and the committed BENCH_*.json files parse as JSON, so
+# perf tooling regressions fail loudly in CI instead of silently.
+#
+# Also runs the telemetry-off hot-path guard: the freshly measured
+# in-order ingest rate must stay within (a generous notion of) noise of
+# the committed BENCH_hotpath.json baseline — a tripwire for the
+# telemetry plane (or anything else) accidentally taxing the hot path
+# when it is switched off.
 #
 # Usage:
 #   scripts/bench_baseline.sh          # smoke mode (CI): tiny N
@@ -21,10 +27,13 @@ fi
 # Absolute paths: cargo runs bench binaries with the package dir as CWD.
 OUT="$(pwd)/target/bench_hotpath_smoke.json"
 SCALING_OUT="$(pwd)/target/bench_scaling_smoke.json"
+LATENCY_OUT="$(pwd)/target/bench_latency_smoke.json"
 # shellcheck disable=SC2086  # MODE_ARGS is intentionally word-split
 cargo bench -p railgun-bench --bench fig_hotpath -- $MODE_ARGS --out "$OUT"
 # shellcheck disable=SC2086
 cargo bench -p railgun-bench --bench fig_scaling -- $MODE_ARGS --out "$SCALING_OUT"
+# shellcheck disable=SC2086
+cargo bench -p railgun-bench --bench fig_latency -- $MODE_ARGS --out "$LATENCY_OUT"
 
 validate() {
   f="$1"
@@ -41,5 +50,31 @@ validate() {
 
 validate "$OUT"
 validate "$SCALING_OUT"
+validate "$LATENCY_OUT"
 validate BENCH_hotpath.json
 validate BENCH_scaling.json
+validate BENCH_latency.json
+
+# Telemetry-off hot-path guard. The benches run with telemetry disabled
+# (the default), so the fresh in-order ingest rate should be in the same
+# ballpark as the committed baseline. The floor is deliberately loose
+# (25% of the committed best sample): it tolerates slow shared CI runners
+# and smoke-size N while still tripping on an order-of-magnitude
+# regression such as an always-on clock read landing in the append path.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" <<'EOF'
+import json, sys
+
+fresh = json.load(open(sys.argv[1]))["metrics"]["ingest_inorder_eps"]
+committed = json.load(open("BENCH_hotpath.json"))
+after = [p for p in committed["phases"] if p["label"] == "pr2-after"]
+baseline = max(s["ingest_inorder_eps"] for p in after for s in p["samples"])
+floor = 0.25 * baseline
+status = "ok" if fresh >= floor else "FAIL"
+print(f"{status}: telemetry-off ingest {fresh:.0f} ev/s vs committed "
+      f"baseline {baseline:.0f} ev/s (floor {floor:.0f})")
+sys.exit(0 if fresh >= floor else 1)
+EOF
+else
+  echo "skip: hot-path guard needs python3"
+fi

@@ -21,7 +21,17 @@
 //! * [`baseline`] — Flink-like hopping-window and rescan baselines used by
 //!   the paper's evaluation.
 //! * [`sim`] — virtual-time harness: open-loop injector, queueing,
-//!   latency/GC models, HDR-style histograms.
+//!   latency/GC models.
+//!
+//! The engine observes itself through the telemetry & SLO plane
+//! ([`engine::metrics`]): build the cluster with
+//! `ClusterConfig::telemetry = true`, attach latency budgets with the
+//! query builder's `.with_slo(...)`, and snapshot per-stage histograms
+//! and per-query percentile ladders with [`Session::metrics`] — see the
+//! README's "Observing latency" quickstart and DESIGN.md § "Telemetry &
+//! SLO plane".
+//!
+//! [`Session::metrics`]: engine::session::Session::metrics
 //!
 //! ## Quickstart
 //!
@@ -136,5 +146,6 @@ pub use railgun_types as types;
 // The typed client API, re-exported at the crate root (the engine module
 // remains the full toolbox).
 pub use railgun_core::{
-    EventBuilder, QueryHandle, QueryId, Session, StreamEvent, StreamHandle, TypedReply,
+    EventBuilder, MetricsSnapshot, QueryHandle, QueryId, QueryMetrics, Session, StreamEvent,
+    StreamHandle, TypedReply,
 };
