@@ -1,0 +1,222 @@
+//! Single-core ingest throughput baseline: batched vs single-message
+//! front-end publishing (BENCH_ingest.json).
+//!
+//! The batched-ingest refactor (PR 6) encodes each event once into a
+//! shared frame and moves whole record batches across the bus — one hop,
+//! one wakeup, one reservoir lock per batch instead of per event. This
+//! bench isolates that gain on **one core**: the cluster runs in pump
+//! mode, so the front-end, the units and the reservoir all execute
+//! inline on the bench thread and the only variable is how many messages
+//! the same event stream becomes.
+//!
+//! Events are driven in bursts of `DEPTH` pipelined `send_async` calls
+//! followed by a collect of the whole burst — the shape that lets the
+//! front-end coalesce (a closed loop of synchronous sends is a batch of
+//! one by design; see DESIGN.md § "Batched ingest").
+//!
+//! The sweep covers `max_batch_events` ∈ {1, 16, 64, 256}; `1` is the
+//! pre-batching message-per-event path and is the committed baseline the
+//! CI guard in `scripts/bench_baseline.sh` holds the batched path
+//! against.
+//!
+//! Run modes mirror the other figure benches:
+//!
+//! * `cargo bench -p railgun-bench --bench fig_ingest` — full run;
+//! * `-- --test` — smoke mode (tiny N, used by CI);
+//! * `-- --out <path>` — additionally write the JSON to `<path>`;
+//! * `FIG_INGEST_STAGES=1` — also enable engine telemetry and print
+//!   per-stage latency totals (where the per-event budget goes).
+
+use std::time::Instant;
+
+use railgun_bench::{compact_schema, queries, FraudGenerator, WorkloadConfig};
+use railgun_core::{BatchPolicy, Cluster, ClusterConfig};
+use railgun_types::{Timestamp, Value};
+
+/// Partitions per event topic.
+const PARTITIONS: u32 = 4;
+/// Pipelined burst size: events sent before the burst is collected. Also
+/// the default coalescing bound, so the batched run publishes bursts as
+/// single frames.
+const DEPTH: usize = 64;
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("railgun-ingest-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+struct Measured {
+    eps: f64,
+    /// Largest batch or run observed (the engine's always-on batch-size
+    /// histogram is shared between front-end publishes and unit runs).
+    max_batch: u64,
+    /// Events the front-end published in multi-event batches — zero in
+    /// the single-message configuration by construction, which is the
+    /// evidence the knob did what the label says.
+    frontend_batched: u64,
+}
+
+/// Pump-mode run: everything inline on this thread. `events` are sent in
+/// bursts of `DEPTH` `send_async` calls, then the burst is collected
+/// (collect pumps until the reply is in).
+fn run_pump(tag: &str, events: &[(Timestamp, Vec<Value>)], max_events: usize) -> Measured {
+    let mut cfg = ClusterConfig {
+        nodes: 1,
+        units_per_node: 2,
+        partitions: PARTITIONS,
+        replication: 1,
+        ..ClusterConfig::default()
+    };
+    cfg.data_root = fresh_dir(tag);
+    cfg.max_in_flight = DEPTH * 2;
+    cfg.collect_timeout_ms = 60_000;
+    cfg.batch = BatchPolicy {
+        max_events,
+        ..BatchPolicy::default()
+    };
+    cfg.telemetry = std::env::var_os("FIG_INGEST_STAGES").is_some();
+    let mut cluster = Cluster::new(cfg).expect("cluster boots");
+    cluster
+        .create_stream("payments", compact_schema(), &["cardId"])
+        .expect("stream");
+    cluster.register(&queries::per_card()).expect("q1");
+    cluster
+        .register(&queries::distinct_merchants())
+        .expect("q2");
+
+    let mut tickets = Vec::with_capacity(DEPTH);
+    let start = Instant::now();
+    for burst in events.chunks(DEPTH) {
+        for (ts, values) in burst {
+            tickets.push(
+                cluster
+                    .send_async("payments", *ts, values.clone())
+                    .expect("send_async"),
+            );
+        }
+        for t in tickets.drain(..) {
+            cluster.collect(t).expect("collect");
+        }
+    }
+    let wall = start.elapsed();
+    if std::env::var_os("FIG_INGEST_STAGES").is_some() {
+        let snap = cluster.metrics_snapshot();
+        for (name, h) in [
+            ("unit_process", &snap.stages.unit_process),
+            ("reservoir_append", &snap.stages.reservoir_append),
+            ("store_wal_append", &snap.stages.store_wal_append),
+        ] {
+            let l = railgun_types::LatencyLadder::from_histogram(h);
+            eprintln!(
+                "#     [{tag}] {name}: count {} p50 {} p99 {} mean {:.1} total_ms {:.0}",
+                l.count,
+                l.p50_us,
+                l.p99_us,
+                l.mean_us,
+                l.mean_us * l.count as f64 / 1000.0
+            );
+        }
+    }
+    let batching = cluster.metrics_snapshot().batching;
+    Measured {
+        eps: events.len() as f64 / wall.as_secs_f64(),
+        max_batch: batching.batch_size.max(),
+        frontend_batched: batching.frontend_batched_events,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let total_events = if smoke { 2_000 } else { 20_000 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // One pre-generated event stream, replayed identically per setting so
+    // the sweep differs only in message framing. Timestamps advance 1 ms
+    // per event — the same ramp workload (window filling, no eviction yet)
+    // and event count as the committed BENCH_scaling.json in-flight sweep,
+    // so the single-message row here is directly comparable to it.
+    let mut gen = FraudGenerator::new(WorkloadConfig::default());
+    let events: Vec<(Timestamp, Vec<Value>)> = (0..total_events)
+        .map(|i| (Timestamp::from_millis(i as i64), gen.next_compact()))
+        .collect();
+
+    let batch_events: &[usize] = if smoke { &[1, 64] } else { &[1, 16, 64, 256] };
+    eprintln!(
+        "# fig_ingest: single-core pump-mode ingest, {total_events} events, burst depth {DEPTH} \
+         ({cores} core(s) available)"
+    );
+    let mut sweep = Vec::new();
+    for &b in batch_events {
+        let m = run_pump(&format!("b{b}"), &events, b);
+        eprintln!(
+            "#   max_batch_events={b}: {:.0} ev/s (largest batch/run: {}, frontend-batched events: {})",
+            m.eps, m.max_batch, m.frontend_batched
+        );
+        sweep.push((b, m));
+    }
+    let single = &sweep.first().expect("sweep ran").1;
+    let batched = &sweep
+        .iter()
+        .find(|(b, _)| *b == DEPTH)
+        .expect("default batch setting in sweep")
+        .1;
+    let speedup = batched.eps / single.eps;
+    eprintln!(
+        "#   batched ({DEPTH}) vs single-message: {:.0} vs {:.0} ev/s ({speedup:.2}x)",
+        batched.eps, single.eps
+    );
+
+    // -- JSON ---------------------------------------------------------------
+    let mode = if smoke { "test" } else { "full" };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"fig_ingest\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"machine\": {{ \"available_cores\": {cores} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"config\": {{ \"units\": 2, \"partitions\": {PARTITIONS}, \"burst_depth\": {DEPTH}, \"events\": {total_events} }},\n"
+    ));
+    json.push_str("  \"measured\": {\n");
+    json.push_str(
+        "    \"note\": \"pump mode: front-end, units and reservoir inline on one thread; \
+         max_batch_events = 1 is the pre-batching message-per-event baseline\",\n",
+    );
+    json.push_str("    \"by_max_events\": [\n");
+    for (i, (b, m)) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"max_batch_events\": {b}, \"eps\": {:.0}, \"largest_batch\": {}, \"frontend_batched_events\": {} }}{}\n",
+            m.eps,
+            m.max_batch,
+            m.frontend_batched,
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"single_message_eps\": {:.0},\n    \"batched_eps\": {:.0},\n    \"speedup\": {speedup:.2}\n",
+        single.eps, batched.eps
+    ));
+    json.push_str("  }\n}\n");
+
+    print!("{json}");
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        std::fs::write(&path, &json).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+}

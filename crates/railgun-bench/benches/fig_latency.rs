@@ -31,7 +31,7 @@ use std::time::Instant;
 use railgun_bench::{compact_schema, queries, FraudGenerator, WorkloadConfig};
 use railgun_core::lang::{millis, mins, Agg, Window};
 use railgun_core::metrics::MetricsSnapshot;
-use railgun_core::{ClusterConfig, Query, QueryId, Session};
+use railgun_core::{BatchPolicy, ClusterConfig, Query, QueryId, Session};
 use railgun_types::{Histogram, LatencyLadder, Timestamp, Value};
 
 /// The paper's M requirement in milliseconds (p99.9 bound, §2) — the
@@ -62,6 +62,7 @@ fn run_threaded(
     clients: usize,
     depth: usize,
     events_per_client: usize,
+    batch: BatchPolicy,
 ) -> RunOutput {
     let mut cfg = ClusterConfig {
         nodes: 1,
@@ -74,6 +75,7 @@ fn run_threaded(
     cfg.max_in_flight = depth.max(1) * 2;
     cfg.collect_timeout_ms = 60_000;
     cfg.telemetry = true;
+    cfg.batch = batch;
     let mut session = Session::new(cfg).expect("cluster boots");
     session
         .create_stream(
@@ -213,14 +215,48 @@ fn main() {
         .unwrap_or(1);
 
     eprintln!("# fig_latency: measured end-to-end latency, threaded runtime ({cores} core(s))");
-    let pipelined = run_threaded("pipelined", units, clients, depth, events_per_client);
+    let pipelined = run_threaded(
+        "pipelined",
+        units,
+        clients,
+        depth,
+        events_per_client,
+        BatchPolicy::default(),
+    );
     let pipe_ladder = LatencyLadder::from_histogram(&pipelined.client_hist);
     eprintln!(
         "#   pipelined (depth {depth}): {:.0} ev/s, p50 {} µs, p99 {} µs, p99.9 {} µs, p99.99 {} µs",
         pipelined.eps, pipe_ladder.p50_us, pipe_ladder.p99_us, pipe_ladder.p999_us,
         pipe_ladder.p9999_us
     );
-    let closed = run_threaded("closed", units, clients, 1, closed_events);
+    // Batch sweep (PR 6): the same pipelined workload with coalescing
+    // forced off (max_events = 1 publishes every event as its own bus
+    // message) — the pre-batching baseline the batched path is judged
+    // against.
+    let single = run_threaded(
+        "single-msg",
+        units,
+        clients,
+        depth,
+        events_per_client,
+        BatchPolicy {
+            max_events: 1,
+            ..BatchPolicy::default()
+        },
+    );
+    let single_ladder = LatencyLadder::from_histogram(&single.client_hist);
+    eprintln!(
+        "#   pipelined, single-message (depth {depth}): {:.0} ev/s, p50 {} µs, p99 {} µs",
+        single.eps, single_ladder.p50_us, single_ladder.p99_us
+    );
+    let closed = run_threaded(
+        "closed",
+        units,
+        clients,
+        1,
+        closed_events,
+        BatchPolicy::default(),
+    );
     let closed_ladder = LatencyLadder::from_histogram(&closed.client_hist);
     eprintln!(
         "#   closed loop (depth 1): {:.0} ev/s, p50 {} µs, p99 {} µs",
@@ -263,6 +299,11 @@ fn main() {
         "    \"pipelined\": {{ \"eps\": {:.0}, \"e2e_us\": {} }},\n",
         pipelined.eps,
         ladder_json("", &pipe_ladder)
+    ));
+    json.push_str(&format!(
+        "    \"pipelined_single_message\": {{ \"max_batch_events\": 1, \"eps\": {:.0}, \"e2e_us\": {} }},\n",
+        single.eps,
+        ladder_json("", &single_ladder)
     ));
     json.push_str(&format!(
         "    \"closed_loop\": {{ \"eps\": {:.0}, \"e2e_us\": {} }}\n",

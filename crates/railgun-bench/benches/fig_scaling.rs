@@ -34,7 +34,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use railgun_bench::{compact_schema, queries, FraudGenerator, ServicePool, WorkloadConfig, Zipf};
-use railgun_core::{Cluster, ClusterConfig, TaskConfig, TaskProcessor};
+use railgun_core::{BatchPolicy, Cluster, ClusterConfig, TaskConfig, TaskProcessor};
 use railgun_messaging::partition_for_key;
 use railgun_sim::FifoServer;
 use railgun_types::{Event, EventId, Timestamp, Value};
@@ -70,7 +70,14 @@ struct Measured {
 
 /// Drive a started cluster with `clients` threads × `depth` in-flight
 /// pipelined requests each, `events_per_client` events per thread.
-fn run_real(tag: &str, units: u32, clients: usize, depth: usize, events_per_client: usize) -> Measured {
+fn run_real(
+    tag: &str,
+    units: u32,
+    clients: usize,
+    depth: usize,
+    events_per_client: usize,
+    batch: BatchPolicy,
+) -> Measured {
     let mut cfg = ClusterConfig {
         nodes: 1,
         units_per_node: units,
@@ -81,6 +88,7 @@ fn run_real(tag: &str, units: u32, clients: usize, depth: usize, events_per_clie
     cfg.data_root = fresh_dir(tag);
     cfg.max_in_flight = depth.max(1) * 2;
     cfg.collect_timeout_ms = 60_000;
+    cfg.batch = batch;
     let mut cluster = Cluster::new(cfg).expect("cluster boots");
     cluster
         .create_stream("payments", compact_schema(), &["cardId"])
@@ -283,7 +291,14 @@ fn main() {
     eprintln!("# fig_scaling: measured threaded runtime ({cores} core(s) available)");
     let mut measured_units = Vec::new();
     for &u in unit_counts {
-        let m = run_real(&format!("u{u}"), u, clients, 16.min(events_per_client), events_per_client);
+        let m = run_real(
+            &format!("u{u}"),
+            u,
+            clients,
+            16.min(events_per_client),
+            events_per_client,
+            BatchPolicy::default(),
+        );
         eprintln!(
             "#   units={u}: {:.0} ev/s, p50 {} µs, p99 {} µs",
             m.eps, m.p50_us, m.p99_us
@@ -292,12 +307,46 @@ fn main() {
     }
     let mut measured_depth = Vec::new();
     for &d in depths {
-        let m = run_real(&format!("d{d}"), 4.min(*unit_counts.last().unwrap()), clients, d, events_per_client);
+        let m = run_real(
+            &format!("d{d}"),
+            4.min(*unit_counts.last().unwrap()),
+            clients,
+            d,
+            events_per_client,
+            BatchPolicy::default(),
+        );
         eprintln!(
             "#   inflight={d}: {:.0} ev/s, p50 {} µs, p99 {} µs",
             m.eps, m.p50_us, m.p99_us
         );
         measured_depth.push((d, m));
+    }
+    // Batch-size sweep (PR 6): same deep-pipelined workload, sweeping the
+    // front-end coalescing bound. max_events = 1 is the pre-batching
+    // message-per-event path; the deepest setting shows where the
+    // one-bus-hop-per-batch amortization tops out.
+    let batch_events: &[usize] = if smoke { &[1, 64] } else { &[1, 16, 64, 256] };
+    let batch_depth = *depths.last().unwrap();
+    let batch_units = 4.min(*unit_counts.last().unwrap());
+    eprintln!("# fig_scaling: batch-size sweep (inflight={batch_depth}, units={batch_units})");
+    let mut measured_batch = Vec::new();
+    for &b in batch_events {
+        let m = run_real(
+            &format!("b{b}"),
+            batch_units,
+            clients,
+            batch_depth,
+            events_per_client,
+            BatchPolicy {
+                max_events: b,
+                ..BatchPolicy::default()
+            },
+        );
+        eprintln!(
+            "#   max_batch_events={b}: {:.0} ev/s, p50 {} µs, p99 {} µs",
+            m.eps, m.p50_us, m.p99_us
+        );
+        measured_batch.push((b, m));
     }
 
     eprintln!("# fig_scaling: modeled multi-core composition (fig10 methodology)");
@@ -355,6 +404,16 @@ fn main() {
             m.p50_us,
             m.p99_us,
             if i + 1 < measured_depth.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n    \"by_batch\": [\n");
+    for (i, (b, m)) in measured_batch.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"max_batch_events\": {b}, \"eps\": {:.0}, \"p50_us\": {}, \"p99_us\": {} }}{}\n",
+            m.eps,
+            m.p50_us,
+            m.p99_us,
+            if i + 1 < measured_batch.len() { "," } else { "" }
         ));
     }
     json.push_str("    ]\n  },\n");

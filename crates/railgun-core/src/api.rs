@@ -163,10 +163,17 @@ pub const CHECKPOINT_TOPIC: &str = "railgun-checkpoints";
 /// Encode an [`EventRequest`].
 pub fn encode_event_request(req: &EventRequest) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
-    put_uvarint(&mut buf, req.request_id);
-    put_bytes(&mut buf, req.reply_topic.as_bytes());
-    put_event(&mut buf, &req.event);
+    encode_event_request_into(&mut buf, req);
     buf
+}
+
+/// Encode an [`EventRequest`] by appending to `buf` — the batched ingest
+/// path encodes every event of a batch once into one shared frame buffer
+/// and publishes zero-copy slices of it.
+pub fn encode_event_request_into(buf: &mut Vec<u8>, req: &EventRequest) {
+    put_uvarint(buf, req.request_id);
+    put_bytes(buf, req.reply_topic.as_bytes());
+    put_event(buf, &req.event);
 }
 
 /// Decode an [`EventRequest`].
@@ -197,22 +204,29 @@ fn check_version(buf: &mut &[u8], what: &str) -> Result<()> {
 /// Encode a [`Reply`].
 pub fn encode_reply(reply: &Reply) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
-    buf.put_u8(WIRE_VERSION);
-    put_uvarint(&mut buf, reply.request_id);
-    put_bytes(&mut buf, reply.source_topic.as_bytes());
-    buf.put_u8(u8::from(reply.duplicate));
-    put_uvarint(&mut buf, reply.results.len() as u64);
-    for r in &reply.results {
-        put_uvarint(&mut buf, r.query.0);
-        put_uvarint(&mut buf, u64::from(r.index));
-        put_bytes(&mut buf, r.name.as_bytes());
-        put_uvarint(&mut buf, r.entity.len() as u64);
-        for v in &r.entity {
-            railgun_types::encode::put_value(&mut buf, v);
-        }
-        railgun_types::encode::put_value(&mut buf, &r.value);
-    }
+    encode_reply_into(&mut buf, reply);
     buf
+}
+
+/// Encode a [`Reply`] by appending to `buf` — processor units stage the
+/// replies of one pump into a shared frame per reply topic and publish
+/// them as one batch.
+pub fn encode_reply_into(buf: &mut Vec<u8>, reply: &Reply) {
+    buf.put_u8(WIRE_VERSION);
+    put_uvarint(buf, reply.request_id);
+    put_bytes(buf, reply.source_topic.as_bytes());
+    buf.put_u8(u8::from(reply.duplicate));
+    put_uvarint(buf, reply.results.len() as u64);
+    for r in &reply.results {
+        put_uvarint(buf, r.query.0);
+        put_uvarint(buf, u64::from(r.index));
+        put_bytes(buf, r.name.as_bytes());
+        put_uvarint(buf, r.entity.len() as u64);
+        for v in &r.entity {
+            railgun_types::encode::put_value(buf, v);
+        }
+        railgun_types::encode::put_value(buf, &r.value);
+    }
 }
 
 /// Decode a [`Reply`].

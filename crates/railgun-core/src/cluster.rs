@@ -23,7 +23,7 @@ use railgun_messaging::{BusClock, BusConfig, MessageBus};
 use railgun_types::{RailgunError, Result, Schema, TimeDelta, Timestamp, Value};
 
 use crate::api::{find_keyed, AggregationResult, QueryId};
-use crate::frontend::{ClientResponse, FrontEnd, RegisteredQuery};
+use crate::frontend::{BatchPolicy, ClientResponse, FrontEnd, RegisteredQuery};
 use crate::lang::Query;
 use crate::metrics::{EngineTelemetry, MetricsSnapshot};
 use crate::node::Node;
@@ -56,6 +56,12 @@ pub struct ClusterConfig {
     /// Per-front-end cap on in-flight requests (backpressure; see
     /// `FrontEnd`).
     pub max_in_flight: usize,
+    /// Front-end ingest coalescing policy: pipelined sends are staged and
+    /// published as one batch per topic, bounded by
+    /// [`BatchPolicy::max_events`] / [`BatchPolicy::max_delay`].
+    /// Closed-loop (one-in-flight) traffic flushes per event regardless,
+    /// so it costs nothing there (see DESIGN.md § "Batched ingest").
+    pub batch: BatchPolicy,
     /// Wall-clock deadline for blocking collects in threaded mode.
     pub collect_timeout_ms: u64,
     /// Enable the telemetry plane: stage latency histograms (front-end
@@ -101,6 +107,7 @@ impl Default for ClusterConfig {
             checkpoint_every: 0,
             clock: BusClock::Manual,
             max_in_flight: 1_024,
+            batch: BatchPolicy::default(),
             collect_timeout_ms: 10_000,
             telemetry: false,
         }
@@ -184,6 +191,7 @@ impl Cluster {
         config.task.stats_registry = telemetry.task_registry();
         config.task.reservoir.append_recorder = telemetry.reservoir_append_recorder();
         config.task.reservoir.chunk_miss_counter = telemetry.chunk_miss_counter();
+        config.task.reservoir.batch_events_counter = telemetry.reservoir_batched_counter();
         config.task.store.wal_recorder = telemetry.store_wal_recorder();
         config.task.store.flush_recorder = telemetry.store_flush_recorder();
         let strategy = Arc::new(RailgunStrategy::new(config.replication));
@@ -198,6 +206,7 @@ impl Cluster {
                 Arc::clone(&strategy),
                 config.checkpoint_every,
                 config.max_in_flight,
+                config.batch,
                 Arc::clone(&telemetry),
             )?);
         }
@@ -488,6 +497,7 @@ impl Cluster {
             &self.bus,
             id,
             self.config.max_in_flight,
+            self.config.batch,
             Arc::clone(&self.telemetry),
         )?;
         // Learn every stream registered before this client existed.
@@ -556,6 +566,7 @@ impl Cluster {
             Arc::clone(&self.strategy),
             self.config.checkpoint_every,
             self.config.max_in_flight,
+            self.config.batch,
             Arc::clone(&self.telemetry),
         )?;
         if self.is_running() {

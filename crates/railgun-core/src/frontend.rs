@@ -17,16 +17,18 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use railgun_messaging::{Consumer, MessageBus, Producer, TopicPartition};
-use railgun_types::encode::put_value;
+use railgun_messaging::{
+    partition_for_key, BatchEntry, Consumer, MessageBus, Producer, TopicPartition,
+};
+use railgun_types::encode::{put_value, BatchFrameBuilder};
 use railgun_types::{Event, EventId, RailgunError, Result, Schema, Timestamp, Value};
 
 use crate::api::{
-    decode_op, decode_reply, encode_event_request, encode_op, find_keyed, reply_topic_name,
-    topic_name, validate_topic_component, AggregationResult, EventRequest, OpRequest, QueryId,
-    CHECKPOINT_TOPIC, OPS_TOPIC,
+    decode_op, decode_reply, encode_event_request_into, encode_op, find_keyed,
+    reply_topic_name, topic_name, validate_topic_component, AggregationResult, EventRequest,
+    OpRequest, QueryId, CHECKPOINT_TOPIC, OPS_TOPIC,
 };
 use crate::lang::{parse_query, Query};
 use crate::metrics::{EngineTelemetry, QueryTelemetry, SLO_OVERLOAD_MULTIPLIER};
@@ -78,11 +80,49 @@ pub struct RegisteredQuery {
     pub query: Query,
 }
 
+/// Front-end ingest coalescing knobs (see DESIGN.md § "Batched ingest").
+///
+/// Staged events are flushed to the bus as one batch per topic when any
+/// of these holds: `max_events` are staged, the oldest staged event is
+/// `max_delay` old, every in-flight request is still staged (nothing is
+/// being processed downstream, so holding adds pure latency — this is
+/// what keeps closed-loop latency unregressed), or the front-end pumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush once this many events are staged.
+    pub max_events: usize,
+    /// Flush once the oldest staged event is this old (only reached in
+    /// threaded mode — pump-mode front-ends flush every pump).
+    pub max_delay: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_events: 64,
+            max_delay: Duration::from_micros(200),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct StreamMeta {
     schema: Schema,
     partitioners: Vec<String>,
     partitioner_indexes: Vec<usize>,
+    /// Partitioner topic names, precomputed (one per partitioner).
+    topics: Vec<String>,
+    /// Partition count of every partitioner topic of the stream.
+    partitions: u32,
+}
+
+/// Per-topic staging of one ingest batch: which frame records go to
+/// which partition of this topic. Slots persist across flushes so their
+/// allocations are reused.
+struct StagedTopic {
+    topic: String,
+    /// `(partition, key, frame record index)` per staged event.
+    records: Vec<(u32, Vec<u8>, usize)>,
 }
 
 struct Pending {
@@ -127,16 +167,41 @@ pub struct FrontEnd {
     /// overload policy reads the (lazily pruned) front for the oldest
     /// outstanding request's age. Empty while request timing is off.
     inflight_ages: VecDeque<(u64, Instant)>,
+    /// Ingest coalescing knobs.
+    batch_policy: BatchPolicy,
+    /// The shared frame every staged event is encoded into **once**;
+    /// flushed slices are zero-copy views of it.
+    frame: BatchFrameBuilder,
+    /// Per-topic staging, in first-use order (deterministic flush order).
+    staged: Vec<StagedTopic>,
+    /// Events currently staged (each contributes one frame record).
+    staged_events: usize,
+    /// When the oldest staged event was staged; `None` while empty (set
+    /// lazily, so the flush-every-event closed-loop path never reads the
+    /// clock for it).
+    staged_since: Option<Instant>,
+    /// Reusable scratch for building `send_batch` entries at flush.
+    flush_entries: Vec<BatchEntry>,
+    /// Per-event key scratch: `(key bytes, partition)` per partitioner,
+    /// so identical key bytes hash once per event.
+    key_scratch: Vec<(Vec<u8>, u32)>,
+    /// Telemetry: events per flushed batch (always on, one sample per
+    /// flush).
+    batch_size: railgun_types::Recorder,
+    /// Telemetry: events published in batches of ≥ 2.
+    batched_events: railgun_types::Counter,
 }
 
 impl FrontEnd {
     /// Create the front-end of node `node`, creating its reply topic.
-    /// `max_in_flight` bounds the in-flight correlation table;
-    /// `telemetry` is the cluster's shared recording hub.
+    /// `max_in_flight` bounds the in-flight correlation table; `batch`
+    /// sets the ingest coalescing policy; `telemetry` is the cluster's
+    /// shared recording hub.
     pub fn new(
         bus: &MessageBus,
         node: u32,
         max_in_flight: usize,
+        batch: BatchPolicy,
         telemetry: Arc<EngineTelemetry>,
     ) -> Result<Self> {
         let reply_topic = reply_topic_name(node);
@@ -161,9 +226,21 @@ impl FrontEnd {
             pending: HashMap::new(),
             completed: HashMap::new(),
             max_in_flight: max_in_flight.max(1),
+            batch_size: telemetry.batch_size_recorder(),
+            batched_events: telemetry.frontend_batched_counter(),
             telemetry,
             query_telemetry: railgun_types::FastHashMap::default(),
             inflight_ages: VecDeque::new(),
+            batch_policy: BatchPolicy {
+                max_events: batch.max_events.max(1),
+                max_delay: batch.max_delay,
+            },
+            frame: BatchFrameBuilder::new(),
+            staged: Vec::new(),
+            staged_events: 0,
+            staged_since: None,
+            flush_entries: Vec::new(),
+            key_scratch: Vec::new(),
         })
     }
 
@@ -183,6 +260,8 @@ impl FrontEnd {
                 "a stream needs at least one partitioner".into(),
             ));
         }
+        // Ops must not overtake staged events on the bus.
+        self.flush_staged()?;
         // Stream and partitioner names both become topic-name components;
         // reject anything `parse_topic_name` would silently mis-split.
         validate_topic_component("stream", stream)?;
@@ -210,6 +289,8 @@ impl FrontEnd {
                 schema,
                 partitioners: partitioners.iter().map(|s| (*s).to_owned()).collect(),
                 partitioner_indexes: indexes,
+                topics: partitioners.iter().map(|p| topic_name(stream, p)).collect(),
+                partitions,
             },
         );
         Ok(())
@@ -239,6 +320,7 @@ impl FrontEnd {
     }
 
     fn register_parsed(&mut self, query: Query, text: String) -> Result<QueryId> {
+        self.flush_staged()?;
         let meta = self
             .streams
             .get(&query.stream)
@@ -278,6 +360,7 @@ impl FrontEnd {
         if !self.queries.contains_key(&id) {
             return Err(RailgunError::NotFound(format!("query {id}")));
         }
+        self.flush_staged()?;
         // Broadcast before touching the registry: if the send fails the
         // query is still running cluster-wide, and it must stay listed
         // (and re-unregisterable) here.
@@ -299,6 +382,9 @@ impl FrontEnd {
     /// Remove a stream (§3.1): broadcast the deletion op and delete the
     /// stream's event topics.
     pub fn delete_stream(&mut self, bus: &MessageBus, stream: &str) -> Result<()> {
+        // Staged events of this stream must reach the bus before the
+        // deletion op (and before the topics disappear).
+        self.flush_staged()?;
         let meta = self
             .streams
             .remove(stream)
@@ -315,8 +401,15 @@ impl FrontEnd {
         Ok(())
     }
 
-    /// Accept one client event: validates, assigns an id, and publishes it
-    /// to every partitioner topic of the stream. Returns the request id.
+    /// Accept one client event: validates, assigns an id, encodes the
+    /// event request **once** into the shared batch frame, and stages one
+    /// record per partitioner topic of the stream (step 2 of Figure 3).
+    /// Returns the request id.
+    ///
+    /// Staged records reach the bus in batches per the front-end's
+    /// [`BatchPolicy`]; with low in-flight pressure the batch degenerates
+    /// to a flush per event, so closed-loop requests see no added
+    /// latency.
     pub fn send_event(
         &mut self,
         stream: &str,
@@ -370,17 +463,46 @@ impl FrontEnd {
         let req = EventRequest {
             request_id,
             reply_topic: reply_topic_name(self.node),
-            event: event.clone(),
+            event,
         };
-        let payload = encode_event_request(&req);
-        // Step 2 of Figure 3: one publish per partitioner, keyed by the
+        // Encode once into the shared frame; every topic's record is a
+        // zero-copy slice of it after the flush.
+        let record = self.frame.len();
+        self.frame.push_with(|buf| encode_event_request_into(buf, &req));
+        // Step 2 of Figure 3: one record per partitioner, keyed by the
         // partitioner value so an entity always lands in one partition.
-        for (p, &idx) in meta.partitioners.iter().zip(&meta.partitioner_indexes) {
+        // The key is hashed once per distinct byte string per event: all
+        // partitioner topics of a stream share a partition count, so
+        // identical key bytes always map to the same partition index.
+        let mut key_scratch = std::mem::take(&mut self.key_scratch);
+        key_scratch.clear();
+        let meta = self.streams.get(stream).expect("checked above");
+        for (t, &idx) in meta.topics.iter().zip(&meta.partitioner_indexes) {
             let mut key = Vec::with_capacity(16);
-            put_value(&mut key, &event.values()[idx]);
-            self.producer
-                .send(&topic_name(stream, p), &key, payload.clone())?;
+            put_value(&mut key, &req.event.values()[idx]);
+            let partition = match key_scratch.iter().find(|(k, _)| *k == key) {
+                Some(&(_, p)) => p,
+                None => {
+                    let p = partition_for_key(&key, meta.partitions);
+                    key_scratch.push((key.clone(), p));
+                    p
+                }
+            };
+            let slot = match self.staged.iter().position(|s| s.topic == *t) {
+                Some(i) => i,
+                None => {
+                    self.staged.push(StagedTopic {
+                        topic: t.clone(),
+                        records: Vec::new(),
+                    });
+                    self.staged.len() - 1
+                }
+            };
+            self.staged[slot].records.push((partition, key, record));
         }
+        self.key_scratch = key_scratch;
+        self.staged_events += 1;
+        let expected = meta.partitioners.len();
         let sent_at = if self.telemetry.wants_request_timing() {
             // Lazily prune completed/abandoned entries from the front so
             // the deque is bounded by the number of requests genuinely in
@@ -401,14 +523,80 @@ impl FrontEnd {
         self.pending.insert(
             request_id,
             Pending {
-                expected: meta.partitioners.len(),
+                expected,
                 received: 0,
                 aggregations: Vec::new(),
                 duplicate: false,
                 sent_at,
             },
         );
+        // Flush policy. `pending.len() == staged_events` means every
+        // in-flight request is still sitting in the stage — nothing is
+        // being processed downstream, so holding the batch open would add
+        // pure latency (this is also the first-send case, which keeps
+        // closed-loop callers at one bus hop per event). Only when the
+        // pipeline is genuinely busy do we coalesce, bounded by
+        // `max_events` and `max_delay`.
+        if self.staged_events >= self.batch_policy.max_events
+            || self.pending.len() == self.staged_events
+        {
+            self.flush_staged()?;
+        } else {
+            match self.staged_since {
+                None => self.staged_since = Some(Instant::now()),
+                Some(at) if at.elapsed() >= self.batch_policy.max_delay => {
+                    self.flush_staged()?;
+                }
+                _ => {}
+            }
+        }
         Ok(request_id)
+    }
+
+    /// Publish everything staged: one `send_batch` (one bus lock, one
+    /// wakeup) per topic, each record a zero-copy slice of the shared
+    /// frame. No-op when nothing is staged.
+    fn flush_staged(&mut self) -> Result<()> {
+        if self.staged_events == 0 {
+            return Ok(());
+        }
+        let events = self.staged_events;
+        self.staged_events = 0;
+        self.staged_since = None;
+        let frame = self.frame.finish();
+        self.batch_size.record(events as u64);
+        if events >= 2 {
+            self.batched_events.add(events as u64);
+        }
+        let mut first_err = None;
+        for st in &mut self.staged {
+            if st.records.is_empty() {
+                continue;
+            }
+            self.flush_entries.extend(st.records.drain(..).map(
+                |(partition, key, record)| BatchEntry {
+                    partition,
+                    key,
+                    payload: frame.slice(record),
+                },
+            ));
+            if let Err(e) = self
+                .producer
+                .send_batch(&st.topic, &mut self.flush_entries)
+            {
+                // Keep going so the other topics' staged records are not
+                // silently dropped on the floor, then surface the first
+                // failure.
+                self.flush_entries.clear();
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Age in µs of the oldest request still awaiting replies, pruning
@@ -430,6 +618,11 @@ impl FrontEnd {
     /// Completed responses land in the correlation table — claim them with
     /// [`FrontEnd::try_take`] or [`FrontEnd::take_completed`].
     pub fn pump(&mut self) -> Result<()> {
+        // Anything still staged goes out now: a pump is the caller coming
+        // back for replies, so holding the batch open any longer only
+        // delays them (and in pump mode this is the sole flush trigger,
+        // which keeps pump-mode runs deterministic).
+        self.flush_staged()?;
         // Ops from other nodes keep this front-end's stream map current.
         let ops = self.ops.poll(64)?;
         self.apply_remote_ops(&ops.messages)?;
@@ -472,8 +665,12 @@ impl FrontEnd {
                     stream,
                     schema,
                     partitioners,
-                    ..
+                    partitions,
                 }) => {
+                    let topics = partitioners
+                        .iter()
+                        .map(|p| topic_name(&stream, p))
+                        .collect();
                     if let std::collections::hash_map::Entry::Vacant(slot) =
                         self.streams.entry(stream)
                     {
@@ -485,6 +682,8 @@ impl FrontEnd {
                             schema,
                             partitioners,
                             partitioner_indexes: indexes,
+                            topics,
+                            partitions,
                         });
                     }
                 }

@@ -49,9 +49,10 @@ pub mod unit;
 
 pub use api::{find_keyed, AggregationResult, EventRequest, OpRequest, QueryId, Reply};
 pub use cluster::{Cluster, ClusterClient, ClusterConfig, SendOutcome, Ticket};
+pub use frontend::BatchPolicy;
 pub use metrics::{
-    EngineCounters, EngineTelemetry, MetricsSnapshot, QueryMetrics, SharedTaskStats,
-    StageLatencies, TaskStatsRegistry,
+    BatchingMetrics, EngineCounters, EngineTelemetry, MetricsSnapshot, QueryMetrics,
+    SharedTaskStats, StageLatencies, TaskStatsRegistry,
 };
 pub use runtime::Runtime;
 pub use lang::{

@@ -218,6 +218,17 @@ pub struct EngineTelemetry {
     chunk_misses: Counter,
     backpressure: Counter,
     slo_breaches: Counter,
+    /// Events per flushed front-end ingest batch. Always on: one sample
+    /// per batch (not per event) and no clock read, so it rides the
+    /// amortized flush path for free — like the task counters.
+    batch_size: Recorder,
+    /// Events published by front-ends in batches of ≥ 2 (batch-of-1
+    /// flushes are the unbatched baseline and are not counted).
+    frontend_batched: Counter,
+    /// Events processed by units in same-task runs of ≥ 2 per poll.
+    unit_batched: Counter,
+    /// Events appended via `Reservoir::append_batch` in batches of ≥ 2.
+    reservoir_batched: Counter,
     /// Strictest registered SLO budget in µs (0 = none) — the overload
     /// policy's reference point, read on every `send_event`.
     strictest_slo_us: AtomicU64,
@@ -252,6 +263,10 @@ impl EngineTelemetry {
             },
             backpressure: Counter::enabled(),
             slo_breaches: Counter::enabled(),
+            batch_size: Recorder::enabled(),
+            frontend_batched: Counter::enabled(),
+            unit_batched: Counter::enabled(),
+            reservoir_batched: Counter::enabled(),
             strictest_slo_us: AtomicU64::new(0),
             per_query: Mutex::new(FastHashMap::default()),
             tasks: TaskStatsRegistry::new(),
@@ -297,6 +312,29 @@ impl EngineTelemetry {
     /// The cluster-wide task-stats registry (for `TaskConfig`).
     pub fn task_registry(&self) -> TaskStatsRegistry {
         self.tasks.clone()
+    }
+
+    /// The batch-size recorder: front-ends record the event count of
+    /// every flushed ingest batch (always on — one sample per batch).
+    pub fn batch_size_recorder(&self) -> Recorder {
+        self.batch_size.clone()
+    }
+
+    /// Counter of events front-ends published in batches of ≥ 2.
+    pub fn frontend_batched_counter(&self) -> Counter {
+        self.frontend_batched.clone()
+    }
+
+    /// Counter of events units processed in same-task runs of ≥ 2 (for
+    /// unit configs).
+    pub fn unit_batched_counter(&self) -> Counter {
+        self.unit_batched.clone()
+    }
+
+    /// Counter of events appended in reservoir batches of ≥ 2 (for
+    /// `ReservoirConfig`).
+    pub fn reservoir_batched_counter(&self) -> Counter {
+        self.reservoir_batched.clone()
     }
 
     /// True iff front-ends should timestamp requests: stage telemetry is
@@ -414,10 +452,31 @@ impl EngineTelemetry {
                 slo_breaches: self.slo_breaches.get(),
                 reservoir_chunk_misses: self.chunk_misses.get(),
             },
+            batching: BatchingMetrics {
+                batch_size: self.batch_size.snapshot().unwrap_or_default(),
+                frontend_batched_events: self.frontend_batched.get(),
+                unit_batched_events: self.unit_batched.get(),
+                reservoir_batched_events: self.reservoir_batched.get(),
+            },
             tasks: self.tasks.aggregate(),
             queries,
         }
     }
+}
+
+/// Observability of the batched ingest path (always on — everything here
+/// is recorded once per batch, never per event).
+#[derive(Debug, Clone, Default)]
+pub struct BatchingMetrics {
+    /// Events per flushed front-end ingest batch (a histogram over batch
+    /// sizes, not latencies — p50 of 1 means mostly closed-loop traffic).
+    pub batch_size: Histogram,
+    /// Events front-ends published in batches of ≥ 2.
+    pub frontend_batched_events: u64,
+    /// Events processor units handled in same-task runs of ≥ 2.
+    pub unit_batched_events: u64,
+    /// Events the reservoirs appended via batches of ≥ 2.
+    pub reservoir_batched_events: u64,
 }
 
 /// Per-stage latency histograms (µs). Disabled stages are present but
@@ -485,6 +544,9 @@ pub struct MetricsSnapshot {
     pub stages: StageLatencies,
     /// Engine-level counters.
     pub counters: EngineCounters,
+    /// Batched-ingest observability: batch-size histogram and per-stage
+    /// batched-event counters (always on).
+    pub batching: BatchingMetrics,
     /// Aggregated counters over every live task processor (always on).
     pub tasks: TaskStats,
     /// Per-query ladders, in [`QueryId`] order.

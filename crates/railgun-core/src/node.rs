@@ -22,7 +22,7 @@ use railgun_messaging::MessageBus;
 use railgun_types::{Result, Schema, Timestamp, Value};
 
 use crate::api::QueryId;
-use crate::frontend::{ClientResponse, FrontEnd};
+use crate::frontend::{BatchPolicy, ClientResponse, FrontEnd};
 use crate::metrics::EngineTelemetry;
 use crate::rebalance::RailgunStrategy;
 use crate::runtime::Runtime;
@@ -58,9 +58,10 @@ impl Node {
         strategy: Arc<RailgunStrategy>,
         checkpoint_every: u64,
         max_in_flight: usize,
+        batch: BatchPolicy,
         telemetry: Arc<EngineTelemetry>,
     ) -> Result<Self> {
-        let frontend = FrontEnd::new(bus, id, max_in_flight, Arc::clone(&telemetry))?;
+        let frontend = FrontEnd::new(bus, id, max_in_flight, batch, Arc::clone(&telemetry))?;
         let mut unit_vec = Vec::with_capacity(units as usize);
         for u in 0..units {
             unit_vec.push(ProcessorUnit::new(
@@ -74,6 +75,8 @@ impl Node {
                     checkpoint_every,
                     poll_recorder: telemetry.unit_poll_recorder(),
                     process_recorder: telemetry.unit_process_recorder(),
+                    batch_size: telemetry.batch_size_recorder(),
+                    batched_events: telemetry.unit_batched_counter(),
                 },
                 Arc::clone(&strategy),
             )?);

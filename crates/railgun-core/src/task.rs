@@ -444,6 +444,28 @@ impl TaskProcessor {
         Ok((results, duplicate))
     }
 
+    /// Process a run of events in arrival order, handing each event's
+    /// `(index, results, duplicate)` to `sink` as it completes.
+    ///
+    /// Window semantics are inherently per-event — every event's reply
+    /// reflects the window state *at that event* (tail advance, append,
+    /// head advance, DAG, collect), so batching here cannot reorder or
+    /// fuse those phases without changing results. What a batch amortizes
+    /// is everything around the task: the caller decodes a whole run into
+    /// reused scratch, updates offsets once, and publishes all replies as
+    /// one bus batch.
+    pub fn process_batch<'a, I, F>(&mut self, events: I, mut sink: F) -> Result<()>
+    where
+        I: IntoIterator<Item = &'a Event>,
+        F: FnMut(usize, Vec<AggregationResult>, bool),
+    {
+        for (idx, event) in events.into_iter().enumerate() {
+            let (results, duplicate) = self.process_event(event)?;
+            sink(idx, results, duplicate);
+        }
+        Ok(())
+    }
+
     /// Walk the DAG below window `wid` for one entering/expiring event.
     fn apply_dag(&mut self, wid: WindowId, event: &Event, insert: bool) -> Result<()> {
         let values = event.values();

@@ -24,12 +24,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use railgun_messaging::{Consumer, Message, MessageBus, Producer, TopicPartition};
+use railgun_messaging::{BatchEntry, Consumer, Message, MessageBus, Producer, TopicPartition};
+use railgun_types::encode::BatchFrameBuilder;
 use railgun_types::{RailgunError, Result, Schema};
 
 use crate::api::{
-    decode_event_request, decode_op, encode_checkpoint, encode_reply, parse_topic_name,
-    CheckpointRecord, OpRequest, QueryId, Reply, CHECKPOINT_TOPIC, OPS_TOPIC,
+    decode_event_request, decode_op, encode_checkpoint, encode_reply_into, parse_topic_name,
+    CheckpointRecord, EventRequest, OpRequest, QueryId, Reply, CHECKPOINT_TOPIC, OPS_TOPIC,
 };
 use crate::lang::{parse_query, Query};
 use crate::rebalance::{ProcessorIdentity, RailgunStrategy};
@@ -52,8 +53,14 @@ pub struct UnitConfig {
     /// Telemetry: active-consumer poll duration, one sample per pump
     /// (off by default — disabled recorders never read the clock).
     pub poll_recorder: railgun_types::Recorder,
-    /// Telemetry: per-message task processing duration (off by default).
+    /// Telemetry: per-run task processing duration — one sample per run
+    /// of consecutive same-task messages (off by default).
     pub process_recorder: railgun_types::Recorder,
+    /// Telemetry: events per processed run (always on — see
+    /// `MetricsSnapshot::batching`).
+    pub batch_size: railgun_types::Recorder,
+    /// Telemetry: events processed in runs of ≥ 2 (always on).
+    pub batched_events: railgun_types::Counter,
 }
 
 /// What happened during one pump.
@@ -97,6 +104,15 @@ pub struct ProcessorUnit {
     /// Reusable poll scratch — the pump fetches into this instead of
     /// allocating a fresh `Vec` per consumer per iteration.
     scratch: Vec<Message>,
+    /// Reusable decode scratch: one run's event requests.
+    decoded: Vec<EventRequest>,
+    /// Replies staged per reply topic during a pump, each encoded once
+    /// into that topic's shared frame and flushed as one batch
+    /// ([`ProcessorUnit::flush_replies`]). Slots persist across pumps so
+    /// their buffers are reused.
+    reply_stage: Vec<(String, BatchFrameBuilder)>,
+    /// Reusable scratch for building `send_batch` entries at flush.
+    reply_entries: Vec<BatchEntry>,
 }
 
 /// Consumer group shared by every active consumer (§3.3).
@@ -128,6 +144,9 @@ impl ProcessorUnit {
             since_checkpoint: HashMap::new(),
             checkpoint_seq: 0,
             scratch: Vec::new(),
+            decoded: Vec::new(),
+            reply_stage: Vec::new(),
+            reply_entries: Vec::new(),
         })
     }
 
@@ -205,31 +224,20 @@ impl ProcessorUnit {
             buf.clear();
             self.on_rebalance(assignment)?;
         } else {
-            for msg in buf.drain(..) {
-                let tp = msg.topic_partition();
-                let timer = self.cfg.process_recorder.start();
-                let processed = self.process_message(&tp, msg.offset, &msg.payload);
-                self.cfg.process_recorder.finish(timer);
-                if let Some((reply, reply_topic)) = processed? {
-                    let payload = encode_reply(&reply);
-                    self.producer
-                        .send_to_partition(&reply_topic, 0, &[], payload)?;
-                    report.replies_sent += 1;
-                }
-                report.active_events += 1;
-            }
+            let (events, staged) = self.process_runs(&buf)?;
+            buf.clear();
+            report.active_events += events;
+            report.replies_sent += staged;
         }
+        // Replies of every active run in this pump go out now, one batch
+        // (one bus hop, one wakeup) per reply topic.
+        self.flush_replies()?;
 
         // 3. Replica tasks (no replies, §4.2).
         self.replica.poll_into(self.cfg.max_poll, &mut buf)?;
-        for msg in buf.drain(..) {
-            let tp = msg.topic_partition();
-            let timer = self.cfg.process_recorder.start();
-            let processed = self.process_message(&tp, msg.offset, &msg.payload);
-            self.cfg.process_recorder.finish(timer);
-            processed?;
-            report.replica_events += 1;
-        }
+        let (events, _) = self.process_runs(&buf)?;
+        buf.clear();
+        report.replica_events += events;
         self.scratch = buf;
 
         // 4. Periodic synchronized checkpoints (§4.1.3).
@@ -447,32 +455,109 @@ impl ProcessorUnit {
         Ok(task)
     }
 
-    fn process_message(
-        &mut self,
-        tp: &TopicPartition,
-        offset: u64,
-        payload: &[u8],
-    ) -> Result<Option<(Reply, String)>> {
-        let req = decode_event_request(payload)?;
+    /// Group one poll's messages into runs of consecutive same-task
+    /// records and process each run in a single pass. Per-partition order
+    /// is exactly the poll order, so this is byte-identical to the old
+    /// message-at-a-time loop. Returns `(events processed, replies
+    /// staged)`.
+    fn process_runs(&mut self, buf: &[Message]) -> Result<(usize, usize)> {
+        let mut events = 0;
+        let mut staged = 0;
+        let mut i = 0;
+        while i < buf.len() {
+            let tp = buf[i].topic_partition();
+            let mut j = i + 1;
+            while j < buf.len()
+                && buf[j].partition == tp.partition
+                && buf[j].topic == tp.topic
+            {
+                j += 1;
+            }
+            let timer = self.cfg.process_recorder.start();
+            let run = self.process_run(&tp, &buf[i..j]);
+            self.cfg.process_recorder.finish(timer);
+            staged += run?;
+            events += j - i;
+            i = j;
+        }
+        Ok((events, staged))
+    }
+
+    /// Process one run of consecutive messages of one task: the decode
+    /// scratch is reused across runs, the offset and checkpoint counters
+    /// are updated once per run, and replies of active tasks are staged
+    /// into the per-reply-topic frame (flushed by
+    /// [`ProcessorUnit::flush_replies`]). Returns replies staged.
+    fn process_run(&mut self, tp: &TopicPartition, msgs: &[Message]) -> Result<usize> {
         let Some(task) = self.tasks.get_mut(tp) else {
-            return Ok(None); // not ours (stale fetch across rebalance)
+            return Ok(0); // not ours (stale fetch across rebalance)
         };
-        let (results, duplicate) = task.process_event(&req.event)?;
-        self.task_offsets.insert(tp.clone(), offset + 1);
-        *self.since_checkpoint.entry(tp.clone()).or_insert(0) += 1;
-        if self.active_assignment.contains(tp) {
-            Ok(Some((
-                Reply {
+        let mut decoded = std::mem::take(&mut self.decoded);
+        decoded.clear();
+        for msg in msgs {
+            decoded.push(decode_event_request(&msg.payload)?);
+        }
+        let active = self.active_assignment.contains(tp);
+        let mut stage = std::mem::take(&mut self.reply_stage);
+        let mut staged = 0usize;
+        let result = task.process_batch(
+            decoded.iter().map(|r| &r.event),
+            |idx, results, duplicate| {
+                if !active {
+                    return;
+                }
+                let req = &decoded[idx];
+                let reply = Reply {
                     request_id: req.request_id,
                     source_topic: tp.topic.clone(),
                     duplicate,
                     results,
-                },
-                req.reply_topic,
-            )))
-        } else {
-            Ok(None)
+                };
+                let slot = match stage.iter().position(|(t, _)| *t == req.reply_topic) {
+                    Some(s) => s,
+                    None => {
+                        stage.push((req.reply_topic.clone(), BatchFrameBuilder::new()));
+                        stage.len() - 1
+                    }
+                };
+                stage[slot].1.push_with(|buf| encode_reply_into(buf, &reply));
+                staged += 1;
+            },
+        );
+        self.reply_stage = stage;
+        self.decoded = decoded;
+        result?;
+        let n = msgs.len() as u64;
+        self.cfg.batch_size.record(n);
+        if n >= 2 {
+            self.cfg.batched_events.add(n);
         }
+        self.task_offsets
+            .insert(tp.clone(), msgs.last().expect("runs are non-empty").offset + 1);
+        *self.since_checkpoint.entry(tp.clone()).or_insert(0) += n;
+        Ok(staged)
+    }
+
+    /// Publish every staged reply: one `send_batch` per reply topic
+    /// (reply topics are single-partition; keys are unused), each payload
+    /// a zero-copy slice of that topic's shared frame.
+    fn flush_replies(&mut self) -> Result<()> {
+        for (topic, frame) in &mut self.reply_stage {
+            if frame.is_empty() {
+                continue;
+            }
+            let frame = frame.finish();
+            self.reply_entries.extend(frame.iter().map(|payload| BatchEntry {
+                partition: 0,
+                key: Vec::new(),
+                payload,
+            }));
+            if let Err(e) = self.producer.send_batch(topic, &mut self.reply_entries) {
+                self.reply_entries.clear();
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 
     /// Registered queries, in op-log order (diagnostics).

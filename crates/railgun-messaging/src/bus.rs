@@ -79,6 +79,9 @@ pub struct BusStats {
     pub records_produced: u64,
     pub bytes_produced: u64,
     pub records_consumed: u64,
+    /// Multi-record [`crate::Producer::send_batch`] calls — each covered
+    /// N records with one lock acquisition and one wakeup.
+    pub batches_produced: u64,
     pub rebalances: u64,
 }
 

@@ -60,5 +60,5 @@ pub use assignment::{
 };
 pub use bus::{BusClock, BusConfig, BusStats, MessageBus};
 pub use consumer::{Consumer, PollResult};
-pub use producer::{partition_for_key, Producer};
+pub use producer::{partition_for_key, BatchEntry, Producer};
 pub use record::{Message, Record, TopicPartition};

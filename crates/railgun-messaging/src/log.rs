@@ -5,6 +5,8 @@
 //! node can rewind and replay unprocessed messages without affecting other
 //! consumers — the property the paper picked Kafka for.
 
+use bytes::Bytes;
+
 use crate::record::Record;
 
 /// One partition's log. The broker keeps it in memory; durability of the
@@ -25,8 +27,11 @@ impl PartitionLog {
         PartitionLog::default()
     }
 
-    /// Append a record, returning its offset.
-    pub fn append(&mut self, key: Vec<u8>, payload: Vec<u8>) -> u64 {
+    /// Append a record, returning its offset. The payload is stored as a
+    /// [`Bytes`] view, so a producer handing out slices of a shared batch
+    /// frame appends without copying payload bytes.
+    pub fn append(&mut self, key: Vec<u8>, payload: impl Into<Bytes>) -> u64 {
+        let payload = payload.into();
         let offset = self.base_offset + self.records.len() as u64;
         self.total_bytes += (key.len() + payload.len()) as u64;
         self.records.push(Record {

@@ -1,5 +1,6 @@
 //! Producers: key-hashed publishing into partitioned topics.
 
+use bytes::Bytes;
 use railgun_types::{RailgunError, Result};
 
 use crate::bus::MessageBus;
@@ -9,6 +10,16 @@ use crate::record::TopicPartition;
 #[derive(Clone)]
 pub struct Producer {
     bus: MessageBus,
+}
+
+/// One record of a [`Producer::send_batch`] call: an explicit partition
+/// (hashed once by the caller — see [`partition_for_key`]) plus key and a
+/// payload that is typically a zero-copy slice of a shared batch frame.
+#[derive(Debug, Clone)]
+pub struct BatchEntry {
+    pub partition: u32,
+    pub key: Vec<u8>,
+    pub payload: Bytes,
 }
 
 /// Stable key hash (FNV-1a 64) — the same key always routes to the same
@@ -33,7 +44,13 @@ impl Producer {
 
     /// Publish to the partition selected by hashing `key`.
     /// Returns the (topic, partition) and offset of the appended record.
-    pub fn send(&self, topic: &str, key: &[u8], payload: Vec<u8>) -> Result<(TopicPartition, u64)> {
+    pub fn send(
+        &self,
+        topic: &str,
+        key: &[u8],
+        payload: impl Into<Bytes>,
+    ) -> Result<(TopicPartition, u64)> {
+        let payload = payload.into();
         let mut inner = self.bus.inner.lock();
         let nparts = inner
             .topics
@@ -56,10 +73,58 @@ impl Producer {
         topic: &str,
         partition: u32,
         key: &[u8],
-        payload: Vec<u8>,
+        payload: impl Into<Bytes>,
     ) -> Result<(TopicPartition, u64)> {
+        let payload = payload.into();
         let mut inner = self.bus.inner.lock();
         let out = self.append_locked(&mut inner, topic, partition, key, payload);
+        drop(inner);
+        if out.is_ok() {
+            self.bus.wakeup.notify_all();
+        }
+        out
+    }
+
+    /// Publish a whole batch to `topic` under **one** bus lock
+    /// acquisition, one version bump, and one condvar wakeup — the
+    /// amortization the batched ingest path is built on. Entries carry
+    /// explicit partitions (hash once per event with
+    /// [`partition_for_key`] and reuse; see the front-end).
+    ///
+    /// `entries` is drained so callers can reuse its allocation. The batch
+    /// is all-or-nothing: every partition is validated before the first
+    /// append, so an invalid entry fails the call without publishing
+    /// anything. Returns the number of records appended; an empty batch
+    /// is a no-op (no lock, no wakeup).
+    pub fn send_batch(&self, topic: &str, entries: &mut Vec<BatchEntry>) -> Result<u64> {
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        let mut inner = self.bus.inner.lock();
+        let out = (|| {
+            let t = inner
+                .topics
+                .get_mut(topic)
+                .ok_or_else(|| RailgunError::NotFound(format!("topic `{topic}`")))?;
+            let nparts = t.partitions.len() as u32;
+            if let Some(bad) = entries.iter().find(|e| e.partition >= nparts) {
+                return Err(RailgunError::NotFound(format!(
+                    "partition {topic}/{}",
+                    bad.partition
+                )));
+            }
+            let n = entries.len() as u64;
+            let mut bytes = 0u64;
+            for e in entries.drain(..) {
+                bytes += (e.key.len() + e.payload.len()) as u64;
+                t.partitions[e.partition as usize].append(e.key, e.payload);
+            }
+            inner.stats.records_produced += n;
+            inner.stats.bytes_produced += bytes;
+            inner.stats.batches_produced += 1;
+            MessageBus::bump(&mut inner);
+            Ok(n)
+        })();
         drop(inner);
         if out.is_ok() {
             self.bus.wakeup.notify_all();
@@ -73,7 +138,7 @@ impl Producer {
         topic: &str,
         partition: u32,
         key: &[u8],
-        payload: Vec<u8>,
+        payload: Bytes,
     ) -> Result<(TopicPartition, u64)> {
         let bytes = (key.len() + payload.len()) as u64;
         let t = inner
@@ -149,5 +214,71 @@ mod tests {
         let s = bus.stats();
         assert_eq!(s.records_produced, 1);
         assert_eq!(s.bytes_produced, 11);
+    }
+
+    #[test]
+    fn send_batch_appends_all_under_one_version_bump() {
+        let bus = MessageBus::with_defaults();
+        bus.create_topic("t", 2, 1).unwrap();
+        let p = Producer::new(bus.clone());
+        let v0 = bus.version();
+        let mut entries: Vec<BatchEntry> = (0..6u8)
+            .map(|i| BatchEntry {
+                partition: u32::from(i % 2),
+                key: vec![i],
+                payload: vec![i, i].into(),
+            })
+            .collect();
+        assert_eq!(p.send_batch("t", &mut entries).unwrap(), 6);
+        assert!(entries.is_empty(), "entries drained for reuse");
+        assert_eq!(bus.version(), v0 + 1, "one bump for the whole batch");
+        assert_eq!(bus.end_offset(&TopicPartition::new("t", 0)).unwrap(), 3);
+        assert_eq!(bus.end_offset(&TopicPartition::new("t", 1)).unwrap(), 3);
+        let s = bus.stats();
+        assert_eq!(s.records_produced, 6);
+        assert_eq!(s.batches_produced, 1);
+        assert_eq!(s.bytes_produced, 6 * 3);
+    }
+
+    #[test]
+    fn send_batch_empty_is_a_no_op() {
+        let bus = MessageBus::with_defaults();
+        bus.create_topic("t", 1, 1).unwrap();
+        let p = Producer::new(bus.clone());
+        let v0 = bus.version();
+        assert_eq!(p.send_batch("t", &mut Vec::new()).unwrap(), 0);
+        assert_eq!(bus.version(), v0);
+        assert_eq!(bus.stats().batches_produced, 0);
+    }
+
+    #[test]
+    fn send_batch_validates_before_appending() {
+        let bus = MessageBus::with_defaults();
+        bus.create_topic("t", 2, 1).unwrap();
+        let p = Producer::new(bus.clone());
+        let mut entries = vec![
+            BatchEntry { partition: 0, key: vec![], payload: vec![1].into() },
+            BatchEntry { partition: 9, key: vec![], payload: vec![2].into() },
+        ];
+        assert!(p.send_batch("t", &mut entries).is_err());
+        // All-or-nothing: the valid first entry was not published.
+        assert_eq!(bus.end_offset(&TopicPartition::new("t", 0)).unwrap(), 0);
+        assert!(p.send_batch("nope", &mut entries).is_err());
+    }
+
+    #[test]
+    fn send_batch_preserves_per_partition_order() {
+        let bus = MessageBus::with_defaults();
+        bus.create_topic("t", 1, 1).unwrap();
+        let p = Producer::new(bus.clone());
+        let mut entries: Vec<BatchEntry> = (0..5u8)
+            .map(|i| BatchEntry { partition: 0, key: vec![], payload: vec![i].into() })
+            .collect();
+        p.send_batch("t", &mut entries).unwrap();
+        let mut c = crate::consumer::Consumer::new(bus);
+        c.assign(vec![TopicPartition::new("t", 0)]);
+        let msgs = c.poll(100).unwrap().messages;
+        let got: Vec<u8> = msgs.iter().map(|m| m.payload[0]).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
     }
 }

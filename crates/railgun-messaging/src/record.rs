@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use bytes::Bytes;
+
 /// A (topic, partition) pair — Railgun's minimal unit of work (§4).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TopicPartition {
@@ -25,6 +27,10 @@ impl fmt::Display for TopicPartition {
 }
 
 /// A record as stored in a partition log.
+///
+/// The payload is a [`Bytes`] view — typically a zero-copy slice of a
+/// batch frame encoded once at the producer — so cloning a record on
+/// fetch bumps a reference count instead of copying payload bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
     /// Position in the partition log; consumers poll by offset.
@@ -32,7 +38,7 @@ pub struct Record {
     /// Partitioning key (e.g. the partitioner entity id, §4).
     pub key: Vec<u8>,
     /// Opaque payload (Railgun serializes events/replies here).
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
 }
 
 /// A record as delivered to a consumer, with its provenance.
@@ -42,7 +48,7 @@ pub struct Message {
     pub partition: u32,
     pub offset: u64,
     pub key: Vec<u8>,
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
 }
 
 impl Message {
@@ -72,7 +78,7 @@ mod tests {
             partition: 3,
             offset: 9,
             key: vec![1],
-            payload: vec![2],
+            payload: vec![2].into(),
         };
         assert_eq!(m.topic_partition(), TopicPartition::new("t", 3));
     }

@@ -88,6 +88,9 @@ pub struct ReservoirConfig {
     /// engine's metrics plane can read without reaching into the
     /// reservoir (off by default).
     pub chunk_miss_counter: Counter,
+    /// Telemetry: events that landed via a multi-event
+    /// [`Reservoir::append_batch`] (off by default).
+    pub batch_events_counter: Counter,
 }
 
 impl Default for ReservoirConfig {
@@ -103,6 +106,7 @@ impl Default for ReservoirConfig {
             prefetch: true,
             append_recorder: Recorder::disabled(),
             chunk_miss_counter: Counter::disabled(),
+            batch_events_counter: Counter::disabled(),
         }
     }
 }
@@ -186,6 +190,15 @@ struct CursorPos {
     /// Bumped on every committed advance; lets the two-phase drain detect
     /// a concurrent advance of the same cursor across its unlocked I/O.
     seq: u64,
+}
+
+/// Deferred open-chunk metadata update accumulated across the fast-path
+/// tail appends of one `append`/`append_batch` call (never escapes the
+/// lock). `pending` is `(meta index, last ts, events added, first_ts when
+/// the append found the chunk empty)`.
+#[derive(Default)]
+struct MetaDefer {
+    pending: Option<(usize, Timestamp, u32, Option<Timestamp>)>,
 }
 
 struct Inner {
@@ -349,14 +362,74 @@ impl Reservoir {
     /// processor experiences) is recorded in microseconds.
     pub fn append(&self, event: Event) -> Result<AppendOutcome> {
         let timer = self.shared.cfg.append_recorder.start();
-        let outcome = self.append_inner(event);
+        let outcome = {
+            let mut inner = self.shared.inner.lock();
+            let inner = &mut *inner;
+            let mut defer = MetaDefer::default();
+            let out = self.append_locked(inner, event, &mut defer);
+            Self::flush_meta_defer(inner, &mut defer);
+            out
+        };
         self.shared.cfg.append_recorder.finish(timer);
         outcome
     }
 
-    fn append_inner(&self, mut event: Event) -> Result<AppendOutcome> {
-        let mut inner = self.shared.inner.lock();
-        let inner = &mut *inner;
+    /// Append a whole batch under **one** lock acquisition, with the
+    /// open-chunk metadata refresh of consecutive tail appends deferred to
+    /// one update per batch. Each event runs exactly the same per-event
+    /// body as [`Reservoir::append`] — dedup, late policy, routing,
+    /// cursor fixups and transition finalization are evaluated per event —
+    /// so a batch leaves byte-identical chunks to appending the same
+    /// events one at a time (the invariant the batched-ingest proptests
+    /// pin).
+    ///
+    /// Returns one [`AppendOutcome`] per event, in order. An empty batch
+    /// is a no-op. When the append recorder is enabled it receives one
+    /// sample covering the whole batch.
+    pub fn append_batch(
+        &self,
+        events: impl IntoIterator<Item = Event>,
+    ) -> Result<Vec<AppendOutcome>> {
+        let timer = self.shared.cfg.append_recorder.start();
+        let result = {
+            let mut inner = self.shared.inner.lock();
+            let inner = &mut *inner;
+            let mut defer = MetaDefer::default();
+            let iter = events.into_iter();
+            let mut outcomes = Vec::with_capacity(iter.size_hint().0);
+            let mut res = Ok(());
+            for event in iter {
+                match self.append_locked(inner, event, &mut defer) {
+                    Ok(o) => outcomes.push(o),
+                    Err(e) => {
+                        res = Err(e);
+                        break;
+                    }
+                }
+            }
+            Self::flush_meta_defer(inner, &mut defer);
+            if outcomes.len() >= 2 {
+                self.shared
+                    .cfg
+                    .batch_events_counter
+                    .add(outcomes.len() as u64);
+            }
+            res.map(|()| outcomes)
+        };
+        self.shared.cfg.append_recorder.finish(timer);
+        result
+    }
+
+    /// The per-event append body, run with the reservoir lock held. Both
+    /// [`Reservoir::append`] (batch-of-1) and [`Reservoir::append_batch`]
+    /// funnel through here, which is what keeps batched and sequential
+    /// ingest byte-identical by construction.
+    fn append_locked(
+        &self,
+        inner: &mut Inner,
+        mut event: Event,
+        defer: &mut MetaDefer,
+    ) -> Result<AppendOutcome> {
         // Single dedup probe: insert up front, roll back on the (rare)
         // late-discard path below.
         if !inner.dedup.insert(event.id) {
@@ -413,24 +486,25 @@ impl Reservoir {
             let pos = insert_sorted(open, event);
             let oi = (id.0 - inner.first_chunk_id) as usize;
             if pos.appended {
-                // Fast path: tail push. Metadata refresh is O(1) and the
-                // cursor fixup loop is skipped entirely when no cursor is
-                // live (fixup is still required with cursors: one may sit
-                // on this chunk with a bound past the new event).
-                let meta = &mut inner.chunks[oi];
-                meta.last_ts = pos.ts;
-                meta.count += 1;
-                if meta.count == 1 {
-                    meta.first_ts = pos.ts;
-                }
+                let was_empty = pos.index == 0;
+                // Fast path: tail push. The O(1) metadata refresh is
+                // *deferred* — consecutive tail appends of a batch collapse
+                // into one refresh at the batch boundary — and the cursor
+                // fixup loop is skipped entirely when no cursor is live
+                // (fixup is still required with cursors: one may sit on
+                // this chunk with a bound past the new event).
+                Self::defer_tail_meta(inner, defer, oi, pos.ts, was_empty);
                 if !inner.cursors.is_empty() {
                     Self::fixup_cursors(inner, id, &pos);
                 }
             } else {
+                // Out-of-order insert: apply any deferred tail updates
+                // first, then recompute the whole meta from the events.
+                Self::flush_meta_defer(inner, defer);
                 Self::fixup_cursors(inner, id, &pos);
                 Self::refresh_meta_open(inner, oi);
             }
-            self.maybe_close_open(inner);
+            self.maybe_close_open(inner, defer);
         } else {
             // `transition` is non-empty here: with no transition chunks the
             // boundary equals `min_acceptable_ts`, and anything below that
@@ -442,6 +516,7 @@ impl Reservoir {
             // timestamp below that cursor's bound (see the fixup in
             // `fixup_cursors`), so cursors can safely move past drained
             // transition chunks.
+            Self::flush_meta_defer(inner, defer);
             let ti = inner
                 .transition
                 .iter()
@@ -456,9 +531,51 @@ impl Reservoir {
         Ok(outcome)
     }
 
+    /// Record one fast-path tail append for chunk meta slot `mi`, merging
+    /// with an already-pending update for the same slot. A pending update
+    /// for a *different* slot (the open chunk rolled over) is flushed
+    /// first.
+    fn defer_tail_meta(
+        inner: &mut Inner,
+        defer: &mut MetaDefer,
+        mi: usize,
+        ts: Timestamp,
+        was_empty: bool,
+    ) {
+        match &mut defer.pending {
+            Some((i, last, added, _first)) if *i == mi => {
+                *last = ts;
+                *added += 1;
+            }
+            _ => {
+                Self::flush_meta_defer(inner, defer);
+                defer.pending = Some((mi, ts, 1, was_empty.then_some(ts)));
+            }
+        }
+    }
+
+    /// Apply (and clear) a pending deferred open-chunk meta update.
+    fn flush_meta_defer(inner: &mut Inner, defer: &mut MetaDefer) {
+        if let Some((mi, last, added, first)) = defer.pending.take() {
+            let meta = &mut inner.chunks[mi];
+            meta.last_ts = last;
+            meta.count += added;
+            if let Some(f) = first {
+                meta.first_ts = f;
+            }
+        }
+    }
+
     /// After inserting at sorted position `pos` in chunk `chunk`, cursors
     /// whose bound already passed the event's position skip it (see module
     /// docs for why this stays consistent with the engine's window bound).
+    ///
+    /// This includes a cursor parked *at the head* of a freshly created
+    /// open chunk: if its committed bound is already above the new event's
+    /// timestamp, the event counts as late relative to that cursor and is
+    /// skipped, even though nothing at that index was ever yielded. Callers
+    /// that want every event must therefore keep their bounds at or below
+    /// the ingest frontier while appends are in flight.
     fn fixup_cursors(inner: &mut Inner, chunk: ChunkId, pos: &InsertPos) {
         for cur in inner.cursors.values_mut() {
             if cur.chunk == chunk.0 && pos.ts < cur.bound {
@@ -502,7 +619,7 @@ impl Reservoir {
         }
     }
 
-    fn maybe_close_open(&self, inner: &mut Inner) {
+    fn maybe_close_open(&self, inner: &mut Inner, defer: &mut MetaDefer) {
         let close = match &inner.open {
             Some(o) => {
                 o.events.len() >= self.shared.cfg.chunk_target_events
@@ -511,6 +628,9 @@ impl Reservoir {
             None => false,
         };
         if close {
+            // The chunk leaves the open state: its meta must be current
+            // before any transition/finalize bookkeeping reads it.
+            Self::flush_meta_defer(inner, defer);
             let open = inner.open.take().expect("checked");
             let mi = (open.id.0 - inner.first_chunk_id) as usize;
             inner.chunks[mi].state = ChunkState::Transition;

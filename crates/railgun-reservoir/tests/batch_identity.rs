@@ -1,0 +1,190 @@
+//! Batched-ingest identity: `Reservoir::append_batch` must leave the
+//! reservoir in *exactly* the state that appending the same events one at
+//! a time would — same outcomes, same stats, and byte-identical segment
+//! files on disk. This is the invariant the batched ingest path (PR 6)
+//! is allowed to rely on when it amortizes locks and metadata refreshes.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use railgun_reservoir::{
+    AppendOutcome, LatePolicy, Reservoir, ReservoirConfig,
+};
+use railgun_types::{Event, EventId, FieldType, Schema, Timestamp, Value};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!(
+        "railgun-batchid-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[("cardId", FieldType::Str), ("amount", FieldType::Float)]).unwrap()
+}
+
+fn ev(id: u64, ts: i64) -> Event {
+    Event::new(
+        EventId(id),
+        Timestamp::from_millis(ts),
+        vec![Value::Str(format!("card-{}", id % 5)), Value::Float(id as f64)],
+    )
+}
+
+/// Tiny chunks + tiny files so even short streams exercise chunk closes,
+/// transition finalization and file rotation.
+fn small_cfg(late_policy: LatePolicy) -> ReservoirConfig {
+    ReservoirConfig {
+        chunk_target_events: 8,
+        chunk_target_bytes: 1 << 20,
+        file_target_bytes: 1024,
+        cache_capacity_chunks: 4,
+        late_policy,
+        ..ReservoirConfig::default()
+    }
+}
+
+/// All segment/registry files under `dir` as (relative name, bytes),
+/// sorted by name. Flushes are assumed done by the caller.
+fn disk_state(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_file() {
+            out.push((
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).unwrap(),
+            ));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Build the event stream from proptest-drawn lateness/duplicate vectors:
+/// mostly in-order with late arrivals, ties, and occasional duplicate ids.
+fn stream(lateness: &[i64], dup_every: u64) -> Vec<Event> {
+    lateness
+        .iter()
+        .enumerate()
+        .map(|(i, late)| {
+            let i = i as u64;
+            // Re-send an earlier id now and then: dedup must behave
+            // identically whether the duplicate lands in the same batch
+            // as the original or a later one.
+            let id = if dup_every > 0 && i.is_multiple_of(dup_every) && i > 0 { i / 2 } else { i };
+            ev(id, i as i64 * 10 - late)
+        })
+        .collect()
+}
+
+/// Drive `batched` with `append_batch` over the given split sizes and
+/// `sequential` one event at a time; assert identical outcomes, stats and
+/// on-disk bytes.
+fn assert_identical(events: Vec<Event>, splits: &[usize], late_policy: LatePolicy, tag: &str) {
+    let dir_b = fresh(&format!("{tag}-batched"));
+    let dir_s = fresh(&format!("{tag}-seq"));
+    {
+        let batched = Reservoir::open(&dir_b, schema(), small_cfg(late_policy)).unwrap();
+        let sequential = Reservoir::open(&dir_s, schema(), small_cfg(late_policy)).unwrap();
+
+        let mut batch_outcomes: Vec<AppendOutcome> = Vec::new();
+        let mut rest = events.as_slice();
+        let mut si = 0usize;
+        while !rest.is_empty() {
+            let take = splits[si % splits.len()].min(rest.len());
+            si += 1;
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            batch_outcomes.extend(batched.append_batch(chunk.iter().cloned()).unwrap());
+        }
+        let seq_outcomes: Vec<AppendOutcome> = events
+            .iter()
+            .map(|e| sequential.append(e.clone()).unwrap())
+            .collect();
+        prop_assert_eq!(&batch_outcomes, &seq_outcomes);
+
+        batched.flush_open_chunk().unwrap();
+        batched.flush_io().unwrap();
+        sequential.flush_open_chunk().unwrap();
+        sequential.flush_io().unwrap();
+
+        let sb = batched.stats();
+        let ss = sequential.stats();
+        prop_assert_eq!(sb.appended, ss.appended);
+        prop_assert_eq!(sb.duplicates, ss.duplicates);
+        prop_assert_eq!(sb.late_discarded, ss.late_discarded);
+        prop_assert_eq!(sb.late_rewritten, ss.late_rewritten);
+        prop_assert_eq!(sb.chunks_finalized, ss.chunks_finalized);
+        prop_assert_eq!(sb.bytes_written, ss.bytes_written);
+
+        let db = disk_state(&dir_b);
+        let ds = disk_state(&dir_s);
+        prop_assert_eq!(
+            db.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+            ds.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+        );
+        for ((name, b), (_, s)) in db.iter().zip(ds.iter()) {
+            prop_assert!(b == s, "segment file {name} differs between batched and sequential");
+        }
+    }
+    std::fs::remove_dir_all(&dir_b).ok();
+    std::fs::remove_dir_all(&dir_s).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random batch splits over a mostly-in-order stream with late
+    /// arrivals, timestamp ties and duplicate ids must be byte-identical
+    /// to one-at-a-time ingest, under both late policies.
+    #[test]
+    fn batched_equals_sequential_discard(
+        lateness in proptest::collection::vec(0i64..40, 1..160),
+        splits in proptest::collection::vec(1usize..9, 1..24),
+        dup_every in 0u64..7,
+    ) {
+        assert_identical(stream(&lateness, dup_every), &splits, LatePolicy::Discard, "d");
+    }
+
+    #[test]
+    fn batched_equals_sequential_rewrite(
+        lateness in proptest::collection::vec(0i64..40, 1..160),
+        splits in proptest::collection::vec(1usize..9, 1..24),
+        dup_every in 0u64..7,
+    ) {
+        assert_identical(stream(&lateness, dup_every), &splits, LatePolicy::Rewrite, "r");
+    }
+}
+
+#[test]
+fn empty_batch_is_a_no_op() {
+    let dir = fresh("empty");
+    let res = Reservoir::open(&dir, schema(), small_cfg(LatePolicy::Discard)).unwrap();
+    let before = res.stats();
+    let outcomes = res.append_batch(std::iter::empty()).unwrap();
+    assert!(outcomes.is_empty());
+    assert_eq!(res.stats(), before);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_of_one_equals_append() {
+    // Identity for the degenerate batch, including forcing chunk closes.
+    let events: Vec<Event> = (0..40).map(|i| ev(i, i as i64 * 10)).collect();
+    assert_identical(events, &[1], LatePolicy::Discard, "one");
+}
+
+#[test]
+fn whole_stream_in_one_batch_equals_append() {
+    let events: Vec<Event> = (0..60)
+        .map(|i| ev(i, i as i64 * 10 - (i as i64 % 3) * 15))
+        .collect();
+    assert_identical(events, &[usize::MAX], LatePolicy::Rewrite, "whole");
+}

@@ -534,21 +534,33 @@ fn concurrent_append_and_cold_drain() {
                 );
             }
         });
-        // Drain the durable backlog concurrently with the appends.
+        // Drain the durable backlog concurrently with the appends. The
+        // bound is capped at the backlog frontier: a cursor bound is a
+        // watermark, and an event inserted *below* a live cursor's bound
+        // is late by definition and deliberately skipped (the engine's
+        // window cursors rely on that). Racing the bound past the
+        // appender's frontier would exercise that skip semantics instead
+        // of the cold-drain path this test pins down.
         let cursor = res.cursor_at_start();
         let mut drained: Vec<Event> = Vec::new();
         let mut bound = 0i64;
+        let mut empty_batches = 0u32;
         while (drained.len() as u64) < OLD {
-            bound += 256;
+            bound = (bound + 256).min(OLD as i64);
             let batch = cursor.advance_upto(Timestamp::from_millis(bound));
             assert!(
                 batch.iter().all(|e| e.ts < Timestamp::from_millis(bound)),
                 "yielded event at/above the requested bound"
             );
+            if batch.is_empty() {
+                empty_batches += 1;
+            } else {
+                empty_batches = 0;
+            }
             drained.extend(batch);
             assert!(
-                bound <= (OLD + NEW) as i64 + 256,
-                "drainer starved: only {} of {OLD} after exhausting bounds",
+                empty_batches < 100_000,
+                "drainer starved: only {} of {OLD} durable events surfaced",
                 drained.len()
             );
         }

@@ -25,6 +25,7 @@ pub mod schema;
 pub mod time;
 pub mod value;
 
+pub use encode::{BatchFrame, BatchFrameBuilder};
 pub use error::{RailgunError, Result};
 pub use hash::{FastHashMap, FastHashSet};
 pub use event::{Event, EventId};

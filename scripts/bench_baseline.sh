@@ -10,6 +10,11 @@
 # telemetry plane (or anything else) accidentally taxing the hot path
 # when it is switched off.
 #
+# And the batched-ingest guard (PR 6): batched front-end publishing must
+# not lose to the committed single-message baseline in BENCH_ingest.json
+# — both on the committed full-run numbers (exact) and on the fresh
+# smoke run (loose floor, CI-runner tolerant).
+#
 # Usage:
 #   scripts/bench_baseline.sh          # smoke mode (CI): tiny N
 #   scripts/bench_baseline.sh --full   # full measurement run
@@ -28,12 +33,15 @@ fi
 OUT="$(pwd)/target/bench_hotpath_smoke.json"
 SCALING_OUT="$(pwd)/target/bench_scaling_smoke.json"
 LATENCY_OUT="$(pwd)/target/bench_latency_smoke.json"
+INGEST_OUT="$(pwd)/target/bench_ingest_smoke.json"
 # shellcheck disable=SC2086  # MODE_ARGS is intentionally word-split
 cargo bench -p railgun-bench --bench fig_hotpath -- $MODE_ARGS --out "$OUT"
 # shellcheck disable=SC2086
 cargo bench -p railgun-bench --bench fig_scaling -- $MODE_ARGS --out "$SCALING_OUT"
 # shellcheck disable=SC2086
 cargo bench -p railgun-bench --bench fig_latency -- $MODE_ARGS --out "$LATENCY_OUT"
+# shellcheck disable=SC2086
+cargo bench -p railgun-bench --bench fig_ingest -- $MODE_ARGS --out "$INGEST_OUT"
 
 validate() {
   f="$1"
@@ -51,9 +59,11 @@ validate() {
 validate "$OUT"
 validate "$SCALING_OUT"
 validate "$LATENCY_OUT"
+validate "$INGEST_OUT"
 validate BENCH_hotpath.json
 validate BENCH_scaling.json
 validate BENCH_latency.json
+validate BENCH_ingest.json
 
 # Telemetry-off hot-path guard. The benches run with telemetry disabled
 # (the default), so the fresh in-order ingest rate should be in the same
@@ -77,4 +87,37 @@ sys.exit(0 if fresh >= floor else 1)
 EOF
 else
   echo "skip: hot-path guard needs python3"
+fi
+
+# Batched-ingest guard. Two checks:
+#  1. The committed full-run numbers must show batched publishing at or
+#     above the committed single-message baseline — the refactor's whole
+#     point, checked exactly (both numbers come from the same run on the
+#     same machine, so no noise allowance is needed).
+#  2. The fresh smoke run's batched rate must clear a loose floor (25%)
+#     of the committed single-message baseline — the same cross-machine
+#     tripwire style as the hot-path guard above.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$INGEST_OUT" <<'EOF'
+import json, sys
+
+committed = json.load(open("BENCH_ingest.json"))["measured"]
+batched = committed["batched_eps"]
+single = committed["single_message_eps"]
+if batched < single:
+    print(f"FAIL: committed batched ingest {batched:.0f} ev/s below the "
+          f"committed single-message baseline {single:.0f} ev/s")
+    sys.exit(1)
+print(f"ok: committed batched ingest {batched:.0f} ev/s >= "
+      f"single-message baseline {single:.0f} ev/s")
+
+fresh = json.load(open(sys.argv[1]))["measured"]["batched_eps"]
+floor = 0.25 * single
+status = "ok" if fresh >= floor else "FAIL"
+print(f"{status}: fresh batched ingest {fresh:.0f} ev/s vs committed "
+      f"single-message baseline {single:.0f} ev/s (floor {floor:.0f})")
+sys.exit(0 if fresh >= floor else 1)
+EOF
+else
+  echo "skip: batched-ingest guard needs python3"
 fi
