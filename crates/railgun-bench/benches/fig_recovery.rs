@@ -1,0 +1,145 @@
+//! Crash-recovery wall-time baseline (BENCH_recovery.json).
+//!
+//! Runs the store's deterministic crash-torture sweep
+//! (`railgun_store::torture`): a mixed put/delete/flush/compact/checkpoint
+//! workload is crashed at every registered crash point, the frozen image
+//! is reopened with the real filesystem, and the time from `Db::open` to
+//! a verified, queryable store is measured. The interesting number for
+//! the paper's availability story is the **worst-case** recovery time
+//! across crash points — that is the pause a fraud-scoring node adds on
+//! top of topic replay after an unclean exit, and the one
+//! `scripts/bench_baseline.sh` sanity-checks against the committed
+//! baseline.
+//!
+//! Every run also re-proves the sweep's correctness invariants (no acked
+//! write lost, integrity verified, checkpoints restore exactly); this
+//! bench only adds the stopwatch.
+//!
+//! Run modes mirror the other figure benches:
+//!
+//! * `cargo bench -p railgun-bench --bench fig_recovery` — full run;
+//! * `-- --test` — smoke mode (smaller workload, used by CI);
+//! * `-- --out <path>` — additionally write the JSON to `<path>`.
+
+use std::collections::BTreeMap;
+
+use railgun_store::torture;
+
+/// Deterministic sweep parameters: same seed as the crash-torture test
+/// suite so the bench exercises the exact images the tests prove safe.
+const SEED: u64 = 0xC0FFEE;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (ops, hits_per_point) = if smoke { (150, 1) } else { (400, 3) };
+    let root = std::env::temp_dir().join(format!("railgun-figrecovery-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+
+    eprintln!(
+        "# fig_recovery: crash-torture sweep, {ops} ops, {hits_per_point} hit(s) per crash point"
+    );
+    let report = torture::sweep(&root, ops, SEED, hits_per_point).expect("crash-torture sweep");
+    std::fs::remove_dir_all(&root).ok();
+
+    // Aggregate per crash point: runs, mean and max recovery time, and
+    // which repair paths fired (so the JSON shows the sweep covered them).
+    struct PointAgg {
+        runs: u64,
+        total_us: u128,
+        max_us: u128,
+        wal_truncated_bytes: u64,
+        orphans: u64,
+        tmp_removed: u64,
+    }
+    let mut by_point: BTreeMap<&str, PointAgg> = BTreeMap::new();
+    for r in &report.results {
+        let agg = by_point.entry(r.plan.point).or_insert(PointAgg {
+            runs: 0,
+            total_us: 0,
+            max_us: 0,
+            wal_truncated_bytes: 0,
+            orphans: 0,
+            tmp_removed: 0,
+        });
+        agg.runs += 1;
+        agg.total_us += r.recovery_micros;
+        agg.max_us = agg.max_us.max(r.recovery_micros);
+        agg.wal_truncated_bytes += r.recovery.wal_truncated_bytes;
+        agg.orphans += r.recovery.orphaned_sstables_quarantined;
+        agg.tmp_removed += r.recovery.stale_tmp_removed;
+    }
+    let worst_us = report
+        .results
+        .iter()
+        .map(|r| r.recovery_micros)
+        .max()
+        .unwrap_or(0);
+    let clean_us = report.clean_recovery_micros;
+
+    for (point, agg) in &by_point {
+        eprintln!(
+            "#   {point}: {} run(s), mean {} µs, max {} µs",
+            agg.runs,
+            agg.total_us / u128::from(agg.runs),
+            agg.max_us
+        );
+    }
+    eprintln!(
+        "#   clean reopen {clean_us} µs; worst crash-point recovery {worst_us} µs \
+         ({} crash runs over {} points)",
+        report.results.len(),
+        by_point.len()
+    );
+
+    // -- JSON ---------------------------------------------------------------
+    let mode = if smoke { "test" } else { "full" };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"fig_recovery\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"config\": {{ \"ops\": {ops}, \"seed\": {SEED}, \"hits_per_point\": {hits_per_point} }},\n"
+    ));
+    json.push_str("  \"measured\": {\n");
+    json.push_str(
+        "    \"note\": \"µs from Db::open on a frozen crash image to a verified, queryable \
+         store; every run also asserts no acked write was lost\",\n",
+    );
+    json.push_str(&format!(
+        "    \"clean_recovery_us\": {clean_us},\n    \"worst_recovery_us\": {worst_us},\n    \"crash_runs\": {},\n",
+        report.results.len()
+    ));
+    json.push_str("    \"by_point\": [\n");
+    for (i, (point, agg)) in by_point.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"point\": \"{point}\", \"runs\": {}, \"mean_recovery_us\": {}, \
+             \"max_recovery_us\": {}, \"wal_truncated_bytes\": {}, \
+             \"orphaned_sstables\": {}, \"stale_tmp_removed\": {} }}{}\n",
+            agg.runs,
+            agg.total_us / u128::from(agg.runs),
+            agg.max_us,
+            agg.wal_truncated_bytes,
+            agg.orphans,
+            agg.tmp_removed,
+            if i + 1 < by_point.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
+
+    print!("{json}");
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        std::fs::write(&path, &json).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -194,6 +194,9 @@ impl Cluster {
         config.task.reservoir.batch_events_counter = telemetry.reservoir_batched_counter();
         config.task.store.wal_recorder = telemetry.store_wal_recorder();
         config.task.store.flush_recorder = telemetry.store_flush_recorder();
+        config.task.store.wal_truncated_counter = telemetry.store_wal_truncated_counter();
+        config.task.store.orphan_counter = telemetry.store_orphan_counter();
+        config.task.checkpoint_fallbacks = telemetry.checkpoint_fallback_counter();
         let strategy = Arc::new(RailgunStrategy::new(config.replication));
         let mut nodes = Vec::with_capacity(config.nodes as usize);
         for id in 0..config.nodes {

@@ -52,7 +52,7 @@ pub use cluster::{Cluster, ClusterClient, ClusterConfig, SendOutcome, Ticket};
 pub use frontend::BatchPolicy;
 pub use metrics::{
     BatchingMetrics, EngineCounters, EngineTelemetry, MetricsSnapshot, QueryMetrics,
-    SharedTaskStats, StageLatencies, TaskStatsRegistry,
+    RecoveryCounters, SharedTaskStats, StageLatencies, TaskStatsRegistry,
 };
 pub use runtime::Runtime;
 pub use lang::{
@@ -63,4 +63,4 @@ pub use rebalance::RailgunStrategy;
 pub use session::{
     EventBuilder, QueryHandle, Session, StreamEvent, StreamHandle, TypedReply,
 };
-pub use task::{TaskConfig, TaskProcessor, TaskStats};
+pub use task::{RestoreOutcome, TaskConfig, TaskProcessor, TaskStats};

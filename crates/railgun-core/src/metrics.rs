@@ -229,6 +229,15 @@ pub struct EngineTelemetry {
     unit_batched: Counter,
     /// Events appended via `Reservoir::append_batch` in batches of ≥ 2.
     reservoir_batched: Counter,
+    /// Bytes of torn WAL tail truncated at store open. Always on:
+    /// recovery runs once per open, off the hot path, and a silent
+    /// repair is exactly what an operator must not get.
+    store_wal_truncated: Counter,
+    /// Unreferenced SSTables quarantined at store open (always on).
+    store_orphans: Counter,
+    /// Corrupt/partial checkpoints that degraded to a full topic replay
+    /// (always on).
+    checkpoint_fallbacks: Counter,
     /// Strictest registered SLO budget in µs (0 = none) — the overload
     /// policy's reference point, read on every `send_event`.
     strictest_slo_us: AtomicU64,
@@ -267,6 +276,9 @@ impl EngineTelemetry {
             frontend_batched: Counter::enabled(),
             unit_batched: Counter::enabled(),
             reservoir_batched: Counter::enabled(),
+            store_wal_truncated: Counter::enabled(),
+            store_orphans: Counter::enabled(),
+            checkpoint_fallbacks: Counter::enabled(),
             strictest_slo_us: AtomicU64::new(0),
             per_query: Mutex::new(FastHashMap::default()),
             tasks: TaskStatsRegistry::new(),
@@ -335,6 +347,24 @@ impl EngineTelemetry {
     /// `ReservoirConfig`).
     pub fn reservoir_batched_counter(&self) -> Counter {
         self.reservoir_batched.clone()
+    }
+
+    /// Counter of torn WAL-tail bytes truncated at store open (for
+    /// `DbOptions::wal_truncated_counter`).
+    pub fn store_wal_truncated_counter(&self) -> Counter {
+        self.store_wal_truncated.clone()
+    }
+
+    /// Counter of orphaned SSTables quarantined at store open (for
+    /// `DbOptions::orphan_counter`).
+    pub fn store_orphan_counter(&self) -> Counter {
+        self.store_orphans.clone()
+    }
+
+    /// Counter of checkpoint restores that degraded to full replay (for
+    /// `TaskConfig::checkpoint_fallbacks`).
+    pub fn checkpoint_fallback_counter(&self) -> Counter {
+        self.checkpoint_fallbacks.clone()
     }
 
     /// True iff front-ends should timestamp requests: stage telemetry is
@@ -458,6 +488,11 @@ impl EngineTelemetry {
                 unit_batched_events: self.unit_batched.get(),
                 reservoir_batched_events: self.reservoir_batched.get(),
             },
+            recovery: RecoveryCounters {
+                wal_truncated_bytes: self.store_wal_truncated.get(),
+                orphaned_sstables_quarantined: self.store_orphans.get(),
+                checkpoint_fallbacks: self.checkpoint_fallbacks.get(),
+            },
             tasks: self.tasks.aggregate(),
             queries,
         }
@@ -509,6 +544,24 @@ pub struct EngineCounters {
     pub reservoir_chunk_misses: u64,
 }
 
+/// Crash-recovery counters (always on — recovery runs once per store
+/// open or restore, far off the hot path, and every one of these events
+/// means data on disk was not what the engine left there). Zero across
+/// the board is the healthy steady state; anything else deserves a look
+/// at the node's disk before it becomes a pattern.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Bytes of torn WAL tail truncated at store open (a crash landed
+    /// mid-append; the unacknowledged suffix was cut).
+    pub wal_truncated_bytes: u64,
+    /// Unreferenced SSTables moved to the store's quarantine directory
+    /// at open (a crash landed between SST creation and the manifest).
+    pub orphaned_sstables_quarantined: u64,
+    /// Checkpoint restores that found a corrupt/partial image and
+    /// degraded to a full topic replay instead of wedging.
+    pub checkpoint_fallbacks: u64,
+}
+
 /// Latency ladder and SLO standing of one registered query.
 #[derive(Debug, Clone)]
 pub struct QueryMetrics {
@@ -547,6 +600,9 @@ pub struct MetricsSnapshot {
     /// Batched-ingest observability: batch-size histogram and per-stage
     /// batched-event counters (always on).
     pub batching: BatchingMetrics,
+    /// Crash-recovery counters: torn-tail truncation, orphan quarantine,
+    /// checkpoint fallbacks (always on).
+    pub recovery: RecoveryCounters,
     /// Aggregated counters over every live task processor (always on).
     pub tasks: TaskStats,
     /// Per-query ladders, in [`QueryId`] order.
@@ -646,6 +702,25 @@ mod tests {
         assert_eq!(reg.aggregate().events_processed, 3);
         assert_eq!(reg.len(), 1);
         assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn recovery_counters_flow_into_snapshot() {
+        let t = EngineTelemetry::new(false);
+        // Recovery counters are always on, even with stage telemetry off:
+        // the injected handles must observably reach the snapshot.
+        t.store_wal_truncated_counter().add(123);
+        t.store_orphan_counter().incr();
+        t.checkpoint_fallback_counter().incr();
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.recovery,
+            RecoveryCounters {
+                wal_truncated_bytes: 123,
+                orphaned_sstables_quarantined: 1,
+                checkpoint_fallbacks: 1,
+            }
+        );
     }
 
     #[test]

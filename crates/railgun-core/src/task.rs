@@ -30,9 +30,9 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use railgun_reservoir::{AppendOutcome, Cursor, Reservoir, ReservoirConfig};
-use railgun_store::{ColumnFamilyId, Db, DbOptions};
+use railgun_store::{ColumnFamilyId, Db, DbOptions, RealFs};
 use railgun_types::{
-    Event, RailgunError, Result, Schema, TimeDelta, Timestamp, Value,
+    Counter, Event, RailgunError, Result, Schema, TimeDelta, Timestamp, Value,
 };
 
 use crate::agg::{AggContext, AggState};
@@ -56,6 +56,10 @@ pub struct TaskConfig {
     /// threaded runtime owns the processors). The default is a private
     /// registry per config; the cluster injects its shared one.
     pub stats_registry: TaskStatsRegistry,
+    /// Bumped when [`TaskProcessor::restore_or_replay`] rejects a
+    /// corrupt/partial checkpoint and falls back to a full topic replay.
+    /// Disabled by default; the cluster injects its telemetry counter.
+    pub checkpoint_fallbacks: Counter,
 }
 
 impl Default for TaskConfig {
@@ -66,8 +70,22 @@ impl Default for TaskConfig {
             truncate_every: 4096,
             retention_margin: TimeDelta::from_minutes(1),
             stats_registry: TaskStatsRegistry::default(),
+            checkpoint_fallbacks: Counter::disabled(),
         }
     }
+}
+
+/// How [`TaskProcessor::restore_or_replay`] recovered a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreOutcome {
+    /// The checkpoint image was complete and verified: the caller only
+    /// replays events from the checkpoint's recorded offset onward.
+    FromCheckpoint,
+    /// The checkpoint was missing, partial, or corrupt: the task started
+    /// from an empty image and the caller must replay the topic from the
+    /// beginning. At-least-once replay makes this merely slow, never
+    /// wrong (the reservoir dedups by event id).
+    FullReplay,
 }
 
 /// Monotonic counters for one task processor (a point-in-time snapshot
@@ -667,6 +685,63 @@ impl TaskProcessor {
         copy_dir(&ckpt.join("reservoir"), &dir.join("reservoir"))?;
         copy_dir(&ckpt.join("store"), &dir.join("store"))?;
         Self::open(dir, topic, partition, schema, config)
+    }
+
+    /// Restore from `ckpt` if it is a complete, verifiable image —
+    /// otherwise degrade to a fresh task that the caller rebuilds by
+    /// replaying the topic from the beginning (§4.2's recovery flow with
+    /// a crash-safety net: a checkpoint interrupted mid-copy, or damaged
+    /// on disk afterwards, must never wedge the node or silently open as
+    /// an empty store).
+    ///
+    /// A checkpoint is accepted only if all of:
+    ///
+    /// 1. its store image carries the completeness marker
+    ///    ([`railgun_store::checkpoint::is_complete`] — the empty
+    ///    `wal.log` is written after every SSTable and the manifest);
+    /// 2. the copied image opens ([`TaskProcessor::open`] succeeds);
+    /// 3. the opened store passes a full integrity check
+    ///    ([`Db::verify_integrity`] — every SSTable block decodes, keys
+    ///    are strictly sorted, entry counts match).
+    ///
+    /// Any other outcome wipes the restore target, bumps
+    /// `TaskConfig::checkpoint_fallbacks`, and returns a fresh processor
+    /// with [`RestoreOutcome::FullReplay`].
+    pub fn restore_or_replay(
+        ckpt: &Path,
+        dir: &Path,
+        topic: &str,
+        partition: u32,
+        schema: Schema,
+        config: TaskConfig,
+    ) -> Result<(Self, RestoreOutcome)> {
+        let fallbacks = config.checkpoint_fallbacks.clone();
+        if railgun_store::checkpoint::is_complete(&RealFs, &ckpt.join("store")) {
+            let restored = Self::restore_from_checkpoint(
+                ckpt,
+                dir,
+                topic,
+                partition,
+                schema.clone(),
+                config.clone(),
+            );
+            match restored {
+                Ok(tp) if tp.db.verify_integrity().is_ok() => {
+                    return Ok((tp, RestoreOutcome::FromCheckpoint));
+                }
+                // Marker present but the image does not open or verify
+                // (bit rot, truncation after creation): fall through.
+                _ => {}
+            }
+        }
+        // Leave nothing of the failed restore behind — `open` would
+        // otherwise recover the half-copied image as if it were real data.
+        if dir.exists() {
+            std::fs::remove_dir_all(dir)?;
+        }
+        fallbacks.incr();
+        let tp = Self::open(dir, topic, partition, schema, config)?;
+        Ok((tp, RestoreOutcome::FullReplay))
     }
 
     /// Statistics snapshot.

@@ -8,20 +8,21 @@
 //! explicit (`flush`, `compact`) so the engine can schedule it off the
 //! latency-critical path.
 
-use std::collections::HashMap;
-use std::fs;
+use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
 use parking_lot::Mutex;
 use railgun_types::encode::{crc32c, get_string, get_uvarint, put_bytes, put_uvarint};
-use railgun_types::{RailgunError, Recorder, Result};
+use railgun_types::{Counter, RailgunError, Recorder, Result};
 
 use crate::memtable::{Entry, MemTable};
 use crate::merge::MergeIter;
 use crate::sstable::{SstReader, SstWriter};
-use crate::wal::{Wal, WalRecord};
+use crate::vfs::{crash_points, RealFs, StoreFs};
+use crate::wal::{Wal, WalRecord, WalRecoveryMode};
 
 /// Identifier of a column family within a [`Db`].
 pub type ColumnFamilyId = u32;
@@ -45,6 +46,17 @@ pub struct DbOptions {
     pub wal_recorder: Recorder,
     /// Telemetry: memtable-flush latency recorder (off by default).
     pub flush_recorder: Recorder,
+    /// The filesystem seam every durable byte passes through.
+    /// [`RealFs`] in production; swap in [`crate::vfs::FaultFs`] to test
+    /// crash behaviour deterministically.
+    pub fs: Arc<dyn StoreFs>,
+    /// Policy for a torn/corrupt WAL tail at open (see
+    /// [`WalRecoveryMode`]).
+    pub wal_recovery: WalRecoveryMode,
+    /// Telemetry: bytes of torn WAL tail cut at open (off by default).
+    pub wal_truncated_counter: Counter,
+    /// Telemetry: orphaned SSTables quarantined at open (off by default).
+    pub orphan_counter: Counter,
 }
 
 impl Default for DbOptions {
@@ -57,6 +69,10 @@ impl Default for DbOptions {
             sync_wal: false,
             wal_recorder: Recorder::disabled(),
             flush_recorder: Recorder::disabled(),
+            fs: RealFs::shared(),
+            wal_recovery: WalRecoveryMode::default(),
+            wal_truncated_counter: Counter::disabled(),
+            orphan_counter: Counter::disabled(),
         }
     }
 }
@@ -95,28 +111,57 @@ struct Inner {
     compactions: u64,
 }
 
+/// What [`Db::open`] had to repair while bringing the on-disk image
+/// online. Also surfaced through [`DbOptions::wal_truncated_counter`] /
+/// [`DbOptions::orphan_counter`] for the telemetry plane.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Bytes of torn/corrupt WAL tail cut before accepting appends.
+    pub wal_truncated_bytes: u64,
+    /// Intact WAL records replayed into memtables.
+    pub wal_records_replayed: u64,
+    /// Unreferenced `*.sst` files moved into [`QUARANTINE_DIR`].
+    pub orphaned_sstables_quarantined: u64,
+    /// Stale `*.tmp` files (interrupted manifest writes) deleted.
+    pub stale_tmp_removed: u64,
+}
+
 /// An embedded LSM key-value store with column families.
 pub struct Db {
     dir: PathBuf,
     opts: DbOptions,
     inner: Mutex<Inner>,
+    recovery: RecoveryReport,
 }
 
 const MANIFEST: &str = "MANIFEST";
 const MANIFEST_TMP: &str = "MANIFEST.tmp";
 const WAL_FILE: &str = "wal.log";
 const MANIFEST_MAGIC: u64 = 0x5241_494c_4d41_4e01;
+/// Subdirectory orphaned SSTables are moved into at open — never deleted,
+/// so a recovery bug can be diagnosed from the quarantined bytes.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 impl Db {
     /// The column family every database starts with.
     pub const DEFAULT_CF: ColumnFamilyId = 0;
 
     /// Open (or create) a database in `dir`.
+    ///
+    /// Recovery happens here, in order: load the manifest (the only
+    /// source of truth for live SSTables), sweep the directory — stale
+    /// `*.tmp` files are deleted, unreferenced `*.sst` files are
+    /// quarantined, never deleted — then scan the WAL once, cutting a
+    /// torn tail under [`WalRecoveryMode::TolerateTornTail`] before the
+    /// append handle opens, and replay the intact records. What was
+    /// repaired is reported via [`Db::recovery_report`].
     pub fn open(dir: &Path, opts: DbOptions) -> Result<Self> {
-        fs::create_dir_all(dir)?;
+        let fs = Arc::clone(&opts.fs);
+        fs.create_dir_all(dir)?;
         let manifest_path = dir.join(MANIFEST);
-        let mut inner = if manifest_path.exists() {
-            Self::load_manifest(dir, &manifest_path, &opts)?
+        let had_manifest = fs.exists(&manifest_path);
+        let (mut cfs, next_cf_id, next_file_no) = if had_manifest {
+            Self::load_manifest(fs.as_ref(), dir, &manifest_path)?
         } else {
             let mut cfs = HashMap::new();
             cfs.insert(
@@ -127,25 +172,52 @@ impl Db {
                     ssts: Vec::new(),
                 },
             );
-            Inner {
-                cfs,
-                next_cf_id: 1,
-                next_file_no: 1,
-                wal: Wal::open(&dir.join(WAL_FILE), opts.sync_wal)?,
-                flushes: 0,
-                compactions: 0,
-            }
+            (cfs, 1, 1)
         };
-        // Recover unflushed writes.
-        for rec in Wal::replay(&dir.join(WAL_FILE))? {
+        // Sweep the directory before accepting writes. A crash between
+        // SST creation and the manifest update leaves unreferenced
+        // tables; a crash between a compaction's manifest update and
+        // input deletion leaves the (now shadowed) inputs. Neither may
+        // ever be read again, so move them aside.
+        let mut report = RecoveryReport::default();
+        let referenced: HashSet<String> = cfs
+            .values()
+            .flat_map(|cf| cf.ssts.iter().map(|h| sst_file_name(h.file_no)))
+            .collect();
+        for name in fs.read_dir_files(dir)? {
+            let path = dir.join(&name);
+            if name.ends_with(".tmp") {
+                fs.remove_file(&path)?;
+                report.stale_tmp_removed += 1;
+            } else if name.ends_with(".sst") && !referenced.contains(&name) {
+                let qdir = dir.join(QUARANTINE_DIR);
+                fs.create_dir_all(&qdir)?;
+                fs.rename(&path, &qdir.join(&name))?;
+                report.orphaned_sstables_quarantined += 1;
+            }
+        }
+        opts.orphan_counter.add(report.orphaned_sstables_quarantined);
+        // Recover unflushed writes in the same scan that opens the WAL
+        // (a torn tail is cut before the append handle is created, so
+        // new records stay reachable at the next replay).
+        let (wal, wal_recovery) = Wal::open(
+            Arc::clone(&fs),
+            &dir.join(WAL_FILE),
+            opts.sync_wal,
+            opts.wal_recovery,
+        )?;
+        report.wal_truncated_bytes = wal_recovery.truncated_bytes;
+        report.wal_records_replayed = wal_recovery.records.len() as u64;
+        opts.wal_truncated_counter.add(wal_recovery.truncated_bytes);
+        for rec in wal_recovery.records {
             match rec {
                 WalRecord::Put { cf, key, value } => {
-                    if let Some(state) = inner.cfs.get_mut(&cf) {
+                    if let Some(state) = cfs.get_mut(&cf) {
                         state.mem.put(&key, &value);
                     }
                 }
                 WalRecord::Delete { cf, key } => {
-                    if let Some(state) = inner.cfs.get_mut(&cf) {
+                    if let Some(state) = cfs.get_mut(&cf) {
                         state.mem.delete(&key);
                     }
                 }
@@ -154,16 +226,34 @@ impl Db {
         let db = Db {
             dir: dir.to_path_buf(),
             opts,
-            inner: Mutex::new(inner),
+            inner: Mutex::new(Inner {
+                cfs,
+                next_cf_id,
+                next_file_no,
+                wal,
+                flushes: 0,
+                compactions: 0,
+            }),
+            recovery: report,
         };
-        if !manifest_path.exists() {
+        if !had_manifest {
             db.write_manifest(&db.inner.lock())?;
         }
         Ok(db)
     }
 
-    fn load_manifest(dir: &Path, path: &Path, _opts: &DbOptions) -> Result<Inner> {
-        let raw = fs::read(path)?;
+    /// What the open-time recovery pass repaired (all zero on a clean
+    /// open).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    fn load_manifest(
+        fs: &dyn StoreFs,
+        dir: &Path,
+        path: &Path,
+    ) -> Result<(HashMap<ColumnFamilyId, CfState>, ColumnFamilyId, u64)> {
+        let raw = fs.read(path)?;
         if raw.len() < 4 {
             return Err(RailgunError::Corruption("manifest too small".into()));
         }
@@ -187,7 +277,7 @@ impl Db {
             let mut ssts = Vec::with_capacity(sst_count);
             for _ in 0..sst_count {
                 let file_no = get_uvarint(&mut cur)?;
-                let reader = SstReader::open(&dir.join(sst_file_name(file_no)))?;
+                let reader = SstReader::open(fs, &dir.join(sst_file_name(file_no)))?;
                 ssts.push(SstHandle { file_no, reader });
             }
             cfs.insert(
@@ -199,14 +289,7 @@ impl Db {
                 },
             );
         }
-        Ok(Inner {
-            cfs,
-            next_cf_id,
-            next_file_no,
-            wal: Wal::open(&dir.join(WAL_FILE), _opts.sync_wal)?,
-            flushes: 0,
-            compactions: 0,
-        })
+        Ok((cfs, next_cf_id, next_file_no))
     }
 
     fn write_manifest(&self, inner: &Inner) -> Result<()> {
@@ -228,13 +311,18 @@ impl Db {
         }
         let crc = crc32c(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
+        let fs = &self.opts.fs;
         let tmp = self.dir.join(MANIFEST_TMP);
         {
-            let mut f = fs::File::create(&tmp)?;
+            let mut f = fs.create(&tmp)?;
             f.write_all(&buf)?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, self.dir.join(MANIFEST))?;
+        fs.rename(&tmp, &self.dir.join(MANIFEST))?;
+        // An fsync of the file does not cover its directory entry: without
+        // this, a crash can roll back the rename itself (and the entries
+        // of any SSTs created alongside it).
+        fs.sync_dir(&self.dir)?;
         Ok(())
     }
 
@@ -412,22 +500,34 @@ impl Db {
     }
 
     fn flush_cfs_locked(&self, inner: &mut Inner, cf_ids: Vec<ColumnFamilyId>) -> Result<()> {
+        let fs = Arc::clone(&self.opts.fs);
         for id in cf_ids {
             let file_no = inner.next_file_no;
             inner.next_file_no += 1;
             let path = self.dir.join(sst_file_name(file_no));
             let cf = inner.cfs.get_mut(&id).expect("cf exists");
-            let mut w =
-                SstWriter::create(&path, self.opts.block_size, self.opts.bloom_bits_per_key.max(1))?;
+            let mut w = SstWriter::create(
+                fs.as_ref(),
+                &path,
+                self.opts.block_size,
+                self.opts.bloom_bits_per_key.max(1),
+            )?;
             for (k, entry) in cf.mem.drain_sorted() {
                 w.add(&k, &entry)?;
             }
             w.finish()?;
-            let reader = SstReader::open(&path)?;
+            let reader = SstReader::open(fs.as_ref(), &path)?;
             cf.ssts.insert(0, SstHandle { file_no, reader });
             inner.flushes += 1;
         }
+        // SSTs are durable but unreferenced until the manifest lands; a
+        // crash here leaves orphans for the open-time quarantine sweep,
+        // with the data still covered by the WAL.
+        fs.crash_point(crash_points::FLUSH_BEFORE_MANIFEST)?;
         self.write_manifest(inner)?;
+        // A crash here replays WAL records already covered by the new
+        // SSTs — put/delete replay is idempotent, so that is safe.
+        fs.crash_point(crash_points::FLUSH_BEFORE_WAL_TRUNCATE)?;
         inner.wal.truncate()?;
         Ok(())
     }
@@ -463,6 +563,7 @@ impl Db {
             return Ok(());
         }
         let path = self.dir.join(sst_file_name(file_no));
+        let fs = Arc::clone(&self.opts.fs);
         {
             let sources: Vec<Box<dyn Iterator<Item = (Vec<u8>, Entry)> + '_>> = cf
                 .ssts
@@ -472,21 +573,73 @@ impl Db {
             // Tombstones can be dropped: this merge covers every sorted run
             // older than the memtable, so nothing older remains to shadow.
             let merged = MergeIter::new(sources, true);
-            let mut w =
-                SstWriter::create(&path, self.opts.block_size, self.opts.bloom_bits_per_key.max(1))?;
+            let mut w = SstWriter::create(
+                fs.as_ref(),
+                &path,
+                self.opts.block_size,
+                self.opts.bloom_bits_per_key.max(1),
+            )?;
             for (k, entry) in merged {
                 w.add(&k, &entry)?;
             }
             w.finish()?;
         }
+        // The merged table is durable but the manifest still references
+        // the inputs — a crash here quarantines the merged table at the
+        // next open and keeps serving from the inputs.
+        fs.crash_point(crash_points::COMPACT_BEFORE_MANIFEST)?;
         let old: Vec<u64> = cf.ssts.iter().map(|h| h.file_no).collect();
-        let reader = SstReader::open(&path)?;
+        let reader = SstReader::open(fs.as_ref(), &path)?;
         cf.ssts = vec![SstHandle { file_no, reader }];
         inner.compactions += 1;
         self.write_manifest(inner)?;
+        // A crash here leaves the (shadowed) inputs on disk — the
+        // quarantine sweep moves them aside at the next open.
+        fs.crash_point(crash_points::COMPACT_BEFORE_REMOVE_OLD)?;
         for no in old {
-            fs::remove_file(self.dir.join(sst_file_name(no))).ok();
+            fs.remove_file(&self.dir.join(sst_file_name(no))).ok();
         }
+        Ok(())
+    }
+
+    /// Exhaustively check on-disk invariants: every SSTable referenced by
+    /// the manifest must decode fully (all block CRCs verify, keys
+    /// strictly sorted, decoded entry count matches the footer) and the
+    /// WAL must scan cleanly under the configured recovery mode. The
+    /// crash-torture harness ([`crate::torture`]) runs this after every
+    /// recovery.
+    pub fn verify_integrity(&self) -> Result<()> {
+        let inner = self.inner.lock();
+        for (id, cf) in &inner.cfs {
+            for h in &cf.ssts {
+                let mut n = 0u64;
+                let mut last: Option<Vec<u8>> = None;
+                for (k, _) in h.reader.iter() {
+                    if let Some(prev) = &last {
+                        if &k <= prev {
+                            return Err(RailgunError::Corruption(format!(
+                                "cf {id}: sst {} keys out of order",
+                                h.file_no
+                            )));
+                        }
+                    }
+                    last = Some(k);
+                    n += 1;
+                }
+                if n != h.reader.entry_count() {
+                    return Err(RailgunError::Corruption(format!(
+                        "cf {id}: sst {} decoded {n} of {} entries (corrupt block?)",
+                        h.file_no,
+                        h.reader.entry_count()
+                    )));
+                }
+            }
+        }
+        Wal::scan(
+            self.opts.fs.as_ref(),
+            &self.dir.join(WAL_FILE),
+            self.opts.wal_recovery,
+        )?;
         Ok(())
     }
 
@@ -499,7 +652,12 @@ impl Db {
     pub fn checkpoint(&self, target: &Path) -> Result<()> {
         let mut inner = self.inner.lock();
         self.flush_locked(&mut inner)?;
-        crate::checkpoint::create(&self.dir, target, &collect_files(&inner))
+        crate::checkpoint::create(
+            self.opts.fs.as_ref(),
+            &self.dir,
+            target,
+            &collect_files(&inner),
+        )
     }
 
     /// Current statistics snapshot.
@@ -559,6 +717,7 @@ fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn fresh_dir(name: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("railgun-db-{}-{name}", std::process::id()));
@@ -804,6 +963,84 @@ mod tests {
         assert_eq!(s1.sst_count, 1);
         assert_eq!(s1.sst_entries, 1);
         assert!(s1.sst_bytes > 0);
+    }
+
+    #[test]
+    fn open_quarantines_orphans_and_removes_stale_tmp() {
+        let dir = fresh_dir("quarantine");
+        {
+            let db = Db::open(&dir, DbOptions::default()).unwrap();
+            db.put(Db::DEFAULT_CF, b"live", b"1").unwrap();
+            db.flush().unwrap();
+        }
+        // Simulate a crash between SST creation and the manifest update
+        // (orphan) and mid-manifest-write (stale tmp).
+        let live_sst = sst_file_name(1);
+        fs::copy(dir.join(&live_sst), dir.join("00000099.sst")).unwrap();
+        fs::write(dir.join(MANIFEST_TMP), b"partial garbage").unwrap();
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        let rep = db.recovery_report();
+        assert_eq!(rep.orphaned_sstables_quarantined, 1);
+        assert_eq!(rep.stale_tmp_removed, 1);
+        assert!(!dir.join(MANIFEST_TMP).exists());
+        assert!(!dir.join("00000099.sst").exists());
+        assert!(dir.join(QUARANTINE_DIR).join("00000099.sst").exists());
+        assert_eq!(db.get(Db::DEFAULT_CF, b"live").unwrap(), Some(b"1".to_vec()));
+        db.verify_integrity().unwrap();
+        // A clean reopen repairs nothing.
+        drop(db);
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        assert_eq!(db.recovery_report().orphaned_sstables_quarantined, 0);
+        assert_eq!(db.recovery_report().stale_tmp_removed, 0);
+    }
+
+    #[test]
+    fn recovery_report_counts_truncated_wal() {
+        let dir = fresh_dir("walreport");
+        {
+            let db = Db::open(&dir, DbOptions::default()).unwrap();
+            db.put(Db::DEFAULT_CF, b"a", b"1").unwrap();
+            db.put(Db::DEFAULT_CF, b"b", b"2").unwrap();
+        }
+        // Tear the last WAL frame.
+        let wal = dir.join(WAL_FILE);
+        let raw = fs::read(&wal).unwrap();
+        fs::write(&wal, &raw[..raw.len() - 3]).unwrap();
+        let counter = Counter::enabled();
+        let opts = DbOptions {
+            wal_truncated_counter: counter.clone(),
+            ..DbOptions::default()
+        };
+        let db = Db::open(&dir, opts).unwrap();
+        let rep = db.recovery_report();
+        assert!(rep.wal_truncated_bytes > 0);
+        assert_eq!(rep.wal_records_replayed, 1);
+        assert_eq!(counter.get(), rep.wal_truncated_bytes);
+        assert_eq!(db.get(Db::DEFAULT_CF, b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(Db::DEFAULT_CF, b"b").unwrap(), None);
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn absolute_consistency_mode_refuses_torn_wal() {
+        let dir = fresh_dir("absmode");
+        {
+            let db = Db::open(&dir, DbOptions::default()).unwrap();
+            db.put(Db::DEFAULT_CF, b"a", b"1").unwrap();
+        }
+        let wal = dir.join(WAL_FILE);
+        let raw = fs::read(&wal).unwrap();
+        fs::write(&wal, &raw[..raw.len() - 2]).unwrap();
+        let opts = DbOptions {
+            wal_recovery: WalRecoveryMode::AbsoluteConsistency,
+            ..DbOptions::default()
+        };
+        assert!(matches!(
+            Db::open(&dir, opts),
+            Err(RailgunError::Corruption(_))
+        ));
+        // The default mode recovers the same image.
+        Db::open(&dir, DbOptions::default()).unwrap();
     }
 
     #[test]

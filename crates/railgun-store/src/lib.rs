@@ -13,7 +13,11 @@
 //! * **column families** (used by `countDistinct` auxiliary state, §4.1.3),
 //! * cheap **checkpoints** that flush and snapshot the current tables
 //!   ([`checkpoint`]), matching the paper's observation that checkpoints are
-//!   efficient because data is frequently persisted anyway.
+//!   efficient because data is frequently persisted anyway,
+//! * a **virtual filesystem seam** ([`vfs`]) with deterministic fault
+//!   injection ([`FaultFs`]) and a **crash-torture harness** ([`torture`])
+//!   that proves the recovery claims above by sweeping every registered
+//!   crash point.
 //!
 //! The public entry point is [`Db`].
 //!
@@ -32,6 +36,10 @@ pub mod db;
 pub mod memtable;
 pub mod merge;
 pub mod sstable;
+pub mod torture;
+pub mod vfs;
 pub mod wal;
 
-pub use db::{ColumnFamilyId, Db, DbOptions, DbStats};
+pub use db::{ColumnFamilyId, Db, DbOptions, DbStats, RecoveryReport};
+pub use vfs::{crash_points, CrashPlan, FaultFs, RealFs, StoreFs};
+pub use wal::WalRecoveryMode;

@@ -23,8 +23,7 @@
 //! Readers load the file once and keep it in memory (the role RocksDB's
 //! block cache plays); block CRCs are verified on first access.
 
-use std::fs::File;
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use bytes::{Buf, BufMut, Bytes};
@@ -33,6 +32,7 @@ use railgun_types::{RailgunError, Result};
 
 use crate::bloom::BloomFilter;
 use crate::memtable::Entry;
+use crate::vfs::{FsFile, StoreFs};
 
 const MAGIC: u64 = 0x5241_494c_5353_5401; // "RAILSST" v1
 const FOOTER_LEN: usize = 48;
@@ -55,7 +55,7 @@ fn value_tag(entry: &Entry) -> u64 {
 /// Streaming SSTable writer. Keys must be added in strictly increasing order.
 pub struct SstWriter {
     path: PathBuf,
-    out: BufWriter<File>,
+    out: BufWriter<Box<dyn FsFile>>,
     block: Vec<u8>,
     block_size: usize,
     /// (first_key, offset, len) per finished block.
@@ -69,9 +69,14 @@ pub struct SstWriter {
 }
 
 impl SstWriter {
-    /// Create a writer for `path`, truncating any existing file.
-    pub fn create(path: &Path, block_size: usize, bloom_bits_per_key: usize) -> Result<Self> {
-        let file = File::create(path)?;
+    /// Create a writer for `path` on `fs`, truncating any existing file.
+    pub fn create(
+        fs: &dyn StoreFs,
+        path: &Path,
+        block_size: usize,
+        bloom_bits_per_key: usize,
+    ) -> Result<Self> {
+        let file = fs.create(path)?;
         Ok(SstWriter {
             path: path.to_path_buf(),
             out: BufWriter::new(file),
@@ -163,7 +168,7 @@ impl SstWriter {
         footer.put_u64_le(MAGIC);
         self.out.write_all(&footer)?;
         self.out.flush()?;
-        self.out.get_ref().sync_all()?;
+        self.out.get_mut().sync_all()?;
         let smallest = self.index.first().map(|(k, _, _)| k.clone());
         let largest = self.last_key.clone();
         Ok(SstMeta {
@@ -203,12 +208,9 @@ pub struct SstReader {
 }
 
 impl SstReader {
-    /// Open and parse `path`.
-    pub fn open(path: &Path) -> Result<Self> {
-        let mut file = File::open(path)?;
-        let mut raw = Vec::new();
-        file.read_to_end(&mut raw)?;
-        Self::from_bytes(Bytes::from(raw))
+    /// Open and parse `path` via `fs`.
+    pub fn open(fs: &dyn StoreFs, path: &Path) -> Result<Self> {
+        Self::from_bytes(Bytes::from(fs.read(path)?))
     }
 
     /// Parse a table already resident in memory.
@@ -429,6 +431,7 @@ impl Iterator for SstRangeIter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::RealFs;
 
     fn tmpdir(name: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("railgun-sst-{}-{name}", std::process::id()));
@@ -439,7 +442,7 @@ mod tests {
     fn build_table(name: &str, n: u32) -> (PathBuf, SstMeta) {
         let dir = tmpdir(name);
         let path = dir.join("t.sst");
-        let mut w = SstWriter::create(&path, 256, 10).unwrap();
+        let mut w = SstWriter::create(&RealFs, &path, 256, 10).unwrap();
         for i in 0..n {
             let key = format!("key{i:06}");
             let entry = if i % 7 == 3 {
@@ -457,7 +460,7 @@ mod tests {
     fn roundtrip_point_reads() {
         let (path, meta) = build_table("point", 500);
         assert_eq!(meta.entry_count, 500);
-        let r = SstReader::open(&path).unwrap();
+        let r = SstReader::open(&RealFs, &path).unwrap();
         assert_eq!(r.entry_count(), 500);
         assert_eq!(
             r.get(b"key000000").unwrap(),
@@ -472,7 +475,7 @@ mod tests {
     #[test]
     fn writer_rejects_unsorted_keys() {
         let dir = tmpdir("unsorted");
-        let mut w = SstWriter::create(&dir.join("u.sst"), 256, 10).unwrap();
+        let mut w = SstWriter::create(&RealFs, &dir.join("u.sst"), 256, 10).unwrap();
         w.add(b"b", &Some(vec![1])).unwrap();
         assert!(w.add(b"a", &Some(vec![2])).is_err());
         assert!(w.add(b"b", &Some(vec![2])).is_err()); // duplicates too
@@ -481,7 +484,7 @@ mod tests {
     #[test]
     fn full_iteration_is_sorted_and_complete() {
         let (path, _) = build_table("iter", 300);
-        let r = SstReader::open(&path).unwrap();
+        let r = SstReader::open(&RealFs, &path).unwrap();
         let all: Vec<_> = r.iter().collect();
         assert_eq!(all.len(), 300);
         for w in all.windows(2) {
@@ -492,7 +495,7 @@ mod tests {
     #[test]
     fn range_iteration_bounds() {
         let (path, _) = build_table("range", 100);
-        let r = SstReader::open(&path).unwrap();
+        let r = SstReader::open(&RealFs, &path).unwrap();
         let slice: Vec<_> = r
             .range(b"key000010", Some(b"key000020"))
             .map(|(k, _)| k)
@@ -508,7 +511,7 @@ mod tests {
     #[test]
     fn range_start_before_first_key() {
         let (path, _) = build_table("rangefront", 10);
-        let r = SstReader::open(&path).unwrap();
+        let r = SstReader::open(&RealFs, &path).unwrap();
         let all: Vec<_> = r.range(b"a", None).collect();
         assert_eq!(all.len(), 10);
     }
@@ -519,7 +522,7 @@ mod tests {
         let mut raw = std::fs::read(&path).unwrap();
         raw[10] ^= 0xff; // flip a data byte in the first block
         std::fs::write(&path, &raw).unwrap();
-        let r = SstReader::open(&path);
+        let r = SstReader::open(&RealFs, &path);
         // Either open fails (entry counting touches the block) or get fails.
         if let Ok(r) = r {
             assert!(r.get(b"key000000").is_err());
@@ -533,17 +536,17 @@ mod tests {
         let n = raw.len();
         raw[n - 1] ^= 0xff;
         std::fs::write(&path, &raw).unwrap();
-        assert!(SstReader::open(&path).is_err());
+        assert!(SstReader::open(&RealFs, &path).is_err());
     }
 
     #[test]
     fn empty_table_is_readable() {
         let dir = tmpdir("empty");
         let path = dir.join("e.sst");
-        let w = SstWriter::create(&path, 256, 10).unwrap();
+        let w = SstWriter::create(&RealFs, &path, 256, 10).unwrap();
         let meta = w.finish().unwrap();
         assert_eq!(meta.entry_count, 0);
-        let r = SstReader::open(&path).unwrap();
+        let r = SstReader::open(&RealFs, &path).unwrap();
         assert_eq!(r.get(b"k").unwrap(), None);
         assert_eq!(r.iter().count(), 0);
     }

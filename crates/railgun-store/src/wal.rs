@@ -10,18 +10,41 @@
 //!          | varint klen | key | (varint vlen | value)?
 //! ```
 //!
-//! Replay stops at the first truncated or corrupt frame — exactly the
-//! torn-write-at-crash behaviour an LSM recovery expects. The WAL is
-//! truncated after a successful flush of all memtables (its contents are
-//! then fully covered by SSTables).
+//! ## Recovery modes
+//!
+//! What happens when the tail of the log is torn or corrupt is a policy
+//! choice ([`WalRecoveryMode`], selected via
+//! [`crate::DbOptions::wal_recovery`]):
+//!
+//! * [`WalRecoveryMode::TolerateTornTail`] (default) — replay stops at
+//!   the first truncated or corrupt frame, **and the file is truncated to
+//!   the valid prefix before any new append is accepted**. Cutting the
+//!   tail eagerly matters: appending after garbage would leave every
+//!   record written from then on unreachable (replay still stops at the
+//!   old torn frame), silently losing acknowledged writes on the *next*
+//!   crash. The number of bytes cut is reported in
+//!   [`WalRecovery::truncated_bytes`] and surfaces in the recovery
+//!   counters.
+//! * [`WalRecoveryMode::AbsoluteConsistency`] — any trailing garbage is
+//!   an error. For state that is reconstructible from upstream (replay
+//!   the topic), silent truncation may hide a disk problem; this mode
+//!   refuses to guess.
+//!
+//! The WAL is truncated after a successful flush of all memtables (its
+//! contents are then fully covered by SSTables).
+//!
+//! All file I/O goes through the [`StoreFs`] seam so crash behaviour is
+//! testable ([`crate::vfs`]).
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
 use railgun_types::encode::{crc32c, get_uvarint, put_uvarint};
-use railgun_types::Result;
+use railgun_types::{RailgunError, Result};
+
+use crate::vfs::{FsFile, RealFs, StoreFs};
 
 /// One logical WAL record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,10 +63,34 @@ pub enum WalRecord {
 const OP_PUT: u8 = 1;
 const OP_DELETE: u8 = 2;
 
+/// Policy for a WAL whose tail is torn or corrupt at open (see the
+/// [module docs](self)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WalRecoveryMode {
+    /// Truncate the corrupt tail and continue — the crash-at-any-moment
+    /// default of an LSM whose WAL frames are CRC-checked.
+    #[default]
+    TolerateTornTail,
+    /// Error on any corruption instead of silently truncating.
+    AbsoluteConsistency,
+}
+
+/// Outcome of scanning (and possibly repairing) a WAL at open.
+#[derive(Debug, Clone, Default)]
+pub struct WalRecovery {
+    /// Every intact record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of torn/corrupt tail cut from the file (0 when clean).
+    pub truncated_bytes: u64,
+    /// Length of the valid prefix the log was opened at.
+    pub valid_bytes: u64,
+}
+
 /// Append-only writer half of the WAL.
 pub struct Wal {
+    fs: Arc<dyn StoreFs>,
     path: PathBuf,
-    out: BufWriter<File>,
+    out: BufWriter<Box<dyn FsFile>>,
     /// Sync to disk on every append (durable but slow) or rely on flush.
     sync_each_write: bool,
     appended_bytes: u64,
@@ -52,17 +99,39 @@ pub struct Wal {
 }
 
 impl Wal {
-    /// Open (creating or appending to) the WAL at `path`.
-    pub fn open(path: &Path, sync_each_write: bool) -> Result<Self> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        let appended_bytes = file.metadata()?.len();
-        Ok(Wal {
-            path: path.to_path_buf(),
-            out: BufWriter::new(file),
-            sync_each_write,
-            appended_bytes,
-            scratch: Vec::with_capacity(128),
-        })
+    /// Open (creating or appending to) the WAL at `path`, recovering its
+    /// contents in one scan.
+    ///
+    /// Under [`WalRecoveryMode::TolerateTornTail`] a torn/corrupt tail is
+    /// cut from the file *before* the append handle is opened, so new
+    /// records land directly after the valid prefix and stay reachable at
+    /// the next replay. Under [`WalRecoveryMode::AbsoluteConsistency`]
+    /// any tail garbage fails the open with
+    /// [`RailgunError::Corruption`].
+    pub fn open(
+        fs: Arc<dyn StoreFs>,
+        path: &Path,
+        sync_each_write: bool,
+        mode: WalRecoveryMode,
+    ) -> Result<(Self, WalRecovery)> {
+        let recovery = Self::scan(fs.as_ref(), path, mode)?;
+        if recovery.truncated_bytes > 0 {
+            // TolerateTornTail (AbsoluteConsistency errored in scan):
+            // cut the garbage so appends extend the *valid* prefix.
+            fs.truncate(path, recovery.valid_bytes)?;
+        }
+        let out = BufWriter::new(fs.open_append(path)?);
+        Ok((
+            Wal {
+                fs,
+                path: path.to_path_buf(),
+                out,
+                sync_each_write,
+                appended_bytes: recovery.valid_bytes,
+                scratch: Vec::with_capacity(128),
+            },
+            recovery,
+        ))
     }
 
     /// Append one record.
@@ -103,7 +172,7 @@ impl Wal {
         self.appended_bytes += 8 + self.scratch.len() as u64;
         if self.sync_each_write {
             self.out.flush()?;
-            self.out.get_ref().sync_data()?;
+            self.out.get_mut().sync_data()?;
         }
         Ok(())
     }
@@ -111,7 +180,7 @@ impl Wal {
     /// Flush buffered frames to the OS (and disk).
     pub fn sync(&mut self) -> Result<()> {
         self.out.flush()?;
-        self.out.get_ref().sync_data()?;
+        self.out.get_mut().sync_data()?;
         Ok(())
     }
 
@@ -124,29 +193,25 @@ impl Wal {
     /// SSTables, making the WAL contents redundant.
     pub fn truncate(&mut self) -> Result<()> {
         self.out.flush()?;
-        let file = OpenOptions::new()
-            .write(true)
-            .truncate(true)
-            .open(&self.path)?;
-        file.sync_all()?;
-        self.out = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+        self.fs.truncate(&self.path, 0)?;
+        self.out = BufWriter::new(self.fs.open_append(&self.path)?);
         self.appended_bytes = 0;
         Ok(())
     }
 
-    /// Read every intact record from `path`, stopping silently at the first
-    /// torn/corrupt frame (crash tail).
-    pub fn replay(path: &Path) -> Result<Vec<WalRecord>> {
-        let mut raw = Vec::new();
-        match File::open(path) {
-            Ok(mut f) => {
-                f.read_to_end(&mut raw)?;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-            Err(e) => return Err(e.into()),
+    /// Scan `path` without modifying it: intact records, the length of
+    /// the valid prefix, and how many trailing bytes are garbage.
+    ///
+    /// Under [`WalRecoveryMode::AbsoluteConsistency`], tail garbage is a
+    /// [`RailgunError::Corruption`] instead of a count.
+    pub fn scan(fs: &dyn StoreFs, path: &Path, mode: WalRecoveryMode) -> Result<WalRecovery> {
+        if !fs.exists(path) {
+            return Ok(WalRecovery::default());
         }
+        let raw = fs.read(path)?;
         let mut out = Vec::new();
         let mut cur = &raw[..];
+        let mut valid: u64 = 0;
         while cur.len() >= 8 {
             let len = u32::from_le_bytes(cur[0..4].try_into().expect("4b")) as usize;
             let crc = u32::from_le_bytes(cur[4..8].try_into().expect("4b"));
@@ -159,11 +224,31 @@ impl Wal {
             }
             match Self::decode_payload(payload) {
                 Some(rec) => out.push(rec),
-                None => break,
+                None => break, // CRC-valid but undecodable: treat as tail
             }
             cur = &cur[8 + len..];
+            valid += 8 + len as u64;
         }
-        Ok(out)
+        let truncated = raw.len() as u64 - valid;
+        if truncated > 0 && mode == WalRecoveryMode::AbsoluteConsistency {
+            return Err(RailgunError::Corruption(format!(
+                "wal has {truncated} byte(s) of torn/corrupt tail after {} intact record(s) \
+                 (AbsoluteConsistency refuses to truncate)",
+                out.len()
+            )));
+        }
+        Ok(WalRecovery {
+            records: out,
+            truncated_bytes: truncated,
+            valid_bytes: valid,
+        })
+    }
+
+    /// Read every intact record from `path`, stopping silently at the
+    /// first torn/corrupt frame (crash tail). Read-only convenience over
+    /// [`Wal::scan`] with [`WalRecoveryMode::TolerateTornTail`].
+    pub fn replay(path: &Path) -> Result<Vec<WalRecord>> {
+        Ok(Self::scan(&RealFs, path, WalRecoveryMode::TolerateTornTail)?.records)
     }
 
     fn decode_payload(mut p: &[u8]) -> Option<WalRecord> {
@@ -203,6 +288,10 @@ mod tests {
         d.join(name)
     }
 
+    fn open(path: &Path, sync: bool) -> (Wal, WalRecovery) {
+        Wal::open(RealFs::shared(), path, sync, WalRecoveryMode::default()).unwrap()
+    }
+
     #[test]
     fn append_and_replay() {
         let path = wal_path("basic.wal");
@@ -224,7 +313,7 @@ mod tests {
             },
         ];
         {
-            let mut w = Wal::open(&path, false).unwrap();
+            let (mut w, _) = open(&path, false);
             for r in &recs {
                 w.append(r).unwrap();
             }
@@ -245,7 +334,7 @@ mod tests {
         let path = wal_path("torn.wal");
         std::fs::remove_file(&path).ok();
         {
-            let mut w = Wal::open(&path, false).unwrap();
+            let (mut w, _) = open(&path, false);
             for i in 0..5u8 {
                 w.append(&WalRecord::Put {
                     cf: 0,
@@ -268,7 +357,7 @@ mod tests {
         let path = wal_path("corrupt.wal");
         std::fs::remove_file(&path).ok();
         {
-            let mut w = Wal::open(&path, false).unwrap();
+            let (mut w, _) = open(&path, false);
             for i in 0..3u8 {
                 w.append(&WalRecord::Put {
                     cf: 0,
@@ -290,7 +379,7 @@ mod tests {
     fn truncate_resets_log() {
         let path = wal_path("trunc.wal");
         std::fs::remove_file(&path).ok();
-        let mut w = Wal::open(&path, false).unwrap();
+        let (mut w, _) = open(&path, false);
         w.append(&WalRecord::Delete {
             cf: 0,
             key: b"x".to_vec(),
@@ -315,7 +404,8 @@ mod tests {
         let path = wal_path("reopen.wal");
         std::fs::remove_file(&path).ok();
         {
-            let mut w = Wal::open(&path, true).unwrap();
+            let (mut w, rec) = open(&path, true);
+            assert_eq!(rec.valid_bytes, 0);
             w.append(&WalRecord::Put {
                 cf: 0,
                 key: b"a".to_vec(),
@@ -324,8 +414,10 @@ mod tests {
             .unwrap();
         }
         {
-            let mut w = Wal::open(&path, true).unwrap();
+            let (mut w, rec) = open(&path, true);
             assert!(w.len_bytes() > 0);
+            assert_eq!(rec.records.len(), 1);
+            assert_eq!(rec.truncated_bytes, 0);
             w.append(&WalRecord::Put {
                 cf: 0,
                 key: b"b".to_vec(),
@@ -334,5 +426,89 @@ mod tests {
             .unwrap();
         }
         assert_eq!(Wal::replay(&path).unwrap().len(), 2);
+    }
+
+    /// The torn-tail reopen hazard this PR fixes: records appended after
+    /// a torn frame used to be unreachable (replay stops at the torn
+    /// frame). Open now cuts the tail first, so post-reopen appends land
+    /// on the valid prefix and survive replay.
+    #[test]
+    fn reopen_truncates_torn_tail_before_appending() {
+        let path = wal_path("torn-reopen.wal");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut w, _) = open(&path, false);
+            for i in 0..4u8 {
+                w.append(&WalRecord::Put {
+                    cf: 0,
+                    key: vec![i],
+                    value: vec![i; 16],
+                })
+                .unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 5]).unwrap(); // torn frame
+        let torn_len = raw.len() as u64 - 5;
+        {
+            let (mut w, rec) = open(&path, false);
+            assert_eq!(rec.records.len(), 3);
+            assert!(rec.truncated_bytes > 0);
+            assert_eq!(rec.valid_bytes + rec.truncated_bytes, torn_len);
+            assert_eq!(w.len_bytes(), rec.valid_bytes);
+            w.append(&WalRecord::Put {
+                cf: 0,
+                key: b"after".to_vec(),
+                value: b"tear".to_vec(),
+            })
+            .unwrap();
+            w.sync().unwrap();
+        }
+        let recs = Wal::replay(&path).unwrap();
+        assert_eq!(recs.len(), 4, "post-tear append must be reachable");
+        assert!(matches!(&recs[3], WalRecord::Put { key, .. } if key == b"after"));
+    }
+
+    #[test]
+    fn absolute_consistency_refuses_torn_tail() {
+        let path = wal_path("absolute.wal");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut w, _) = open(&path, false);
+            w.append(&WalRecord::Put {
+                cf: 0,
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            })
+            .unwrap();
+            w.sync().unwrap();
+        }
+        let raw = std::fs::read(&path).unwrap();
+        let mut cut = raw.clone();
+        cut.truncate(raw.len() - 3);
+        std::fs::write(&path, &cut).unwrap();
+        let err = Wal::open(
+            RealFs::shared(),
+            &path,
+            false,
+            WalRecoveryMode::AbsoluteConsistency,
+        )
+        .map(drop)
+        .unwrap_err();
+        assert!(matches!(err, RailgunError::Corruption(_)));
+        // The file was NOT modified by the failed open.
+        assert_eq!(std::fs::read(&path).unwrap(), cut);
+        // A clean log opens fine in absolute mode.
+        std::fs::write(&path, &raw).unwrap();
+        let (_, rec) = Wal::open(
+            RealFs::shared(),
+            &path,
+            false,
+            WalRecoveryMode::AbsoluteConsistency,
+        )
+        .unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.truncated_bytes, 0);
     }
 }

@@ -1,0 +1,174 @@
+//! WAL recovery properties under arbitrary damage.
+//!
+//! The WAL's crash contract: replay of a damaged log returns exactly a
+//! *prefix* of the acknowledged records — never a corrupt record, never a
+//! panic — and under `TolerateTornTail`, reopening repairs the file so
+//! subsequent appends stay reachable. These properties must hold for
+//! *any* truncation point (a crash can cut the file anywhere) and any
+//! single-bit flip (a disk can corrupt anything). CRC framing is what
+//! makes this true; these tests are what keep it true.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use railgun_store::wal::{Wal, WalRecord, WalRecoveryMode};
+use railgun_store::RealFs;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_wal(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("railgun-walprop-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    let p = d.join(format!("{tag}-{n}.wal"));
+    std::fs::remove_file(&p).ok();
+    p
+}
+
+/// Deterministically build `n` acked records and return them plus the
+/// on-disk bytes of the clean log.
+fn write_log(path: &std::path::Path, n: usize, key_len: usize, val_len: usize) -> Vec<WalRecord> {
+    let (mut wal, _) =
+        Wal::open(RealFs::shared(), path, false, WalRecoveryMode::default()).unwrap();
+    let mut recs = Vec::with_capacity(n);
+    for i in 0..n {
+        let rec = if i % 3 == 2 {
+            WalRecord::Delete {
+                cf: (i % 4) as u32,
+                key: vec![i as u8; 1 + (i % key_len.max(1))],
+            }
+        } else {
+            WalRecord::Put {
+                cf: (i % 4) as u32,
+                key: vec![i as u8; 1 + (i % key_len.max(1))],
+                value: vec![(i * 7) as u8; i % (val_len + 1)],
+            }
+        };
+        wal.append(&rec).unwrap();
+        recs.push(rec);
+    }
+    wal.sync().unwrap();
+    recs
+}
+
+/// The longest prefix of `acked` that `damaged` can legally replay to.
+/// Replay must return *some* prefix — returning records beyond the first
+/// damaged frame, reordering, or inventing records are all bugs.
+fn assert_is_prefix(replayed: &[WalRecord], acked: &[WalRecord]) {
+    assert!(replayed.len() <= acked.len(), "replay invented records");
+    assert_eq!(
+        replayed,
+        &acked[..replayed.len()],
+        "replay is not a prefix of the acknowledged sequence"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncate the log at any byte boundary: replay returns exactly the
+    /// records whose frames fully survive, and reopening repairs the
+    /// file so a post-reopen append is reachable.
+    #[test]
+    fn truncation_yields_exact_acked_prefix(
+        n in 1usize..40,
+        key_len in 1usize..24,
+        val_len in 0usize..64,
+        cut_frac in 0u32..=1000,
+    ) {
+        let path = fresh_wal("trunc");
+        let acked = write_log(&path, n, key_len, val_len);
+        let raw = std::fs::read(&path).unwrap();
+        let cut = (raw.len() as u64 * u64::from(cut_frac) / 1000) as usize;
+        std::fs::write(&path, &raw[..cut]).unwrap();
+
+        let replayed = Wal::replay(&path).unwrap();
+        assert_is_prefix(&replayed, &acked);
+        // Cutting `k` whole frames off the tail must lose exactly those.
+        let lost_bytes = raw.len() - cut;
+        if lost_bytes == 0 {
+            prop_assert_eq!(replayed.len(), acked.len());
+        }
+
+        // Reopen repairs: the torn tail is cut, and a new append lands
+        // directly after the valid prefix.
+        let (mut wal, rec) =
+            Wal::open(RealFs::shared(), &path, false, WalRecoveryMode::default()).unwrap();
+        prop_assert_eq!(rec.records.len(), replayed.len());
+        let extra = WalRecord::Put { cf: 9, key: b"post".to_vec(), value: b"tear".to_vec() };
+        wal.append(&extra).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let after = Wal::replay(&path).unwrap();
+        prop_assert_eq!(after.len(), replayed.len() + 1);
+        prop_assert_eq!(after.last().unwrap(), &extra);
+    }
+
+    /// Flip any single bit anywhere in the file: replay never panics,
+    /// never returns a record that differs from what was acked, and
+    /// stops at (or before) the damaged frame.
+    #[test]
+    fn single_bit_flip_never_yields_corrupt_records(
+        n in 1usize..30,
+        key_len in 1usize..16,
+        val_len in 0usize..48,
+        flip_frac in 0u32..1000,
+        flip_bit in 0u32..8,
+    ) {
+        let path = fresh_wal("flip");
+        let acked = write_log(&path, n, key_len, val_len);
+        let mut raw = std::fs::read(&path).unwrap();
+        let pos = (raw.len() as u64 * u64::from(flip_frac) / 1000) as usize;
+        let pos = pos.min(raw.len() - 1);
+        raw[pos] ^= 1 << flip_bit;
+        std::fs::write(&path, &raw).unwrap();
+
+        let replayed = Wal::replay(&path).unwrap();
+        // A flipped length field can make a frame swallow its successors
+        // (CRC still catches it) — but nothing replayed may be corrupt.
+        assert_is_prefix(&replayed, &acked);
+
+        // AbsoluteConsistency refuses the damaged log outright unless the
+        // flip somehow left a fully-valid file (CRC collision: with
+        // crc32c over these sizes, effectively impossible; a flip inside
+        // trailing zero padding cannot exist since frames are exact).
+        let scan = Wal::scan(&RealFs, &path, WalRecoveryMode::AbsoluteConsistency);
+        if replayed.len() == acked.len() {
+            prop_assert!(scan.is_ok());
+        } else {
+            prop_assert!(scan.is_err(), "damage dropped records but absolute mode accepted");
+        }
+    }
+
+    /// Damage plus reopen-append plus re-damage: iterating the repair
+    /// cycle never loses post-repair acked records.
+    #[test]
+    fn repeated_tear_repair_cycles_preserve_reachability(
+        n in 1usize..12,
+        cuts in proptest::collection::vec(0u32..=1000u32, 1..4),
+    ) {
+        let path = fresh_wal("cycle");
+        let mut acked = write_log(&path, n, 8, 16);
+        for (round, cut_frac) in cuts.iter().enumerate() {
+            let raw = std::fs::read(&path).unwrap();
+            let cut = (raw.len() as u64 * u64::from(*cut_frac) / 1000) as usize;
+            std::fs::write(&path, &raw[..cut]).unwrap();
+            let (mut wal, rec) =
+                Wal::open(RealFs::shared(), &path, false, WalRecoveryMode::default()).unwrap();
+            assert_is_prefix(&rec.records, &acked);
+            acked = rec.records.clone();
+            let extra = WalRecord::Put {
+                cf: 0,
+                key: format!("round-{round}").into_bytes(),
+                value: vec![round as u8; 8],
+            };
+            wal.append(&extra).unwrap();
+            wal.sync().unwrap();
+            acked.push(extra);
+            drop(wal);
+            let now = Wal::replay(&path).unwrap();
+            prop_assert_eq!(&now, &acked, "acked records lost after repair cycle {}", round);
+        }
+    }
+}

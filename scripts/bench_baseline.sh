@@ -15,6 +15,11 @@
 # — both on the committed full-run numbers (exact) and on the fresh
 # smoke run (loose floor, CI-runner tolerant).
 #
+# And the crash-recovery guard (PR 7): the committed BENCH_recovery.json
+# must cover every registered crash point, and the fresh sweep's
+# worst-case recovery time must stay under a loose ceiling of the
+# committed baseline.
+#
 # Usage:
 #   scripts/bench_baseline.sh          # smoke mode (CI): tiny N
 #   scripts/bench_baseline.sh --full   # full measurement run
@@ -34,6 +39,7 @@ OUT="$(pwd)/target/bench_hotpath_smoke.json"
 SCALING_OUT="$(pwd)/target/bench_scaling_smoke.json"
 LATENCY_OUT="$(pwd)/target/bench_latency_smoke.json"
 INGEST_OUT="$(pwd)/target/bench_ingest_smoke.json"
+RECOVERY_OUT="$(pwd)/target/bench_recovery_smoke.json"
 # shellcheck disable=SC2086  # MODE_ARGS is intentionally word-split
 cargo bench -p railgun-bench --bench fig_hotpath -- $MODE_ARGS --out "$OUT"
 # shellcheck disable=SC2086
@@ -42,6 +48,8 @@ cargo bench -p railgun-bench --bench fig_scaling -- $MODE_ARGS --out "$SCALING_O
 cargo bench -p railgun-bench --bench fig_latency -- $MODE_ARGS --out "$LATENCY_OUT"
 # shellcheck disable=SC2086
 cargo bench -p railgun-bench --bench fig_ingest -- $MODE_ARGS --out "$INGEST_OUT"
+# shellcheck disable=SC2086
+cargo bench -p railgun-bench --bench fig_recovery -- $MODE_ARGS --out "$RECOVERY_OUT"
 
 validate() {
   f="$1"
@@ -60,10 +68,12 @@ validate "$OUT"
 validate "$SCALING_OUT"
 validate "$LATENCY_OUT"
 validate "$INGEST_OUT"
+validate "$RECOVERY_OUT"
 validate BENCH_hotpath.json
 validate BENCH_scaling.json
 validate BENCH_latency.json
 validate BENCH_ingest.json
+validate BENCH_recovery.json
 
 # Telemetry-off hot-path guard. The benches run with telemetry disabled
 # (the default), so the fresh in-order ingest rate should be in the same
@@ -120,4 +130,38 @@ sys.exit(0 if fresh >= floor else 1)
 EOF
 else
   echo "skip: batched-ingest guard needs python3"
+fi
+
+# Crash-recovery guard. The committed BENCH_recovery.json must cover
+# every crash point the fresh sweep knows about (a point added without
+# refreshing the baseline, or silently dropped from the sweep, fails
+# here), and the fresh worst-case recovery time must stay under a very
+# loose ceiling relative to the committed baseline — recovery is
+# microseconds of manifest/WAL work, so even a slow CI runner staying
+# 50x under the ceiling means nobody accidentally made reopen rescan
+# the world.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$RECOVERY_OUT" <<'EOF'
+import json, sys
+
+fresh = json.load(open(sys.argv[1]))["measured"]
+committed = json.load(open("BENCH_recovery.json"))["measured"]
+fresh_points = {p["point"] for p in fresh["by_point"]}
+committed_points = {p["point"] for p in committed["by_point"]}
+missing = fresh_points - committed_points
+if missing:
+    print(f"FAIL: BENCH_recovery.json missing crash points {sorted(missing)} "
+          "(refresh with scripts/bench_baseline.sh --full)")
+    sys.exit(1)
+print(f"ok: committed recovery baseline covers all {len(fresh_points)} crash points")
+
+ceiling = max(50 * committed["worst_recovery_us"], 1_000_000)
+worst = fresh["worst_recovery_us"]
+status = "ok" if worst <= ceiling else "FAIL"
+print(f"{status}: fresh worst-case recovery {worst} us vs committed "
+      f"{committed['worst_recovery_us']} us (ceiling {ceiling})")
+sys.exit(0 if worst <= ceiling else 1)
+EOF
+else
+  echo "skip: crash-recovery guard needs python3"
 fi

@@ -1,0 +1,211 @@
+//! Crash recovery at the task/cluster seam: a unit restored from the
+//! checkpoint topic must produce aggregates **byte-identical** to an
+//! uninterrupted run, and a corrupt or partial checkpoint must degrade
+//! gracefully to full-replay recovery — never wedge the node, never
+//! silently open as an empty store.
+//!
+//! The store-level half of this contract (no acked write lost at any
+//! crash point) lives in `railgun-store`'s crash-torture sweep; these
+//! tests cover the layer above: [`TaskProcessor::restore_or_replay`]
+//! validating checkpoint images before trusting them.
+
+use railgun::engine::api::{decode_checkpoint, CHECKPOINT_TOPIC};
+use railgun::engine::{
+    parse_query, AggregationResult, Cluster, ClusterConfig, RestoreOutcome, TaskConfig,
+    TaskProcessor,
+};
+use railgun::messaging::{Consumer, TopicPartition};
+use railgun::types::{Counter, Event, EventId, FieldType, Schema, Timestamp, Value};
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("railgun-crashrec-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[("cardId", FieldType::Str), ("amount", FieldType::Float)]).unwrap()
+}
+
+fn event(i: u64) -> Event {
+    Event::new(
+        EventId(i),
+        Timestamp::from_millis(i as i64 * 1_000),
+        vec![Value::from("card-1"), Value::from(2.0)],
+    )
+}
+
+/// Config with an observable fallback counter.
+fn config_with_counter() -> (TaskConfig, Counter) {
+    let counter = Counter::enabled();
+    let config = TaskConfig {
+        checkpoint_fallbacks: counter.clone(),
+        ..TaskConfig::default()
+    };
+    (config, counter)
+}
+
+/// A source processor with `total` events processed and a checkpoint
+/// taken after `ckpt_at` of them; returns the checkpoint dir and the
+/// reply of the final event (the aggregates a recovered unit must
+/// reproduce exactly).
+fn source_run(tag: &str, ckpt_at: u64, total: u64) -> (std::path::PathBuf, Vec<AggregationResult>) {
+    let q = parse_query(
+        "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 1 hours",
+    )
+    .unwrap();
+    let mut source = TaskProcessor::open(
+        &tmp(&format!("{tag}-src")),
+        "payments--cardId",
+        0,
+        schema(),
+        TaskConfig::default(),
+    )
+    .unwrap();
+    source.register_query(&q).unwrap();
+    for i in 0..ckpt_at {
+        source.process_event(&event(i)).unwrap();
+    }
+    let ckpt = tmp(&format!("{tag}-ckpt"));
+    source.checkpoint(&ckpt).unwrap();
+    let mut last = Vec::new();
+    for i in ckpt_at..total {
+        let (r, _) = source.process_event(&event(i)).unwrap();
+        last = r;
+    }
+    (ckpt, last)
+}
+
+/// Restore via `restore_or_replay` and replay `replay_from..total`,
+/// returning the outcome, the final reply, and the fallback count.
+/// `replay_from` models the messaging layer: the checkpointed offset on
+/// a clean restore, offset 0 on fallback.
+fn recover(
+    tag: &str,
+    ckpt: &std::path::Path,
+    replay_from: u64,
+    total: u64,
+) -> (RestoreOutcome, Vec<AggregationResult>, u64) {
+    let (config, fallbacks) = config_with_counter();
+    let (mut tp, outcome) = TaskProcessor::restore_or_replay(
+        ckpt,
+        &tmp(&format!("{tag}-recovered")),
+        "payments--cardId",
+        0,
+        schema(),
+        config,
+    )
+    .unwrap();
+    let q = parse_query(
+        "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER sliding 1 hours",
+    )
+    .unwrap();
+    tp.register_query(&q).unwrap();
+    let mut last = Vec::new();
+    for i in replay_from..total {
+        let (r, _) = tp.process_event(&event(i)).unwrap();
+        last = r;
+    }
+    (outcome, last, fallbacks.get())
+}
+
+#[test]
+fn complete_checkpoint_restores_and_converges_byte_identically() {
+    let (ckpt, last_source) = source_run("clean", 30, 40);
+    let (outcome, last_recovered, fallbacks) = recover("clean", &ckpt, 30, 40);
+    assert_eq!(outcome, RestoreOutcome::FromCheckpoint);
+    assert_eq!(fallbacks, 0, "no fallback on a healthy checkpoint");
+    assert_eq!(
+        last_source, last_recovered,
+        "checkpoint + replay must converge to identical aggregations"
+    );
+}
+
+#[test]
+fn partial_checkpoint_missing_marker_degrades_to_full_replay() {
+    let (ckpt, last_source) = source_run("partial", 30, 40);
+    // A crash during checkpoint creation freezes the image before the
+    // `wal.log` completeness marker lands (the marker is written last).
+    std::fs::remove_file(ckpt.join("store").join("wal.log")).unwrap();
+    let (outcome, last_recovered, fallbacks) = recover("partial", &ckpt, 0, 40);
+    assert_eq!(outcome, RestoreOutcome::FullReplay);
+    assert_eq!(fallbacks, 1, "fallback must be counted");
+    assert_eq!(
+        last_source, last_recovered,
+        "full replay must reproduce the uninterrupted aggregates"
+    );
+}
+
+#[test]
+fn corrupt_checkpoint_manifest_degrades_to_full_replay() {
+    let (ckpt, last_source) = source_run("corrupt", 30, 40);
+    // Marker intact, but the manifest is damaged after creation (bit
+    // rot / torn sector): the image opens must fail its CRC, and the
+    // restore must fall back rather than wedge or open empty.
+    let manifest = ckpt.join("store").join("MANIFEST");
+    let bytes = std::fs::read(&manifest).unwrap();
+    std::fs::write(&manifest, &bytes[..bytes.len() / 2]).unwrap();
+    let (outcome, last_recovered, fallbacks) = recover("corrupt", &ckpt, 0, 40);
+    assert_eq!(outcome, RestoreOutcome::FullReplay);
+    assert_eq!(fallbacks, 1);
+    assert_eq!(last_source, last_recovered);
+}
+
+#[test]
+fn missing_checkpoint_dir_degrades_to_full_replay() {
+    let (ckpt, last_source) = source_run("missing", 30, 40);
+    std::fs::remove_dir_all(&ckpt).unwrap();
+    let (outcome, last_recovered, fallbacks) = recover("missing", &ckpt, 0, 40);
+    assert_eq!(outcome, RestoreOutcome::FullReplay);
+    assert_eq!(fallbacks, 1);
+    assert_eq!(last_source, last_recovered);
+}
+
+/// End-to-end through the cluster: the checkpoint topic's records point
+/// at images that `restore_or_replay` accepts as complete — the recovery
+/// path a rebalanced unit would take.
+#[test]
+fn cluster_published_checkpoints_pass_restore_validation() {
+    let mut cfg = ClusterConfig::single_node();
+    cfg.data_root = tmp("cluster-data");
+    cfg.checkpoint_every = 5;
+    let mut cluster = Cluster::new(cfg).unwrap();
+    cluster.create_stream("payments", schema(), &["cardId"]).unwrap();
+    cluster
+        .register_query("SELECT count(*) FROM payments GROUP BY cardId OVER sliding 5 minutes")
+        .unwrap();
+    for i in 0..12 {
+        cluster
+            .send(
+                "payments",
+                Timestamp::from_millis(i * 1_000),
+                vec![Value::from("card-1"), Value::from(1.0)],
+            )
+            .unwrap();
+    }
+    cluster.settle().unwrap();
+    let mut consumer = Consumer::new(cluster.bus().clone());
+    consumer.assign(vec![TopicPartition::new(CHECKPOINT_TOPIC, 0)]);
+    let records = consumer.poll(100).unwrap().messages;
+    assert!(!records.is_empty(), "cluster must publish checkpoints");
+    let rec = decode_checkpoint(records.last().unwrap().payload.as_ref()).unwrap();
+    let (config, fallbacks) = config_with_counter();
+    let (tp, outcome) = TaskProcessor::restore_or_replay(
+        std::path::Path::new(&rec.path),
+        &tmp("cluster-restore"),
+        &rec.topic,
+        rec.partition,
+        schema(),
+        config,
+    )
+    .unwrap();
+    assert_eq!(outcome, RestoreOutcome::FromCheckpoint);
+    assert_eq!(fallbacks.get(), 0);
+    assert!(rec.next_offset >= 5, "offset covers checkpointed events");
+    drop(tp);
+    // A clean cluster run reports an all-zero recovery plane.
+    let recovery = cluster.metrics_snapshot().recovery;
+    assert_eq!(recovery.wal_truncated_bytes, 0);
+    assert_eq!(recovery.orphaned_sstables_quarantined, 0);
+    assert_eq!(recovery.checkpoint_fallbacks, 0);
+}
