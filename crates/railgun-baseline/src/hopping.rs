@@ -21,7 +21,7 @@
 use std::collections::{BTreeSet, HashSet};
 use std::path::Path;
 
-use railgun_core::agg::{AggContext, AggState};
+use railgun_core::agg::{AggContext, AggScratch, AggState};
 use railgun_core::lang::AggFunc;
 use railgun_store::{Db, DbOptions};
 use railgun_types::{RailgunError, Result, TimeDelta, Timestamp, Value};
@@ -81,6 +81,8 @@ pub struct HoppingEngine {
     /// Last emitted pane per key (query answers come from here).
     last_emitted: std::collections::HashMap<Vec<u8>, Emission>,
     stats: HoppingStats,
+    /// Reusable aggregator scratch (aux keys, sketch cache).
+    scratch: AggScratch,
 }
 
 impl HoppingEngine {
@@ -110,6 +112,7 @@ impl HoppingEngine {
             watermark: Timestamp::MIN,
             last_emitted: std::collections::HashMap::new(),
             stats: HoppingStats::default(),
+            scratch: AggScratch::default(),
         })
     }
 
@@ -158,11 +161,7 @@ impl HoppingEngine {
         for ((func, field), state) in self.cfg.aggs.iter().zip(states.iter_mut()) {
             let _ = func;
             let v = field.map(|i| &values[i]);
-            let ctx = AggContext {
-                db: &self.db,
-                aux_cf: self.aux_cf,
-                state_key: &skey,
-            };
+            let ctx = AggContext::new(&self.db, self.aux_cf, &skey, &self.scratch);
             state.insert(v, &ctx)?;
         }
         self.db.put(Db::DEFAULT_CF, &skey, &encode_states(&states))?;

@@ -193,6 +193,10 @@ impl Acc {
             AggFunc::Last => self.last.unwrap_or(Value::Null),
             AggFunc::Prev => self.prev.unwrap_or(Value::Null),
             AggFunc::CountDistinct => Value::Int(self.distinct.len() as i64),
+            // The rescan baseline sees the full window, so the
+            // approximate family's exact equivalents apply.
+            AggFunc::ApproxCountDistinct { .. } => Value::Int(self.distinct.len() as i64),
+            AggFunc::TopK { .. } | AggFunc::Percentile { .. } => Value::Null,
         }
     }
 }

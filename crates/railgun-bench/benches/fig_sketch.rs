@@ -1,0 +1,209 @@
+//! Exact-vs-approximate aggregator sweep (BENCH_sketch.json).
+//!
+//! The paper's MAD workloads keep per-entity aggregation state tiny; the
+//! one aggregator that breaks that promise is exact `countDistinct`,
+//! whose aux-CF footprint grows with the number of distinct values. This
+//! bench sweeps distinct-key cardinality and compares the exact path
+//! (one aux-CF counter per value) against the HLL-backed
+//! `countDistinct ... approx` path (one constant-size register blob per
+//! (leaf, entity)) through the same [`AggState`] machinery the engine
+//! runs:
+//!
+//! * **state bytes** — logical aux-CF footprint after the run (scanned
+//!   from the store for the exact path; the flushed sketch blob for the
+//!   approximate path);
+//! * **per-event insert throughput** — the aggregator-level cost the hot
+//!   path pays (store-backed read-modify-write vs cached register
+//!   update);
+//! * **relative error** of the estimate against the true cardinality.
+//!
+//! The exact arm is capped at 1M distinct keys (its LSM writes dominate
+//! the run far beyond the point the comparison needs); the approximate
+//! arm continues to 10M to show the constant-memory story. The cap is
+//! recorded in the JSON — nothing is silently truncated.
+//!
+//! Run modes mirror the other figure benches:
+//!
+//! * `cargo bench -p railgun-bench --bench fig_sketch` — full run;
+//! * `-- --test` — smoke mode (small cardinalities, used by CI);
+//! * `-- --out <path>` — additionally write the JSON to `<path>`.
+
+use std::time::Instant;
+
+use railgun_core::agg::sketch::hll::precision_for_err_bp;
+use railgun_core::agg::{AggContext, AggScratch, AggState};
+use railgun_core::lang::AggFunc;
+use railgun_store::{Db, DbOptions};
+use railgun_types::Value;
+
+/// Configured error for the approximate arm: `countDistinct(f) approx
+/// 0.02` (200 basis points), the bound `scripts/bench_baseline.sh`
+/// validates the measured error against.
+const ERR_BP: u32 = 200;
+
+/// Exact arm cap: beyond this the LSM writes dominate the wall clock
+/// without adding information to the comparison.
+const EXACT_CAP: u64 = 1_000_000;
+
+struct ArmResult {
+    events_per_s: f64,
+    state_bytes: u64,
+    value: i64,
+}
+
+fn bench_db(tag: &str) -> (Db, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("railgun-figsketch-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let db = Db::open(&dir, DbOptions::default()).expect("db");
+    (db, dir)
+}
+
+/// Run `n` distinct inserts through one aggregator state and report the
+/// throughput, final value, and aux-CF footprint.
+fn run_arm(tag: &str, func: AggFunc, n: u64) -> ArmResult {
+    let (db, dir) = bench_db(tag);
+    let aux = db.create_cf("distinct-aux").expect("cf");
+    let scratch = AggScratch::default();
+    let ctx = AggContext::new(&db, aux, b"leaf0/entity0", &scratch);
+    let mut state = AggState::new(func);
+    let start = Instant::now();
+    for i in 0..n {
+        let v = Value::Int(i as i64);
+        state.insert(Some(&v), &ctx).expect("insert");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    // The approximate path holds its blob in the scratch cache between
+    // checkpoints; flush so the scan below sees what a checkpoint would.
+    scratch.flush(&db, aux).expect("flush");
+    let state_bytes: u64 = db
+        .scan_prefix(aux, &[])
+        .expect("scan")
+        .iter()
+        .map(|(k, v)| (k.len() + v.len()) as u64)
+        .sum();
+    let value = match state.value() {
+        Value::Int(x) => x,
+        other => panic!("unexpected aggregate value {other:?}"),
+    };
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+    ArmResult {
+        events_per_s: n as f64 / elapsed,
+        state_bytes,
+        value,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let cardinalities: &[u64] = if smoke {
+        &[10_000, 50_000]
+    } else {
+        &[10_000, 100_000, 1_000_000, 10_000_000]
+    };
+    let precision = precision_for_err_bp(ERR_BP);
+    eprintln!(
+        "# fig_sketch: exact vs approx countDistinct, err {} (HLL precision {precision}), \
+         exact arm capped at {EXACT_CAP} keys",
+        ERR_BP as f64 / 10_000.0
+    );
+
+    struct Row {
+        distinct: u64,
+        exact: Option<ArmResult>,
+        approx: ArmResult,
+        rel_err: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in cardinalities {
+        let exact = if n <= EXACT_CAP {
+            let r = run_arm(&format!("exact-{n}"), AggFunc::CountDistinct, n);
+            assert_eq!(r.value, n as i64, "exact arm must count exactly");
+            Some(r)
+        } else {
+            eprintln!("#   {n}: exact arm skipped (above {EXACT_CAP}-key cap)");
+            None
+        };
+        let approx = run_arm(
+            &format!("approx-{n}"),
+            AggFunc::ApproxCountDistinct { err_bp: ERR_BP },
+            n,
+        );
+        let rel_err = (approx.value as f64 - n as f64).abs() / n as f64;
+        eprintln!(
+            "#   {n}: exact {} ev/s / {} B, approx {:.0} ev/s / {} B, estimate {} (err {:.3}%)",
+            exact
+                .as_ref()
+                .map_or("-".to_string(), |e| format!("{:.0}", e.events_per_s)),
+            exact
+                .as_ref()
+                .map_or("-".to_string(), |e| e.state_bytes.to_string()),
+            approx.events_per_s,
+            approx.state_bytes,
+            approx.value,
+            rel_err * 100.0
+        );
+        rows.push(Row {
+            distinct: n,
+            exact,
+            approx,
+            rel_err,
+        });
+    }
+
+    // -- JSON ---------------------------------------------------------------
+    let mode = if smoke { "test" } else { "full" };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"fig_sketch\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"config\": {{ \"err\": {}, \"err_bp\": {ERR_BP}, \"hll_precision\": {precision}, \
+         \"exact_cap\": {EXACT_CAP} }},\n",
+        ERR_BP as f64 / 10_000.0
+    ));
+    json.push_str("  \"measured\": {\n");
+    json.push_str(
+        "    \"note\": \"one (leaf, entity) aggregator; state_bytes is the logical aux-CF \
+         footprint after a checkpoint flush; exact arm is null above exact_cap\",\n",
+    );
+    json.push_str("    \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let exact = match &r.exact {
+            Some(e) => format!(
+                "{{ \"events_per_s\": {:.0}, \"state_bytes\": {}, \"count\": {} }}",
+                e.events_per_s, e.state_bytes, e.value
+            ),
+            None => "null".to_string(),
+        };
+        json.push_str(&format!(
+            "      {{ \"distinct\": {}, \"exact\": {exact}, \"approx\": {{ \
+             \"events_per_s\": {:.0}, \"state_bytes\": {}, \"estimate\": {}, \
+             \"rel_err\": {:.6} }} }}{}\n",
+            r.distinct,
+            r.approx.events_per_s,
+            r.approx.state_bytes,
+            r.approx.value,
+            r.rel_err,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
+
+    print!("{json}");
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        std::fs::write(&path, &json).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -8,7 +8,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use railgun_core::agg::{AggContext, AggState};
+use railgun_core::agg::sketch::{hll::Hll, quantile::QuantSketch, topk::TopKSketch, PaneSketch};
+use railgun_core::agg::{AggContext, AggScratch, AggState};
 use railgun_core::lang::AggFunc;
 use railgun_store::{Db, DbOptions};
 use railgun_types::Value;
@@ -34,11 +35,8 @@ fn incremental_insert_evict(c: &mut Criterion) {
         AggFunc::Prev,
     ] {
         group.bench_function(BenchmarkId::from_parameter(func.name()), |b| {
-            let ctx = AggContext {
-                db: &db,
-                aux_cf: aux,
-                state_key: b"leaf/card-1",
-            };
+            let scratch = AggScratch::default();
+            let ctx = AggContext::new(&db, aux, b"leaf/card-1", &scratch);
             let mut state = AggState::new(func);
             let mut i = 0u64;
             b.iter(|| {
@@ -61,11 +59,8 @@ fn count_distinct_with_aux_cf(c: &mut Criterion) {
     let db = bench_db("distinct");
     let aux = db.create_cf("aux").expect("cf");
     c.bench_function("aggregator_insert_evict/countDistinct", |b| {
-        let ctx = AggContext {
-            db: &db,
-            aux_cf: aux,
-            state_key: b"leaf/card-1",
-        };
+        let scratch = AggScratch::default();
+        let ctx = AggContext::new(&db, aux, b"leaf/card-1", &scratch);
         let mut state = AggState::new(AggFunc::CountDistinct);
         let mut i = 0u64;
         b.iter(|| {
@@ -113,11 +108,8 @@ fn recompute_from_scratch_ablation(c: &mut Criterion) {
 
 fn state_codec(c: &mut Criterion) {
     let db = bench_db("codec");
-    let ctx = AggContext {
-        db: &db,
-        aux_cf: Db::DEFAULT_CF,
-        state_key: b"k",
-    };
+    let scratch = AggScratch::default();
+    let ctx = AggContext::new(&db, Db::DEFAULT_CF, b"k", &scratch);
     let mut state = AggState::new(AggFunc::StdDev);
     for i in 0..100 {
         state
@@ -133,9 +125,63 @@ fn state_codec(c: &mut Criterion) {
     });
 }
 
+/// Sketch kernels in isolation: per-item cost of the HLL register
+/// update, the SpaceSaving slot maintenance, and the KLL-lite compaction
+/// cascade — no store, no [`AggState`] wrapper.
+fn sketch_kernels(c: &mut Criterion) {
+    use railgun_core::agg::sketch::finalize;
+    let mut group = c.benchmark_group("sketch_kernel");
+    group.bench_function("hll_insert_p14", |b| {
+        let mut s = Hll::new(14);
+        let mut i = 0u64;
+        b.iter(|| {
+            s.insert_hash(finalize(i));
+            i += 1;
+            black_box(s.estimate())
+        });
+    });
+    group.bench_function("topk_insert_k10", |b| {
+        let mut s = TopKSketch::new(10);
+        let mut i = 0u64;
+        b.iter(|| {
+            // 997 distinct values under a cap of 80 keeps the eviction
+            // path (the expensive part) hot.
+            let v = Value::Int((i % 997) as i64);
+            s.insert(&v, finalize(i % 997));
+            i += 1;
+            black_box(&s);
+        });
+    });
+    group.bench_function("quantile_insert", |b| {
+        let mut s = QuantSketch::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            s.insert((i % 9973) as f64);
+            i += 1;
+        });
+    });
+    group.bench_function("hll_merge_p14", |b| {
+        let mut even = Hll::new(14);
+        let mut odd = Hll::new(14);
+        for i in 0..100_000u64 {
+            if i % 2 == 0 {
+                even.insert_hash(finalize(i));
+            } else {
+                odd.insert_hash(finalize(i));
+            }
+        }
+        b.iter(|| {
+            let mut m = even.clone();
+            m.merge_from(&odd);
+            black_box(m.estimate())
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = incremental_insert_evict, count_distinct_with_aux_cf, recompute_from_scratch_ablation, state_codec
+    targets = incremental_insert_evict, count_distinct_with_aux_cf, recompute_from_scratch_ablation, state_codec, sketch_kernels
 );
 criterion_main!(benches);

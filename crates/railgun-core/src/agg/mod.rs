@@ -13,27 +13,186 @@
 //! * `avg` carries a count; `stdDev` the Welford triple \[50\];
 //! * `max`/`min` a monotonic deque \[30\] ([`deque`]);
 //! * `countDistinct` keeps per-value counts in a dedicated **column
-//!   family** of the state store.
+//!   family** of the state store;
+//! * the approximate family (`countDistinct … approx`, `topK`,
+//!   `percentile`) keeps **one serialized sketch blob** per
+//!   (leaf, entity) in the same column family ([`sketch`]), cached
+//!   in memory ([`AggScratch`]) and flushed at checkpoints.
 
 pub mod deque;
+pub mod sketch;
+
+use std::cell::RefCell;
 
 use bytes::Buf;
 use railgun_store::{ColumnFamilyId, Db};
 use railgun_types::encode::{
-    get_ivarint, get_value, put_ivarint, put_uvarint, put_value,
+    get_ivarint, get_uvarint, get_value, put_ivarint, put_uvarint, put_value,
 };
+use railgun_types::hash::FastHashMap;
 use railgun_types::{RailgunError, Result, Value};
 
 use crate::lang::AggFunc;
 use deque::{max_keeps, min_keeps, MinMaxDeque};
+use sketch::{SketchKind, SketchState};
 
-/// Where an aggregator's auxiliary data lives.
+/// Per-task scratch shared by every aggregator the task drives: reusable
+/// key/estimate buffers (no per-event allocation on the aux paths) and
+/// the in-memory sketch cache.
+///
+/// The cache is the reason the approximate path can beat the exact one:
+/// a sketch blob is kilobytes, so decoding and re-encoding it per event
+/// would drown the O(1) kernel update. Instead blobs live here between
+/// events and hit the store only at checkpoints (`flush`) or on cache
+/// eviction. Crash safety is unaffected: recovery always starts from a
+/// checkpoint image (which sees a flushed cache) or from an empty store
+/// with a full ordered replay, and the kernels are deterministic under
+/// replay, so both arms converge (pinned by `tests/crash_recovery.rs`).
+#[derive(Default)]
+pub struct AggScratch {
+    /// Reusable aux/blob key buffer (the exact path's per-event
+    /// `aux_key` allocation removed).
+    key_buf: RefCell<Vec<u8>>,
+    /// Reusable encode buffer for blob flushes.
+    blob_buf: RefCell<Vec<u8>>,
+    /// Reusable weighted-walk buffer for quantile estimates.
+    rank_buf: RefCell<Vec<(f64, u64)>>,
+    /// state key → live sketch, with a dirty bit since the last flush.
+    cache: RefCell<FastHashMap<Vec<u8>, (SketchState, bool)>>,
+}
+
+/// Max cached sketches per task before least-recently-inserted entries
+/// are flushed out (bounds memory at ~tens of MB worst case).
+const SKETCH_CACHE_CAP: usize = 1024;
+
+impl AggScratch {
+    /// Run `f` against the live sketch for `state_key`, loading the blob
+    /// from the store (or creating a fresh sketch) on cache miss. The
+    /// sketch is marked dirty; it reaches the store on the next `flush`.
+    fn with_sketch<R>(
+        &self,
+        ctx: &AggContext<'_>,
+        kind: SketchKind,
+        f: impl FnOnce(&mut SketchState, &AggScratch) -> Result<R>,
+    ) -> Result<R> {
+        let mut cache = self.cache.borrow_mut();
+        if !cache.contains_key(ctx.state_key) {
+            if cache.len() >= SKETCH_CACHE_CAP {
+                self.flush_locked(&mut cache, ctx.db, ctx.aux_cf)?;
+                cache.clear();
+            }
+            let sliding = ctx.window_ms > 0;
+            let loaded = {
+                let mut key = self.key_buf.borrow_mut();
+                blob_key_into(&mut key, ctx.state_key);
+                ctx.db.get(ctx.aux_cf, &key)?
+            };
+            let sketch = match loaded {
+                Some(raw) => {
+                    let st = SketchState::decode(&mut raw.as_slice())?;
+                    if !st.matches(kind, sliding) {
+                        return Err(RailgunError::Corruption(
+                            "sketch blob does not match leaf parameters".into(),
+                        ));
+                    }
+                    st
+                }
+                None => SketchState::new(
+                    kind,
+                    sliding.then(|| (ctx.window_ms / sketch::NPANES).max(1)),
+                ),
+            };
+            cache.insert(ctx.state_key.to_vec(), (sketch, true));
+        }
+        let entry = cache.get_mut(ctx.state_key).expect("just inserted");
+        entry.1 = true;
+        f(&mut entry.0, self)
+    }
+
+    /// Write every dirty cached sketch to the aux CF. Called on
+    /// checkpoint so the on-disk image is complete.
+    pub fn flush(&self, db: &Db, aux_cf: ColumnFamilyId) -> Result<()> {
+        self.flush_locked(&mut self.cache.borrow_mut(), db, aux_cf)
+    }
+
+    fn flush_locked(
+        &self,
+        cache: &mut FastHashMap<Vec<u8>, (SketchState, bool)>,
+        db: &Db,
+        aux_cf: ColumnFamilyId,
+    ) -> Result<()> {
+        let mut key = self.key_buf.borrow_mut();
+        let mut blob = self.blob_buf.borrow_mut();
+        for (state_key, (sketch, dirty)) in cache.iter_mut() {
+            if !*dirty {
+                continue;
+            }
+            blob_key_into(&mut key, state_key);
+            blob.clear();
+            sketch.encode(&mut blob);
+            db.put(aux_cf, &key, &blob)?;
+            *dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Drop cached sketches whose state key starts with `prefix`
+    /// (query unregistration; the store-side blobs are deleted by the
+    /// caller's aux-CF scan).
+    pub fn drop_prefix(&self, prefix: &[u8]) {
+        self.cache
+            .borrow_mut()
+            .retain(|k, _| !k.starts_with(prefix));
+    }
+}
+
+/// Where an aggregator's auxiliary data lives, plus the window geometry
+/// sketch-backed aggregators need for pane routing.
 pub struct AggContext<'a> {
     pub db: &'a Db,
-    /// Column family for `countDistinct` per-value counts.
+    /// Column family for `countDistinct` per-value counts and sketch
+    /// blobs.
     pub aux_cf: ColumnFamilyId,
     /// The state key of this (leaf, entity) — aux keys are derived from it.
     pub state_key: &'a [u8],
+    /// Timestamp (ms) of the event being inserted/evicted.
+    pub event_ts_ms: i64,
+    /// Lower bound (ms) of the live window (events below are expired).
+    pub window_lower_ms: i64,
+    /// Sliding-window size in ms; `0` means tumbling/infinite (sketches
+    /// run in single-sketch mode, no pane ring).
+    pub window_ms: i64,
+    /// Per-task scratch buffers and the sketch cache.
+    pub scratch: &'a AggScratch,
+}
+
+impl<'a> AggContext<'a> {
+    /// Context for a tumbling/infinite-window leaf (no pane ring).
+    pub fn new(
+        db: &'a Db,
+        aux_cf: ColumnFamilyId,
+        state_key: &'a [u8],
+        scratch: &'a AggScratch,
+    ) -> Self {
+        AggContext {
+            db,
+            aux_cf,
+            state_key,
+            event_ts_ms: 0,
+            window_lower_ms: i64::MIN,
+            window_ms: 0,
+            scratch,
+        }
+    }
+
+    /// Attach sliding-window geometry (event timestamp, window lower
+    /// bound, window size) for pane-ring routing.
+    pub fn windowed(mut self, event_ts_ms: i64, window_lower_ms: i64, window_ms: i64) -> Self {
+        self.event_ts_ms = event_ts_ms;
+        self.window_lower_ms = window_lower_ms;
+        self.window_ms = window_ms;
+        self
+    }
 }
 
 /// In-memory aggregation state for one (metric leaf, entity).
@@ -52,6 +211,15 @@ pub enum AggState {
         prev: Option<Value>,
     },
     CountDistinct { distinct: i64 },
+    /// HLL-backed `countDistinct … approx`: the cached estimate plus the
+    /// configured error (basis points). The sketch itself lives in the
+    /// aux CF as one blob per (leaf, entity).
+    ApproxDistinct { estimate: i64, err_bp: u32 },
+    /// Space-saving `topK`: the current top-k snapshot, heaviest first.
+    TopK { top: Vec<(Value, i64)>, k: u32 },
+    /// Quantile-sketch `percentile`: the cached estimate for the
+    /// configured rank (basis points of a percent, `9900` = p99).
+    Percentile { estimate: Option<f64>, rank_bp: u32 },
 }
 
 const TAG_COUNT: u8 = 1;
@@ -63,6 +231,9 @@ const TAG_MIN: u8 = 6;
 const TAG_LAST: u8 = 7;
 const TAG_PREV: u8 = 8;
 const TAG_DISTINCT: u8 = 9;
+const TAG_APPROX_DISTINCT: u8 = 10;
+const TAG_TOPK: u8 = 11;
+const TAG_PERCENTILE: u8 = 12;
 
 impl AggState {
     /// Fresh state for a function.
@@ -92,6 +263,15 @@ impl AggState {
                 prev: None,
             },
             AggFunc::CountDistinct => AggState::CountDistinct { distinct: 0 },
+            AggFunc::ApproxCountDistinct { err_bp } => AggState::ApproxDistinct {
+                estimate: 0,
+                err_bp,
+            },
+            AggFunc::TopK { k } => AggState::TopK { top: Vec::new(), k },
+            AggFunc::Percentile { rank_bp } => AggState::Percentile {
+                estimate: None,
+                rank_bp,
+            },
         }
     }
 
@@ -150,12 +330,46 @@ impl AggState {
             }
             AggState::CountDistinct { distinct } => {
                 if let Some(v) = v.filter(|v| !v.is_null()) {
-                    let key = aux_key(ctx.state_key, v);
+                    let mut key = ctx.scratch.key_buf.borrow_mut();
+                    aux_key_into(&mut key, ctx.state_key, v);
                     let n = read_u64(ctx.db, ctx.aux_cf, &key)?;
                     if n == 0 {
                         *distinct += 1;
                     }
                     write_u64(ctx.db, ctx.aux_cf, &key, n + 1)?;
+                }
+            }
+            AggState::ApproxDistinct { estimate, err_bp } => {
+                if let Some(v) = v.filter(|v| !v.is_null()) {
+                    let h = sketch::hash_value(v);
+                    let kind = SketchKind::Distinct {
+                        precision: sketch::hll::precision_for_err_bp(*err_bp),
+                    };
+                    *estimate = ctx.scratch.with_sketch(ctx, kind, |st, _| {
+                        st.insert_hash(h, ctx.event_ts_ms)?;
+                        st.distinct_estimate()
+                    })?;
+                }
+            }
+            AggState::TopK { top, k } => {
+                if let Some(v) = v.filter(|v| !v.is_null()) {
+                    let h = sketch::hash_value(v);
+                    let kind = SketchKind::TopK { k: *k };
+                    *top = ctx.scratch.with_sketch(ctx, kind, |st, _| {
+                        st.insert_topk(v, h, ctx.event_ts_ms)?;
+                        st.topk_snapshot()
+                    })?;
+                }
+            }
+            AggState::Percentile { estimate, rank_bp } => {
+                if let Some(x) = v.and_then(Value::as_f64) {
+                    let rank = f64::from(*rank_bp) / 10_000.0;
+                    *estimate =
+                        ctx.scratch
+                            .with_sketch(ctx, SketchKind::Quantile, |st, scratch| {
+                                st.insert_sample(x, ctx.event_ts_ms)?;
+                                st.quantile_estimate(rank, &mut scratch.rank_buf.borrow_mut())
+                            })?;
                 }
             }
         }
@@ -229,7 +443,8 @@ impl AggState {
             }
             AggState::CountDistinct { distinct } => {
                 if let Some(v) = v.filter(|v| !v.is_null()) {
-                    let key = aux_key(ctx.state_key, v);
+                    let mut key = ctx.scratch.key_buf.borrow_mut();
+                    aux_key_into(&mut key, ctx.state_key, v);
                     let n = read_u64(ctx.db, ctx.aux_cf, &key)?;
                     if n <= 1 {
                         ctx.db.delete(ctx.aux_cf, &key)?;
@@ -239,6 +454,41 @@ impl AggState {
                     } else {
                         write_u64(ctx.db, ctx.aux_cf, &key, n - 1)?;
                     }
+                }
+            }
+            // Sketches cannot evict single events; sliding windows prune
+            // whole expired panes instead (pane-granular expiry, see
+            // [`sketch`]). Tumbling/infinite leaves (`window_ms == 0`)
+            // have nothing to do.
+            AggState::ApproxDistinct { estimate, err_bp } => {
+                if ctx.window_ms > 0 {
+                    let kind = SketchKind::Distinct {
+                        precision: sketch::hll::precision_for_err_bp(*err_bp),
+                    };
+                    *estimate = ctx.scratch.with_sketch(ctx, kind, |st, _| {
+                        st.prune(ctx.window_lower_ms);
+                        st.distinct_estimate()
+                    })?;
+                }
+            }
+            AggState::TopK { top, k } => {
+                if ctx.window_ms > 0 {
+                    let kind = SketchKind::TopK { k: *k };
+                    *top = ctx.scratch.with_sketch(ctx, kind, |st, _| {
+                        st.prune(ctx.window_lower_ms);
+                        st.topk_snapshot()
+                    })?;
+                }
+            }
+            AggState::Percentile { estimate, rank_bp } => {
+                if ctx.window_ms > 0 {
+                    let rank = f64::from(*rank_bp) / 10_000.0;
+                    *estimate =
+                        ctx.scratch
+                            .with_sketch(ctx, SketchKind::Quantile, |st, scratch| {
+                                st.prune(ctx.window_lower_ms);
+                                st.quantile_estimate(rank, &mut scratch.rank_buf.borrow_mut())
+                            })?;
                 }
             }
         }
@@ -275,6 +525,11 @@ impl AggState {
             AggState::Last { last, .. } => last.clone().unwrap_or(Value::Null),
             AggState::Prev { prev, .. } => prev.clone().unwrap_or(Value::Null),
             AggState::CountDistinct { distinct } => Value::Int(*distinct),
+            AggState::ApproxDistinct { estimate, .. } => Value::Int(*estimate),
+            AggState::TopK { top, .. } => Value::Str(render_topk(top)),
+            AggState::Percentile { estimate, .. } => {
+                estimate.map(Value::Float).unwrap_or(Value::Null)
+            }
         }
     }
 
@@ -323,6 +578,31 @@ impl AggState {
                 buf.push(TAG_DISTINCT);
                 put_ivarint(buf, *distinct);
             }
+            AggState::ApproxDistinct { estimate, err_bp } => {
+                buf.push(TAG_APPROX_DISTINCT);
+                put_ivarint(buf, *estimate);
+                put_uvarint(buf, u64::from(*err_bp));
+            }
+            AggState::TopK { top, k } => {
+                buf.push(TAG_TOPK);
+                put_uvarint(buf, u64::from(*k));
+                put_uvarint(buf, top.len() as u64);
+                for (v, count) in top {
+                    put_value(buf, v);
+                    put_ivarint(buf, *count);
+                }
+            }
+            AggState::Percentile { estimate, rank_bp } => {
+                buf.push(TAG_PERCENTILE);
+                put_uvarint(buf, u64::from(*rank_bp));
+                match estimate {
+                    Some(x) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&x.to_le_bytes());
+                    }
+                    None => buf.push(0),
+                }
+            }
         }
     }
 
@@ -366,6 +646,32 @@ impl AggState {
             TAG_DISTINCT => AggState::CountDistinct {
                 distinct: get_ivarint(&mut buf)?,
             },
+            TAG_APPROX_DISTINCT => AggState::ApproxDistinct {
+                estimate: get_ivarint(&mut buf)?,
+                err_bp: get_uvarint(&mut buf)? as u32,
+            },
+            TAG_TOPK => {
+                let k = get_uvarint(&mut buf)? as u32;
+                let n = get_uvarint(&mut buf)? as usize;
+                if n > k as usize {
+                    return Err(RailgunError::Corruption("topK snapshot too long".into()));
+                }
+                let mut top = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let v = get_value(&mut buf)?;
+                    let count = get_ivarint(&mut buf)?;
+                    top.push((v, count));
+                }
+                AggState::TopK { top, k }
+            }
+            TAG_PERCENTILE => {
+                let rank_bp = get_uvarint(&mut buf)? as u32;
+                let estimate = match get_opt_value_tag(&mut buf)? {
+                    true => Some(get_f64(&mut buf)?),
+                    false => None,
+                };
+                AggState::Percentile { estimate, rank_bp }
+            }
             other => {
                 return Err(RailgunError::Corruption(format!(
                     "unknown aggregator tag {other}"
@@ -405,14 +711,63 @@ fn get_f64(buf: &mut impl Buf) -> Result<f64> {
     Ok(buf.get_f64_le())
 }
 
-/// Auxiliary CF key for a countDistinct value: the state key length-
-/// prefixed (collision-free) followed by the encoded value.
-fn aux_key(state_key: &[u8], v: &Value) -> Vec<u8> {
-    let mut key = Vec::with_capacity(state_key.len() + 16);
-    put_uvarint(&mut key, state_key.len() as u64);
+/// Render a top-k snapshot as the deterministic `value=count,…` string
+/// reported as the metric value.
+fn render_topk(top: &[(Value, i64)]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (i, (v, count)) in top.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match v {
+            Value::Str(s) => out.push_str(s),
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Null => out.push_str("null"),
+        }
+        let _ = write!(out, "={count}");
+    }
+    out
+}
+
+fn get_opt_value_tag(buf: &mut impl Buf) -> Result<bool> {
+    if !buf.has_remaining() {
+        return Err(RailgunError::Corruption("truncated option".into()));
+    }
+    match buf.get_u8() {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(RailgunError::Corruption(format!("bad option tag {other}"))),
+    }
+}
+
+/// Auxiliary CF key for a countDistinct value, written into a reusable
+/// buffer: the state key length-prefixed (collision-free) followed by
+/// the encoded value.
+fn aux_key_into(key: &mut Vec<u8>, state_key: &[u8], v: &Value) {
+    key.clear();
+    put_uvarint(key, state_key.len() as u64);
     key.extend_from_slice(state_key);
-    put_value(&mut key, v);
-    key
+    put_value(key, v);
+}
+
+///// Auxiliary CF key for a (leaf, entity) sketch blob: the length-
+/// prefixed state key with **no** value suffix. Every exact aux key
+/// appends at least one encoded-value byte after the same prefix, so
+/// blob keys can never collide with per-value count keys even when both
+/// families share the aux CF.
+fn blob_key_into(key: &mut Vec<u8>, state_key: &[u8]) {
+    key.clear();
+    put_uvarint(key, state_key.len() as u64);
+    key.extend_from_slice(state_key);
 }
 
 fn read_u64(db: &Db, cf: ColumnFamilyId, key: &[u8]) -> Result<u64> {
@@ -441,12 +796,8 @@ mod tests {
         Db::open(&dir, DbOptions::default()).unwrap()
     }
 
-    fn ctx<'a>(db: &'a Db, cf: ColumnFamilyId) -> AggContext<'a> {
-        AggContext {
-            db,
-            aux_cf: cf,
-            state_key: b"leaf0/card-1",
-        }
+    fn ctx<'a>(db: &'a Db, cf: ColumnFamilyId, scratch: &'a AggScratch) -> AggContext<'a> {
+        AggContext::new(db, cf, b"leaf0/card-1", scratch)
     }
 
     fn f(v: f64) -> Value {
@@ -456,7 +807,8 @@ mod tests {
     #[test]
     fn count_star_and_count_field() {
         let db = test_db("count");
-        let c = ctx(&db, Db::DEFAULT_CF);
+        let scratch = AggScratch::default();
+        let c = ctx(&db, Db::DEFAULT_CF, &scratch);
         let mut star = AggState::new(AggFunc::Count);
         star.insert(None, &c).unwrap();
         star.insert(None, &c).unwrap();
@@ -473,7 +825,8 @@ mod tests {
     #[test]
     fn sum_avg_roundtrip() {
         let db = test_db("sumavg");
-        let c = ctx(&db, Db::DEFAULT_CF);
+        let scratch = AggScratch::default();
+        let c = ctx(&db, Db::DEFAULT_CF, &scratch);
         let mut sum = AggState::new(AggFunc::Sum);
         let mut avg = AggState::new(AggFunc::Avg);
         for x in [10.0, 20.0, 30.0] {
@@ -495,7 +848,8 @@ mod tests {
     #[test]
     fn stddev_matches_naive_under_slide() {
         let db = test_db("stddev");
-        let c = ctx(&db, Db::DEFAULT_CF);
+        let scratch = AggScratch::default();
+        let c = ctx(&db, Db::DEFAULT_CF, &scratch);
         let xs: Vec<f64> = (0..100).map(|i| ((i * 37) % 41) as f64).collect();
         let mut st = AggState::new(AggFunc::StdDev);
         const W: usize = 20;
@@ -524,7 +878,8 @@ mod tests {
     #[test]
     fn minmax_track_window() {
         let db = test_db("minmax");
-        let c = ctx(&db, Db::DEFAULT_CF);
+        let scratch = AggScratch::default();
+        let c = ctx(&db, Db::DEFAULT_CF, &scratch);
         let mut mx = AggState::new(AggFunc::Max);
         let mut mn = AggState::new(AggFunc::Min);
         for x in [5.0, 1.0, 9.0, 3.0] {
@@ -545,7 +900,8 @@ mod tests {
     #[test]
     fn last_and_prev() {
         let db = test_db("lastprev");
-        let c = ctx(&db, Db::DEFAULT_CF);
+        let scratch = AggScratch::default();
+        let c = ctx(&db, Db::DEFAULT_CF, &scratch);
         let mut last = AggState::new(AggFunc::Last);
         let mut prev = AggState::new(AggFunc::Prev);
         for x in [1.0, 2.0, 3.0] {
@@ -567,7 +923,8 @@ mod tests {
     fn count_distinct_uses_aux_cf() {
         let db = test_db("distinct");
         let aux = db.create_cf("distinct-aux").unwrap();
-        let c = ctx(&db, aux);
+        let scratch = AggScratch::default();
+        let c = ctx(&db, aux, &scratch);
         let mut d = AggState::new(AggFunc::CountDistinct);
         for addr in ["a", "b", "a", "c", "a"] {
             d.insert(Some(&Value::Str(addr.into())), &c).unwrap();
@@ -587,16 +944,9 @@ mod tests {
     fn distinct_states_do_not_collide_across_keys() {
         let db = test_db("distinct-iso");
         let aux = db.create_cf("aux").unwrap();
-        let c1 = AggContext {
-            db: &db,
-            aux_cf: aux,
-            state_key: b"leaf0/cardA",
-        };
-        let c2 = AggContext {
-            db: &db,
-            aux_cf: aux,
-            state_key: b"leaf0/cardB",
-        };
+        let scratch = AggScratch::default();
+        let c1 = AggContext::new(&db, aux, b"leaf0/cardA", &scratch);
+        let c2 = AggContext::new(&db, aux, b"leaf0/cardB", &scratch);
         let mut d1 = AggState::new(AggFunc::CountDistinct);
         let mut d2 = AggState::new(AggFunc::CountDistinct);
         d1.insert(Some(&Value::Str("x".into())), &c1).unwrap();
@@ -609,8 +959,11 @@ mod tests {
     #[test]
     fn all_states_encode_decode() {
         let db = test_db("codec");
-        let c = ctx(&db, Db::DEFAULT_CF);
-        for func in [
+        let scratch = AggScratch::default();
+        // One state key per func: sketch-backed states cache their blob
+        // under the context's state key, so sharing one across kinds
+        // would (correctly) trip the kind-mismatch check.
+        for (i, func) in [
             AggFunc::Count,
             AggFunc::Sum,
             AggFunc::Avg,
@@ -620,7 +973,15 @@ mod tests {
             AggFunc::Last,
             AggFunc::Prev,
             AggFunc::CountDistinct,
-        ] {
+            AggFunc::ApproxCountDistinct { err_bp: 200 },
+            AggFunc::TopK { k: 3 },
+            AggFunc::Percentile { rank_bp: 9900 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let key = format!("leaf{i}/k");
+            let c = AggContext::new(&db, Db::DEFAULT_CF, key.as_bytes(), &scratch);
             let mut s = AggState::new(func);
             for x in [4.0, 2.0, 7.0] {
                 s.insert(Some(&f(x)), &c).unwrap();
@@ -640,9 +1001,96 @@ mod tests {
     }
 
     #[test]
+    fn approx_distinct_is_exact_at_small_cardinality() {
+        let db = test_db("approx-small");
+        let aux = db.create_cf("distinct-aux").unwrap();
+        let scratch = AggScratch::default();
+        let c = ctx(&db, aux, &scratch);
+        let mut d = AggState::new(AggFunc::ApproxCountDistinct { err_bp: 200 });
+        for addr in ["a", "b", "a", "c", "a", "b"] {
+            d.insert(Some(&Value::Str(addr.into())), &c).unwrap();
+        }
+        // Linear counting makes tiny cardinalities exact.
+        assert_eq!(d.value(), Value::Int(3));
+    }
+
+    #[test]
+    fn topk_reports_heaviest_first() {
+        let db = test_db("topk-state");
+        let aux = db.create_cf("distinct-aux").unwrap();
+        let scratch = AggScratch::default();
+        let c = ctx(&db, aux, &scratch);
+        let mut t = AggState::new(AggFunc::TopK { k: 2 });
+        for (name, n) in [("a", 5), ("b", 9), ("c", 2)] {
+            for _ in 0..n {
+                t.insert(Some(&Value::Str(name.into())), &c).unwrap();
+            }
+        }
+        assert_eq!(t.value(), Value::Str("b=9,a=5".into()));
+    }
+
+    #[test]
+    fn percentile_tracks_the_distribution() {
+        let db = test_db("pct-state");
+        let aux = db.create_cf("distinct-aux").unwrap();
+        let scratch = AggScratch::default();
+        let c = ctx(&db, aux, &scratch);
+        let mut p = AggState::new(AggFunc::Percentile { rank_bp: 5000 });
+        for i in 0..101 {
+            p.insert(Some(&f(f64::from(i))), &c).unwrap();
+        }
+        assert_eq!(p.value(), f(50.0));
+    }
+
+    #[test]
+    fn sliding_sketch_expires_whole_panes() {
+        let db = test_db("approx-slide");
+        let aux = db.create_cf("distinct-aux").unwrap();
+        let scratch = AggScratch::default();
+        let mut d = AggState::new(AggFunc::ApproxCountDistinct { err_bp: 200 });
+        // 80ms window → 10ms panes. 8 distinct values, one per pane.
+        for i in 0..8i64 {
+            let c = ctx(&db, aux, &scratch).windowed(i * 10, i * 10 - 80, 80);
+            d.insert(Some(&Value::Int(i)), &c).unwrap();
+        }
+        assert_eq!(d.value(), Value::Int(8));
+        // Window advances: everything below 40ms expires (4 panes die).
+        let c = ctx(&db, aux, &scratch).windowed(110, 40, 80);
+        d.evict(Some(&Value::Int(0)), &c).unwrap();
+        assert_eq!(d.value(), Value::Int(4));
+    }
+
+    #[test]
+    fn sketch_cache_flushes_and_reloads() {
+        let db = test_db("sketch-flush");
+        let aux = db.create_cf("distinct-aux").unwrap();
+        let scratch = AggScratch::default();
+        let mut d = AggState::new(AggFunc::ApproxCountDistinct { err_bp: 200 });
+        {
+            let c = ctx(&db, aux, &scratch);
+            for i in 0..50 {
+                d.insert(Some(&Value::Int(i)), &c).unwrap();
+            }
+        }
+        assert!(
+            db.scan_prefix(aux, &[]).unwrap().is_empty(),
+            "no store traffic before flush"
+        );
+        scratch.flush(&db, aux).unwrap();
+        let blobs = db.scan_prefix(aux, &[]).unwrap();
+        assert_eq!(blobs.len(), 1, "one blob per (leaf, entity)");
+        // A brand-new scratch (fresh task) reloads the flushed sketch.
+        let scratch2 = AggScratch::default();
+        let c2 = ctx(&db, aux, &scratch2);
+        d.insert(Some(&Value::Int(0)), &c2).unwrap();
+        assert_eq!(d.value(), Value::Int(50), "estimate survives reload");
+    }
+
+    #[test]
     fn nulls_are_ignored_by_value_aggs() {
         let db = test_db("nulls");
-        let c = ctx(&db, Db::DEFAULT_CF);
+        let scratch = AggScratch::default();
+        let c = ctx(&db, Db::DEFAULT_CF, &scratch);
         for func in [AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Min] {
             let mut s = AggState::new(func);
             s.insert(Some(&Value::Null), &c).unwrap();

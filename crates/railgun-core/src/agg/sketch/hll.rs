@@ -1,0 +1,301 @@
+//! HyperLogLog cardinality sketch with 6-bit packed registers.
+//!
+//! Standard-error model: `σ ≈ 1.04 / √m` with `m = 2^p` registers, so
+//! `countDistinct(x) approx 0.02` picks the smallest `p` whose σ is at
+//! or below the asked-for error. Registers are packed 6 bits each
+//! (`m · 6 / 8` bytes — 3 KB at p = 12), and the harmonic sum plus
+//! zero-register count are maintained incrementally so both insert and
+//! estimate are O(1) with **no per-event allocation**. Inserting the
+//! same hash twice is a no-op, which makes replay after a crash
+//! idempotent by construction.
+
+use railgun_types::{RailgunError, Result};
+
+use super::PaneSketch;
+
+/// Smallest supported precision (16 registers).
+pub const MIN_PRECISION: u8 = 4;
+/// Largest supported precision (65 536 registers, 48 KB).
+pub const MAX_PRECISION: u8 = 16;
+
+/// Map a configured relative error (basis points, `err_bp = err · 10⁴`)
+/// to the smallest register precision whose standard error covers it,
+/// plus one guard bit: near the linear-counting crossover (`n ≈ 2.5m`)
+/// the raw estimator's bias exceeds σ (the region HLL++ patches with an
+/// empirical bias table), and doubling `m` pushes the crossover past it.
+pub fn precision_for_err_bp(err_bp: u32) -> u8 {
+    let err = f64::from(err_bp) / 10_000.0;
+    let m_needed = (1.04 / err).powi(2);
+    let p = m_needed.log2().ceil() as i64 + 1;
+    p.clamp(i64::from(MIN_PRECISION), i64::from(MAX_PRECISION)) as u8
+}
+
+/// `2^-x` for register values (x ≤ 64), via exponent-field construction.
+#[inline]
+fn pow2_neg(x: u8) -> f64 {
+    f64::from_bits((1023 - u64::from(x)) << 52)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hll {
+    p: u8,
+    /// `2^p` 6-bit registers, little-end-first packed.
+    registers: Vec<u8>,
+    /// Incremental `Σ 2^-reg[i]` (the harmonic-mean denominator).
+    sum: f64,
+    /// Incremental count of zero registers (linear-counting input).
+    zeros: u32,
+}
+
+impl Hll {
+    pub fn new(p: u8) -> Self {
+        let p = p.clamp(MIN_PRECISION, MAX_PRECISION);
+        let m = 1usize << p;
+        Hll {
+            p,
+            registers: vec![0; (m * 6).div_ceil(8)],
+            sum: m as f64,
+            zeros: m as u32,
+        }
+    }
+
+    pub fn precision(&self) -> u8 {
+        self.p
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> u8 {
+        let bit = i * 6;
+        let byte = bit / 8;
+        let shift = bit % 8;
+        let lo = u16::from(self.registers[byte]);
+        let hi = u16::from(*self.registers.get(byte + 1).unwrap_or(&0));
+        (((lo | (hi << 8)) >> shift) & 0x3f) as u8
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, v: u8) {
+        let bit = i * 6;
+        let byte = bit / 8;
+        let shift = bit % 8;
+        let mask = 0x3fu16 << shift;
+        let word = u16::from(self.registers[byte])
+            | self.registers.get(byte + 1).map_or(0, |b| u16::from(*b) << 8);
+        let word = (word & !mask) | (u16::from(v) << shift);
+        self.registers[byte] = word as u8;
+        if let Some(b) = self.registers.get_mut(byte + 1) {
+            *b = (word >> 8) as u8;
+        }
+    }
+
+    /// Record a (pre-finalized) 64-bit hash. O(1), allocation-free,
+    /// idempotent for repeated hashes.
+    pub fn insert_hash(&mut self, h: u64) {
+        let idx = (h >> (64 - self.p)) as usize;
+        let rest = h << self.p;
+        // Rank of the first set bit in the remaining 64 - p bits; all
+        // zero ⇒ the maximum rank. Always ≤ 61 for p ≥ 4, fits 6 bits.
+        let rho = if rest == 0 {
+            64 - self.p + 1
+        } else {
+            rest.leading_zeros() as u8 + 1
+        };
+        let old = self.get(idx);
+        if rho > old {
+            self.sum += pow2_neg(rho) - pow2_neg(old);
+            if old == 0 {
+                self.zeros -= 1;
+            }
+            self.set(idx, rho);
+        }
+    }
+
+    /// Current cardinality estimate, with the standard linear-counting
+    /// small-range correction.
+    pub fn estimate(&self) -> i64 {
+        let m = (1usize << self.p) as f64;
+        let alpha = match 1usize << self.p {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let raw = alpha * m * m / self.sum;
+        let est = if raw <= 2.5 * m && self.zeros > 0 {
+            m * (m / f64::from(self.zeros)).ln()
+        } else {
+            raw
+        };
+        est.round() as i64
+    }
+}
+
+impl PaneSketch for Hll {
+    fn fresh(&self) -> Self {
+        Hll::new(self.p)
+    }
+
+    /// Register-wise max: exactly the sketch of the union of the two
+    /// input streams, hence associative and commutative (pinned by
+    /// proptests).
+    fn merge_from(&mut self, other: &Self) {
+        debug_assert_eq!(self.p, other.p, "merging HLLs of different precision");
+        let m = 1usize << self.p;
+        for i in 0..m {
+            let o = other.get(i);
+            if o > self.get(i) {
+                self.set(i, o);
+            }
+        }
+        // Recompute the incremental stats once per merge.
+        self.sum = 0.0;
+        self.zeros = 0;
+        for i in 0..m {
+            let r = self.get(i);
+            self.sum += pow2_neg(r);
+            if r == 0 {
+                self.zeros += 1;
+            }
+        }
+    }
+
+    /// Layout: `[p: u8][registers: (2^p·6+7)/8 bytes]`. The harmonic sum
+    /// and zero count are recomputed on decode, so the roundtrip is
+    /// byte-identical by construction.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(self.p);
+        buf.extend_from_slice(&self.registers);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        use bytes::Buf;
+        if !buf.has_remaining() {
+            return Err(RailgunError::Corruption("truncated HLL blob".into()));
+        }
+        let p = buf.get_u8();
+        if !(MIN_PRECISION..=MAX_PRECISION).contains(&p) {
+            return Err(RailgunError::Corruption(format!("bad HLL precision {p}")));
+        }
+        let m = 1usize << p;
+        let nbytes = (m * 6).div_ceil(8);
+        if buf.remaining() < nbytes {
+            return Err(RailgunError::Corruption("truncated HLL registers".into()));
+        }
+        let mut hll = Hll::new(p);
+        hll.registers.copy_from_slice(&buf[..nbytes]);
+        buf.advance(nbytes);
+        hll.sum = 0.0;
+        hll.zeros = 0;
+        for i in 0..m {
+            let r = hll.get(i);
+            if r > 64 - p + 1 {
+                return Err(RailgunError::Corruption(format!("bad HLL register {r}")));
+            }
+            hll.sum += pow2_neg(r);
+            if r == 0 {
+                hll.zeros += 1;
+            }
+        }
+        Ok(hll)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::finalize;
+    use super::*;
+
+    #[test]
+    fn precision_for_error_matches_sigma_model() {
+        // σ model picks 2% → p=12, 1% → p=14, 10% → p=7; the crossover
+        // guard bit adds one to each.
+        assert_eq!(precision_for_err_bp(200), 13);
+        assert_eq!(precision_for_err_bp(100), 15);
+        assert_eq!(precision_for_err_bp(1000), 8);
+        // Clamped at both ends.
+        assert_eq!(precision_for_err_bp(5000), MIN_PRECISION);
+        assert_eq!(precision_for_err_bp(1), MAX_PRECISION);
+    }
+
+    #[test]
+    fn registers_pack_and_unpack() {
+        let mut h = Hll::new(MIN_PRECISION);
+        for i in 0..16 {
+            h.set(i, (i as u8 * 3) % 64);
+        }
+        for i in 0..16 {
+            assert_eq!(h.get(i), (i as u8 * 3) % 64, "register {i}");
+        }
+    }
+
+    #[test]
+    fn estimates_within_a_few_sigma() {
+        for &n in &[100u64, 10_000, 200_000] {
+            let mut h = Hll::new(12);
+            for i in 0..n {
+                h.insert_hash(finalize(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+            }
+            let est = h.estimate() as f64;
+            let sigma = 1.04 / (4096f64).sqrt();
+            let err = (est - n as f64).abs() / n as f64;
+            assert!(
+                err < 4.0 * sigma,
+                "n={n}: estimate {est} off by {:.2}% (> 4σ)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut h = Hll::new(10);
+        for i in 0..1000u64 {
+            h.insert_hash(finalize(i));
+        }
+        let snap = h.clone();
+        for i in 0..1000u64 {
+            h.insert_hash(finalize(i));
+        }
+        assert_eq!(h, snap, "replaying the same hashes must not change state");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Hll::new(11);
+        let mut b = Hll::new(11);
+        let mut union = Hll::new(11);
+        for i in 0..5000u64 {
+            let h = finalize(i);
+            if i % 2 == 0 {
+                a.insert_hash(h);
+            } else {
+                b.insert_hash(h);
+            }
+            union.insert_hash(h);
+        }
+        a.merge_from(&b);
+        assert_eq!(a, union);
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let mut h = Hll::new(9);
+        for i in 0..500u64 {
+            h.insert_hash(finalize(i));
+        }
+        let mut a = Vec::new();
+        h.encode(&mut a);
+        let back = Hll::decode(&mut a.as_slice()).unwrap();
+        assert_eq!(back, h);
+        let mut b = Vec::new();
+        back.encode(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bad_precision() {
+        assert!(Hll::decode(&mut [].as_slice()).is_err());
+        assert!(Hll::decode(&mut [3u8].as_slice()).is_err());
+        assert!(Hll::decode(&mut [12u8, 0, 0].as_slice()).is_err());
+    }
+}

@@ -15,17 +15,23 @@ use railgun_types::{Event, FieldDef, FieldType, RailgunError, Result, Schema, Va
 ///
 /// Wire version 2 introduced query lifecycle ids: `RegisterQuery` carries
 /// a [`QueryId`], `UnregisterQuery` exists, and reply aggregations are
-/// keyed by `(QueryId, aggregation index)`. The byte value (`0xA2` =
-/// `0xA0 | 2`) is deliberately outside the version-1 op-tag range (v1
-/// ops started directly with a tag, `1..=3`), so **every** v1 op fails
-/// the version check with a [`RailgunError::Corruption`] naming the
-/// mismatch — the ops topic is the durable, replayed channel, and no v1
-/// op can silently misdecode. Replies are transient (produced and
-/// consumed by the same build over the in-process bus, never replayed
-/// across an upgrade), so their version byte is a sanity check rather
-/// than a cross-version guarantee: a v1 reply whose leading
-/// `uvarint(request_id)` byte happened to be `0xA2` would pass it.
-pub const WIRE_VERSION: u8 = 0xA2;
+/// keyed by `(QueryId, aggregation index)`. Wire version 3 extends the
+/// query grammar with the sketch-backed approximate family
+/// (`countDistinct … approx`, `topK`, `percentile`): `RegisterQuery`
+/// still carries text, but v3 text can name aggregations older nodes
+/// cannot parse, so mixed-version replay of the ops topic must fail
+/// loudly rather than half-apply. The byte value (`0xA3` = `0xA0 | 3`)
+/// is deliberately outside the version-1 op-tag range (v1 ops started
+/// directly with a tag, `1..=3`), so **every** v1 op — and any v2
+/// payload with its `0xA2` lead byte — fails the version check with a
+/// [`RailgunError::Corruption`] naming the mismatch; the ops topic is
+/// the durable, replayed channel, and no old op can silently misdecode.
+/// Replies are transient (produced and consumed by the same build over
+/// the in-process bus, never replayed across an upgrade), so their
+/// version byte is a sanity check rather than a cross-version
+/// guarantee: an old reply whose leading `uvarint(request_id)` byte
+/// happened to be `0xA3` would pass it.
+pub const WIRE_VERSION: u8 = 0xA3;
 
 /// Stable identifier of a registered query.
 ///
@@ -504,7 +510,7 @@ mod tests {
     #[test]
     fn v1_payloads_rejected_by_version_check() {
         // A version-1 op started directly with the tag byte (1..=3) —
-        // all outside the 0xA2 version byte, so every v1 payload fails
+        // all outside the 0xA3 version byte, so every v1 payload fails
         // the version check up front, never silently misdecoding.
         for tag in [1u8, 2, 3] {
             let err = decode_op(&[tag, 4, b'a', b'b', b'c', b'd']).unwrap_err();
@@ -514,6 +520,24 @@ mod tests {
             );
         }
         let err = decode_reply(&[1, 0, 0]).unwrap_err();
+        assert!(err.to_string().contains("wire version"), "{err}");
+    }
+
+    #[test]
+    fn v2_payloads_rejected_by_version_check() {
+        // Wire v2 led with 0xA2; v3 (the approx-grammar bump) must
+        // reject it with Corruption — a v2 node's ops cannot carry the
+        // approximate aggregation forms and must not be half-applied.
+        let mut v2 = encode_op(&OpRequest::RegisterQuery {
+            id: QueryId(7),
+            query_text: "SELECT count(*) FROM s OVER infinite".into(),
+        });
+        v2[0] = 0xA2;
+        let err = decode_op(&v2).unwrap_err();
+        assert!(
+            matches!(err, RailgunError::Corruption(_)),
+            "expected Corruption, got {err:?}"
+        );
         assert!(err.to_string().contains("wire version"), "{err}");
     }
 

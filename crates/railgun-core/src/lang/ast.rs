@@ -11,7 +11,15 @@ use railgun_types::{RailgunError, Result, Schema, TimeDelta};
 
 use crate::expr::{ArithOp, CmpOp, Expr};
 
-/// The aggregation functions of Figure 4.
+/// The aggregation functions of Figure 4, plus the sketch-backed
+/// approximate family (`countDistinct … approx`, `topK`, `percentile`).
+///
+/// Numeric parameters are carried as integer basis points so the enum
+/// stays `Copy + Eq + Hash` (plan-leaf sharing keys on it): `err_bp` is
+/// the relative error × 10⁴ (`200` = 2%), `rank_bp` the percentile
+/// rank × 10² (`9900` = p99). Valid ranges are enforced when the query
+/// is planned or rendered to text: `err_bp ∈ 1..=5000`, `k ≥ 1`,
+/// `rank_bp ∈ 1..=9999`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggFunc {
     Count,
@@ -23,10 +31,16 @@ pub enum AggFunc {
     Last,
     Prev,
     CountDistinct,
+    /// HLL-backed `countDistinct(f) approx <err>`.
+    ApproxCountDistinct { err_bp: u32 },
+    /// Space-saving heavy hitters `topK(f, k)`.
+    TopK { k: u32 },
+    /// Quantile-sketch `percentile(f, p)`.
+    Percentile { rank_bp: u32 },
 }
 
 impl AggFunc {
-    /// Canonical lowercase name (as written in queries).
+    /// Canonical base name (as written in queries, without parameters).
     pub fn name(self) -> &'static str {
         match self {
             AggFunc::Count => "count",
@@ -38,6 +52,33 @@ impl AggFunc {
             AggFunc::Last => "last",
             AggFunc::Prev => "prev",
             AggFunc::CountDistinct => "countDistinct",
+            AggFunc::ApproxCountDistinct { .. } => "countDistinct",
+            AggFunc::TopK { .. } => "topK",
+            AggFunc::Percentile { .. } => "percentile",
+        }
+    }
+
+    /// Validate parameter ranges (see type-level docs). The fluent
+    /// builder encodes out-of-range inputs as sentinel values; this is
+    /// where they are rejected with a proper error.
+    pub fn check_params(self) -> Result<()> {
+        match self {
+            AggFunc::ApproxCountDistinct { err_bp } if !(1..=5000).contains(&err_bp) => {
+                Err(RailgunError::InvalidArgument(format!(
+                    "approx error must be in (0, 0.5], got {} ({err_bp} bp)",
+                    f64::from(err_bp) / 10_000.0
+                )))
+            }
+            AggFunc::TopK { k: 0 } => Err(RailgunError::InvalidArgument(
+                "topK needs k >= 1".into(),
+            )),
+            AggFunc::Percentile { rank_bp } if !(1..=9999).contains(&rank_bp) => {
+                Err(RailgunError::InvalidArgument(format!(
+                    "percentile rank must be in (0, 100), got {}",
+                    f64::from(rank_bp) / 100.0
+                )))
+            }
+            _ => Ok(()),
         }
     }
 }
@@ -51,11 +92,25 @@ pub struct AggSpec {
 }
 
 impl AggSpec {
-    /// Display name, e.g. `sum(amount)`.
+    /// Display name, e.g. `sum(amount)` — rendered exactly as the
+    /// grammar parses it, including approximate-family parameters
+    /// (`countDistinct(addr) approx 0.02`, `topK(merchant, 10)`,
+    /// `percentile(amount, 99.9)`).
     pub fn display(&self) -> String {
-        match &self.field {
-            Some(f) => format!("{}({f})", self.func.name()),
-            None => format!("{}(*)", self.func.name()),
+        let f = self.field.as_deref().unwrap_or("*");
+        match self.func {
+            AggFunc::ApproxCountDistinct { err_bp } => {
+                format!("countDistinct({f}) approx {}", f64::from(err_bp) / 10_000.0)
+            }
+            AggFunc::TopK { k } => format!("topK({f}, {k})"),
+            AggFunc::Percentile { rank_bp } => {
+                if rank_bp % 100 == 0 {
+                    format!("percentile({f}, {})", rank_bp / 100)
+                } else {
+                    format!("percentile({f}, {})", f64::from(rank_bp) / 100.0)
+                }
+            }
+            func => format!("{}({f})", func.name()),
         }
     }
 }
@@ -206,6 +261,7 @@ impl Query {
             if let Some(f) = &agg.field {
                 check_ident(f)?;
             }
+            agg.func.check_params()?;
             out.push_str(&agg.display());
         }
         check_ident(&self.stream)?;
@@ -453,6 +509,39 @@ mod tests {
             .display(),
             "count(*)"
         );
+    }
+
+    #[test]
+    fn approx_family_display() {
+        let spec = |func| AggSpec {
+            func,
+            field: Some("addr".into()),
+        };
+        assert_eq!(
+            spec(AggFunc::ApproxCountDistinct { err_bp: 200 }).display(),
+            "countDistinct(addr) approx 0.02"
+        );
+        assert_eq!(spec(AggFunc::TopK { k: 10 }).display(), "topK(addr, 10)");
+        assert_eq!(
+            spec(AggFunc::Percentile { rank_bp: 9900 }).display(),
+            "percentile(addr, 99)"
+        );
+        assert_eq!(
+            spec(AggFunc::Percentile { rank_bp: 9990 }).display(),
+            "percentile(addr, 99.9)"
+        );
+    }
+
+    #[test]
+    fn param_validation() {
+        assert!(AggFunc::ApproxCountDistinct { err_bp: 0 }.check_params().is_err());
+        assert!(AggFunc::ApproxCountDistinct { err_bp: 5001 }.check_params().is_err());
+        assert!(AggFunc::ApproxCountDistinct { err_bp: 200 }.check_params().is_ok());
+        assert!(AggFunc::TopK { k: 0 }.check_params().is_err());
+        assert!(AggFunc::TopK { k: 1 }.check_params().is_ok());
+        assert!(AggFunc::Percentile { rank_bp: 0 }.check_params().is_err());
+        assert!(AggFunc::Percentile { rank_bp: 10000 }.check_params().is_err());
+        assert!(AggFunc::Percentile { rank_bp: 5000 }.check_params().is_ok());
     }
 
     #[test]

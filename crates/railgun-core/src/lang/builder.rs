@@ -159,6 +159,60 @@ impl Agg {
             field: Some(field.into()),
         }
     }
+
+    /// `topK(field, k)` — sketch-backed heavy hitters. The metric value
+    /// is the deterministic `value=count,…` string, heaviest first.
+    pub fn top_k(field: impl Into<String>, k: u32) -> AggSpec {
+        AggSpec {
+            func: AggFunc::TopK { k },
+            field: Some(field.into()),
+        }
+    }
+
+    /// `percentile(field, rank)` with `rank` in percent (e.g. `99.9`) —
+    /// sketch-backed quantile estimate. Out-of-range or sub-basis-point
+    /// ranks are rejected at [`QueryBuilder::build`].
+    pub fn percentile(field: impl Into<String>, rank: f64) -> AggSpec {
+        let bp = rank * 100.0;
+        let rank_bp = if bp.is_finite() && bp.round() >= 1.0 && bp.round() <= 9999.0
+            && (bp - bp.round()).abs() <= 1e-6
+        {
+            bp.round() as u32
+        } else {
+            0 // sentinel: rejected by `AggFunc::check_params` at build
+        };
+        AggSpec {
+            func: AggFunc::Percentile { rank_bp },
+            field: Some(field.into()),
+        }
+    }
+}
+
+impl AggSpec {
+    /// Turn exact `countDistinct` into the HLL-backed approximate form:
+    /// `countDistinct(field) approx err`, with `err` the relative error
+    /// (e.g. `0.02` for 2%), valid in `(0, 0.5]` at basis-point
+    /// granularity. Invalid errors — or `approx` on any other
+    /// aggregation — are rejected at [`QueryBuilder::build`].
+    pub fn approx(mut self, err: f64) -> AggSpec {
+        let bp = err * 10_000.0;
+        let err_bp = if bp.is_finite() && bp.round() >= 1.0 && bp.round() <= 5000.0
+            && (bp - bp.round()).abs() <= 1e-6
+        {
+            bp.round() as u32
+        } else {
+            0 // sentinel: rejected by `AggFunc::check_params` at build
+        };
+        // `approx` on anything but countDistinct renders to text the
+        // grammar rejects, so the build-time roundtrip catches it; the
+        // sentinel handles the valid-function/invalid-error case.
+        if self.func == AggFunc::CountDistinct {
+            self.func = AggFunc::ApproxCountDistinct { err_bp };
+        } else {
+            self.func = AggFunc::ApproxCountDistinct { err_bp: 0 };
+        }
+        self
+    }
 }
 
 /// A field reference in a filter expression: `field("amount").gt(100)`.
@@ -533,6 +587,89 @@ mod tests {
             let text = q.to_text().unwrap();
             let reparsed = parse_query(&text).unwrap();
             assert_eq!(reparsed, q, "roundtrip failed for: {text}");
+        }
+    }
+
+    #[test]
+    fn builder_matches_parser_approx_family() {
+        let built = Query::select(Agg::count_distinct("addr").approx(0.02))
+            .select(Agg::top_k("merchant", 10))
+            .select(Agg::percentile("amount", 99.9))
+            .from("payments")
+            .group_by(["cardId"])
+            .over(Window::sliding(mins(5)))
+            .build()
+            .unwrap();
+        let parsed = parse_query(
+            "SELECT countDistinct(addr) approx 0.02, topK(merchant, 10), \
+             percentile(amount, 99.9) FROM payments GROUP BY cardId OVER sliding 5 min",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+        // Plan identity is pinned byte-for-byte on the Debug rendering,
+        // same as the PR 4 contract for the exact family.
+        assert_eq!(format!("{built:?}"), format!("{parsed:?}"));
+    }
+
+    #[test]
+    fn approx_family_roundtrips_through_text() {
+        for q in [
+            Query::select(Agg::count_distinct("x").approx(0.005))
+                .from("s")
+                .over(Window::infinite())
+                .build()
+                .unwrap(),
+            Query::select(Agg::top_k("x", 3))
+                .from("s")
+                .over(Window::tumbling(hours(1)))
+                .build()
+                .unwrap(),
+            Query::select(Agg::percentile("x", 50.0))
+                .from("s")
+                .group_by(["k"])
+                .over(Window::sliding(secs(30)))
+                .build()
+                .unwrap(),
+        ] {
+            let text = q.to_text().unwrap();
+            assert_eq!(parse_query(&text).unwrap(), q, "roundtrip failed: {text}");
+        }
+    }
+
+    #[test]
+    fn invalid_approx_params_rejected_at_build() {
+        // Error out of range / sub-basis-point.
+        for err in [0.0, -0.1, 0.6, f64::NAN, 0.000_01] {
+            assert!(
+                Query::select(Agg::count_distinct("x").approx(err))
+                    .from("s")
+                    .over(Window::infinite())
+                    .build()
+                    .is_err(),
+                "approx({err}) should be rejected"
+            );
+        }
+        // approx on a non-countDistinct aggregation.
+        assert!(Query::select(Agg::sum("x").approx(0.02))
+            .from("s")
+            .over(Window::infinite())
+            .build()
+            .is_err());
+        // topK k = 0 and out-of-range percentile ranks.
+        assert!(Query::select(Agg::top_k("x", 0))
+            .from("s")
+            .over(Window::infinite())
+            .build()
+            .is_err());
+        for rank in [0.0, 100.0, -1.0, 99.999] {
+            assert!(
+                Query::select(Agg::percentile("x", rank))
+                    .from("s")
+                    .over(Window::infinite())
+                    .build()
+                    .is_err(),
+                "percentile({rank}) should be rejected"
+            );
         }
     }
 

@@ -110,7 +110,8 @@ impl Parser {
 
     fn agg_spec(&mut self) -> Result<AggSpec> {
         let name = self.ident()?;
-        let func = match name.to_ascii_lowercase().as_str() {
+        let lname = name.to_ascii_lowercase();
+        let func = match lname.as_str() {
             "count" => AggFunc::Count,
             "sum" => AggFunc::Sum,
             "avg" => AggFunc::Avg,
@@ -120,6 +121,9 @@ impl Parser {
             "last" => AggFunc::Last,
             "prev" => AggFunc::Prev,
             "countdistinct" => AggFunc::CountDistinct,
+            // Parameters parsed below, after the field.
+            "topk" => AggFunc::TopK { k: 0 },
+            "percentile" => AggFunc::Percentile { rank_bp: 0 },
             other => {
                 return Err(RailgunError::Parse(format!(
                     "unknown aggregation `{other}`"
@@ -140,7 +144,75 @@ impl Parser {
             }
             _ => Some(self.ident()?),
         };
+        let func = match func {
+            AggFunc::TopK { .. } => {
+                self.expect(&Token::Comma)?;
+                let k = match self.next() {
+                    Some(Token::Int(n)) if (1..=i64::from(u32::MAX)).contains(&n) => n as u32,
+                    other => {
+                        return Err(RailgunError::Parse(format!(
+                            "topK needs a positive integer k, found {other:?}"
+                        )))
+                    }
+                };
+                AggFunc::TopK { k }
+            }
+            AggFunc::Percentile { .. } => {
+                self.expect(&Token::Comma)?;
+                // Rank in percent, integer (`99`) or fractional (`99.9`),
+                // carried as basis points of a percent.
+                let rank_bp = match self.next() {
+                    Some(Token::Int(n)) if (1..100).contains(&n) => (n * 100) as u32,
+                    Some(Token::Float(f)) if f > 0.0 && f < 100.0 => {
+                        let bp = (f * 100.0).round();
+                        if bp < 1.0 || (bp - f * 100.0).abs() > 1e-6 {
+                            return Err(RailgunError::Parse(format!(
+                                "percentile rank {f} has sub-basis-point precision"
+                            )));
+                        }
+                        bp as u32
+                    }
+                    other => {
+                        return Err(RailgunError::Parse(format!(
+                            "percentile needs a rank in (0, 100), found {other:?}"
+                        )))
+                    }
+                };
+                AggFunc::Percentile { rank_bp }
+            }
+            f => f,
+        };
         self.expect(&Token::RParen)?;
+        // Postfix `approx <err>` turns exact countDistinct into the
+        // HLL-backed form; it is invalid on any other aggregation.
+        let func = if self.peek_keyword("approx") {
+            self.next();
+            if func != AggFunc::CountDistinct {
+                return Err(RailgunError::Parse(format!(
+                    "`approx` only applies to countDistinct, not {}",
+                    func.name()
+                )));
+            }
+            let err_bp = match self.next() {
+                Some(Token::Float(f)) if f > 0.0 && f <= 0.5 => {
+                    let bp = (f * 10_000.0).round();
+                    if bp < 1.0 || (bp - f * 10_000.0).abs() > 1e-6 {
+                        return Err(RailgunError::Parse(format!(
+                            "approx error {f} has sub-basis-point precision"
+                        )));
+                    }
+                    bp as u32
+                }
+                other => {
+                    return Err(RailgunError::Parse(format!(
+                        "approx needs a relative error in (0, 0.5], found {other:?}"
+                    )))
+                }
+            };
+            AggFunc::ApproxCountDistinct { err_bp }
+        } else {
+            func
+        };
         Ok(AggSpec { func, field })
     }
 
@@ -408,6 +480,55 @@ mod tests {
                 AggFunc::CountDistinct,
             ]
         );
+    }
+
+    #[test]
+    fn parses_approx_family() {
+        let q = parse_query(
+            "SELECT countDistinct(addr) approx 0.02, topK(merchant, 10), \
+             percentile(amount, 99.9) FROM s GROUP BY k OVER sliding 5 min",
+        )
+        .unwrap();
+        let funcs: Vec<_> = q.select.iter().map(|a| a.func).collect();
+        assert_eq!(
+            funcs,
+            vec![
+                AggFunc::ApproxCountDistinct { err_bp: 200 },
+                AggFunc::TopK { k: 10 },
+                AggFunc::Percentile { rank_bp: 9990 },
+            ]
+        );
+        // Integer percentile rank.
+        let q = parse_query("SELECT percentile(x, 50) FROM s OVER infinite").unwrap();
+        assert_eq!(q.select[0].func, AggFunc::Percentile { rank_bp: 5000 });
+        // Without `approx`, countDistinct stays exact.
+        let q = parse_query("SELECT countDistinct(x) FROM s OVER infinite").unwrap();
+        assert_eq!(q.select[0].func, AggFunc::CountDistinct);
+    }
+
+    #[test]
+    fn rejects_malformed_approx_forms() {
+        for bad in [
+            // approx on the wrong function / missing or bad error values
+            "SELECT sum(x) approx 0.02 FROM s OVER infinite",
+            "SELECT topK(x, 5) approx 0.02 FROM s OVER infinite",
+            "SELECT countDistinct(x) approx FROM s OVER infinite",
+            "SELECT countDistinct(x) approx 0 FROM s OVER infinite",
+            "SELECT countDistinct(x) approx 0.6 FROM s OVER infinite",
+            "SELECT countDistinct(x) approx 2.0 FROM s OVER infinite",
+            // topK parameter errors
+            "SELECT topK(x) FROM s OVER infinite",
+            "SELECT topK(x, 0) FROM s OVER infinite",
+            "SELECT topK(x, -3) FROM s OVER infinite",
+            "SELECT topK(*, 5) FROM s OVER infinite",
+            // percentile parameter errors
+            "SELECT percentile(x) FROM s OVER infinite",
+            "SELECT percentile(x, 0) FROM s OVER infinite",
+            "SELECT percentile(x, 100) FROM s OVER infinite",
+            "SELECT percentile(x, 100.5) FROM s OVER infinite",
+        ] {
+            assert!(parse_query(bad).is_err(), "should reject: {bad}");
+        }
     }
 
     #[test]

@@ -145,6 +145,7 @@ impl Plan {
                     agg.func.name()
                 )));
             }
+            agg.func.check_params()?;
             leaf_fields.push(idx);
         }
 

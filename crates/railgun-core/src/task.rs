@@ -35,7 +35,7 @@ use railgun_types::{
     Counter, Event, RailgunError, Result, Schema, TimeDelta, Timestamp, Value,
 };
 
-use crate::agg::{AggContext, AggState};
+use crate::agg::{AggContext, AggScratch, AggState};
 use crate::api::{AggregationResult, QueryId};
 use crate::keys::{leaf_prefix, state_key};
 use crate::lang::{Query, WindowKind};
@@ -137,6 +137,9 @@ pub struct TaskProcessor {
     entering_buf: Vec<Event>,
     encode_buf: Vec<u8>,
     entity_buf: Vec<Value>,
+    /// Per-task scratch for aggregator aux keys plus the in-memory sketch
+    /// cache (flushed to the aux CF at checkpoints — see [`AggScratch`]).
+    agg_scratch: AggScratch,
 }
 
 /// Name of the auxiliary column family for `countDistinct`.
@@ -180,6 +183,7 @@ impl TaskProcessor {
             entering_buf: Vec::new(),
             encode_buf: Vec::with_capacity(64),
             entity_buf: Vec::with_capacity(4),
+            agg_scratch: AggScratch::default(),
         })
     }
 
@@ -325,13 +329,23 @@ impl TaskProcessor {
                 self.db.delete(Db::DEFAULT_CF, &key)?;
                 self.stats.state_writes.fetch_add(1, Ordering::Relaxed);
             }
-            if self.plan.leaves[leaf].func == crate::lang::AggFunc::CountDistinct {
+            if matches!(
+                self.plan.leaves[leaf].func,
+                crate::lang::AggFunc::CountDistinct
+                    | crate::lang::AggFunc::ApproxCountDistinct { .. }
+                    | crate::lang::AggFunc::TopK { .. }
+                    | crate::lang::AggFunc::Percentile { .. }
+            ) {
+                // Drop cached sketches first so a later flush cannot
+                // resurrect blobs the aux-CF scan below deletes.
+                self.agg_scratch.drop_prefix(&prefix);
                 distinct_prefixes.push(prefix);
             }
         }
-        // `countDistinct` aux counters embed the state key
-        // length-prefixed, so they are matched by decoding rather than by
-        // raw prefix — one pass over the aux CF covers every dead leaf.
+        // `countDistinct` aux counters and sketch blobs both embed the
+        // state key length-prefixed, so they are matched by decoding
+        // rather than by raw prefix — one pass over the aux CF covers
+        // every dead leaf.
         if !distinct_prefixes.is_empty() {
             for (key, _) in self.db.scan_prefix(self.aux_cf, &[])? {
                 if distinct_prefixes
@@ -541,11 +555,16 @@ impl TaskProcessor {
             Some(decoded) => decoded?,
             None => AggState::new(leaf_node.func),
         };
-        let ctx = AggContext {
-            db: &self.db,
-            aux_cf: self.aux_cf,
-            state_key: &key,
-        };
+        let mut ctx = AggContext::new(&self.db, self.aux_cf, &key, &self.agg_scratch);
+        if let WindowKind::Sliding(ws) = spec.kind {
+            // Sketch-backed leaves route inserts into time panes and
+            // expire whole panes once the tail bound passes them.
+            let lower = match &self.windows[leaf_node.window] {
+                Some(wr) => wr.tail_bound.as_millis(),
+                None => i64::MIN,
+            };
+            ctx = ctx.windowed(event.ts.as_millis(), lower, ws.as_millis());
+        }
         if insert {
             state.insert(field_value, &ctx)?;
         } else {
@@ -659,6 +678,9 @@ impl TaskProcessor {
     /// Checkpoint reservoir and state store together (§4.1.3) into `dir`.
     pub fn checkpoint(&self, dir: &Path) -> Result<()> {
         std::fs::create_dir_all(dir)?;
+        // Sketch blobs live in an in-memory cache between checkpoints;
+        // flush them so the store image carries the current estimates.
+        self.agg_scratch.flush(&self.db, self.aux_cf)?;
         self.reservoir.checkpoint(&dir.join("reservoir"))?;
         self.db.checkpoint(&dir.join("store"))?;
         Ok(())

@@ -20,6 +20,12 @@
 # worst-case recovery time must stay under a loose ceiling of the
 # committed baseline.
 #
+# And the sketch guard (PR 8): the committed BENCH_sketch.json must show
+# the approximate countDistinct arm at constant memory (>= 10x below the
+# exact aux-CF footprint at 1M distinct keys), within its configured
+# error bound on every row, and at least matching the exact arm's insert
+# throughput.
+#
 # Usage:
 #   scripts/bench_baseline.sh          # smoke mode (CI): tiny N
 #   scripts/bench_baseline.sh --full   # full measurement run
@@ -40,6 +46,7 @@ SCALING_OUT="$(pwd)/target/bench_scaling_smoke.json"
 LATENCY_OUT="$(pwd)/target/bench_latency_smoke.json"
 INGEST_OUT="$(pwd)/target/bench_ingest_smoke.json"
 RECOVERY_OUT="$(pwd)/target/bench_recovery_smoke.json"
+SKETCH_OUT="$(pwd)/target/bench_sketch_smoke.json"
 # shellcheck disable=SC2086  # MODE_ARGS is intentionally word-split
 cargo bench -p railgun-bench --bench fig_hotpath -- $MODE_ARGS --out "$OUT"
 # shellcheck disable=SC2086
@@ -50,6 +57,8 @@ cargo bench -p railgun-bench --bench fig_latency -- $MODE_ARGS --out "$LATENCY_O
 cargo bench -p railgun-bench --bench fig_ingest -- $MODE_ARGS --out "$INGEST_OUT"
 # shellcheck disable=SC2086
 cargo bench -p railgun-bench --bench fig_recovery -- $MODE_ARGS --out "$RECOVERY_OUT"
+# shellcheck disable=SC2086
+cargo bench -p railgun-bench --bench fig_sketch -- $MODE_ARGS --out "$SKETCH_OUT"
 
 validate() {
   f="$1"
@@ -69,11 +78,13 @@ validate "$SCALING_OUT"
 validate "$LATENCY_OUT"
 validate "$INGEST_OUT"
 validate "$RECOVERY_OUT"
+validate "$SKETCH_OUT"
 validate BENCH_hotpath.json
 validate BENCH_scaling.json
 validate BENCH_latency.json
 validate BENCH_ingest.json
 validate BENCH_recovery.json
+validate BENCH_sketch.json
 
 # Telemetry-off hot-path guard. The benches run with telemetry disabled
 # (the default), so the fresh in-order ingest rate should be in the same
@@ -164,4 +175,63 @@ sys.exit(0 if worst <= ceiling else 1)
 EOF
 else
   echo "skip: crash-recovery guard needs python3"
+fi
+
+# Sketch guard. Three checks on the committed full-run BENCH_sketch.json
+# (all from one run on one machine, so they are exact — no noise
+# allowance), plus a fresh-run error tripwire:
+#  1. Constant memory: at >= 1M distinct keys the approximate arm's
+#     state must be at least 10x below the exact aux-CF footprint.
+#  2. Accuracy: every committed row's relative error must be within the
+#     configured bound.
+#  3. Throughput: the approximate arm's per-event insert rate must be at
+#     least the exact arm's at every cardinality both measured.
+# The fresh smoke run re-checks only the error bound (it is
+# hardware-independent; throughput and footprint come from the committed
+# full run).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SKETCH_OUT" <<'EOF'
+import json, sys
+
+committed = json.load(open("BENCH_sketch.json"))
+bound = committed["config"]["err"]
+rows = committed["measured"]["sweep"]
+ok = True
+
+big = [r for r in rows if r["distinct"] >= 1_000_000 and r["exact"]]
+if not big:
+    print("FAIL: BENCH_sketch.json has no >=1M-key row with an exact arm")
+    ok = False
+for r in big:
+    ratio = r["exact"]["state_bytes"] / max(1, r["approx"]["state_bytes"])
+    status = "ok" if ratio >= 10 else "FAIL"
+    ok &= ratio >= 10
+    print(f"{status}: {r['distinct']} keys: approx state {r['approx']['state_bytes']} B "
+          f"is {ratio:.0f}x below exact {r['exact']['state_bytes']} B (need >= 10x)")
+
+for r in rows:
+    status = "ok" if r["approx"]["rel_err"] <= bound else "FAIL"
+    ok &= r["approx"]["rel_err"] <= bound
+    print(f"{status}: {r['distinct']} keys: committed rel_err "
+          f"{r['approx']['rel_err']:.4f} <= bound {bound}")
+
+for r in rows:
+    if not r["exact"]:
+        continue
+    status = "ok" if r["approx"]["events_per_s"] >= r["exact"]["events_per_s"] else "FAIL"
+    ok &= r["approx"]["events_per_s"] >= r["exact"]["events_per_s"]
+    print(f"{status}: {r['distinct']} keys: approx {r['approx']['events_per_s']:.0f} ev/s "
+          f"vs exact {r['exact']['events_per_s']:.0f} ev/s")
+
+fresh = json.load(open(sys.argv[1]))
+for r in fresh["measured"]["sweep"]:
+    status = "ok" if r["approx"]["rel_err"] <= bound else "FAIL"
+    ok &= r["approx"]["rel_err"] <= bound
+    print(f"{status}: {r['distinct']} keys: fresh rel_err "
+          f"{r['approx']['rel_err']:.4f} <= bound {bound}")
+
+sys.exit(0 if ok else 1)
+EOF
+else
+  echo "skip: sketch guard needs python3"
 fi

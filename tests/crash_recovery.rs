@@ -161,6 +161,101 @@ fn missing_checkpoint_dir_degrades_to_full_replay() {
     assert_eq!(last_source, last_recovered);
 }
 
+/// Sketch-backed aggregators (HLL / topK / percentile) hold their state
+/// in an in-memory cache that is flushed to the aux CF at checkpoints.
+/// Both recovery arms must converge to the uninterrupted run's
+/// estimates: a clean restore continues from the flushed blobs, and a
+/// damaged checkpoint degrades to full replay whose deterministic
+/// kernels rebuild the exact same sketches.
+#[test]
+fn sketch_state_survives_checkpoint_and_full_replay() {
+    const QUERY: &str = "SELECT countDistinct(amount) approx 0.02, topK(amount, 3), \
+                         percentile(amount, 95) FROM payments GROUP BY cardId OVER sliding 1 hours";
+    let sketch_event = |i: u64| {
+        Event::new(
+            EventId(i),
+            Timestamp::from_millis(i as i64 * 1_000),
+            vec![
+                Value::from(format!("card-{}", i % 3)),
+                Value::from((i * i % 97) as f64),
+            ],
+        )
+    };
+    let (ckpt_at, total) = (30u64, 48u64);
+
+    // Uninterrupted run, checkpointing mid-stream.
+    let q = parse_query(QUERY).unwrap();
+    let mut source = TaskProcessor::open(
+        &tmp("sketch-src"),
+        "payments--cardId",
+        0,
+        schema(),
+        TaskConfig::default(),
+    )
+    .unwrap();
+    source.register_query(&q).unwrap();
+    for i in 0..ckpt_at {
+        source.process_event(&sketch_event(i)).unwrap();
+    }
+    let ckpt = tmp("sketch-ckpt");
+    source.checkpoint(&ckpt).unwrap();
+    let mut last_source = Vec::new();
+    for i in ckpt_at..total {
+        let (r, _) = source.process_event(&sketch_event(i)).unwrap();
+        last_source = r;
+    }
+
+    // Arm 1: clean restore from the checkpoint + replay of the suffix.
+    let (config, fallbacks) = config_with_counter();
+    let (mut tp, outcome) = TaskProcessor::restore_or_replay(
+        &ckpt,
+        &tmp("sketch-restored"),
+        "payments--cardId",
+        0,
+        schema(),
+        config,
+    )
+    .unwrap();
+    assert_eq!(outcome, RestoreOutcome::FromCheckpoint);
+    assert_eq!(fallbacks.get(), 0);
+    tp.register_query(&q).unwrap();
+    let mut last_restored = Vec::new();
+    for i in ckpt_at..total {
+        let (r, _) = tp.process_event(&sketch_event(i)).unwrap();
+        last_restored = r;
+    }
+    assert_eq!(
+        last_source, last_restored,
+        "restored sketches must continue to the same estimates"
+    );
+
+    // Arm 2: the checkpoint is damaged (no completeness marker), so
+    // recovery degrades to a full replay from offset zero.
+    std::fs::remove_file(ckpt.join("store").join("wal.log")).unwrap();
+    let (config, fallbacks) = config_with_counter();
+    let (mut tp, outcome) = TaskProcessor::restore_or_replay(
+        &ckpt,
+        &tmp("sketch-replayed"),
+        "payments--cardId",
+        0,
+        schema(),
+        config,
+    )
+    .unwrap();
+    assert_eq!(outcome, RestoreOutcome::FullReplay);
+    assert_eq!(fallbacks.get(), 1);
+    tp.register_query(&q).unwrap();
+    let mut last_replayed = Vec::new();
+    for i in 0..total {
+        let (r, _) = tp.process_event(&sketch_event(i)).unwrap();
+        last_replayed = r;
+    }
+    assert_eq!(
+        last_source, last_replayed,
+        "deterministic kernels must rebuild identical estimates on full replay"
+    );
+}
+
 /// End-to-end through the cluster: the checkpoint topic's records point
 /// at images that `restore_or_replay` accepts as complete — the recovery
 /// path a rebalanced unit would take.
