@@ -1,0 +1,238 @@
+//! Rebalance-downtime baseline (BENCH_rebalance.json).
+//!
+//! Measures what a planned reconfiguration costs a live client with and
+//! without checkpoint-based state handover (the paper's §4.2 elasticity
+//! story). Both arms preload the same per-card event log, then repeatedly
+//! scale out (add a node) and back in, probing every card through the
+//! surviving front-end after each step. Replies are in-order per task, so
+//! a probe's latency is exactly the time its gained task still needs to
+//! become current — the per-key downtime of the rebalance:
+//!
+//! * **full_replay** — periodic checkpoints off, scale-in via plain
+//!   decommission: a gained task has no state image and must replay its
+//!   partition from offset 0 (the pre-handover baseline);
+//! * **handover** — periodic checkpoints on, scale-in via
+//!   `Cluster::drain_node`: a gained task restores the newest published
+//!   image and replays only the tail behind it.
+//!
+//! Every probe reply is also verified against the expected per-card
+//! running count, so each run re-proves that no acked event is lost
+//! across any of the reconfigurations (the drain zero-loss contract).
+//!
+//! Run modes mirror the other figure benches:
+//!
+//! * `cargo bench -p railgun-bench --bench fig_rebalance` — full run;
+//! * `-- --test` — smoke mode (smaller workload, used by CI);
+//! * `-- --out <path>` — additionally write the JSON to `<path>`.
+
+use std::time::Instant;
+
+use railgun_core::{Cluster, ClusterConfig, ElasticCounters};
+use railgun_types::{FieldType, Schema, Timestamp, Value};
+
+const PARTITIONS: u32 = 8;
+
+struct ArmResult {
+    latencies_us: Vec<u64>,
+    elastic: ElasticCounters,
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+/// One arm: preload the log, then `trials` × (add node → probe every
+/// card → remove a node → probe every card), verifying every reply.
+fn run_arm(
+    tag: &str,
+    events: u64,
+    cards: u64,
+    trials: u32,
+    checkpoint_every: u64,
+) -> ArmResult {
+    let mut cfg = ClusterConfig {
+        nodes: 1,
+        units_per_node: 1,
+        partitions: PARTITIONS,
+        ..ClusterConfig::default()
+    };
+    cfg.data_root =
+        std::env::temp_dir().join(format!("railgun-figrebalance-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&cfg.data_root).ok();
+    cfg.checkpoint_every = checkpoint_every;
+    // Full replay of tens of thousands of events takes many pump rounds;
+    // never let a collect give up before the gained task catches up.
+    cfg.max_pump_iterations = 1_000_000;
+    let handover = checkpoint_every > 0;
+
+    let mut cluster = Cluster::new(cfg).expect("cluster");
+    let schema = Schema::from_pairs(&[
+        ("cardId", FieldType::Str),
+        ("amount", FieldType::Float),
+    ])
+    .expect("schema");
+    cluster
+        .create_stream("payments", schema, &["cardId"])
+        .expect("stream");
+    cluster
+        .register_query("SELECT count(*) FROM payments GROUP BY cardId OVER infinite")
+        .expect("query");
+
+    // Preload: the log every gained task must catch up on.
+    let mut counts = vec![0u64; cards as usize];
+    let mut ts = 0i64;
+    let mut send = |cluster: &mut Cluster, card: u64, ts: i64| -> i64 {
+        let r = cluster
+            .send_via(
+                0,
+                "payments",
+                Timestamp::from_millis(ts),
+                vec![Value::from(format!("card-{card}")), Value::from(1.0)],
+            )
+            .expect("send");
+        counts[card as usize] += 1;
+        let got = r.aggregations[0].value.as_i64().expect("count");
+        assert_eq!(
+            got as u64, counts[card as usize],
+            "card {card}: acked event lost (expected {}, got {got})",
+            counts[card as usize]
+        );
+        got
+    };
+    for i in 0..events {
+        ts += 1;
+        send(&mut cluster, i % cards, ts);
+    }
+
+    // Reconfiguration trials. Probes go through node 0, which never
+    // leaves; each probe's latency is its card's remaining downtime.
+    let mut latencies_us = Vec::with_capacity((trials as usize) * (cards as usize) * 2);
+    let mut probe_all = |cluster: &mut Cluster, ts: &mut i64, latencies: &mut Vec<u64>| {
+        for card in 0..cards {
+            *ts += 1;
+            let t0 = Instant::now();
+            send(cluster, card, *ts);
+            latencies.push(t0.elapsed().as_micros() as u64);
+        }
+    };
+    for trial in 0..trials {
+        eprintln!("#   {tag}: trial {}/{trials}", trial + 1);
+        cluster.add_node().expect("add node");
+        probe_all(&mut cluster, &mut ts, &mut latencies_us);
+        if handover {
+            cluster.drain_node(1).expect("drain node");
+        } else {
+            // The baseline arm must stay checkpoint-free: a drain would
+            // publish images and turn the next trial into a handover.
+            cluster.decommission_node(1).expect("decommission node");
+        }
+        probe_all(&mut cluster, &mut ts, &mut latencies_us);
+    }
+
+    let elastic = cluster.metrics_snapshot().elastic;
+    latencies_us.sort_unstable();
+    ArmResult {
+        latencies_us,
+        elastic,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (events, cards, trials, checkpoint_every) = if smoke {
+        (4_000u64, 16u64, 3u32, 100u64)
+    } else {
+        (40_000u64, 16u64, 5u32, 250u64)
+    };
+
+    eprintln!(
+        "# fig_rebalance: {events} preloaded events, {cards} cards, {PARTITIONS} partitions, \
+         {trials} scale-out/in trials per arm"
+    );
+    eprintln!("#   arm 1/2: full replay (checkpoints off)");
+    let full = run_arm("full", events, cards, trials, 0);
+    eprintln!("#   arm 2/2: checkpoint handover (every {checkpoint_every} events)");
+    let hand = run_arm("handover", events, cards, trials, checkpoint_every);
+
+    let full_p50 = percentile(&full.latencies_us, 0.50);
+    let full_p99 = percentile(&full.latencies_us, 0.99);
+    let hand_p50 = percentile(&hand.latencies_us, 0.50);
+    let hand_p99 = percentile(&hand.latencies_us, 0.99);
+    let ratio = full_p99 as f64 / hand_p99.max(1) as f64;
+    assert!(
+        hand.elastic.handovers_completed > 0,
+        "handover arm never restored from a checkpoint: {:?}",
+        hand.elastic
+    );
+    assert_eq!(
+        hand.elastic.handover_fallbacks, 0,
+        "handover arm fell back to full replay: {:?}",
+        hand.elastic
+    );
+
+    eprintln!("#   full replay:  p50 {full_p50} µs, p99 {full_p99} µs");
+    eprintln!(
+        "#   handover:     p50 {hand_p50} µs, p99 {hand_p99} µs \
+         ({} handovers, {} tail events, {} drains)",
+        hand.elastic.handovers_completed,
+        hand.elastic.tail_events_replayed,
+        hand.elastic.drains_completed
+    );
+    eprintln!("#   downtime p99 ratio (full replay / handover): {ratio:.1}x");
+
+    // -- JSON ---------------------------------------------------------------
+    let mode = if smoke { "test" } else { "full" };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"fig_rebalance\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"config\": {{ \"events\": {events}, \"cards\": {cards}, \"partitions\": {PARTITIONS}, \
+         \"trials\": {trials}, \"checkpoint_every\": {checkpoint_every} }},\n"
+    ));
+    json.push_str("  \"measured\": {\n");
+    json.push_str(
+        "    \"note\": \"µs per probe send through a surviving front-end right after a \
+         scale-out/in; replies are in-order per task, so probe latency is the card's remaining \
+         rebalance downtime. Every reply is verified against the expected running count (zero \
+         acked loss).\",\n",
+    );
+    json.push_str(&format!(
+        "    \"full_replay\": {{ \"probes\": {}, \"p50_us\": {full_p50}, \"p99_us\": {full_p99} }},\n",
+        full.latencies_us.len()
+    ));
+    json.push_str(&format!(
+        "    \"handover\": {{ \"probes\": {}, \"p50_us\": {hand_p50}, \"p99_us\": {hand_p99}, \
+         \"handovers\": {}, \"tail_events_replayed\": {}, \"fallbacks\": {}, \"drains\": {} }},\n",
+        hand.latencies_us.len(),
+        hand.elastic.handovers_completed,
+        hand.elastic.tail_events_replayed,
+        hand.elastic.handover_fallbacks,
+        hand.elastic.drains_completed
+    ));
+    json.push_str(&format!(
+        "    \"downtime_p99_ratio\": {ratio:.2},\n    \"acked_loss\": 0\n"
+    ));
+    json.push_str("  }\n}\n");
+
+    print!("{json}");
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        std::fs::write(&path, &json).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+}

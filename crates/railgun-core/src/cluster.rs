@@ -23,6 +23,7 @@ use railgun_messaging::{BusClock, BusConfig, MessageBus};
 use railgun_types::{RailgunError, Result, Schema, TimeDelta, Timestamp, Value};
 
 use crate::api::{find_keyed, AggregationResult, QueryId};
+use crate::elastic::{Autoscaler, AutoscalerConfig, ScaleDecision};
 use crate::frontend::{BatchPolicy, ClientResponse, FrontEnd, RegisteredQuery};
 use crate::lang::Query;
 use crate::metrics::{EngineTelemetry, MetricsSnapshot};
@@ -71,6 +72,10 @@ pub struct ClusterConfig {
     /// (see the `metrics` module's cost contract). Snapshot with
     /// [`Cluster::metrics_snapshot`].
     pub telemetry: bool,
+    /// Autoscaler bounds and hysteresis (disabled by default). Drive the
+    /// controller with [`Cluster::autoscale_tick`] at a fixed cadence —
+    /// the cluster never spawns its own control thread.
+    pub autoscaler: AutoscalerConfig,
 }
 
 impl ClusterConfig {
@@ -110,6 +115,7 @@ impl Default for ClusterConfig {
             batch: BatchPolicy::default(),
             collect_timeout_ms: 10_000,
             telemetry: false,
+            autoscaler: AutoscalerConfig::default(),
         }
     }
 }
@@ -172,6 +178,11 @@ pub struct Cluster {
     strategy: Arc<RailgunStrategy>,
     config: ClusterConfig,
     telemetry: Arc<EngineTelemetry>,
+    autoscaler: Autoscaler,
+    /// Ids of nodes that have left (killed, drained, decommissioned):
+    /// collects against their tickets fail promptly with
+    /// [`RailgunError::NodeLost`] instead of timing out.
+    departed: Vec<u32>,
     next_node_id: u32,
     next_client_id: u32,
     rr_node: usize,
@@ -218,6 +229,8 @@ impl Cluster {
             nodes,
             strategy,
             telemetry,
+            autoscaler: Autoscaler::new(config.autoscaler.clone()),
+            departed: Vec::new(),
             next_node_id: config.nodes,
             next_client_id: CLIENT_ID_BASE,
             config,
@@ -407,17 +420,29 @@ impl Cluster {
         })
     }
 
-    /// Resolve a ticket's owning node to its current index, erroring if
-    /// that node has left the cluster.
+    /// Resolve a ticket's owning node to its current index. A ticket
+    /// whose front-end left the cluster (killed, drained, decommissioned)
+    /// fails promptly with [`RailgunError::NodeLost`] — the reply will
+    /// never come, so making the caller wait out the collect timeout
+    /// would only serialize the loss; one that never existed is an
+    /// [`RailgunError::InvalidArgument`].
     fn ticket_node(&self, ticket: Ticket) -> Result<usize> {
         self.nodes
             .iter()
             .position(|n| n.id == ticket.node)
             .ok_or_else(|| {
-                RailgunError::InvalidArgument(format!(
-                    "ticket for departed node {}",
-                    ticket.node
-                ))
+                if self.departed.contains(&ticket.node) {
+                    RailgunError::NodeLost(format!(
+                        "node {} left the cluster with request {} outstanding — \
+                         resend through a surviving node",
+                        ticket.node, ticket.request_id
+                    ))
+                } else {
+                    RailgunError::InvalidArgument(format!(
+                        "ticket for unknown node {}",
+                        ticket.node
+                    ))
+                }
             })
     }
 
@@ -536,6 +561,7 @@ impl Cluster {
             return Err(RailgunError::InvalidArgument(format!("no node {idx}")));
         }
         let mut node = self.nodes.remove(idx);
+        self.departed.push(node.id);
         node.shutdown();
         self.settle()
     }
@@ -544,15 +570,94 @@ impl Cluster {
     /// heartbeating; the bus expels them after the session timeout. Worker
     /// threads (if the node was threaded) are joined first — stopping a
     /// worker never unsubscribes its consumers, so the failure detection
-    /// path is exercised identically in both modes.
+    /// path is exercised identically in both modes. Tickets owned by the
+    /// killed front-end fail on their next collect with
+    /// [`RailgunError::NodeLost`].
     pub fn kill_node(&mut self, idx: usize) -> Result<()> {
         if idx >= self.nodes.len() {
             return Err(RailgunError::InvalidArgument(format!("no node {idx}")));
         }
         let mut node = self.nodes.remove(idx);
+        self.departed.push(node.id);
         let _ = node.stop();
         drop(node);
         Ok(())
+    }
+
+    /// Scheduled drain (planned scale-down, the opposite of
+    /// [`Cluster::kill_node`]): move a node's tasks off **before**
+    /// removing it, so nothing is lost and the handover tail is short.
+    ///
+    /// Protocol, in order:
+    ///
+    /// 1. mark the node draining in the assignment strategy — concurrent
+    ///    rebalances can no longer hand it new work;
+    /// 2. flush a final checkpoint of every task with progress past its
+    ///    last image (forced — works with periodic checkpoints disabled)
+    ///    and publish the records;
+    /// 3. leave the consumer groups, triggering the rebalance that moves
+    ///    the tasks to survivors — which restore from the images of
+    ///    step 2 and replay only what arrived mid-drain;
+    /// 4. remove the node and settle.
+    ///
+    /// Returns the number of checkpoint images flushed in step 2.
+    /// Tickets still outstanding on the drained front-end fail with
+    /// [`RailgunError::NodeLost`] — under live ingest, collect before
+    /// draining the node you are sending through, or resend.
+    pub fn drain_node(&mut self, idx: usize) -> Result<usize> {
+        if idx >= self.nodes.len() {
+            return Err(RailgunError::InvalidArgument(format!("no node {idx}")));
+        }
+        if self.nodes.len() == 1 {
+            return Err(RailgunError::InvalidArgument(
+                "cannot drain the last node".into(),
+            ));
+        }
+        let node_id = self.nodes[idx].id;
+        self.strategy.set_draining(node_id);
+        let flushed = match self.nodes[idx].drain_units() {
+            Ok(f) => f,
+            Err(e) => {
+                // Abort: the node keeps serving (its consumers are still
+                // in the groups); un-mark it so it gets work again.
+                self.strategy.clear_draining(node_id);
+                return Err(e);
+            }
+        };
+        let mut node = self.nodes.remove(idx);
+        self.departed.push(node_id);
+        node.shutdown();
+        drop(node);
+        self.strategy.clear_draining(node_id);
+        self.settle()?;
+        self.telemetry.drain_counter().incr();
+        Ok(flushed)
+    }
+
+    /// Feed the autoscaler controller one telemetry observation and
+    /// execute its decision (add a node, or drain the newest one).
+    /// Returns the decision already carried out. Call at a fixed cadence
+    /// — the controller's streak and cooldown constants are denominated
+    /// in calls (see [`crate::elastic`]). A no-op unless
+    /// `ClusterConfig::autoscaler.enabled`.
+    pub fn autoscale_tick(&mut self) -> Result<ScaleDecision> {
+        let snap = self.telemetry.snapshot();
+        let decision = self.autoscaler.observe(&snap, self.nodes.len());
+        match decision {
+            ScaleDecision::Hold => {}
+            ScaleDecision::Add => {
+                self.add_node()?;
+                self.telemetry.autoscaler_add_counter().incr();
+            }
+            ScaleDecision::Shrink => {
+                // Drain the newest node: the older nodes hold the
+                // longest-lived state and the warmest caches.
+                let idx = self.nodes.len() - 1;
+                self.drain_node(idx)?;
+                self.telemetry.autoscaler_shrink_counter().incr();
+            }
+        }
+        Ok(decision)
     }
 
     /// Add a fresh node to the running cluster (elasticity). If the

@@ -14,6 +14,9 @@
 //! * [`unit`](mod@unit) — processor units running Algorithm 1;
 //! * [`rebalance`] — the sticky, locality-aware assignment strategy
 //!   (Figure 7);
+//! * [`elastic`] — the telemetry-driven autoscaler controller of the
+//!   elastic membership subsystem (Figure 10; handover and drain live
+//!   in [`unit`](mod@unit) and [`cluster`]);
 //! * [`frontend`] — the front-end layer routing events to partitioner
 //!   topics and collecting replies (§3.1), with a pipelined in-flight
 //!   correlation table;
@@ -34,6 +37,7 @@
 pub mod agg;
 pub mod api;
 pub mod cluster;
+pub mod elastic;
 pub mod expr;
 pub mod frontend;
 pub mod keys;
@@ -49,10 +53,11 @@ pub mod unit;
 
 pub use api::{find_keyed, AggregationResult, EventRequest, OpRequest, QueryId, Reply};
 pub use cluster::{Cluster, ClusterClient, ClusterConfig, SendOutcome, Ticket};
+pub use elastic::{Autoscaler, AutoscalerConfig, ScaleDecision};
 pub use frontend::BatchPolicy;
 pub use metrics::{
-    BatchingMetrics, EngineCounters, EngineTelemetry, MetricsSnapshot, QueryMetrics,
-    RecoveryCounters, SharedTaskStats, StageLatencies, TaskStatsRegistry,
+    BatchingMetrics, ElasticCounters, EngineCounters, EngineTelemetry, MetricsSnapshot,
+    QueryMetrics, RecoveryCounters, SharedTaskStats, StageLatencies, TaskStatsRegistry,
 };
 pub use runtime::Runtime;
 pub use lang::{

@@ -238,6 +238,20 @@ pub struct EngineTelemetry {
     /// Corrupt/partial checkpoints that degraded to a full topic replay
     /// (always on).
     checkpoint_fallbacks: Counter,
+    /// Gained tasks restored from a checkpoint image on rebalance
+    /// (always on — one event per handover, far off the hot path).
+    handovers: Counter,
+    /// Tail events handovers still replayed after restoring (always on).
+    tail_replayed: Counter,
+    /// Handovers that found a checkpoint record but degraded to a full
+    /// replay because the image failed validation (always on).
+    handover_fallbacks: Counter,
+    /// Scheduled drains that completed (always on).
+    drains: Counter,
+    /// Autoscaler scale-up decisions executed (always on).
+    autoscaler_adds: Counter,
+    /// Autoscaler scale-down (drain) decisions executed (always on).
+    autoscaler_shrinks: Counter,
     /// Strictest registered SLO budget in µs (0 = none) — the overload
     /// policy's reference point, read on every `send_event`.
     strictest_slo_us: AtomicU64,
@@ -279,6 +293,12 @@ impl EngineTelemetry {
             store_wal_truncated: Counter::enabled(),
             store_orphans: Counter::enabled(),
             checkpoint_fallbacks: Counter::enabled(),
+            handovers: Counter::enabled(),
+            tail_replayed: Counter::enabled(),
+            handover_fallbacks: Counter::enabled(),
+            drains: Counter::enabled(),
+            autoscaler_adds: Counter::enabled(),
+            autoscaler_shrinks: Counter::enabled(),
             strictest_slo_us: AtomicU64::new(0),
             per_query: Mutex::new(FastHashMap::default()),
             tasks: TaskStatsRegistry::new(),
@@ -365,6 +385,40 @@ impl EngineTelemetry {
     /// `TaskConfig::checkpoint_fallbacks`).
     pub fn checkpoint_fallback_counter(&self) -> Counter {
         self.checkpoint_fallbacks.clone()
+    }
+
+    /// Counter of rebalance-gained tasks restored from a checkpoint
+    /// image (for `UnitConfig::handovers`).
+    pub fn handover_counter(&self) -> Counter {
+        self.handovers.clone()
+    }
+
+    /// Counter of tail events handovers replayed after restoring (for
+    /// `UnitConfig::tail_replayed`).
+    pub fn tail_replayed_counter(&self) -> Counter {
+        self.tail_replayed.clone()
+    }
+
+    /// Counter of handovers that degraded to a full replay (for
+    /// `UnitConfig::handover_fallbacks`).
+    pub fn handover_fallback_counter(&self) -> Counter {
+        self.handover_fallbacks.clone()
+    }
+
+    /// Counter of completed scheduled drains (bumped by
+    /// `Cluster::drain_node`).
+    pub fn drain_counter(&self) -> Counter {
+        self.drains.clone()
+    }
+
+    /// Counter of executed autoscaler scale-up decisions.
+    pub fn autoscaler_add_counter(&self) -> Counter {
+        self.autoscaler_adds.clone()
+    }
+
+    /// Counter of executed autoscaler scale-down decisions.
+    pub fn autoscaler_shrink_counter(&self) -> Counter {
+        self.autoscaler_shrinks.clone()
     }
 
     /// True iff front-ends should timestamp requests: stage telemetry is
@@ -493,6 +547,14 @@ impl EngineTelemetry {
                 orphaned_sstables_quarantined: self.store_orphans.get(),
                 checkpoint_fallbacks: self.checkpoint_fallbacks.get(),
             },
+            elastic: ElasticCounters {
+                handovers_completed: self.handovers.get(),
+                tail_events_replayed: self.tail_replayed.get(),
+                handover_fallbacks: self.handover_fallbacks.get(),
+                drains_completed: self.drains.get(),
+                autoscaler_adds: self.autoscaler_adds.get(),
+                autoscaler_shrinks: self.autoscaler_shrinks.get(),
+            },
             tasks: self.tasks.aggregate(),
             queries,
         }
@@ -562,6 +624,32 @@ pub struct RecoveryCounters {
     pub checkpoint_fallbacks: u64,
 }
 
+/// Elastic-membership counters (always on — every one of these events is
+/// a rebalance-scale occurrence, far off the hot path). Together they
+/// tell the Figure 10 story in numbers: how often state moved by image
+/// instead of replay, how short the replayed tails were, and what the
+/// autoscaler decided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElasticCounters {
+    /// Rebalance-gained tasks restored from a checkpoint image (the fast
+    /// arm; the task replayed only the tail past the recorded offset).
+    pub handovers_completed: u64,
+    /// Tail events those handovers still replayed. Divide by
+    /// `handovers_completed` for the mean tail length — the drain
+    /// protocol exists to keep this near zero.
+    pub tail_events_replayed: u64,
+    /// Handovers that found a checkpoint record but fell back to a full
+    /// replay because the image failed validation (the degraded arm; a
+    /// cold boot with no record counts as neither).
+    pub handover_fallbacks: u64,
+    /// Scheduled drains that completed (`Cluster::drain_node`).
+    pub drains_completed: u64,
+    /// Autoscaler scale-up decisions executed.
+    pub autoscaler_adds: u64,
+    /// Autoscaler scale-down (drain) decisions executed.
+    pub autoscaler_shrinks: u64,
+}
+
 /// Latency ladder and SLO standing of one registered query.
 #[derive(Debug, Clone)]
 pub struct QueryMetrics {
@@ -603,6 +691,9 @@ pub struct MetricsSnapshot {
     /// Crash-recovery counters: torn-tail truncation, orphan quarantine,
     /// checkpoint fallbacks (always on).
     pub recovery: RecoveryCounters,
+    /// Elastic-membership counters: handovers, replayed tails, drains,
+    /// autoscaler decisions (always on).
+    pub elastic: ElasticCounters,
     /// Aggregated counters over every live task processor (always on).
     pub tasks: TaskStats,
     /// Per-query ladders, in [`QueryId`] order.
@@ -719,6 +810,30 @@ mod tests {
                 wal_truncated_bytes: 123,
                 orphaned_sstables_quarantined: 1,
                 checkpoint_fallbacks: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn elastic_counters_flow_into_snapshot() {
+        let t = EngineTelemetry::new(false);
+        // Elastic counters are always on, even with stage telemetry off.
+        t.handover_counter().incr();
+        t.tail_replayed_counter().add(42);
+        t.handover_fallback_counter().incr();
+        t.drain_counter().incr();
+        t.autoscaler_add_counter().add(2);
+        t.autoscaler_shrink_counter().incr();
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.elastic,
+            ElasticCounters {
+                handovers_completed: 1,
+                tail_events_replayed: 42,
+                handover_fallbacks: 1,
+                drains_completed: 1,
+                autoscaler_adds: 2,
+                autoscaler_shrinks: 1,
             }
         );
     }

@@ -77,6 +77,9 @@ impl Node {
                     process_recorder: telemetry.unit_process_recorder(),
                     batch_size: telemetry.batch_size_recorder(),
                     batched_events: telemetry.unit_batched_counter(),
+                    handovers: telemetry.handover_counter(),
+                    tail_replayed: telemetry.tail_replayed_counter(),
+                    handover_fallbacks: telemetry.handover_fallback_counter(),
                 },
                 Arc::clone(&strategy),
             )?);
@@ -263,5 +266,27 @@ impl Node {
                 unit.shutdown();
             }
         }
+    }
+
+    /// Drain every unit: flush a final checkpoint of each task with
+    /// uncheckpointed progress, then leave the groups (the node half of
+    /// the scheduled-drain protocol — see `Cluster::drain_node`). Stops
+    /// worker threads first so the units are drainable inline. All units
+    /// flush **before** any unit unsubscribes: the first departure
+    /// triggers the rebalance that moves this node's tasks, and every
+    /// image must already be published by then. Returns the number of
+    /// checkpoint images flushed.
+    pub fn drain_units(&mut self) -> Result<usize> {
+        self.stop()?;
+        let mut flushed = 0;
+        if let Backend::Pump(units) = &mut self.backend {
+            for unit in units.iter_mut() {
+                flushed += unit.drain()?;
+            }
+            for unit in units.iter_mut() {
+                unit.shutdown();
+            }
+        }
+        Ok(flushed)
     }
 }

@@ -70,6 +70,9 @@ pub struct RailgunStrategy {
     /// Total copies per task (1 = active only; the paper deploys 3).
     replication: usize,
     state: Mutex<StrategyState>,
+    /// Nodes being drained: their members stay in the group (so they can
+    /// finish flushing checkpoints) but receive no new assignments.
+    draining: Mutex<HashSet<u32>>,
 }
 
 impl RailgunStrategy {
@@ -78,7 +81,21 @@ impl RailgunStrategy {
         RailgunStrategy {
             replication: replication.max(1),
             state: Mutex::new(StrategyState::default()),
+            draining: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// Mark a node as draining: from the next rebalance on, its members
+    /// get no tasks (active or replica). Concurrent rebalances — e.g. a
+    /// heartbeat expiry racing the drain in threaded mode — can therefore
+    /// never hand work *back* to a departing node.
+    pub fn set_draining(&self, node: u32) {
+        self.draining.lock().insert(node);
+    }
+
+    /// Forget a drain mark (the node left, or the drain was aborted).
+    pub fn clear_draining(&self, node: u32) {
+        self.draining.lock().remove(&node);
     }
 
     /// Replica tasks assigned to `member` in the current generation.
@@ -106,6 +123,9 @@ impl RailgunStrategy {
 struct PassCtx<'a> {
     members: &'a [railgun_messaging::MemberInfo],
     identities: &'a HashMap<MemberId, ProcessorIdentity>,
+    /// Members allowed to take work this generation (excludes draining
+    /// nodes' members unless *everyone* is draining).
+    eligible: &'a HashSet<MemberId>,
     budget: usize,
     loads: HashMap<MemberId, usize>,
     /// node -> tasks already placed there this generation (invariant 1).
@@ -114,6 +134,9 @@ struct PassCtx<'a> {
 
 impl PassCtx<'_> {
     fn can_take(&self, member: MemberId, task: &TopicPartition) -> bool {
+        if !self.eligible.contains(&member) {
+            return false;
+        }
         if self.loads.get(&member).copied().unwrap_or(0) >= self.budget {
             return false;
         }
@@ -169,18 +192,37 @@ impl AssignmentStrategy for RailgunStrategy {
             .filter_map(|m| ProcessorIdentity::decode(&m.metadata).map(|id| (m.id, id)))
             .collect();
         let alive: HashSet<MemberId> = ctx.members.iter().map(|m| m.id).collect();
+        // Draining nodes keep their members in the group (they still need
+        // the bus to flush checkpoints) but take no new work. If every
+        // member is draining, ignore the marks — someone has to serve.
+        let draining = self.draining.lock().clone();
+        let mut eligible: HashSet<MemberId> = ctx
+            .members
+            .iter()
+            .filter(|m| {
+                identities
+                    .get(&m.id)
+                    .is_none_or(|id| !draining.contains(&id.node))
+            })
+            .map(|m| m.id)
+            .collect();
+        if eligible.is_empty() {
+            eligible = alive.clone();
+        }
         let replication = self.replication.min(
             identities
-                .values()
-                .map(|id| id.node)
+                .iter()
+                .filter(|(m, _)| eligible.contains(*m))
+                .map(|(_, id)| id.node)
                 .collect::<HashSet<_>>()
                 .len()
                 .max(1),
         );
-        let budget = (ctx.partitions.len() * replication).div_ceil(ctx.members.len());
+        let budget = (ctx.partitions.len() * replication).div_ceil(eligible.len());
         let mut pass = PassCtx {
             members: &ctx.members,
             identities: &identities,
+            eligible: &eligible,
             budget,
             loads: HashMap::new(),
             node_tasks: HashMap::new(),
@@ -245,6 +287,7 @@ impl AssignmentStrategy for RailgunStrategy {
                     .members
                     .iter()
                     .map(|m| m.id)
+                    .filter(|m| eligible.contains(m))
                     .min_by_key(|m| (pass.loads.get(m).copied().unwrap_or(0), *m))
                 {
                     pass.take(m, &task);
@@ -537,6 +580,36 @@ mod tests {
         // Meanwhile member 2 lost some tasks in gen2's rebalancing? Verify
         // the cold-assignment counter moved (data had to shuffle).
         assert!(s.cold_assignments() > 0);
+    }
+
+    #[test]
+    fn draining_node_receives_no_tasks() {
+        let s = RailgunStrategy::new(2);
+        let members = vec![member(1, 0, 0), member(2, 1, 0), member(3, 2, 0)];
+        let a1 = s.assign(&ctx(members.clone(), 6));
+        assert!(!a1[&2].is_empty(), "node 1 serves before the drain");
+        s.set_draining(1);
+        let a2 = s.assign(&ctx(members.clone(), 6));
+        assert!(a2[&2].is_empty(), "draining node must get no active tasks");
+        assert!(
+            s.replica_assignment(2).is_empty(),
+            "draining node must get no replicas"
+        );
+        let all: Vec<_> = a2.values().flatten().collect();
+        assert_eq!(all.len(), 6, "every partition still assigned");
+        // Everyone draining => marks are ignored rather than starving.
+        s.set_draining(0);
+        s.set_draining(2);
+        let a3 = s.assign(&ctx(members.clone(), 6));
+        assert_eq!(a3.values().flatten().count(), 6);
+        s.clear_draining(0);
+        s.clear_draining(2);
+        // After the drained node leaves, the survivors rebalance normally.
+        let survivors: Vec<MemberInfo> =
+            members.into_iter().filter(|m| m.id != 2).collect();
+        s.clear_draining(1);
+        let a4 = s.assign(&ctx(survivors, 6));
+        assert_eq!(a4.values().flatten().count(), 6);
     }
 
     #[test]

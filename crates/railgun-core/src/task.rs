@@ -215,6 +215,35 @@ impl TaskProcessor {
         id: QueryId,
         query: &Query,
     ) -> Result<Vec<MetricHandle>> {
+        self.attach_query(id, query, true)
+    }
+
+    /// Re-attach a query to a processor restored from a checkpoint image
+    /// (see [`TaskProcessor::restore_or_replay`]). The restored state
+    /// store already carries this query's aggregate state through the
+    /// checkpointed offset, so — unlike [`register_query_as`], which
+    /// backfills new windows from the reservoir — the new window runtime
+    /// starts *at the end* of the restored reservoir: only events
+    /// appended after the restore (the replayed tail) flow into the
+    /// leaves. Backfilling here would double-count every restored event
+    /// that is both reflected in the leaf state and present in the
+    /// image's reservoir segments.
+    ///
+    /// [`register_query_as`]: TaskProcessor::register_query_as
+    pub fn reattach_query_as(
+        &mut self,
+        id: QueryId,
+        query: &Query,
+    ) -> Result<Vec<MetricHandle>> {
+        self.attach_query(id, query, false)
+    }
+
+    fn attach_query(
+        &mut self,
+        id: QueryId,
+        query: &Query,
+        backfill: bool,
+    ) -> Result<Vec<MetricHandle>> {
         let pre_leaf_count = self.plan.leaves.len();
         let pre_window_count = self.windows.len();
         let handles = self.plan.add_query(id, query, &self.schema)?;
@@ -242,7 +271,19 @@ impl TaskProcessor {
                 // Infinite windows backfill the full history.
                 WindowKind::Infinite => Timestamp::MIN,
             };
-            let head = self.reservoir.cursor_at(from);
+            // Re-attach: the leaf state already covers everything up to
+            // `max_seen`, so the head skips the stored history (and the
+            // head bound marks it as already-flowed, which keeps the
+            // late-arrival direct-insert path and any *later* new-query
+            // backfill correct). The tail still starts at the window
+            // boundary — restored events must be evicted normally as the
+            // window slides past them.
+            let (head_from, head_bound) = if backfill || max_seen == Timestamp::MIN {
+                (from, Timestamp::MIN)
+            } else {
+                (max_seen.saturating_add(TimeDelta::from_millis(1)), max_seen)
+            };
+            let head = self.reservoir.cursor_at(head_from);
             let tail = match spec.kind {
                 WindowKind::Sliding(_) => Some(self.reservoir.cursor_at(from)),
                 _ => None,
@@ -250,7 +291,7 @@ impl TaskProcessor {
             self.windows.push(Some(WindowRuntime {
                 head,
                 tail,
-                head_bound: Timestamp::MIN,
+                head_bound,
                 tail_bound: Timestamp::MIN,
             }));
         }
@@ -258,15 +299,18 @@ impl TaskProcessor {
         // events from that window's (already advanced) head cursor, so it
         // must backfill the window's current content directly — otherwise
         // a metric re-registered onto a shared window (or a new
-        // aggregation added to one) would silently start from zero.
-        let mut seen = Vec::new();
-        for h in &handles {
-            if h.leaf < pre_leaf_count || seen.contains(&h.leaf) {
-                continue; // shared leaf: its state is already live
-            }
-            seen.push(h.leaf);
-            if self.plan.leaves[h.leaf].window < pre_window_count {
-                self.backfill_leaf(h.leaf)?;
+        // aggregation added to one) would silently start from zero. On
+        // re-attach the leaf state arrived with the image; nothing to do.
+        if backfill {
+            let mut seen = Vec::new();
+            for h in &handles {
+                if h.leaf < pre_leaf_count || seen.contains(&h.leaf) {
+                    continue; // shared leaf: its state is already live
+                }
+                seen.push(h.leaf);
+                if self.plan.leaves[h.leaf].window < pre_window_count {
+                    self.backfill_leaf(h.leaf)?;
+                }
             }
         }
         Ok(handles)
@@ -714,7 +758,12 @@ impl TaskProcessor {
     /// replaying the topic from the beginning (§4.2's recovery flow with
     /// a crash-safety net: a checkpoint interrupted mid-copy, or damaged
     /// on disk afterwards, must never wedge the node or silently open as
-    /// an empty store).
+    /// an empty store). This is also the elastic-membership handover
+    /// entry point: a processor unit that gains a task in a rebalance
+    /// restores the newest checkpoint-topic image through here and
+    /// replays only the tail past the record's offset
+    /// (`ProcessorUnit::acquire_task`), with the full replay below as
+    /// the degraded arm.
     ///
     /// A checkpoint is accepted only if all of:
     ///

@@ -29,12 +29,13 @@ use railgun_types::encode::BatchFrameBuilder;
 use railgun_types::{RailgunError, Result, Schema};
 
 use crate::api::{
-    decode_event_request, decode_op, encode_checkpoint, encode_reply_into, parse_topic_name,
-    CheckpointRecord, EventRequest, OpRequest, QueryId, Reply, CHECKPOINT_TOPIC, OPS_TOPIC,
+    decode_checkpoint, decode_event_request, decode_op, encode_checkpoint, encode_reply_into,
+    parse_topic_name, CheckpointRecord, EventRequest, OpRequest, QueryId, Reply,
+    CHECKPOINT_TOPIC, OPS_TOPIC,
 };
 use crate::lang::{parse_query, Query};
 use crate::rebalance::{ProcessorIdentity, RailgunStrategy};
-use crate::task::{TaskConfig, TaskProcessor};
+use crate::task::{RestoreOutcome, TaskConfig, TaskProcessor};
 
 /// Static configuration of one processor unit.
 #[derive(Debug, Clone)]
@@ -61,6 +62,14 @@ pub struct UnitConfig {
     pub batch_size: railgun_types::Recorder,
     /// Telemetry: events processed in runs of ≥ 2 (always on).
     pub batched_events: railgun_types::Counter,
+    /// Telemetry: gained tasks restored from a checkpoint instead of a
+    /// full replay (always on — see `MetricsSnapshot::elastic`).
+    pub handovers: railgun_types::Counter,
+    /// Telemetry: tail events a handover still had to replay (always on).
+    pub tail_replayed: railgun_types::Counter,
+    /// Telemetry: handovers that found a checkpoint record but degraded
+    /// to full replay because the image failed validation (always on).
+    pub handover_fallbacks: railgun_types::Counter,
 }
 
 /// What happened during one pump.
@@ -88,6 +97,9 @@ pub struct ProcessorUnit {
     active: Consumer,
     replica: Consumer,
     ops: Consumer,
+    /// Tails the checkpoint topic so a rebalance can hand gained tasks a
+    /// recent state image instead of a full replay (§4.2 elasticity).
+    ckpt: Consumer,
     strategy: Arc<RailgunStrategy>,
     streams: HashMap<String, StreamMeta>,
     /// Registered queries in op-log order, keyed by their stable ids.
@@ -101,6 +113,10 @@ pub struct ProcessorUnit {
     /// Events processed per task since its last checkpoint.
     since_checkpoint: HashMap<TopicPartition, u64>,
     checkpoint_seq: u64,
+    /// Latest checkpoint record seen per task (poll order is offset
+    /// order, so the last record read wins). Consulted when a rebalance
+    /// gains a task: restore from here, replay only the tail.
+    checkpoints: HashMap<TopicPartition, CheckpointRecord>,
     /// Reusable poll scratch — the pump fetches into this instead of
     /// allocating a fresh `Vec` per consumer per iteration.
     scratch: Vec<Message>,
@@ -127,6 +143,10 @@ impl ProcessorUnit {
         let replica = Consumer::new(bus.clone());
         let mut ops = Consumer::new(bus.clone());
         ops.assign(vec![TopicPartition::new(OPS_TOPIC, 0)]);
+        // The checkpoint topic may not exist yet (the front-end creates
+        // it); a manually assigned consumer simply skips missing topics.
+        let mut ckpt = Consumer::new(bus.clone());
+        ckpt.assign(vec![TopicPartition::new(CHECKPOINT_TOPIC, 0)]);
         Ok(ProcessorUnit {
             cfg,
             bus: bus.clone(),
@@ -134,6 +154,7 @@ impl ProcessorUnit {
             active,
             replica,
             ops,
+            ckpt,
             strategy,
             streams: HashMap::new(),
             queries: Vec::new(),
@@ -143,6 +164,7 @@ impl ProcessorUnit {
             replica_assignment: Vec::new(),
             since_checkpoint: HashMap::new(),
             checkpoint_seq: 0,
+            checkpoints: HashMap::new(),
             scratch: Vec::new(),
             decoded: Vec::new(),
             reply_stage: Vec::new(),
@@ -282,30 +304,88 @@ impl ProcessorUnit {
             .collect();
         let mut done = 0;
         for tp in due {
-            let Some(task) = self.tasks.get(&tp) else {
-                continue;
-            };
-            self.checkpoint_seq += 1;
-            let dir = self.cfg.data_dir.join(format!(
-                "ckpt/node{}-unit{}/{}-{}-{}",
-                self.cfg.node, self.cfg.unit, tp.topic, tp.partition, self.checkpoint_seq
-            ));
-            task.checkpoint(&dir)?;
-            let record = CheckpointRecord {
-                topic: tp.topic.clone(),
-                partition: tp.partition,
-                node: self.cfg.node,
-                unit: self.cfg.unit,
-                next_offset: self.task_offsets.get(&tp).copied().unwrap_or(0),
-                path: dir.to_string_lossy().into_owned(),
-            };
-            self.producer
-                .send(CHECKPOINT_TOPIC, tp.to_string().as_bytes(), encode_checkpoint(&record))
-                .ok(); // checkpoint topic may not exist in minimal setups
-            self.since_checkpoint.insert(tp, 0);
-            done += 1;
+            if self.checkpoint_task(&tp)? {
+                done += 1;
+            }
         }
         Ok(done)
+    }
+
+    /// Checkpoint one task now: write the image, publish its (task,
+    /// offset, path) record, and commit the image-backed offset to the
+    /// group coordinator (introspection only — rebalances always seek
+    /// explicitly). Returns `false` for an unknown task.
+    fn checkpoint_task(&mut self, tp: &TopicPartition) -> Result<bool> {
+        let Some(task) = self.tasks.get(tp) else {
+            return Ok(false);
+        };
+        self.checkpoint_seq += 1;
+        let dir = self.cfg.data_dir.join(format!(
+            "ckpt/node{}-unit{}/{}-{}-{}",
+            self.cfg.node, self.cfg.unit, tp.topic, tp.partition, self.checkpoint_seq
+        ));
+        task.checkpoint(&dir)?;
+        let next_offset = self.task_offsets.get(tp).copied().unwrap_or(0);
+        let record = CheckpointRecord {
+            topic: tp.topic.clone(),
+            partition: tp.partition,
+            node: self.cfg.node,
+            unit: self.cfg.unit,
+            next_offset,
+            path: dir.to_string_lossy().into_owned(),
+        };
+        self.producer
+            .send(CHECKPOINT_TOPIC, tp.to_string().as_bytes(), encode_checkpoint(&record))
+            .ok(); // checkpoint topic may not exist in minimal setups
+        self.active.commit(tp, next_offset).ok();
+        self.since_checkpoint.insert(tp.clone(), 0);
+        Ok(true)
+    }
+
+    /// Flush a final checkpoint of every task with progress past its last
+    /// image: the unit half of the scheduled-drain protocol. The images
+    /// published here are what the surviving units restore from, so the
+    /// handover tail is only what arrives mid-drain. Forced — works even
+    /// when periodic checkpoints are disabled. The caller
+    /// ([`Node::drain_units`](crate::node::Node::drain_units)) flushes
+    /// **every** unit before any unit leaves the group, so the rebalance
+    /// a departure triggers never hands a survivor a stale image.
+    /// Returns the number of images flushed.
+    pub fn drain(&mut self) -> Result<usize> {
+        let dirty: Vec<TopicPartition> = self
+            .since_checkpoint
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|(tp, _)| tp.clone())
+            .collect();
+        let mut flushed = 0;
+        for tp in dirty {
+            if self.checkpoint_task(&tp)? {
+                flushed += 1;
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Drain the checkpoint topic into the per-task record cache (the
+    /// consumer keeps its position, so each call reads only new records).
+    fn refresh_checkpoints(&mut self) {
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        loop {
+            if self.ckpt.poll_into(self.cfg.max_poll.max(64), &mut buf).is_err()
+                || buf.is_empty()
+            {
+                break;
+            }
+            for msg in buf.drain(..) {
+                if let Ok(rec) = decode_checkpoint(&msg.payload) {
+                    let tp = TopicPartition::new(rec.topic.clone(), rec.partition);
+                    self.checkpoints.insert(tp, rec);
+                }
+            }
+        }
+        self.scratch = buf;
     }
 
     fn apply_op(&mut self, op: OpRequest) -> Result<()> {
@@ -389,20 +469,24 @@ impl ProcessorUnit {
         self.active_assignment = assignment;
         // Ask the strategy for this member's replica plan.
         self.replica_assignment = self.strategy.replica_assignment(self.active.member_id());
+        // Pull the newest checkpoint records first: a draining peer
+        // flushes its images right before the rebalance that moves its
+        // tasks here, and those are exactly the ones to restore from.
+        self.refresh_checkpoints();
         let all: Vec<TopicPartition> = self
             .active_assignment
             .iter()
             .chain(self.replica_assignment.iter())
             .cloned()
             .collect();
-        // Create processors for newly gained tasks. A fresh processor
-        // replays its partition from offset 0 (its data dir was wiped), so
-        // any stale offset entry must not survive.
+        // Create processors for newly gained tasks. With a checkpoint
+        // record the task restores the image and replays only the tail
+        // from the recorded offset; without one it replays from 0.
         for tp in &all {
             if !self.tasks.contains_key(tp) {
-                let task = self.create_task(tp)?;
+                let (task, start) = self.acquire_task(tp)?;
                 self.tasks.insert(tp.clone(), task);
-                self.task_offsets.insert(tp.clone(), 0);
+                self.task_offsets.insert(tp.clone(), start);
             }
         }
         // Drop processors for lost tasks; their on-disk data is wiped on
@@ -424,18 +508,53 @@ impl ProcessorUnit {
         Ok(())
     }
 
-    fn create_task(&self, tp: &TopicPartition) -> Result<TaskProcessor> {
+    /// On-disk home of one task's live state (wiped on re-gain).
+    fn task_dir(&self, tp: &TopicPartition) -> PathBuf {
+        self.cfg.data_dir.join(format!(
+            "node{}-unit{}/{}-{}",
+            self.cfg.node, self.cfg.unit, tp.topic, tp.partition
+        ))
+    }
+
+    /// Schema of the stream a task's topic belongs to.
+    fn task_schema(&self, tp: &TopicPartition) -> Result<Schema> {
         let (stream, _) = parse_topic_name(&tp.topic).ok_or_else(|| {
             RailgunError::Engine(format!("malformed topic name `{}`", tp.topic))
         })?;
-        let meta = self
-            .streams
+        self.streams
             .get(stream)
-            .ok_or_else(|| RailgunError::NotFound(format!("stream `{stream}`")))?;
-        let dir = self.cfg.data_dir.join(format!(
-            "node{}-unit{}/{}-{}",
-            self.cfg.node, self.cfg.unit, tp.topic, tp.partition
-        ));
+            .map(|meta| meta.schema.clone())
+            .ok_or_else(|| RailgunError::NotFound(format!("stream `{stream}`")))
+    }
+
+    /// Re-register this unit's queries that compute on `tp`'s topic.
+    fn register_task_queries(&self, task: &mut TaskProcessor, tp: &TopicPartition) -> Result<()> {
+        for (id, q) in &self.queries {
+            if self.query_topic(q)? == tp.topic {
+                task.register_query_as(*id, q)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-attach this unit's queries to a task restored from a checkpoint
+    /// image. Unlike [`ProcessorUnit::register_task_queries`] this must
+    /// not backfill: the image's leaf state already covers the restored
+    /// history, and the image's reservoir holds (part of) the same events
+    /// — backfilling would count them twice
+    /// ([`TaskProcessor::reattach_query_as`]).
+    fn reattach_task_queries(&self, task: &mut TaskProcessor, tp: &TopicPartition) -> Result<()> {
+        for (id, q) in &self.queries {
+            if self.query_topic(q)? == tp.topic {
+                task.reattach_query_as(*id, q)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn create_task(&self, tp: &TopicPartition) -> Result<TaskProcessor> {
+        let schema = self.task_schema(tp)?;
+        let dir = self.task_dir(tp);
         // Fresh replay from offset 0 is the recovery mechanism in the
         // in-process pipeline (checkpoint-based recovery is exercised at
         // the TaskProcessor level); wipe leftovers.
@@ -444,15 +563,52 @@ impl ProcessorUnit {
             &dir,
             &tp.topic,
             tp.partition,
-            meta.schema.clone(),
+            schema,
             self.cfg.task.clone(),
         )?;
-        for (id, q) in &self.queries {
-            if self.query_topic(q)? == tp.topic {
-                task.register_query_as(*id, q)?;
+        self.register_task_queries(&mut task, tp)?;
+        Ok(task)
+    }
+
+    /// Build the processor for a task gained in a rebalance. With a cached
+    /// checkpoint record the state image is restored through the
+    /// validating [`TaskProcessor::restore_or_replay`] path and the
+    /// record's `next_offset` is returned, so the caller replays only the
+    /// tail; a record whose image fails validation degrades to a full
+    /// replay from 0 (counted as a handover fallback — distinct from a
+    /// cold boot with no record at all, which is the normal first-start
+    /// path and counts as neither).
+    fn acquire_task(&self, tp: &TopicPartition) -> Result<(TaskProcessor, u64)> {
+        let Some(rec) = self.checkpoints.get(tp) else {
+            return Ok((self.create_task(tp)?, 0));
+        };
+        let schema = self.task_schema(tp)?;
+        let dir = self.task_dir(tp);
+        std::fs::remove_dir_all(&dir).ok();
+        let (mut task, outcome) = TaskProcessor::restore_or_replay(
+            std::path::Path::new(&rec.path),
+            &dir,
+            &tp.topic,
+            tp.partition,
+            schema,
+            self.cfg.task.clone(),
+        )?;
+        match outcome {
+            RestoreOutcome::FromCheckpoint => {
+                self.reattach_task_queries(&mut task, tp)?;
+                self.cfg.handovers.incr();
+                let end = self.bus.end_offset(tp).unwrap_or(rec.next_offset);
+                self.cfg
+                    .tail_replayed
+                    .add(end.saturating_sub(rec.next_offset));
+                Ok((task, rec.next_offset))
+            }
+            RestoreOutcome::FullReplay => {
+                self.register_task_queries(&mut task, tp)?;
+                self.cfg.handover_fallbacks.incr();
+                Ok((task, 0))
             }
         }
-        Ok(task)
     }
 
     /// Group one poll's messages into runs of consecutive same-task

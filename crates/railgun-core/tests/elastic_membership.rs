@@ -1,0 +1,433 @@
+//! Elastic membership end-to-end: checkpoint-based handover on
+//! scale-out, scheduled drain with zero loss under live ingest, prompt
+//! ticket failure when a node is lost, and the autoscaler loop — in
+//! both execution modes.
+//!
+//! The zero-loss tests run a disturbed cluster in lockstep with an
+//! undisturbed twin fed the identical event stream and require every
+//! reply's aggregations to be byte-identical.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use railgun_core::{
+    AutoscalerConfig, Cluster, ClusterConfig, ScaleDecision, SendOutcome, Ticket,
+};
+use railgun_types::{FieldType, RailgunError, Schema, TimeDelta, Timestamp, Value};
+
+fn payments_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("cardId", FieldType::Str),
+        ("merchantId", FieldType::Str),
+        ("amount", FieldType::Float),
+    ])
+    .unwrap()
+}
+
+fn fresh_config(tag: &str, nodes: u32, units: u32, partitions: u32) -> ClusterConfig {
+    let mut cfg = ClusterConfig {
+        nodes,
+        units_per_node: units,
+        partitions,
+        ..ClusterConfig::default()
+    };
+    cfg.data_root = std::env::temp_dir().join(format!(
+        "railgun-elastic-{}-{tag}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&cfg.data_root).ok();
+    cfg
+}
+
+/// Boot a cluster with one stream and one `count(*), sum(amount)` query.
+fn booted(cfg: ClusterConfig) -> Cluster {
+    let mut cluster = Cluster::new(cfg).unwrap();
+    cluster
+        .create_stream("payments", payments_schema(), &["cardId"])
+        .unwrap();
+    cluster
+        .register_query(
+            "SELECT count(*), sum(amount) FROM payments GROUP BY cardId OVER sliding 1 hours",
+        )
+        .unwrap();
+    cluster
+}
+
+fn send_card(cluster: &mut Cluster, via: usize, card: u64, ts: i64) -> SendOutcome {
+    cluster
+        .send_via(
+            via,
+            "payments",
+            Timestamp::from_millis(ts),
+            vec![
+                Value::from(format!("card-{card}")),
+                Value::from("m"),
+                Value::from(1.0),
+            ],
+        )
+        .unwrap()
+}
+
+/// Feed both clusters the same event through node 0 and require the
+/// replies' aggregations to match byte for byte.
+fn lockstep(cluster: &mut Cluster, twin: &mut Cluster, card: u64, ts: i64, label: &str) {
+    let a = send_card(cluster, 0, card, ts);
+    let b = send_card(twin, 0, card, ts);
+    assert_eq!(
+        a.aggregations, b.aggregations,
+        "{label}: card {card} at t={ts} diverged from the undisturbed twin"
+    );
+}
+
+#[test]
+fn scale_out_restores_from_checkpoints_not_full_replay() {
+    let mut cfg = fresh_config("handover", 1, 1, 4);
+    cfg.checkpoint_every = 2;
+    let mut cluster = booted(cfg);
+    for round in 0..4 {
+        for card in 0..8 {
+            send_card(&mut cluster, 0, card, round * 10_000 + card as i64 * 100);
+        }
+    }
+    let before = cluster.metrics_snapshot().elastic;
+    assert_eq!(before.handovers_completed, 0, "no rebalance yet");
+    assert_eq!(before.handover_fallbacks, 0);
+
+    // Scale out: the gained tasks must restore from published checkpoint
+    // images, not replay their logs from offset 0.
+    cluster.add_node().unwrap();
+    cluster.settle().unwrap();
+    let after = cluster.metrics_snapshot().elastic;
+    assert!(
+        after.handovers_completed >= 1,
+        "gained tasks should restore from checkpoints, got {after:?}"
+    );
+    assert_eq!(after.handover_fallbacks, 0, "no image was corrupt");
+    // With checkpoint_every = 2 at most one event per task sits past the
+    // last image, so the replayed tail is bounded by the partition count.
+    assert!(
+        after.tail_events_replayed <= 4,
+        "tail should be events since the last image only, got {after:?}"
+    );
+
+    // Accuracy after the handover: every card has 4 events, a fifth send
+    // must report 5.
+    for card in 0..8 {
+        let r = send_card(&mut cluster, 0, card, 100_000 + card as i64);
+        assert_eq!(
+            r.aggregations[0].value,
+            Value::Int(5),
+            "card {card} after scale-out"
+        );
+    }
+}
+
+/// Delete every `wal.log` under `dir` (the store checkpoint completeness
+/// marker), making every published image restore-invalid.
+fn corrupt_images(dir: &Path) -> usize {
+    let mut hit = 0;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            hit += corrupt_images(&path);
+        } else if path.file_name().is_some_and(|n| n == "wal.log") {
+            std::fs::remove_file(&path).unwrap();
+            hit += 1;
+        }
+    }
+    hit
+}
+
+#[test]
+fn corrupt_checkpoint_image_falls_back_to_full_replay() {
+    let mut cfg = fresh_config("fallback", 1, 1, 4);
+    cfg.checkpoint_every = 2;
+    let data_root = cfg.data_root.clone();
+    let mut cluster = booted(cfg);
+    for round in 0..4 {
+        for card in 0..8 {
+            send_card(&mut cluster, 0, card, round * 10_000 + card as i64 * 100);
+        }
+    }
+    // Corrupt every published image (images live under data_root/ckpt/…;
+    // live task dirs are elsewhere and stay intact).
+    let corrupted = corrupt_images(&data_root.join("ckpt"));
+    assert!(corrupted >= 1, "checkpoints should have been published");
+
+    cluster.add_node().unwrap();
+    cluster.settle().unwrap();
+    let elastic = cluster.metrics_snapshot().elastic;
+    assert!(
+        elastic.handover_fallbacks >= 1,
+        "corrupt images must be detected and fall back, got {elastic:?}"
+    );
+
+    // The degraded arm still converges: full replay rebuilds the exact
+    // state, so the fifth send per card reports 5.
+    for card in 0..8 {
+        let r = send_card(&mut cluster, 0, card, 100_000 + card as i64);
+        assert_eq!(
+            r.aggregations[0].value,
+            Value::Int(5),
+            "card {card} after full-replay fallback"
+        );
+    }
+}
+
+#[test]
+fn drain_under_live_ingest_matches_undisturbed_twin() {
+    // 12 partitions over 6 units: the assignment budget gives every unit
+    // exactly two, so the drained node is guaranteed to hold state.
+    let mut cfg = fresh_config("drain", 3, 2, 12);
+    // Co-prime with the per-partition event counts so the drain always
+    // finds progress past the last periodic image.
+    cfg.checkpoint_every = 7;
+    let mut twin_cfg = fresh_config("drain-twin", 3, 2, 12);
+    twin_cfg.checkpoint_every = 7;
+    let mut cluster = booted(cfg);
+    let mut twin = booted(twin_cfg);
+
+    // 32 distinct cards so every partition (and thus every unit of the
+    // node about to drain) carries state.
+    for i in 0..64i64 {
+        lockstep(&mut cluster, &mut twin, (i % 32) as u64, i * 1_000, "pre-drain");
+    }
+    // Planned scale-down mid-stream: flush final images, move the tasks,
+    // remove the node. Nothing acked above may be lost.
+    let flushed = cluster.drain_node(2).unwrap();
+    assert!(flushed >= 1, "drain should flush uncheckpointed progress");
+    assert_eq!(cluster.nodes().len(), 2);
+    for i in 64..128i64 {
+        lockstep(&mut cluster, &mut twin, (i % 32) as u64, i * 1_000, "post-drain");
+    }
+
+    let elastic = cluster.metrics_snapshot().elastic;
+    assert_eq!(elastic.drains_completed, 1);
+    assert_eq!(
+        elastic.handover_fallbacks, 0,
+        "drain-published images must all restore cleanly, got {elastic:?}"
+    );
+    assert!(
+        elastic.handovers_completed >= 1,
+        "survivors should restore the drained tasks from images, got {elastic:?}"
+    );
+}
+
+#[test]
+fn kill_add_drain_sequence_converges_with_replicas() {
+    let mut cfg = fresh_config("churn", 3, 1, 6);
+    cfg.replication = 2;
+    cfg.session_timeout_ms = 1_000;
+    cfg.checkpoint_every = 3;
+    let mut twin_cfg = fresh_config("churn-twin", 3, 1, 6);
+    twin_cfg.replication = 2;
+    twin_cfg.session_timeout_ms = 1_000;
+    twin_cfg.checkpoint_every = 3;
+    let mut cluster = booted(cfg);
+    let mut twin = booted(twin_cfg);
+
+    let mut ts = 0i64;
+    let mut burst = |cluster: &mut Cluster, twin: &mut Cluster, label: &str| {
+        for _ in 0..12 {
+            ts += 1_000;
+            lockstep(cluster, twin, (ts / 1_000 % 6) as u64, ts, label);
+        }
+    };
+    burst(&mut cluster, &mut twin, "steady");
+
+    // Abrupt failure: replicas take over once the session expires.
+    cluster.kill_node(1).unwrap();
+    for step in 1..=10 {
+        cluster.advance_time(step * 500);
+        cluster.settle().unwrap();
+        twin.advance_time(step * 500);
+        twin.settle().unwrap();
+    }
+    burst(&mut cluster, &mut twin, "post-kill");
+
+    // Scale back out; gained tasks restore from checkpoints.
+    cluster.add_node().unwrap();
+    burst(&mut cluster, &mut twin, "post-add");
+
+    // Planned scale-down of a survivor (index 1 = original node 2; node
+    // 0 keeps serving the ingest).
+    cluster.drain_node(1).unwrap();
+    burst(&mut cluster, &mut twin, "post-drain");
+
+    let elastic = cluster.metrics_snapshot().elastic;
+    assert_eq!(elastic.drains_completed, 1);
+    assert!(
+        elastic.handovers_completed >= 1,
+        "checkpointed tasks should hand over, got {elastic:?}"
+    );
+}
+
+#[test]
+fn threaded_add_and_drain_converge_under_live_ingest() {
+    let mut cfg = fresh_config("threaded", 2, 2, 4);
+    cfg.checkpoint_every = 4;
+    let mut twin_cfg = fresh_config("threaded-twin", 2, 2, 4);
+    twin_cfg.checkpoint_every = 4;
+    let mut cluster = booted(cfg);
+    let mut twin = booted(twin_cfg); // the twin stays in pump mode
+    cluster.start().unwrap();
+
+    for i in 0..16i64 {
+        lockstep(&mut cluster, &mut twin, (i % 4) as u64, i * 1_000, "threaded");
+    }
+    // New node joins threaded and picks work up via handover.
+    cluster.add_node().unwrap();
+    for i in 16..32i64 {
+        lockstep(&mut cluster, &mut twin, (i % 4) as u64, i * 1_000, "threaded-add");
+    }
+    // Drain stops the node's workers, flushes inline, then removes it;
+    // the rest of the cluster keeps running threaded.
+    cluster.drain_node(1).unwrap();
+    assert!(cluster.is_running(), "survivors stay threaded");
+    for i in 32..48i64 {
+        lockstep(&mut cluster, &mut twin, (i % 4) as u64, i * 1_000, "threaded-drain");
+    }
+    cluster.stop().unwrap();
+
+    let elastic = cluster.metrics_snapshot().elastic;
+    assert_eq!(elastic.drains_completed, 1);
+    assert_eq!(elastic.handover_fallbacks, 0, "got {elastic:?}");
+}
+
+#[test]
+fn killed_node_tickets_fail_promptly_with_node_lost() {
+    let mut cluster = booted(fresh_config("lost", 2, 1, 2));
+    let ticket = cluster
+        .send_async_via(
+            1,
+            "payments",
+            Timestamp::from_millis(1_000),
+            vec![Value::from("c"), Value::from("m"), Value::from(1.0)],
+        )
+        .unwrap();
+    cluster.kill_node(1).unwrap();
+
+    // The reply can never arrive; the collect must fail immediately with
+    // a typed error instead of burning the full collect timeout.
+    let start = Instant::now();
+    let err = cluster.collect(ticket).unwrap_err();
+    assert!(
+        matches!(err, RailgunError::NodeLost(_)),
+        "expected NodeLost, got {err:?}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "NodeLost must be prompt, took {:?}",
+        start.elapsed()
+    );
+    assert!(matches!(
+        cluster.try_collect(ticket),
+        Err(RailgunError::NodeLost(_))
+    ));
+    // A ticket that never existed is a plain argument error, not a loss.
+    let bogus = Ticket {
+        node: 777,
+        request_id: 1,
+    };
+    assert!(matches!(
+        cluster.collect(bogus),
+        Err(RailgunError::InvalidArgument(_))
+    ));
+}
+
+#[test]
+fn drain_refuses_the_last_node_and_bad_indices() {
+    let mut cluster = booted(fresh_config("last", 1, 1, 2));
+    assert!(matches!(
+        cluster.drain_node(0),
+        Err(RailgunError::InvalidArgument(_))
+    ));
+    assert!(matches!(
+        cluster.drain_node(5),
+        Err(RailgunError::InvalidArgument(_))
+    ));
+    // Still serving after the refusals.
+    let r = send_card(&mut cluster, 0, 0, 1_000);
+    assert_eq!(r.aggregations[0].value, Value::Int(1));
+}
+
+#[test]
+fn autoscale_tick_drains_idle_node_down_to_min() {
+    let mut cfg = fresh_config("as-shrink", 2, 1, 2);
+    cfg.checkpoint_every = 2;
+    cfg.autoscaler = AutoscalerConfig {
+        enabled: true,
+        min_nodes: 1,
+        max_nodes: 4,
+        scale_up_after: 99,
+        shrink_after: 2,
+        cooldown: 0,
+        ..AutoscalerConfig::default()
+    };
+    let mut cluster = booted(cfg);
+    for i in 0..6i64 {
+        send_card(&mut cluster, 0, (i % 2) as u64, i * 1_000);
+    }
+    assert_eq!(cluster.autoscale_tick().unwrap(), ScaleDecision::Hold); // prime
+    assert_eq!(cluster.autoscale_tick().unwrap(), ScaleDecision::Hold); // idle 1
+    assert_eq!(cluster.autoscale_tick().unwrap(), ScaleDecision::Shrink); // idle 2
+    assert_eq!(cluster.nodes().len(), 1, "shrink drains the newest node");
+    let elastic = cluster.metrics_snapshot().elastic;
+    assert_eq!(elastic.autoscaler_shrinks, 1);
+    assert_eq!(elastic.drains_completed, 1, "shrink goes through drain");
+    // At min_nodes the controller holds forever after.
+    for _ in 0..5 {
+        assert_eq!(cluster.autoscale_tick().unwrap(), ScaleDecision::Hold);
+    }
+    // The survivor took the state over: each card had 3 events.
+    for card in 0..2 {
+        let r = send_card(&mut cluster, 0, card, 100_000 + card as i64);
+        assert_eq!(r.aggregations[0].value, Value::Int(4), "card {card}");
+    }
+}
+
+#[test]
+fn autoscale_tick_adds_node_when_p99_nears_slo() {
+    let mut cfg = fresh_config("as-add", 1, 1, 2);
+    cfg.telemetry = true;
+    cfg.autoscaler = AutoscalerConfig {
+        enabled: true,
+        min_nodes: 1,
+        max_nodes: 2,
+        // Zero headroom: any recorded completion counts as hot, which
+        // makes the trigger deterministic regardless of machine speed.
+        slo_headroom: 0.0,
+        scale_up_after: 2,
+        shrink_after: 99,
+        cooldown: 0,
+    };
+    let mut cluster = Cluster::new(cfg).unwrap();
+    cluster
+        .create_stream("payments", payments_schema(), &["cardId"])
+        .unwrap();
+    let qid = cluster
+        .register_query(
+            "SELECT count(*) FROM payments GROUP BY cardId OVER sliding 1 hours",
+        )
+        .unwrap();
+    cluster.set_query_slo(qid, TimeDelta::from_millis(10));
+
+    send_card(&mut cluster, 0, 0, 1_000);
+    assert_eq!(cluster.autoscale_tick().unwrap(), ScaleDecision::Hold); // prime
+    send_card(&mut cluster, 0, 0, 2_000);
+    assert_eq!(cluster.autoscale_tick().unwrap(), ScaleDecision::Hold); // hot 1
+    send_card(&mut cluster, 0, 0, 3_000);
+    assert_eq!(cluster.autoscale_tick().unwrap(), ScaleDecision::Add); // hot 2
+    assert_eq!(cluster.nodes().len(), 2);
+    assert_eq!(cluster.metrics_snapshot().elastic.autoscaler_adds, 1);
+    // At max_nodes further hot observations hold.
+    for i in 0..5i64 {
+        send_card(&mut cluster, 0, 0, 10_000 + i * 1_000);
+        assert_eq!(cluster.autoscale_tick().unwrap(), ScaleDecision::Hold);
+    }
+    let r = send_card(&mut cluster, 0, 0, 100_000);
+    assert_eq!(r.aggregations[0].value, Value::Int(9), "still accurate");
+}

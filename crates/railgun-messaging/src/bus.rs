@@ -190,12 +190,17 @@ impl MessageBus {
                 replication,
             },
         );
-        // Topic changes trigger rebalances for groups subscribed to it.
+        // Topic changes trigger rebalances for groups subscribed to it —
+        // run them now rather than leaving the flag for the next
+        // membership event, so subscribed consumers see the new
+        // partitions on their very next poll (rebalance-detection latency
+        // is part of the elastic-membership downtime budget).
         for g in inner.groups.values_mut() {
             if g.members.values().any(|m| m.topics.iter().any(|t| t == topic)) {
                 g.needs_rebalance = true;
             }
         }
+        Self::run_pending_rebalances(&mut inner);
         Self::bump(&mut inner);
         drop(inner);
         self.wakeup.notify_all();
@@ -212,6 +217,9 @@ impl MessageBus {
         for g in inner.groups.values_mut() {
             g.needs_rebalance = true;
         }
+        // As with create_topic: rebalance immediately so stale assignments
+        // to the deleted topic do not linger until the next join/leave.
+        Self::run_pending_rebalances(&mut inner);
         Self::bump(&mut inner);
         drop(inner);
         self.wakeup.notify_all();
@@ -439,6 +447,18 @@ impl MessageBus {
             .groups
             .get(group)
             .map(|g| g.generation)
+            .unwrap_or(0)
+    }
+
+    /// Number of live members of `group` (0 if unknown). Elastic
+    /// membership uses this to verify a drained node's consumers have
+    /// actually left before the node is removed.
+    pub fn group_members(&self, group: &str) -> usize {
+        self.inner
+            .lock()
+            .groups
+            .get(group)
+            .map(|g| g.members.len())
             .unwrap_or(0)
     }
 

@@ -26,6 +26,11 @@
 # error bound on every row, and at least matching the exact arm's insert
 # throughput.
 #
+# And the rebalance guard (PR 9): the committed BENCH_rebalance.json must
+# show checkpoint-based handover beating full replay on rebalance
+# downtime p99 by at least 5x with zero handover fallbacks and zero
+# acked-event loss; the fresh smoke run must clear a loose 2x floor.
+#
 # Usage:
 #   scripts/bench_baseline.sh          # smoke mode (CI): tiny N
 #   scripts/bench_baseline.sh --full   # full measurement run
@@ -47,6 +52,7 @@ LATENCY_OUT="$(pwd)/target/bench_latency_smoke.json"
 INGEST_OUT="$(pwd)/target/bench_ingest_smoke.json"
 RECOVERY_OUT="$(pwd)/target/bench_recovery_smoke.json"
 SKETCH_OUT="$(pwd)/target/bench_sketch_smoke.json"
+REBALANCE_OUT="$(pwd)/target/bench_rebalance_smoke.json"
 # shellcheck disable=SC2086  # MODE_ARGS is intentionally word-split
 cargo bench -p railgun-bench --bench fig_hotpath -- $MODE_ARGS --out "$OUT"
 # shellcheck disable=SC2086
@@ -59,6 +65,8 @@ cargo bench -p railgun-bench --bench fig_ingest -- $MODE_ARGS --out "$INGEST_OUT
 cargo bench -p railgun-bench --bench fig_recovery -- $MODE_ARGS --out "$RECOVERY_OUT"
 # shellcheck disable=SC2086
 cargo bench -p railgun-bench --bench fig_sketch -- $MODE_ARGS --out "$SKETCH_OUT"
+# shellcheck disable=SC2086
+cargo bench -p railgun-bench --bench fig_rebalance -- $MODE_ARGS --out "$REBALANCE_OUT"
 
 validate() {
   f="$1"
@@ -79,12 +87,14 @@ validate "$LATENCY_OUT"
 validate "$INGEST_OUT"
 validate "$RECOVERY_OUT"
 validate "$SKETCH_OUT"
+validate "$REBALANCE_OUT"
 validate BENCH_hotpath.json
 validate BENCH_scaling.json
 validate BENCH_latency.json
 validate BENCH_ingest.json
 validate BENCH_recovery.json
 validate BENCH_sketch.json
+validate BENCH_rebalance.json
 
 # Telemetry-off hot-path guard. The benches run with telemetry disabled
 # (the default), so the fresh in-order ingest rate should be in the same
@@ -234,4 +244,43 @@ sys.exit(0 if ok else 1)
 EOF
 else
   echo "skip: sketch guard needs python3"
+fi
+
+# Rebalance guard. The committed full-run BENCH_rebalance.json comes from
+# one machine and one run, so its checks are exact:
+#  1. Handover must beat full replay on rebalance-downtime p99 by at
+#     least 5x — the headline claim of checkpoint-based handover.
+#  2. Zero handover fallbacks (every gained task restored an image) and
+#     zero acked-event loss (every probe reply matched its expected
+#     running count).
+# The fresh smoke run re-checks the same invariants with a loose 2x
+# downtime floor, CI-runner tolerant.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$REBALANCE_OUT" <<'EOF'
+import json, sys
+
+ok = True
+committed = json.load(open("BENCH_rebalance.json"))["measured"]
+ratio = committed["downtime_p99_ratio"]
+status = "ok" if ratio >= 5 else "FAIL"
+ok &= ratio >= 5
+print(f"{status}: committed rebalance downtime p99 ratio {ratio:.1f}x "
+      f"(full replay {committed['full_replay']['p99_us']} us vs handover "
+      f"{committed['handover']['p99_us']} us, need >= 5x)")
+for name, m in (("committed", committed),
+                ("fresh", json.load(open(sys.argv[1]))["measured"])):
+    good = m["handover"]["fallbacks"] == 0 and m["acked_loss"] == 0
+    ok &= good
+    status = "ok" if good else "FAIL"
+    print(f"{status}: {name} handover fallbacks {m['handover']['fallbacks']}, "
+          f"acked loss {m['acked_loss']} (need 0/0)")
+
+fresh = json.load(open(sys.argv[1]))["measured"]["downtime_p99_ratio"]
+status = "ok" if fresh >= 2 else "FAIL"
+ok &= fresh >= 2
+print(f"{status}: fresh rebalance downtime p99 ratio {fresh:.1f}x (floor 2x)")
+sys.exit(0 if ok else 1)
+EOF
+else
+  echo "skip: rebalance guard needs python3"
 fi
