@@ -1,0 +1,287 @@
+//! Larger-than-RAM window state baseline (BENCH_capacity.json).
+//!
+//! Reproduces the shape of the paper's capacity argument (§5.2, Fig. 9):
+//! per-event latency and on-disk state as tumbling-window state grows
+//! past the memtable budget, comparing the two expiry mechanisms the
+//! store supports:
+//!
+//! * **deletes** — the classic arm: every expired bucket key costs a
+//!   point delete (WAL frame + memtable entry + tombstone that lives
+//!   until the next compaction). Expiry work is O(buckets × entities)
+//!   on the ingest thread at every bucket boundary.
+//! * **filtered** — the capacity-layer arm: the ingest thread advances a
+//!   shared [`StateHorizon`] watermark (one atomic store) and the
+//!   [`StateKeyFilter`] installed on the column family drops dead keys
+//!   during the compactions the store was doing anyway.
+//!
+//! Both arms write the identical key stream through identical budgets
+//! (256 KiB memtable — far below the live state of the larger spans, so
+//! both spill continuously) and compact on the identical explicit
+//! schedule (once per full window turnover; the organic trigger is
+//! disabled so compaction cadence is a controlled variable rather than a
+//! side effect of the deletes arm's ~2× write rate). Measured per span:
+//! put-latency percentiles, the **expiry stall** at bucket boundaries
+//! (the delete storm vs the atomic store), state bytes (sampled every
+//! bucket, plus the end-of-run value), and the filter's drop counter.
+//! Between compactions the deletes arm carries strictly more garbage —
+//! every dead entry *plus* the tombstone shadowing it — so its state
+//! curve rides above the filtered arm's at every span. After the sweep
+//! each arm is flushed + compacted and both must converge to the *same*
+//! live key set — expiry must reclaim exactly the dead buckets, never a
+//! live one.
+//!
+//! Run modes mirror the other figure benches:
+//!
+//! * `cargo bench -p railgun-bench --bench fig_capacity` — full run;
+//! * `-- --test` — smoke mode (small spans, used by CI);
+//! * `-- --out <path>` — additionally write the JSON to `<path>`.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use railgun_core::horizon::{StateHorizon, StateKeyFilter};
+use railgun_core::keys::state_key;
+use railgun_store::{CfOptions, Db, DbOptions};
+use railgun_types::{Timestamp, Value};
+
+/// Synthetic bucket width (ms). The clock is virtual — tick `t` writes
+/// into the bucket starting at `t * BUCKET_MS`.
+const BUCKET_MS: i64 = 60_000;
+/// Memtable budget: small enough that every span's live state spills.
+const MEMTABLE_BUDGET: usize = 256 << 10;
+
+struct ArmResult {
+    put_p50_us: f64,
+    put_p99_us: f64,
+    expiry_stall_p99_us: f64,
+    expiry_stall_max_us: f64,
+    state_bytes_mean: u64,
+    state_bytes_peak: u64,
+    state_bytes_end: u64,
+    filter_dropped: u64,
+    live_keys_end: usize,
+    write_ops: u64,
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let ix = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[ix] as f64 / 1_000.0
+}
+
+fn state_bytes(db: &Db) -> u64 {
+    let s = db.stats();
+    s.sst_bytes + s.memtable_bytes as u64
+}
+
+/// One arm: `span` buckets retained, `buckets` total ticks, `entities`
+/// keys per bucket. `filtered = true` installs the watermark filter and
+/// expires via the horizon; otherwise expiry issues point deletes.
+#[allow(clippy::too_many_lines)]
+fn run_arm(dir: &Path, span: usize, buckets: usize, entities: usize, filtered: bool) -> ArmResult {
+    std::fs::remove_dir_all(dir).ok();
+    let horizon = StateHorizon::new();
+    // Organic compaction off (`usize::MAX` trigger): both arms compact
+    // only on the explicit once-per-turnover schedule below, so the
+    // comparison isolates the expiry mechanism.
+    let mut opts = DbOptions {
+        memtable_budget_bytes: MEMTABLE_BUDGET,
+        compaction_trigger: usize::MAX,
+        ..DbOptions::default()
+    };
+    if filtered {
+        opts.cf_options.push((
+            "default".to_owned(),
+            CfOptions {
+                memtable_budget_bytes: MEMTABLE_BUDGET,
+                compaction_trigger: usize::MAX,
+                ..CfOptions::default()
+            }
+            .with_filter(Arc::new(StateKeyFilter(Arc::clone(&horizon)))),
+        ));
+    }
+    let db = Db::open(dir, opts).expect("open capacity arm");
+
+    // ~64 B values: a counter blob of the size a sum/count leaf carries.
+    let value = vec![0xA5u8; 64];
+    let mut entity = vec![Value::Int(0)];
+    let mut put_ns: Vec<u64> = Vec::with_capacity(buckets * entities);
+    let mut stall_ns: Vec<u64> = Vec::with_capacity(buckets);
+    let mut bytes_samples: Vec<u64> = Vec::with_capacity(buckets);
+    let mut write_ops = 0u64;
+
+    for b in 0..buckets {
+        let bucket_ts = Timestamp::from_millis(b as i64 * BUCKET_MS);
+        for e in 0..entities {
+            entity[0] = Value::Int(e as i64);
+            let key = state_key(0, Some(bucket_ts), &entity);
+            let t = Instant::now();
+            db.put(Db::DEFAULT_CF, &key, &value).expect("put");
+            put_ns.push(t.elapsed().as_nanos() as u64);
+            write_ops += 1;
+        }
+        // Bucket boundary: expire everything older than `span` buckets.
+        if b + 1 >= span {
+            let expire_before_ms = (b + 1 - span) as i64 * BUCKET_MS + BUCKET_MS;
+            let t = Instant::now();
+            if filtered {
+                horizon.advance_bucket_expiry(expire_before_ms);
+            } else {
+                // The expired bucket is the oldest retained one.
+                let dead_ts = Timestamp::from_millis((b + 1 - span) as i64 * BUCKET_MS);
+                for e in 0..entities {
+                    entity[0] = Value::Int(e as i64);
+                    let key = state_key(0, Some(dead_ts), &entity);
+                    db.delete(Db::DEFAULT_CF, &key).expect("delete");
+                    write_ops += 1;
+                }
+            }
+            stall_ns.push(t.elapsed().as_nanos() as u64);
+        }
+        bytes_samples.push(state_bytes(&db));
+        // Scheduled maintenance, identical in both arms: one full
+        // compaction per window turnover (the filter drops expired
+        // entries here; the deletes arm folds its tombstones away).
+        if (b + 1) % span == 0 {
+            db.flush().expect("maintenance flush");
+            db.compact_cf(Db::DEFAULT_CF).expect("maintenance compact");
+        }
+    }
+
+    let state_bytes_end = state_bytes(&db);
+    // Convergence check: flush + compact must leave exactly the live
+    // buckets. Expiry runs once per completed bucket and trims to the
+    // newest `span` buckets *as of the boundary*, so after the final
+    // boundary `span - 1` buckets survive — identically in both arms
+    // (the filter arm's watermark tracks the same schedule).
+    db.flush().expect("final flush");
+    db.compact_cf(Db::DEFAULT_CF).expect("final compact");
+    let live = db.scan(Db::DEFAULT_CF, b"", None).expect("scan live");
+    let expected_live = if buckets >= span { span - 1 } else { buckets } * entities;
+    assert_eq!(
+        live.len(),
+        expected_live,
+        "arm(filtered={filtered}, span={span}): expiry must reclaim exactly the dead buckets"
+    );
+
+    put_ns.sort_unstable();
+    stall_ns.sort_unstable();
+    let n = bytes_samples.len().max(1) as u64;
+    ArmResult {
+        put_p50_us: percentile_us(&put_ns, 0.50),
+        put_p99_us: percentile_us(&put_ns, 0.99),
+        expiry_stall_p99_us: percentile_us(&stall_ns, 0.99),
+        expiry_stall_max_us: percentile_us(&stall_ns, 1.0),
+        state_bytes_mean: bytes_samples.iter().sum::<u64>() / n,
+        state_bytes_peak: bytes_samples.iter().copied().max().unwrap_or(0),
+        state_bytes_end,
+        filter_dropped: db.stats().filter_dropped,
+        live_keys_end: live.len(),
+        write_ops,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    // Spans in buckets retained; each run processes `span_mult × span`
+    // buckets so every span sees many full expiry generations.
+    let (spans, entities, span_mult): (&[usize], usize, usize) = if smoke {
+        (&[2, 8], 40, 6)
+    } else {
+        (&[4, 16, 64], 200, 6)
+    };
+    let root = std::env::temp_dir().join(format!("railgun-figcapacity-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+
+    eprintln!(
+        "# fig_capacity: window-state expiry, spans {spans:?} buckets × {entities} entities, \
+         {MEMTABLE_BUDGET} B memtable budget"
+    );
+
+    let mut rows: Vec<(usize, ArmResult, ArmResult)> = Vec::new();
+    for &span in spans {
+        let buckets = span * span_mult;
+        let deletes = run_arm(&root.join(format!("del-{span}")), span, buckets, entities, false);
+        let filtered = run_arm(&root.join(format!("flt-{span}")), span, buckets, entities, true);
+        eprintln!(
+            "#   span {span:>3}: put p99 {: >8.1} µs (deletes) vs {: >8.1} µs (filtered); \
+             expiry stall p99 {: >9.1} µs vs {: >6.1} µs; mean state {: >9} B vs {: >9} B; \
+             filter dropped {}",
+            deletes.put_p99_us,
+            filtered.put_p99_us,
+            deletes.expiry_stall_p99_us,
+            filtered.expiry_stall_p99_us,
+            deletes.state_bytes_mean,
+            filtered.state_bytes_mean,
+            filtered.filter_dropped,
+        );
+        rows.push((span, deletes, filtered));
+    }
+    std::fs::remove_dir_all(&root).ok();
+
+    // -- JSON ---------------------------------------------------------------
+    let mode = if smoke { "test" } else { "full" };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"fig_capacity\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n"
+    ));
+    json.push_str(&format!(
+        "  \"config\": {{ \"spans\": {spans:?}, \"entities\": {entities}, \
+         \"span_mult\": {span_mult}, \"bucket_ms\": {BUCKET_MS}, \
+         \"memtable_budget_bytes\": {MEMTABLE_BUDGET}, \
+         \"maintenance\": \"flush+compact once per span (organic trigger off)\" }},\n"
+    ));
+    json.push_str("  \"measured\": {\n");
+    json.push_str(
+        "    \"note\": \"two expiry arms over the identical key stream; every arm asserts it \
+         converges to exactly the live buckets after a final flush+compact\",\n",
+    );
+    json.push_str("    \"by_span\": [\n");
+    for (i, (span, del, flt)) in rows.iter().enumerate() {
+        let arm = |r: &ArmResult| {
+            format!(
+                "{{ \"put_p50_us\": {:.2}, \"put_p99_us\": {:.2}, \
+                 \"expiry_stall_p99_us\": {:.2}, \"expiry_stall_max_us\": {:.2}, \
+                 \"state_bytes_mean\": {}, \"state_bytes_peak\": {}, \"state_bytes_end\": {}, \
+                 \"filter_dropped\": {}, \"live_keys_end\": {}, \"write_ops\": {} }}",
+                r.put_p50_us,
+                r.put_p99_us,
+                r.expiry_stall_p99_us,
+                r.expiry_stall_max_us,
+                r.state_bytes_mean,
+                r.state_bytes_peak,
+                r.state_bytes_end,
+                r.filter_dropped,
+                r.live_keys_end,
+                r.write_ops,
+            )
+        };
+        json.push_str(&format!(
+            "      {{ \"span_buckets\": {span}, \"deletes\": {}, \"filtered\": {} }}{}\n",
+            arm(del),
+            arm(flt),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
+
+    print!("{json}");
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        std::fs::write(&path, &json).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+}

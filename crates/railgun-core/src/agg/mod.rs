@@ -770,6 +770,15 @@ fn blob_key_into(key: &mut Vec<u8>, state_key: &[u8]) {
     key.extend_from_slice(state_key);
 }
 
+/// Test helper: the blob-form aux key for `state_key` (used by the
+/// horizon-filter tests to build aux keys without an `AggContext`).
+#[cfg(test)]
+pub(crate) fn blob_key_for_tests(state_key: &[u8]) -> Vec<u8> {
+    let mut key = Vec::new();
+    blob_key_into(&mut key, state_key);
+    key
+}
+
 fn read_u64(db: &Db, cf: ColumnFamilyId, key: &[u8]) -> Result<u64> {
     Ok(db
         .get(cf, key)?

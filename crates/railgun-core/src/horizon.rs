@@ -1,0 +1,219 @@
+//! Watermark-driven compaction filters for task state.
+//!
+//! Each task processor shares one [`StateHorizon`] between its event
+//! loop and the compaction filters installed on its store's column
+//! families (the `OldestSlot` pattern from the Solana blockstore): the
+//! loop advances two monotonic horizons as the computation makes
+//! progress, and compactions drop every entry that fell behind — expired
+//! tumbling-window buckets and the keys of unregistered queries vanish
+//! during merges the store was doing anyway, instead of costing a point
+//! delete (WAL frame + memtable entry + tombstone) each.
+//!
+//! Two horizons, two filters:
+//!
+//! * **bucket expiry** — `expire_before_ms`, advanced by the task's
+//!   retention pass in lockstep with the reservoir truncation bound. A
+//!   state key whose tumbling-bucket timestamp lies strictly below it
+//!   can never be read again (results are only collected for current
+//!   buckets), so [`StateKeyFilter`] discards it.
+//! * **dead leaves** — the 4-byte leaf prefixes of unregistered
+//!   aggregators. [`StateKeyFilter`] matches them directly;
+//!   [`AuxKeyFilter`] decodes the state key embedded in aux/sketch keys
+//!   and applies the same verdicts.
+//!
+//! Both honour the [`CompactionFilter`] contract (see
+//! `railgun_store::options`): verdicts depend only on the key bytes and
+//! the current horizon values, `expire_before_ms` only advances, and a
+//! dead prefix is only *cleared* after the state it covers has been
+//! reclaimed (flush + compaction of every filtered CF) — within an
+//! incarnation ids are never reused, and across restarts pending
+//! prefixes are persisted and reclaimed before the plan registers new
+//! leaves. Unparseable keys are kept: the filter must never guess.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use railgun_store::{CompactionFilter, FilterDecision};
+use railgun_types::encode::{get_ivarint, get_uvarint};
+
+/// Shared expiry state between a task processor and its store's
+/// compaction filters.
+#[derive(Debug)]
+pub struct StateHorizon {
+    /// Tumbling buckets strictly below this (ms since epoch) are dead.
+    /// Starts at `i64::MIN` — nothing expires until the first advance.
+    expire_before_ms: AtomicI64,
+    /// Sorted 4-byte leaf prefixes of unregistered aggregators.
+    dead: Mutex<Vec<[u8; 4]>>,
+}
+
+impl StateHorizon {
+    pub fn new() -> Arc<Self> {
+        Arc::new(StateHorizon {
+            expire_before_ms: AtomicI64::new(i64::MIN),
+            dead: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Advance the bucket-expiry watermark (monotonic: a lower value is
+    /// a no-op).
+    pub fn advance_bucket_expiry(&self, before_ms: i64) {
+        self.expire_before_ms.fetch_max(before_ms, Ordering::Relaxed);
+    }
+
+    /// Current bucket-expiry watermark in ms (`i64::MIN` = never).
+    pub fn bucket_expire_before_ms(&self) -> i64 {
+        self.expire_before_ms.load(Ordering::Relaxed)
+    }
+
+    /// Mark a leaf prefix dead — its keys become compaction fodder.
+    pub fn add_dead_prefix(&self, prefix: [u8; 4]) {
+        let mut dead = self.dead.lock();
+        if let Err(ix) = dead.binary_search(&prefix) {
+            dead.insert(ix, prefix);
+        }
+    }
+
+    /// Currently pending dead prefixes.
+    pub fn dead_prefixes(&self) -> Vec<[u8; 4]> {
+        self.dead.lock().clone()
+    }
+
+    /// Whether any dead prefix is pending reclamation.
+    pub fn has_dead(&self) -> bool {
+        !self.dead.lock().is_empty()
+    }
+
+    /// Forget all dead prefixes — call only after the state they cover
+    /// has been reclaimed (flush + compaction of every filtered CF).
+    pub fn clear_dead_prefixes(&self) {
+        self.dead.lock().clear();
+    }
+
+    fn is_dead(&self, prefix: &[u8]) -> bool {
+        let dead = self.dead.lock();
+        !dead.is_empty() && dead.binary_search_by(|d| d.as_slice().cmp(prefix)).is_ok()
+    }
+
+    /// Verdict for one state key (see `crate::keys::state_key` for the
+    /// layout: 4-byte leaf prefix, bucket tag, entity values).
+    fn state_key_verdict(&self, key: &[u8]) -> FilterDecision {
+        if key.len() < 5 {
+            return FilterDecision::Keep;
+        }
+        if self.is_dead(&key[..4]) {
+            return FilterDecision::Discard;
+        }
+        if key[4] == 1 {
+            let mut cur = &key[5..];
+            if let Ok(bucket_ms) = get_ivarint(&mut cur) {
+                if bucket_ms < self.expire_before_ms.load(Ordering::Relaxed) {
+                    return FilterDecision::Discard;
+                }
+            }
+        }
+        FilterDecision::Keep
+    }
+}
+
+/// Compaction filter for the default (aggregation-state) CF: keys are
+/// raw state keys.
+#[derive(Debug)]
+pub struct StateKeyFilter(pub Arc<StateHorizon>);
+
+impl CompactionFilter for StateKeyFilter {
+    fn name(&self) -> &str {
+        "state-horizon"
+    }
+    fn filter(&self, key: &[u8], _value: &[u8]) -> FilterDecision {
+        self.0.state_key_verdict(key)
+    }
+}
+
+/// Compaction filter for the aux/sketch CF: keys embed a
+/// uvarint-length-prefixed state key (see `crate::agg`), which gets the
+/// same verdict as in the default CF.
+#[derive(Debug)]
+pub struct AuxKeyFilter(pub Arc<StateHorizon>);
+
+impl CompactionFilter for AuxKeyFilter {
+    fn name(&self) -> &str {
+        "aux-horizon"
+    }
+    fn filter(&self, key: &[u8], _value: &[u8]) -> FilterDecision {
+        let mut cur = key;
+        let Ok(len) = get_uvarint(&mut cur) else {
+            return FilterDecision::Keep;
+        };
+        let len = len as usize;
+        if cur.len() < len {
+            return FilterDecision::Keep;
+        }
+        self.0.state_key_verdict(&cur[..len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::blob_key_for_tests;
+    use crate::keys::state_key;
+    use railgun_types::{Timestamp, Value};
+
+    fn entity() -> Vec<Value> {
+        vec![Value::Str("host-1".into())]
+    }
+
+    #[test]
+    fn bucket_expiry_is_monotonic_and_selective() {
+        let h = StateHorizon::new();
+        let f = StateKeyFilter(Arc::clone(&h));
+        let old = state_key(3, Some(Timestamp::from_millis(1_000)), &entity());
+        let new = state_key(3, Some(Timestamp::from_millis(5_000)), &entity());
+        let unbucketed = state_key(3, None, &entity());
+        assert_eq!(f.filter(&old, b""), FilterDecision::Keep);
+        h.advance_bucket_expiry(2_000);
+        assert_eq!(f.filter(&old, b""), FilterDecision::Discard);
+        assert_eq!(f.filter(&new, b""), FilterDecision::Keep);
+        assert_eq!(f.filter(&unbucketed, b""), FilterDecision::Keep);
+        // Going backwards is a no-op.
+        h.advance_bucket_expiry(500);
+        assert_eq!(h.bucket_expire_before_ms(), 2_000);
+        assert_eq!(f.filter(&old, b""), FilterDecision::Discard);
+    }
+
+    #[test]
+    fn dead_prefixes_kill_state_and_aux_keys() {
+        let h = StateHorizon::new();
+        let state = StateKeyFilter(Arc::clone(&h));
+        let aux = AuxKeyFilter(Arc::clone(&h));
+        let dead_key = state_key(7, None, &entity());
+        let live_key = state_key(8, None, &entity());
+        let dead_aux = blob_key_for_tests(&dead_key);
+        let live_aux = blob_key_for_tests(&live_key);
+        assert_eq!(state.filter(&dead_key, b""), FilterDecision::Keep);
+        h.add_dead_prefix(crate::keys::leaf_prefix(7));
+        assert_eq!(state.filter(&dead_key, b""), FilterDecision::Discard);
+        assert_eq!(state.filter(&live_key, b""), FilterDecision::Keep);
+        assert_eq!(aux.filter(&dead_aux, b""), FilterDecision::Discard);
+        assert_eq!(aux.filter(&live_aux, b""), FilterDecision::Keep);
+        assert!(h.has_dead());
+        h.clear_dead_prefixes();
+        assert!(!h.has_dead());
+        assert_eq!(state.filter(&dead_key, b""), FilterDecision::Keep);
+    }
+
+    #[test]
+    fn malformed_keys_are_kept() {
+        let h = StateHorizon::new();
+        h.advance_bucket_expiry(i64::MAX);
+        h.add_dead_prefix([0, 0, 0, 1]);
+        let state = StateKeyFilter(Arc::clone(&h));
+        let aux = AuxKeyFilter(Arc::clone(&h));
+        assert_eq!(state.filter(b"", b""), FilterDecision::Keep);
+        assert_eq!(state.filter(&[0, 0], b""), FilterDecision::Keep);
+        // Aux key whose declared embedded length exceeds the bytes.
+        assert_eq!(aux.filter(&[200, 200, 1], b""), FilterDecision::Keep);
+    }
+}

@@ -40,6 +40,7 @@ pub mod cluster;
 pub mod elastic;
 pub mod expr;
 pub mod frontend;
+pub mod horizon;
 pub mod keys;
 pub mod lang;
 pub mod metrics;

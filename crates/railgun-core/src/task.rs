@@ -30,13 +30,14 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use railgun_reservoir::{AppendOutcome, Cursor, Reservoir, ReservoirConfig};
-use railgun_store::{ColumnFamilyId, Db, DbOptions, RealFs};
+use railgun_store::{CfOptions, ColumnFamilyId, Db, DbOptions, RealFs};
 use railgun_types::{
     Counter, Event, RailgunError, Result, Schema, TimeDelta, Timestamp, Value,
 };
 
 use crate::agg::{AggContext, AggScratch, AggState};
 use crate::api::{AggregationResult, QueryId};
+use crate::horizon::{AuxKeyFilter, StateHorizon, StateKeyFilter};
 use crate::keys::{leaf_prefix, state_key};
 use crate::lang::{Query, WindowKind};
 use crate::metrics::{SharedTaskStats, TaskStatsRegistry};
@@ -140,10 +141,70 @@ pub struct TaskProcessor {
     /// Per-task scratch for aggregator aux keys plus the in-memory sketch
     /// cache (flushed to the aux CF at checkpoints — see [`AggScratch`]).
     agg_scratch: AggScratch,
+    /// Shared expiry watermarks read by the store's compaction filters
+    /// (see [`crate::horizon`]): expired tumbling buckets and the state
+    /// of unregistered queries are dropped during compactions instead of
+    /// costing a point delete each.
+    horizon: Arc<StateHorizon>,
+    meta_cf: ColumnFamilyId,
 }
 
 /// Name of the auxiliary column family for `countDistinct`.
 const AUX_CF_NAME: &str = "distinct-aux";
+
+/// Name of the metadata column family (reclamation markers, tiny).
+const META_CF_NAME: &str = "task-meta";
+
+/// Meta-CF key holding the pending dead leaf prefixes as concatenated
+/// 4-byte chunks. Present iff an unregistration's state reclaim has not
+/// yet completed — leaf ids restart per incarnation, so a restart must
+/// finish the reclaim *before* the plan can hand those ids out again.
+const DEAD_PREFIXES_KEY: &[u8] = b"dead-prefixes";
+
+/// Install the watermark compaction filters and derived per-CF tuning on
+/// a task's store options. Tuning derives from the global knobs (so a
+/// config that sets `memtable_budget_bytes` keeps governing the default
+/// CF): the aux CF gets a quarter of the write budget, a lazier
+/// compaction trigger, and denser blooms (point-lookup heavy); the meta
+/// CF stays tiny. Caller-supplied `cf_options` entries win, but still
+/// get the horizon filter if they did not set one — the reclaim path
+/// relies on it.
+fn install_horizon_filters(opts: &mut DbOptions, horizon: &Arc<StateHorizon>) {
+    let derived: [(&str, CfOptions); 3] = [
+        (
+            "default",
+            CfOptions {
+                memtable_budget_bytes: opts.memtable_budget_bytes,
+                compaction_trigger: opts.compaction_trigger,
+                bloom_bits_per_key: opts.bloom_bits_per_key,
+                filter: Some(Arc::new(StateKeyFilter(Arc::clone(horizon)))),
+            },
+        ),
+        (
+            AUX_CF_NAME,
+            CfOptions {
+                memtable_budget_bytes: (opts.memtable_budget_bytes / 4).max(64 << 10),
+                compaction_trigger: opts.compaction_trigger.saturating_add(2),
+                bloom_bits_per_key: match opts.bloom_bits_per_key {
+                    0 => 0, // blooms disabled (ablation) — keep them off
+                    b => b + 2,
+                },
+                filter: Some(Arc::new(AuxKeyFilter(Arc::clone(horizon)))),
+            },
+        ),
+        (META_CF_NAME, CfOptions::meta()),
+    ];
+    for (name, cf) in derived {
+        match opts.cf_options.iter_mut().find(|(n, _)| n == name) {
+            Some((_, existing)) => {
+                if existing.filter.is_none() {
+                    existing.filter = cf.filter;
+                }
+            }
+            None => opts.cf_options.push((name.to_owned(), cf)),
+        }
+    }
+}
 
 impl TaskProcessor {
     /// Open (or recover) a task processor rooted at `dir`.
@@ -160,14 +221,30 @@ impl TaskProcessor {
             schema.clone(),
             config.reservoir.clone(),
         )?;
-        let db = Db::open(&dir.join("store"), config.store.clone())?;
+        let horizon = StateHorizon::new();
+        let mut store_opts = config.store.clone();
+        install_horizon_filters(&mut store_opts, &horizon);
+        let db = Db::open(&dir.join("store"), store_opts)?;
         let aux_cf = match db.cf_by_name(AUX_CF_NAME) {
             Some(cf) => cf,
             None => db.create_cf(AUX_CF_NAME)?,
         };
+        let meta_cf = match db.cf_by_name(META_CF_NAME) {
+            Some(cf) => cf,
+            None => db.create_cf(META_CF_NAME)?,
+        };
+        // A persisted marker means a reclaim was cut short (crash between
+        // the unregistration and its compactions): reload the prefixes
+        // and finish the job below, before any query registers new
+        // leaves under the same ids.
+        if let Some(raw) = db.get(meta_cf, DEAD_PREFIXES_KEY)? {
+            for chunk in raw.chunks_exact(4) {
+                horizon.add_dead_prefix([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
+        }
         let stats = Arc::new(SharedTaskStats::default());
         config.stats_registry.register(&stats);
-        Ok(TaskProcessor {
+        let tp = TaskProcessor {
             topic: topic.to_owned(),
             partition,
             schema,
@@ -184,7 +261,28 @@ impl TaskProcessor {
             encode_buf: Vec::with_capacity(64),
             entity_buf: Vec::with_capacity(4),
             agg_scratch: AggScratch::default(),
-        })
+            horizon,
+            meta_cf,
+        };
+        if tp.horizon.has_dead() {
+            tp.reclaim_dead_state()?;
+        }
+        Ok(tp)
+    }
+
+    /// Reclaim the state behind every pending dead prefix: flush the
+    /// memtables (filters only see SSTables), compact the filtered CFs
+    /// so their keys vanish, then clear the marker. Idempotent — a crash
+    /// anywhere before the final delete re-runs the whole reclaim at the
+    /// next open, which is safe because the filters only ever drop keys
+    /// under prefixes nothing live can use until the marker is gone.
+    fn reclaim_dead_state(&self) -> Result<()> {
+        self.db.flush()?;
+        self.db.compact_cf(Db::DEFAULT_CF)?;
+        self.db.compact_cf(self.aux_cf)?;
+        self.horizon.clear_dead_prefixes();
+        self.db.delete(self.meta_cf, DEAD_PREFIXES_KEY)?;
+        Ok(())
     }
 
     /// The (topic, partition) this task serves.
@@ -365,40 +463,28 @@ impl TaskProcessor {
         if diff.removed_refs == 0 {
             return Ok(false);
         }
-        let mut distinct_prefixes: Vec<[u8; 4]> = Vec::new();
-        for &leaf in &diff.dead_leaves {
-            // Aggregator state in the default CF: bounded prefix scan.
-            let prefix = leaf_prefix(leaf as u32);
-            for (key, _) in self.db.scan_prefix(Db::DEFAULT_CF, &prefix)? {
-                self.db.delete(Db::DEFAULT_CF, &key)?;
-                self.stats.state_writes.fetch_add(1, Ordering::Relaxed);
-            }
-            if matches!(
-                self.plan.leaves[leaf].func,
-                crate::lang::AggFunc::CountDistinct
-                    | crate::lang::AggFunc::ApproxCountDistinct { .. }
-                    | crate::lang::AggFunc::TopK { .. }
-                    | crate::lang::AggFunc::Percentile { .. }
-            ) {
-                // Drop cached sketches first so a later flush cannot
-                // resurrect blobs the aux-CF scan below deletes.
+        // Dead-leaf state is reclaimed through the compaction filters
+        // rather than per-key point deletes: mark the prefixes dead,
+        // persist the marker (a crash before the compactions finish must
+        // resume the reclaim at the next open — leaf ids restart per
+        // incarnation), then flush + compact the filtered CFs. The aux
+        // CF needs no scan at all: its filter decodes the embedded state
+        // key, so counters and sketch blobs of dead leaves fall out of
+        // the same merge.
+        if !diff.dead_leaves.is_empty() {
+            for &leaf in &diff.dead_leaves {
+                let prefix = leaf_prefix(leaf as u32);
+                // Drop cached sketches first so a later scratch flush
+                // cannot resurrect blobs the compaction drops.
                 self.agg_scratch.drop_prefix(&prefix);
-                distinct_prefixes.push(prefix);
+                self.horizon.add_dead_prefix(prefix);
             }
-        }
-        // `countDistinct` aux counters and sketch blobs both embed the
-        // state key length-prefixed, so they are matched by decoding
-        // rather than by raw prefix — one pass over the aux CF covers
-        // every dead leaf.
-        if !distinct_prefixes.is_empty() {
-            for (key, _) in self.db.scan_prefix(self.aux_cf, &[])? {
-                if distinct_prefixes
-                    .iter()
-                    .any(|p| aux_key_has_leaf(&key, p))
-                {
-                    self.db.delete(self.aux_cf, &key)?;
-                }
+            let mut marker = Vec::with_capacity(4 * diff.dead_leaves.len());
+            for p in self.horizon.dead_prefixes() {
+                marker.extend_from_slice(&p);
             }
+            self.db.put(self.meta_cf, DEAD_PREFIXES_KEY, &marker)?;
+            self.reclaim_dead_state()?;
         }
         for &wid in &diff.dead_windows {
             // Dropping the runtime drops its head/tail cursors — the
@@ -706,6 +792,12 @@ impl TaskProcessor {
             return Ok(());
         }
         let before = t_eval - max_span - self.config.retention_margin;
+        // Advance the store's expiry watermark in lockstep with the
+        // reservoir bound: a tumbling bucket older than the retention
+        // horizon can never be read again (results are only collected at
+        // the evaluation boundary), so the next compaction drops its
+        // state instead of carrying it forever.
+        self.horizon.advance_bucket_expiry(before.as_millis());
         self.reservoir.truncate_before(before)?;
         Ok(())
     }
@@ -722,6 +814,12 @@ impl TaskProcessor {
     /// Checkpoint reservoir and state store together (§4.1.3) into `dir`.
     pub fn checkpoint(&self, dir: &Path) -> Result<()> {
         std::fs::create_dir_all(dir)?;
+        // Finish any pending dead-state reclaim first so the image does
+        // not ship keys (and a marker) a restore would immediately have
+        // to compact away again.
+        if self.horizon.has_dead() {
+            self.reclaim_dead_state()?;
+        }
         // Sketch blobs live in an in-memory cache between checkpoints;
         // flush them so the store image carries the current estimates.
         self.agg_scratch.flush(&self.db, self.aux_cf)?;
@@ -853,17 +951,6 @@ fn derived_query_id(query: &Query) -> QueryId {
         Err(_) => h.write(format!("{query:?}").as_bytes()),
     }
     QueryId(h.finish() | (1 << 63))
-}
-
-/// True iff `aux_key` belongs to a state key starting with `prefix`.
-/// Aux keys are `uvarint(state_key.len()) ++ state_key ++ value-bytes`
-/// (see `agg::aux_key`).
-fn aux_key_has_leaf(aux_key: &[u8], prefix: &[u8]) -> bool {
-    let mut cur = aux_key;
-    match railgun_types::encode::get_uvarint(&mut cur) {
-        Ok(len) => cur.len() >= len as usize && cur[..prefix.len().min(cur.len())] == *prefix,
-        Err(_) => false,
-    }
 }
 
 fn copy_dir(from: &Path, to: &Path) -> Result<()> {
@@ -1295,6 +1382,178 @@ mod tests {
             tp.db.scan_prefix(tp.aux_cf, &[]).unwrap().is_empty(),
             "aux counters torn down with the leaf"
         );
+        // Reclaim went through the compaction filters, not point deletes.
+        assert!(
+            tp.store_stats().filter_dropped > 0,
+            "unregister must reclaim via filtered compaction"
+        );
+        assert!(
+            tp.db.get(tp.meta_cf, DEAD_PREFIXES_KEY).unwrap().is_none(),
+            "reclaim marker cleared once the compactions committed"
+        );
+    }
+
+    #[test]
+    fn interrupted_unregister_reclaim_resumes_at_open() {
+        let dir = temp_task_dir("reclaim-resume");
+        {
+            let mut tp = TaskProcessor::open(
+                &dir,
+                "payments--cardId",
+                0,
+                schema(),
+                TaskConfig::default(),
+            )
+            .unwrap();
+            let q = parse_query(
+                "SELECT countDistinct(merchantId) FROM payments GROUP BY cardId OVER infinite",
+            )
+            .unwrap();
+            tp.register_query(&q).unwrap();
+            for i in 0..6 {
+                tp.process_event(&ev(i, 1_000 * i as i64, "A", &format!("m{i}"), 1.0))
+                    .unwrap();
+            }
+            assert!(!tp.db.scan_prefix(tp.aux_cf, &[]).unwrap().is_empty());
+            // Crash exactly between an unregistration persisting its
+            // marker and running the reclaim compactions: write the
+            // marker by hand and drop the task without reclaiming.
+            tp.db
+                .put(tp.meta_cf, DEAD_PREFIXES_KEY, &leaf_prefix(0))
+                .unwrap();
+        }
+        let tp = TaskProcessor::open(
+            &dir,
+            "payments--cardId",
+            0,
+            schema(),
+            TaskConfig::default(),
+        )
+        .unwrap();
+        // Open must finish the reclaim before any registration can reuse
+        // leaf id 0 (ids restart per incarnation).
+        assert!(
+            tp.db
+                .scan_prefix(Db::DEFAULT_CF, &leaf_prefix(0))
+                .unwrap()
+                .is_empty(),
+            "dead leaf state reclaimed at open"
+        );
+        assert!(
+            tp.db.scan_prefix(tp.aux_cf, &[]).unwrap().is_empty(),
+            "dead aux state reclaimed at open"
+        );
+        assert!(!tp.horizon.has_dead());
+        assert!(
+            tp.db.get(tp.meta_cf, DEAD_PREFIXES_KEY).unwrap().is_none(),
+            "marker cleared after the resumed reclaim"
+        );
+    }
+
+    #[test]
+    fn elastic_handover_matches_lockstep_twin_under_expiry() {
+        // The elastic-membership handover path (checkpoint →
+        // restore_or_replay → reattach_query_as) on a task whose store
+        // has been through watermark expiry *and* dead-leaf filtering:
+        // the restored processor's per-event results must stay
+        // byte-identical to a lockstep twin that only ever ran the
+        // surviving query.
+        let cfg = || TaskConfig {
+            truncate_every: 1, // retention (and the expiry watermark) advance every event
+            retention_margin: TimeDelta::from_secs(5),
+            ..TaskConfig::default()
+        };
+        let qt = parse_query(
+            "SELECT sum(amount), count(*) FROM payments GROUP BY cardId OVER tumbling 1 min",
+        )
+        .unwrap();
+        let qx = parse_query(
+            "SELECT countDistinct(merchantId) FROM payments GROUP BY cardId OVER sliding 2 min",
+        )
+        .unwrap();
+        let (tid, xid) = (QueryId(7), QueryId(8));
+        let mut primary = TaskProcessor::open(
+            &temp_task_dir("elastic-expiry-primary"),
+            "payments--cardId",
+            0,
+            schema(),
+            cfg(),
+        )
+        .unwrap();
+        primary.register_query_as(tid, &qt).unwrap();
+        primary.register_query_as(xid, &qx).unwrap();
+        let mut twin = TaskProcessor::open(
+            &temp_task_dir("elastic-expiry-twin"),
+            "payments--cardId",
+            0,
+            schema(),
+            cfg(),
+        )
+        .unwrap();
+        twin.register_query_as(tid, &qt).unwrap();
+
+        let mk = |i: u64| {
+            ev(
+                i,
+                (i as i64) * 10_000, // one event per 10 s → many 1-min buckets
+                "A",
+                &format!("m{}", i % 5),
+                (i % 7) as f64,
+            )
+        };
+        let only_t = |r: Vec<AggregationResult>| -> Vec<AggregationResult> {
+            r.into_iter().filter(|a| a.query == tid).collect()
+        };
+        for i in 0..30 {
+            let e = mk(i);
+            let rp = only_t(primary.process_event(&e).unwrap().0);
+            let rt = only_t(twin.process_event(&e).unwrap().0);
+            assert_eq!(rp, rt, "pre-unregister divergence at event {i}");
+        }
+        // Tear down the side query: its leaves die and are reclaimed by
+        // the compaction filters (eager flush + compact).
+        assert!(primary.unregister_query(xid).unwrap());
+        assert!(
+            primary.store_stats().filter_dropped > 0,
+            "dead-leaf reclaim must go through the filter"
+        );
+        for i in 30..60 {
+            let e = mk(i);
+            let rp = only_t(primary.process_event(&e).unwrap().0);
+            let rt = only_t(twin.process_event(&e).unwrap().0);
+            assert_eq!(rp, rt, "post-unregister divergence at event {i}");
+        }
+        // Force a maintenance cycle so buckets behind the watermark are
+        // physically dropped, then prove live results are unaffected.
+        let dropped_before = primary.store_stats().filter_dropped;
+        primary.db.flush().unwrap();
+        primary.db.compact_cf(Db::DEFAULT_CF).unwrap();
+        assert!(
+            primary.store_stats().filter_dropped > dropped_before,
+            "expired tumbling buckets must fall out of the compaction"
+        );
+
+        // Handover: checkpoint, restore into a fresh dir, reattach.
+        let ckpt = temp_task_dir("elastic-expiry-ckpt");
+        primary.checkpoint(&ckpt).unwrap();
+        drop(primary);
+        let (mut restored, outcome) = TaskProcessor::restore_or_replay(
+            &ckpt,
+            &temp_task_dir("elastic-expiry-restore"),
+            "payments--cardId",
+            0,
+            schema(),
+            cfg(),
+        )
+        .unwrap();
+        assert_eq!(outcome, RestoreOutcome::FromCheckpoint);
+        restored.reattach_query_as(tid, &qt).unwrap();
+        for i in 60..90 {
+            let e = mk(i);
+            let rr = only_t(restored.process_event(&e).unwrap().0);
+            let rt = only_t(twin.process_event(&e).unwrap().0);
+            assert_eq!(rr, rt, "post-handover divergence at event {i}");
+        }
     }
 
     #[test]

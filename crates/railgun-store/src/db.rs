@@ -20,6 +20,7 @@ use railgun_types::{Counter, RailgunError, Recorder, Result};
 
 use crate::memtable::{Entry, MemTable};
 use crate::merge::MergeIter;
+use crate::options::{CfOptions, FilterDecision, WriteBufferBudget};
 use crate::sstable::{SstReader, SstWriter};
 use crate::vfs::{crash_points, RealFs, StoreFs};
 use crate::wal::{Wal, WalRecord, WalRecoveryMode};
@@ -57,6 +58,17 @@ pub struct DbOptions {
     pub wal_truncated_counter: Counter,
     /// Telemetry: orphaned SSTables quarantined at open (off by default).
     pub orphan_counter: Counter,
+    /// Per-column-family overrides, matched by CF name both at open (for
+    /// CFs recovered from the manifest) and at [`Db::create_cf`]. A CF
+    /// without an entry derives its [`CfOptions`] from the global fields
+    /// above — existing single-policy configurations behave exactly as
+    /// before.
+    pub cf_options: Vec<(String, CfOptions)>,
+    /// Optional process-wide memtable budget shared across databases
+    /// (one per task processor on a node). When the shared total crosses
+    /// the cap, the database observing the crossing flushes its largest
+    /// memtable. `None` (the default) disables global accounting.
+    pub write_buffer: Option<Arc<WriteBufferBudget>>,
 }
 
 impl Default for DbOptions {
@@ -73,11 +85,33 @@ impl Default for DbOptions {
             wal_recovery: WalRecoveryMode::default(),
             wal_truncated_counter: Counter::disabled(),
             orphan_counter: Counter::disabled(),
+            cf_options: Vec::new(),
+            write_buffer: None,
         }
     }
 }
 
-/// Point-in-time statistics, used by benches and ablations.
+impl DbOptions {
+    /// The [`CfOptions`] a column family named `name` gets: its
+    /// [`DbOptions::cf_options`] entry if present, else the global fields.
+    fn resolve_cf_opts(&self, name: &str) -> CfOptions {
+        self.cf_options
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, o)| o.clone())
+            .unwrap_or(CfOptions {
+                memtable_budget_bytes: self.memtable_budget_bytes,
+                compaction_trigger: self.compaction_trigger,
+                bloom_bits_per_key: self.bloom_bits_per_key,
+                filter: None,
+            })
+    }
+}
+
+/// Point-in-time statistics, used by benches and ablations. The
+/// aggregate fields are exactly the column sums of [`DbStats::per_cf`]
+/// (pinned by a regression test — they used to drift in multi-CF
+/// databases because any over-budget CF flushed *every* CF).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DbStats {
     pub column_families: usize,
@@ -88,6 +122,23 @@ pub struct DbStats {
     pub sst_bytes: u64,
     pub flushes: u64,
     pub compactions: u64,
+    /// Live entries dropped by compaction filters over this handle's
+    /// lifetime (in-memory counter, not persisted across opens).
+    pub filter_dropped: u64,
+    /// Per-column-family breakdown, sorted by CF id.
+    pub per_cf: Vec<CfStats>,
+}
+
+/// Per-column-family slice of [`DbStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CfStats {
+    pub id: ColumnFamilyId,
+    pub name: String,
+    pub memtable_bytes: usize,
+    pub memtable_entries: usize,
+    pub sst_count: usize,
+    pub sst_entries: u64,
+    pub sst_bytes: u64,
 }
 
 struct SstHandle {
@@ -97,6 +148,7 @@ struct SstHandle {
 
 struct CfState {
     name: String,
+    opts: CfOptions,
     mem: MemTable,
     /// Newest first.
     ssts: Vec<SstHandle>,
@@ -109,6 +161,10 @@ struct Inner {
     wal: Wal,
     flushes: u64,
     compactions: u64,
+    filter_dropped: u64,
+    /// This database's last contribution reported to the shared
+    /// [`WriteBufferBudget`] (0 when none is configured).
+    wb_reported: usize,
 }
 
 /// What [`Db::open`] had to repair while bringing the on-disk image
@@ -161,13 +217,14 @@ impl Db {
         let manifest_path = dir.join(MANIFEST);
         let had_manifest = fs.exists(&manifest_path);
         let (mut cfs, next_cf_id, next_file_no) = if had_manifest {
-            Self::load_manifest(fs.as_ref(), dir, &manifest_path)?
+            Self::load_manifest(fs.as_ref(), dir, &manifest_path, &opts)?
         } else {
             let mut cfs = HashMap::new();
             cfs.insert(
                 Self::DEFAULT_CF,
                 CfState {
                     name: "default".to_owned(),
+                    opts: opts.resolve_cf_opts("default"),
                     mem: MemTable::new(),
                     ssts: Vec::new(),
                 },
@@ -233,11 +290,19 @@ impl Db {
                 wal,
                 flushes: 0,
                 compactions: 0,
+                filter_dropped: 0,
+                wb_reported: 0,
             }),
             recovery: report,
         };
         if !had_manifest {
             db.write_manifest(&db.inner.lock())?;
+        }
+        // WAL replay may have repopulated memtables; account for them
+        // against the shared budget before the first write.
+        if let Some(budget) = &db.opts.write_buffer {
+            let mut inner = db.inner.lock();
+            Self::report_write_buffer(&mut inner, budget);
         }
         Ok(db)
     }
@@ -252,6 +317,7 @@ impl Db {
         fs: &dyn StoreFs,
         dir: &Path,
         path: &Path,
+        opts: &DbOptions,
     ) -> Result<(HashMap<ColumnFamilyId, CfState>, ColumnFamilyId, u64)> {
         let raw = fs.read(path)?;
         if raw.len() < 4 {
@@ -280,10 +346,12 @@ impl Db {
                 let reader = SstReader::open(fs, &dir.join(sst_file_name(file_no)))?;
                 ssts.push(SstHandle { file_no, reader });
             }
+            let cf_opts = opts.resolve_cf_opts(&name);
             cfs.insert(
                 cf_id,
                 CfState {
                     name,
+                    opts: cf_opts,
                     mem: MemTable::new(),
                     ssts,
                 },
@@ -326,8 +394,16 @@ impl Db {
         Ok(())
     }
 
-    /// Create a new column family. Fails if the name is taken.
+    /// Create a new column family with options resolved from
+    /// [`DbOptions::cf_options`] (global fallbacks when no entry matches).
+    /// Fails if the name is taken.
     pub fn create_cf(&self, name: &str) -> Result<ColumnFamilyId> {
+        self.create_cf_with(name, self.opts.resolve_cf_opts(name))
+    }
+
+    /// Create a new column family with explicit [`CfOptions`]. Fails if
+    /// the name is taken.
+    pub fn create_cf_with(&self, name: &str, cf_opts: CfOptions) -> Result<ColumnFamilyId> {
         let mut inner = self.inner.lock();
         if inner.cfs.values().any(|cf| cf.name == name) {
             return Err(RailgunError::InvalidArgument(format!(
@@ -340,6 +416,7 @@ impl Db {
             id,
             CfState {
                 name: name.to_owned(),
+                opts: cf_opts,
                 mem: MemTable::new(),
                 ssts: Vec::new(),
             },
@@ -466,15 +543,55 @@ impl Db {
     }
 
     fn maybe_flush_locked(&self, inner: &mut Inner) -> Result<()> {
-        let over_budget = inner
+        // Per-CF budgets: flush exactly the over-budget column families.
+        // (Flushing all of them — the old behaviour — littered idle CFs
+        // with one-entry SSTables and made the aggregate stats drift.)
+        let over: Vec<ColumnFamilyId> = inner
             .cfs
-            .values()
-            .any(|cf| cf.mem.approx_bytes() > self.opts.memtable_budget_bytes);
-        if over_budget {
-            self.flush_locked(inner)?;
+            .iter()
+            .filter(|(_, cf)| cf.mem.approx_bytes() > cf.opts.memtable_budget_bytes)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut flushed = !over.is_empty();
+        if flushed {
+            let timer = self.opts.flush_recorder.start();
+            let result = self.flush_cfs_locked(inner, over);
+            self.opts.flush_recorder.finish(timer);
+            result?;
+        }
+        // Process-wide budget: while the shared total is over the cap,
+        // flush this database's largest memtable (the cheapest local
+        // action that frees the most of the shared budget).
+        if let Some(budget) = &self.opts.write_buffer {
+            Self::report_write_buffer(inner, budget);
+            while budget.over() {
+                let largest = inner
+                    .cfs
+                    .iter()
+                    .filter(|(_, cf)| !cf.mem.is_empty())
+                    .max_by_key(|(_, cf)| cf.mem.approx_bytes())
+                    .map(|(id, _)| *id);
+                // All local memtables empty: another database holds the
+                // bytes and will shed them on its own next write.
+                let Some(id) = largest else { break };
+                let timer = self.opts.flush_recorder.start();
+                let result = self.flush_cfs_locked(inner, vec![id]);
+                self.opts.flush_recorder.finish(timer);
+                result?;
+                flushed = true;
+                Self::report_write_buffer(inner, budget);
+            }
+        }
+        if flushed {
             self.maybe_compact_locked(inner)?;
         }
         Ok(())
+    }
+
+    /// Refresh this database's contribution to the shared budget.
+    fn report_write_buffer(inner: &mut Inner, budget: &WriteBufferBudget) {
+        let total: usize = inner.cfs.values().map(|cf| cf.mem.approx_bytes()).sum();
+        inner.wb_reported = budget.report(inner.wb_reported, total);
     }
 
     /// Flush every non-empty memtable to a new SSTable and truncate the WAL.
@@ -496,6 +613,9 @@ impl Db {
         let timer = self.opts.flush_recorder.start();
         let result = self.flush_cfs_locked(inner, cf_ids);
         self.opts.flush_recorder.finish(timer);
+        if let Some(budget) = &self.opts.write_buffer {
+            Self::report_write_buffer(inner, budget);
+        }
         result
     }
 
@@ -510,7 +630,7 @@ impl Db {
                 fs.as_ref(),
                 &path,
                 self.opts.block_size,
-                self.opts.bloom_bits_per_key.max(1),
+                cf.opts.bloom_bits_per_key.max(1),
             )?;
             for (k, entry) in cf.mem.drain_sorted() {
                 w.add(&k, &entry)?;
@@ -528,7 +648,18 @@ impl Db {
         // A crash here replays WAL records already covered by the new
         // SSTs — put/delete replay is idempotent, so that is safe.
         fs.crash_point(crash_points::FLUSH_BEFORE_WAL_TRUNCATE)?;
-        inner.wal.truncate()?;
+        if inner.cfs.values().all(|cf| cf.mem.is_empty()) {
+            inner.wal.truncate()?;
+        } else {
+            // Partial flush: the WAL must keep covering the column
+            // families that did not flush, so rebuild it atomically from
+            // their surviving memtable entries instead of truncating.
+            let inner = &mut *inner;
+            let cfs = &inner.cfs;
+            inner.wal.rewrite(cfs.iter().flat_map(|(id, cf)| {
+                cf.mem.iter().map(move |(k, e)| (*id, k, e.as_deref()))
+            }))?;
+        }
         Ok(())
     }
 
@@ -536,7 +667,7 @@ impl Db {
         let ids: Vec<ColumnFamilyId> = inner
             .cfs
             .iter()
-            .filter(|(_, cf)| cf.ssts.len() >= self.opts.compaction_trigger)
+            .filter(|(_, cf)| cf.ssts.len() >= cf.opts.compaction_trigger)
             .map(|(id, _)| *id)
             .collect();
         for id in ids {
@@ -545,8 +676,11 @@ impl Db {
         Ok(())
     }
 
-    /// Merge every SSTable of `cf` into one, dropping shadowed versions and
-    /// tombstones.
+    /// Merge every SSTable of `cf` into one, dropping shadowed versions,
+    /// tombstones, and (when the CF has a [`CompactionFilter`]
+    /// installed) every live entry the filter discards.
+    ///
+    /// [`CompactionFilter`]: crate::CompactionFilter
     pub fn compact_cf(&self, cf: ColumnFamilyId) -> Result<()> {
         let mut inner = self.inner.lock();
         if !inner.cfs.contains_key(&cf) {
@@ -556,14 +690,20 @@ impl Db {
     }
 
     fn compact_cf_locked(&self, inner: &mut Inner, id: ColumnFamilyId) -> Result<()> {
-        let file_no = inner.next_file_no;
-        inner.next_file_no += 1;
-        let cf = inner.cfs.get_mut(&id).expect("cf exists");
-        if cf.ssts.len() < 2 {
+        let filter = inner.cfs.get(&id).expect("cf exists").opts.filter.clone();
+        // A filterless compaction needs at least two inputs to do useful
+        // work; with a filter installed, rewriting even a single table
+        // reclaims dead entries on demand.
+        let min_inputs = if filter.is_some() { 1 } else { 2 };
+        if inner.cfs[&id].ssts.len() < min_inputs {
             return Ok(());
         }
+        let file_no = inner.next_file_no;
+        inner.next_file_no += 1;
         let path = self.dir.join(sst_file_name(file_no));
         let fs = Arc::clone(&self.opts.fs);
+        let cf = inner.cfs.get_mut(&id).expect("cf exists");
+        let mut dropped = 0u64;
         {
             let sources: Vec<Box<dyn Iterator<Item = (Vec<u8>, Entry)> + '_>> = cf
                 .ssts
@@ -577,9 +717,15 @@ impl Db {
                 fs.as_ref(),
                 &path,
                 self.opts.block_size,
-                self.opts.bloom_bits_per_key.max(1),
+                cf.opts.bloom_bits_per_key.max(1),
             )?;
             for (k, entry) in merged {
+                if let (Some(flt), Some(v)) = (filter.as_deref(), entry.as_deref()) {
+                    if flt.filter(&k, v) == FilterDecision::Discard {
+                        dropped += 1;
+                        continue;
+                    }
+                }
                 w.add(&k, &entry)?;
             }
             w.finish()?;
@@ -588,11 +734,25 @@ impl Db {
         // the inputs — a crash here quarantines the merged table at the
         // next open and keeps serving from the inputs.
         fs.crash_point(crash_points::COMPACT_BEFORE_MANIFEST)?;
+        if dropped > 0 {
+            // Same window, filter-specific: the output omits filtered
+            // entries but recovery must keep serving them from the
+            // still-referenced inputs (filtered keys may legally
+            // reappear until the swap lands).
+            fs.crash_point(crash_points::COMPACT_FILTERED_BEFORE_MANIFEST)?;
+        }
         let old: Vec<u64> = cf.ssts.iter().map(|h| h.file_no).collect();
         let reader = SstReader::open(fs.as_ref(), &path)?;
         cf.ssts = vec![SstHandle { file_no, reader }];
         inner.compactions += 1;
+        inner.filter_dropped += dropped;
         self.write_manifest(inner)?;
+        if dropped > 0 {
+            // The manifest now references only the filtered output: the
+            // dropped keys must never resurrect, even with the input
+            // tables still on disk (quarantined at the next open).
+            fs.crash_point(crash_points::COMPACT_FILTERED_AFTER_MANIFEST)?;
+        }
         // A crash here leaves the (shadowed) inputs on disk — the
         // quarantine sweep moves them aside at the next open.
         fs.crash_point(crash_points::COMPACT_BEFORE_REMOVE_OLD)?;
@@ -660,30 +820,64 @@ impl Db {
         )
     }
 
-    /// Current statistics snapshot.
+    /// Current statistics snapshot. Aggregates are computed as the column
+    /// sums of the per-CF breakdown, so they cannot drift from it.
     pub fn stats(&self) -> DbStats {
         let inner = self.inner.lock();
+        let mut ids: Vec<ColumnFamilyId> = inner.cfs.keys().copied().collect();
+        ids.sort_unstable();
+        let per_cf: Vec<CfStats> = ids
+            .into_iter()
+            .map(|id| {
+                let cf = &inner.cfs[&id];
+                let mut c = CfStats {
+                    id,
+                    name: cf.name.clone(),
+                    memtable_bytes: cf.mem.approx_bytes(),
+                    memtable_entries: cf.mem.len(),
+                    sst_count: cf.ssts.len(),
+                    ..CfStats::default()
+                };
+                for h in &cf.ssts {
+                    c.sst_entries += h.reader.entry_count();
+                    c.sst_bytes += h.reader.file_bytes() as u64;
+                }
+                c
+            })
+            .collect();
         let mut s = DbStats {
             column_families: inner.cfs.len(),
             flushes: inner.flushes,
             compactions: inner.compactions,
+            filter_dropped: inner.filter_dropped,
             ..DbStats::default()
         };
-        for cf in inner.cfs.values() {
-            s.memtable_bytes += cf.mem.approx_bytes();
-            s.memtable_entries += cf.mem.len();
-            s.sst_count += cf.ssts.len();
-            for h in &cf.ssts {
-                s.sst_entries += h.reader.entry_count();
-                s.sst_bytes += h.reader.file_bytes() as u64;
-            }
+        for c in &per_cf {
+            s.memtable_bytes += c.memtable_bytes;
+            s.memtable_entries += c.memtable_entries;
+            s.sst_count += c.sst_count;
+            s.sst_entries += c.sst_entries;
+            s.sst_bytes += c.sst_bytes;
         }
+        s.per_cf = per_cf;
         s
     }
 
     /// Directory this database lives in.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        // Return this database's contribution to the shared budget so a
+        // closed store does not pin the cap for its neighbours.
+        if let Some(budget) = &self.opts.write_buffer {
+            let mut inner = self.inner.lock();
+            let old = std::mem::take(&mut inner.wb_reported);
+            budget.report(old, 0);
+        }
     }
 }
 
@@ -1049,5 +1243,270 @@ mod tests {
         assert_eq!(prefix_upper_bound(&[0x01, 0xff]), Some(vec![0x02]));
         assert_eq!(prefix_upper_bound(&[0xff, 0xff]), None);
         assert_eq!(prefix_upper_bound(b""), None);
+    }
+
+    /// Discards every key starting with `dead:`.
+    #[derive(Debug)]
+    struct DeadPrefixFilter;
+    impl crate::CompactionFilter for DeadPrefixFilter {
+        fn name(&self) -> &str {
+            "dead-prefix"
+        }
+        fn filter(&self, key: &[u8], _value: &[u8]) -> crate::FilterDecision {
+            if key.starts_with(b"dead:") {
+                crate::FilterDecision::Discard
+            } else {
+                crate::FilterDecision::Keep
+            }
+        }
+    }
+
+    #[test]
+    fn per_cf_budgets_flush_independently() {
+        // Regression pin for the multi-CF stats drift: the old code
+        // flushed *every* CF once any one crossed the single global
+        // budget, littering idle CFs with one-entry SSTables.
+        let dir = fresh_dir("percfflush");
+        let opts = DbOptions {
+            cf_options: vec![(
+                "hot".to_owned(),
+                CfOptions {
+                    memtable_budget_bytes: 512,
+                    compaction_trigger: 100,
+                    ..CfOptions::default()
+                },
+            )],
+            ..DbOptions::default()
+        };
+        let db = Db::open(&dir, opts).unwrap();
+        let hot = db.create_cf("hot").unwrap();
+        db.put(Db::DEFAULT_CF, b"idle-key", b"idle-value").unwrap();
+        for i in 0..50u32 {
+            db.put(hot, format!("h{i:03}").as_bytes(), &[7u8; 64]).unwrap();
+        }
+        let s = db.stats();
+        let idle = s.per_cf.iter().find(|c| c.name == "default").unwrap();
+        let hot_cf = s.per_cf.iter().find(|c| c.name == "hot").unwrap();
+        assert!(hot_cf.sst_count > 0, "hot CF should have auto-flushed");
+        assert_eq!(idle.sst_count, 0, "idle CF must not be flushed along");
+        assert_eq!(idle.memtable_entries, 1);
+        // Reads still correct on both sides.
+        assert_eq!(
+            db.get(Db::DEFAULT_CF, b"idle-key").unwrap(),
+            Some(b"idle-value".to_vec())
+        );
+        assert_eq!(db.get(hot, b"h000").unwrap(), Some(vec![7u8; 64]));
+    }
+
+    #[test]
+    fn partial_flush_keeps_unflushed_cfs_durable() {
+        // After a partial flush the WAL is rewritten, not truncated: the
+        // un-flushed CF's records must survive a crash.
+        let dir = fresh_dir("partialwal");
+        let opts = DbOptions {
+            cf_options: vec![(
+                "hot".to_owned(),
+                CfOptions {
+                    memtable_budget_bytes: 512,
+                    compaction_trigger: 100,
+                    ..CfOptions::default()
+                },
+            )],
+            ..DbOptions::default()
+        };
+        let aux;
+        {
+            let db = Db::open(&dir, opts.clone()).unwrap();
+            let hot = db.create_cf("hot").unwrap();
+            aux = db.create_cf("aux").unwrap();
+            db.put(aux, b"unflushed", b"must-survive").unwrap();
+            db.delete(aux, b"ghost").unwrap();
+            for i in 0..50u32 {
+                db.put(hot, format!("h{i:03}").as_bytes(), &[7u8; 64]).unwrap();
+            }
+            assert!(db.stats().per_cf.iter().any(|c| c.name == "hot" && c.sst_count > 0));
+            // Dropped without an explicit flush — simulated crash.
+        }
+        let db = Db::open(&dir, opts).unwrap();
+        assert_eq!(db.get(aux, b"unflushed").unwrap(), Some(b"must-survive".to_vec()));
+        assert_eq!(db.get(aux, b"ghost").unwrap(), None);
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn compaction_filter_drops_dead_entries() {
+        let dir = fresh_dir("cfilter");
+        let opts = DbOptions {
+            cf_options: vec![(
+                "default".to_owned(),
+                CfOptions::default().with_filter(Arc::new(DeadPrefixFilter)),
+            )],
+            ..DbOptions::default()
+        };
+        let db = Db::open(&dir, opts).unwrap();
+        db.put(Db::DEFAULT_CF, b"dead:a", b"1").unwrap();
+        db.put(Db::DEFAULT_CF, b"live:a", b"2").unwrap();
+        db.flush().unwrap();
+        db.put(Db::DEFAULT_CF, b"dead:b", b"3").unwrap();
+        db.put(Db::DEFAULT_CF, b"live:b", b"4").unwrap();
+        db.flush().unwrap();
+        // Until the compaction runs, filtered keys are still readable.
+        assert_eq!(db.get(Db::DEFAULT_CF, b"dead:a").unwrap(), Some(b"1".to_vec()));
+        db.compact_cf(Db::DEFAULT_CF).unwrap();
+        assert_eq!(db.get(Db::DEFAULT_CF, b"dead:a").unwrap(), None);
+        assert_eq!(db.get(Db::DEFAULT_CF, b"dead:b").unwrap(), None);
+        assert_eq!(db.get(Db::DEFAULT_CF, b"live:a").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(db.get(Db::DEFAULT_CF, b"live:b").unwrap(), Some(b"4".to_vec()));
+        let s = db.stats();
+        assert_eq!(s.filter_dropped, 2);
+        assert_eq!(s.sst_entries, 2);
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn filtered_compaction_rewrites_single_sstable() {
+        // Without a filter a 1-SST compaction is a no-op; with one it is
+        // the on-demand reclaim path.
+        let dir = fresh_dir("cfilter1");
+        let opts = DbOptions {
+            cf_options: vec![(
+                "default".to_owned(),
+                CfOptions::default().with_filter(Arc::new(DeadPrefixFilter)),
+            )],
+            ..DbOptions::default()
+        };
+        let db = Db::open(&dir, opts).unwrap();
+        db.put(Db::DEFAULT_CF, b"dead:x", b"1").unwrap();
+        db.put(Db::DEFAULT_CF, b"live:x", b"2").unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.stats().sst_count, 1);
+        db.compact_cf(Db::DEFAULT_CF).unwrap();
+        let s = db.stats();
+        assert_eq!(s.sst_count, 1);
+        assert_eq!(s.sst_entries, 1);
+        assert_eq!(s.filter_dropped, 1);
+        assert_eq!(db.get(Db::DEFAULT_CF, b"dead:x").unwrap(), None);
+        assert_eq!(db.get(Db::DEFAULT_CF, b"live:x").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn compaction_of_single_sstable_without_filter_is_noop() {
+        // Also pins the file-number leak: a bailed-out compaction must
+        // not burn a file number (visible as a gap after the next flush).
+        let dir = fresh_dir("compactnoop");
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        db.put(Db::DEFAULT_CF, b"k", b"v").unwrap();
+        db.flush().unwrap();
+        let before = db.stats();
+        db.compact_cf(Db::DEFAULT_CF).unwrap();
+        let after = db.stats();
+        assert_eq!(before, after);
+        db.put(Db::DEFAULT_CF, b"k2", b"v2").unwrap();
+        db.flush().unwrap();
+        // File numbers are consecutive: the no-op compaction left none.
+        assert!(dir.join(sst_file_name(1)).exists());
+        assert!(dir.join(sst_file_name(2)).exists());
+    }
+
+    #[test]
+    fn write_buffer_budget_flushes_largest_memtable() {
+        let dir_a = fresh_dir("wb-a");
+        let dir_b = fresh_dir("wb-b");
+        let budget = WriteBufferBudget::new(4096);
+        let mk = |dir: &Path| {
+            Db::open(
+                dir,
+                DbOptions {
+                    write_buffer: Some(Arc::clone(&budget)),
+                    // Per-CF budgets far above the shared cap: only the
+                    // shared budget can force the flush.
+                    memtable_budget_bytes: 1 << 30,
+                    ..DbOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let a = mk(&dir_a);
+        let b = mk(&dir_b);
+        for i in 0..30u32 {
+            a.put(Db::DEFAULT_CF, format!("a{i:03}").as_bytes(), &[1u8; 64])
+                .unwrap();
+        }
+        // `a` holds most of the shared budget; writes to `b` push the
+        // total over the cap, and `b` (the observer) sheds its own
+        // largest memtable.
+        for i in 0..40u32 {
+            b.put(Db::DEFAULT_CF, format!("b{i:03}").as_bytes(), &[1u8; 64])
+                .unwrap();
+        }
+        assert!(b.stats().flushes > 0, "shared budget should force a flush");
+        assert!(
+            budget.used_bytes() <= 2 * budget.cap_bytes(),
+            "budget should be shed after flushes: {}",
+            budget.used_bytes()
+        );
+        let used_before_drop = budget.used_bytes();
+        drop(a);
+        assert!(
+            budget.used_bytes() < used_before_drop || used_before_drop == 0,
+            "dropping a Db must return its contribution"
+        );
+        drop(b);
+        assert_eq!(budget.used_bytes(), 0);
+    }
+
+    #[test]
+    fn stats_aggregates_equal_per_cf_sums() {
+        let dir = fresh_dir("statsums");
+        let db = Db::open(&dir, small_opts()).unwrap();
+        let aux = db.create_cf("aux").unwrap();
+        for i in 0..300u32 {
+            db.put(Db::DEFAULT_CF, format!("k{i:04}").as_bytes(), &[3u8; 48])
+                .unwrap();
+            if i % 3 == 0 {
+                db.put(aux, format!("x{i:04}").as_bytes(), &[4u8; 16]).unwrap();
+            }
+        }
+        db.flush().unwrap();
+        db.compact_cf(Db::DEFAULT_CF).unwrap();
+        let s = db.stats();
+        assert_eq!(s.per_cf.len(), s.column_families);
+        assert_eq!(
+            s.memtable_bytes,
+            s.per_cf.iter().map(|c| c.memtable_bytes).sum::<usize>()
+        );
+        assert_eq!(
+            s.memtable_entries,
+            s.per_cf.iter().map(|c| c.memtable_entries).sum::<usize>()
+        );
+        assert_eq!(s.sst_count, s.per_cf.iter().map(|c| c.sst_count).sum::<usize>());
+        assert_eq!(s.sst_entries, s.per_cf.iter().map(|c| c.sst_entries).sum::<u64>());
+        assert_eq!(s.sst_bytes, s.per_cf.iter().map(|c| c.sst_bytes).sum::<u64>());
+        // Stable across repeated snapshots with no writes in between.
+        assert_eq!(db.stats(), db.stats());
+    }
+
+    #[test]
+    fn cf_options_apply_to_manifest_recovered_cfs() {
+        // Filters are attached by *name*, so a reopen re-resolves them for
+        // CFs loaded from the manifest.
+        let dir = fresh_dir("cfoptsreopen");
+        {
+            let db = Db::open(&dir, DbOptions::default()).unwrap();
+            db.put(Db::DEFAULT_CF, b"dead:z", b"1").unwrap();
+            db.put(Db::DEFAULT_CF, b"live:z", b"2").unwrap();
+            db.flush().unwrap();
+        }
+        let opts = DbOptions {
+            cf_options: vec![(
+                "default".to_owned(),
+                CfOptions::default().with_filter(Arc::new(DeadPrefixFilter)),
+            )],
+            ..DbOptions::default()
+        };
+        let db = Db::open(&dir, opts).unwrap();
+        db.compact_cf(Db::DEFAULT_CF).unwrap();
+        assert_eq!(db.get(Db::DEFAULT_CF, b"dead:z").unwrap(), None);
+        assert_eq!(db.get(Db::DEFAULT_CF, b"live:z").unwrap(), Some(b"2".to_vec()));
     }
 }

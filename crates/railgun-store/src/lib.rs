@@ -10,7 +10,10 @@
 //!   ([`sstable`], [`bloom`]),
 //! * newest-wins **merge iterators** across memtable + tables ([`merge`]),
 //! * size-tiered **compaction** ([`db`]),
-//! * **column families** (used by `countDistinct` auxiliary state, §4.1.3),
+//! * **column families** (used by `countDistinct` auxiliary state, §4.1.3)
+//!   with per-CF tuning and compaction filters ([`options`]) — dead state
+//!   (expired windows, unregistered queries) is dropped during merges
+//!   instead of being deleted key-by-key,
 //! * cheap **checkpoints** that flush and snapshot the current tables
 //!   ([`checkpoint`]), matching the paper's observation that checkpoints are
 //!   efficient because data is frequently persisted anyway,
@@ -35,11 +38,13 @@ pub mod checkpoint;
 pub mod db;
 pub mod memtable;
 pub mod merge;
+pub mod options;
 pub mod sstable;
 pub mod torture;
 pub mod vfs;
 pub mod wal;
 
-pub use db::{ColumnFamilyId, Db, DbOptions, DbStats, RecoveryReport};
+pub use db::{CfStats, ColumnFamilyId, Db, DbOptions, DbStats, RecoveryReport};
+pub use options::{CfOptions, CompactionFilter, FilterDecision, WriteBufferBudget};
 pub use vfs::{crash_points, CrashPlan, FaultFs, RealFs, StoreFs};
 pub use wal::WalRecoveryMode;

@@ -1,0 +1,264 @@
+//! Per-column-family tuning and the compaction-filter seam.
+//!
+//! RocksDB deployments tune each column family for its workload instead
+//! of applying one global policy (qdrant's per-CF options wrapper), and
+//! expire dead state by *dropping it during compaction* instead of
+//! issuing point deletes (the Solana blockstore `OldestSlot` pattern):
+//! a delete is a write — it costs a WAL frame, memtable space, and a
+//! tombstone that lives until the next merge — while a compaction-time
+//! drop is free, because the merge was rewriting the entry anyway. This
+//! module gives `railgun-store` both halves:
+//!
+//! * [`CfOptions`] — per-CF memtable budget, compaction trigger, bloom
+//!   density, and an optional [`CompactionFilter`], with profiles tuned
+//!   for Railgun's three CF shapes ([`CfOptions::wide_state`],
+//!   [`CfOptions::aux_sketch`], [`CfOptions::meta`]);
+//! * [`CompactionFilter`] — the seam a full-CF merge consults for every
+//!   surviving live entry;
+//! * [`WriteBufferBudget`] — a process-wide memtable cap shared across
+//!   [`crate::Db`] instances: when the total crosses the cap, the
+//!   observing database flushes its largest memtable.
+//!
+//! ## Filter contract
+//!
+//! A filter decides the fate of **live entries during a full-CF
+//! compaction** — never of memtable or WAL contents. That placement is
+//! what keeps it crash-consistent for free: the merged output SSTable
+//! becomes visible only through the atomic manifest swap, so a crash at
+//! any instant leaves either the unfiltered inputs or the filtered
+//! output, never a third state, and recovery needs no new logic.
+//! For the same reason the filter must be:
+//!
+//! * **pure** — the verdict for a `(key, value)` pair depends only on the
+//!   pair and the filter's *current horizon*, not on time-of-call or I/O;
+//! * **monotonic** — once a horizon admits discarding a key, every later
+//!   horizon must too. A key dropped from the SSTables may still surface
+//!   from the memtable/WAL until the next flush + compaction; monotonic
+//!   horizons make that re-appearance converge to "gone" instead of
+//!   flickering.
+//!
+//! Entries the filter discards simply do not reach the output table —
+//! readers may legally observe them until the compaction lands, so
+//! filters are for state the engine *already* treats as dead (expired
+//! window buckets, unregistered-query leaves), not for user-visible
+//! deletion.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Verdict of a [`CompactionFilter`] for one live entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterDecision {
+    /// Copy the entry into the compacted output.
+    Keep,
+    /// Drop the entry — it does not reach the output SSTable.
+    Discard,
+}
+
+/// Decides, during a full-CF compaction, which live entries survive into
+/// the merged output (see the [module docs](self) for the purity and
+/// monotonicity contract). Tombstones and shadowed versions are already
+/// dropped before the filter runs; it only ever sees the newest live
+/// version of each key.
+pub trait CompactionFilter: Send + Sync {
+    /// Short name for logs/diagnostics (e.g. `"state-horizon"`).
+    fn name(&self) -> &str;
+    /// Fate of the live entry `(key, value)`.
+    fn filter(&self, key: &[u8], value: &[u8]) -> FilterDecision;
+}
+
+impl fmt::Debug for dyn CompactionFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CompactionFilter({})", self.name())
+    }
+}
+
+/// Tuning for one column family. Attach by name via
+/// [`crate::DbOptions::cf_options`] (applies at open and to later
+/// [`crate::Db::create_cf`] calls) or explicitly via
+/// [`crate::Db::create_cf_with`].
+#[derive(Clone)]
+pub struct CfOptions {
+    /// Flush this CF's memtable once its approximate size exceeds this.
+    pub memtable_budget_bytes: usize,
+    /// Compact once the CF accumulates this many SSTables.
+    pub compaction_trigger: usize,
+    /// Bloom filter density for this CF's SSTables.
+    pub bloom_bits_per_key: usize,
+    /// Compaction filter consulted for every live entry during merges.
+    pub filter: Option<Arc<dyn CompactionFilter>>,
+}
+
+impl fmt::Debug for CfOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CfOptions")
+            .field("memtable_budget_bytes", &self.memtable_budget_bytes)
+            .field("compaction_trigger", &self.compaction_trigger)
+            .field("bloom_bits_per_key", &self.bloom_bits_per_key)
+            .field("filter", &self.filter.as_ref().map(|flt| flt.name().to_owned()))
+            .finish()
+    }
+}
+
+impl Default for CfOptions {
+    fn default() -> Self {
+        CfOptions {
+            memtable_budget_bytes: 4 << 20,
+            compaction_trigger: 4,
+            bloom_bits_per_key: 10,
+            filter: None,
+        }
+    }
+}
+
+impl CfOptions {
+    /// Profile for the wide per-entity aggregation-state CF: the write
+    /// stream is large and key-diverse, so it gets the big memtable (few,
+    /// large SSTables) and a moderate trigger — compactions are where
+    /// expired window buckets are reclaimed, so they must not be starved.
+    pub fn wide_state() -> Self {
+        CfOptions {
+            memtable_budget_bytes: 4 << 20,
+            compaction_trigger: 4,
+            bloom_bits_per_key: 10,
+            filter: None,
+        }
+    }
+
+    /// Profile for the aux/sketch CF (`countDistinct` per-value counters
+    /// and serialized sketch blobs): point-lookup heavy, so denser blooms;
+    /// smaller memtable so aux state cannot crowd out the state CF; a
+    /// higher trigger because its SSTables are small and merge cheaply.
+    pub fn aux_sketch() -> Self {
+        CfOptions {
+            memtable_budget_bytes: 1 << 20,
+            compaction_trigger: 6,
+            bloom_bits_per_key: 12,
+            filter: None,
+        }
+    }
+
+    /// Profile for tiny metadata CFs (horizons, dead-leaf markers): a
+    /// handful of keys, rewritten rarely — flush small and compact
+    /// eagerly so the CF stays a single table.
+    pub fn meta() -> Self {
+        CfOptions {
+            memtable_budget_bytes: 64 << 10,
+            compaction_trigger: 2,
+            bloom_bits_per_key: 8,
+            filter: None,
+        }
+    }
+
+    /// This profile with `filter` installed.
+    pub fn with_filter(mut self, filter: Arc<dyn CompactionFilter>) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+}
+
+/// A process-wide memtable cap shared by any number of [`crate::Db`]
+/// instances (one per task processor on a node).
+///
+/// Every database reports its total memtable footprint after each write
+/// and flush; when the shared total crosses `cap`, the database that
+/// observed the crossing flushes its own largest memtable — the cheapest
+/// local action that frees the most of the shared budget (RocksDB's
+/// `write_buffer_manager` behaves the same way). Accounting uses relaxed
+/// atomics: the cap is a resource bound, not a synchronization point, and
+/// a transiently stale total only shifts *which* write triggers the
+/// flush.
+#[derive(Debug)]
+pub struct WriteBufferBudget {
+    cap_bytes: usize,
+    used: AtomicUsize,
+}
+
+impl WriteBufferBudget {
+    /// A budget capping the process-wide memtable total at `cap_bytes`.
+    pub fn new(cap_bytes: usize) -> Arc<Self> {
+        Arc::new(WriteBufferBudget {
+            cap_bytes,
+            used: AtomicUsize::new(0),
+        })
+    }
+
+    /// The configured cap.
+    pub fn cap_bytes(&self) -> usize {
+        self.cap_bytes
+    }
+
+    /// Current process-wide total of reported memtable bytes.
+    pub fn used_bytes(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// True iff the reported total exceeds the cap.
+    pub fn over(&self) -> bool {
+        self.used_bytes() > self.cap_bytes
+    }
+
+    /// Replace a database's previous contribution (`old`) with `new`,
+    /// returning `new` for the caller to remember.
+    pub(crate) fn report(&self, old: usize, new: usize) -> usize {
+        if new >= old {
+            self.used.fetch_add(new - old, Ordering::Relaxed);
+        } else {
+            self.used.fetch_sub(old - new, Ordering::Relaxed);
+        }
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_tracks_contributions() {
+        let b = WriteBufferBudget::new(1000);
+        let mut mine = 0;
+        mine = b.report(mine, 400);
+        assert_eq!(b.used_bytes(), 400);
+        assert!(!b.over());
+        mine = b.report(mine, 1200);
+        assert_eq!(b.used_bytes(), 1200);
+        assert!(b.over());
+        b.report(mine, 0);
+        assert_eq!(b.used_bytes(), 0);
+    }
+
+    #[test]
+    fn budget_is_shared_across_reporters() {
+        let b = WriteBufferBudget::new(1000);
+        let a = b.report(0, 600);
+        let c = b.report(0, 600);
+        assert!(b.over());
+        b.report(a, 0);
+        assert!(!b.over());
+        b.report(c, 0);
+        assert_eq!(b.used_bytes(), 0);
+    }
+
+    #[test]
+    fn profiles_are_distinct_and_debuggable() {
+        let w = CfOptions::wide_state();
+        let x = CfOptions::aux_sketch();
+        let m = CfOptions::meta();
+        assert!(w.memtable_budget_bytes > x.memtable_budget_bytes);
+        assert!(x.memtable_budget_bytes > m.memtable_budget_bytes);
+        assert!(x.bloom_bits_per_key > w.bloom_bits_per_key);
+        struct Nop;
+        impl CompactionFilter for Nop {
+            fn name(&self) -> &str {
+                "nop"
+            }
+            fn filter(&self, _: &[u8], _: &[u8]) -> FilterDecision {
+                FilterDecision::Keep
+            }
+        }
+        let dbg = format!("{:?}", w.with_filter(Arc::new(Nop)));
+        assert!(dbg.contains("nop"), "{dbg}");
+    }
+}

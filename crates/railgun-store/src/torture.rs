@@ -5,7 +5,7 @@
 //! only as good as their tests. This module proves them by brute force:
 //!
 //! 1. **Profile pass** — run a fixed mixed put/delete/flush/compact/
-//!    checkpoint workload ([`build_workload`]) over an *unarmed*
+//!    expire/checkpoint workload ([`build_workload`]) over an *unarmed*
 //!    [`FaultFs`], counting how often every registered crash point
 //!    ([`crash_points::ALL`]) is reached. Every point must be hit at
 //!    least once — a point the workload cannot reach is a hole in the
@@ -31,18 +31,32 @@
 //! is fsynced. That is what licenses the loss check — anything the model
 //! recorded as acked *must* survive.
 //!
+//! Both column families carry a watermark-driven [`CompactionFilter`]:
+//! [`Op::ExpireBefore`] advances a shared atomic horizon, and compactions
+//! drop *expirable* keys (a fixed subset of the key space) whose value
+//! tick is below it — the store's capacity-reclaim path. The verification
+//! contract extends accordingly: an acked expired key may read back as
+//! its acked value **or** be absent (the filter ran), never anything
+//! else; non-expirable and fresh keys stay exact. After recovery the
+//! harness additionally forces a flush + compaction of both CFs at the
+//! crash-time horizon and asserts every expired key is gone and every
+//! live one intact — filtered keys never resurrect, live keys are never
+//! lost.
+//!
 //! Shared by the `crash_torture` integration test (every point, every
 //! time) and the `fig_recovery` bench (which additionally reports
 //! recovery wall-times, committed as `BENCH_recovery.json`).
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use railgun_types::{RailgunError, Result};
 
 use crate::db::{Db, DbOptions, RecoveryReport};
+use crate::options::{CfOptions, CompactionFilter, FilterDecision};
 use crate::vfs::{crash_points, is_injected, CrashPlan, FaultFs, RealFs, StoreFs};
 
 /// One operation of the deterministic torture workload.
@@ -57,8 +71,52 @@ pub enum Op {
     Flush,
     /// Compact both column families.
     Compact,
+    /// Advance the shared expiry horizon to tick `.0` — expirable keys
+    /// whose last acked tick is below it become eligible for
+    /// compaction-filter discard.
+    ExpireBefore(u64),
     /// Create checkpoint number `.0` next to the database.
     Checkpoint(u32),
+}
+
+/// Keys in this subset of the 41-key space are subject to expiry (both
+/// column families) — `key0010`, `key0025`, `key0040` land in aux.
+fn expirable(key: u64) -> bool {
+    key % 3 == 1
+}
+
+/// Parse `key{k:04}` back to `k`.
+fn parse_key_no(key: &[u8]) -> Option<u64> {
+    let digits = key.strip_prefix(b"key")?;
+    std::str::from_utf8(digits).ok()?.parse().ok()
+}
+
+/// Parse the tick out of `val{k:04}-{tick:08}-…` (bytes 8..16).
+fn value_tick(value: &[u8]) -> Option<u64> {
+    std::str::from_utf8(value.get(8..16)?).ok()?.parse().ok()
+}
+
+/// The torture workload's watermark filter: discard expirable keys whose
+/// value tick is below the shared horizon. Pure (verdict depends only on
+/// the key/value pair and the current horizon) and monotonic (the
+/// horizon only advances) — the [`CompactionFilter`] contract.
+#[derive(Debug)]
+pub struct TortureFilter {
+    horizon: Arc<AtomicU64>,
+}
+
+impl CompactionFilter for TortureFilter {
+    fn name(&self) -> &str {
+        "torture-expiry"
+    }
+    fn filter(&self, key: &[u8], value: &[u8]) -> FilterDecision {
+        match (parse_key_no(key), value_tick(value)) {
+            (Some(k), Some(t)) if expirable(k) && t < self.horizon.load(Ordering::Relaxed) => {
+                FilterDecision::Discard
+            }
+            _ => FilterDecision::Keep,
+        }
+    }
 }
 
 /// splitmix64 — the same tiny PRNG [`FaultFs`] uses for tear lengths.
@@ -83,6 +141,12 @@ pub fn build_workload(n: usize) -> Vec<Op> {
         if i % 97 == 96 {
             out.push(Op::Checkpoint(ckpt));
             ckpt += 1;
+        } else if i % 61 == 60 {
+            // Trail the workload by a fixed lag so some (not all) keys'
+            // latest writes fall below the horizon — the 41-key space is
+            // recycled fast, so a short lag keeps both populations
+            // (expired and live expirable keys) present at compactions.
+            out.push(Op::ExpireBefore((i as u64).saturating_sub(55)));
         } else if i % 53 == 52 {
             out.push(Op::Compact);
         } else if i % 31 == 30 {
@@ -118,13 +182,28 @@ fn value_bytes(key: u64, tick: u64) -> Vec<u8> {
 /// Store tuning for the torture workload: a tiny memtable budget so
 /// automatic flushes and compactions fire constantly, and `sync_wal` so
 /// every acknowledged write is durable by contract — the property the
-/// sweep asserts.
+/// sweep asserts. A zero horizon makes the expiry filter a no-op.
 pub fn torture_opts(fs: Arc<dyn StoreFs>) -> DbOptions {
+    torture_opts_with(fs, Arc::new(AtomicU64::new(0)))
+}
+
+/// [`torture_opts`] with the [`TortureFilter`] installed on both column
+/// families at the given shared horizon.
+pub fn torture_opts_with(fs: Arc<dyn StoreFs>, horizon: Arc<AtomicU64>) -> DbOptions {
+    let cf = |horizon: &Arc<AtomicU64>| CfOptions {
+        memtable_budget_bytes: 1024,
+        compaction_trigger: 3,
+        ..CfOptions::default()
+    }
+    .with_filter(Arc::new(TortureFilter {
+        horizon: Arc::clone(horizon),
+    }));
     DbOptions {
         memtable_budget_bytes: 1024,
         compaction_trigger: 3,
         sync_wal: true,
         fs,
+        cf_options: vec![("default".to_owned(), cf(&horizon)), ("aux".to_owned(), cf(&horizon))],
         ..DbOptions::default()
     }
 }
@@ -141,8 +220,11 @@ type Model = HashMap<ModelKey, Option<Vec<u8>>>;
 #[derive(Debug, Default)]
 struct RunState {
     model: Model,
-    /// Model snapshot at each *acknowledged* checkpoint.
-    ckpts: Vec<(u32, Model)>,
+    /// Expiry horizon at the crash (acked `ExpireBefore` high-water mark).
+    horizon: u64,
+    /// `(index, model, horizon)` snapshot at each *acknowledged*
+    /// checkpoint.
+    ckpts: Vec<(u32, Model, u64)>,
     /// Checkpoint in flight when the crash tripped.
     pending_ckpt: Option<u32>,
     /// KV op in flight when the crash tripped: target and intended new
@@ -150,6 +232,13 @@ struct RunState {
     pending_kv: Option<PendingKv>,
     acked_ops: usize,
     tripped: bool,
+}
+
+/// True iff the acked state `(key, value)` is fair game for the filter
+/// at `horizon` — such a key may legally read back as absent.
+fn may_expire(key: &[u8], value: &[u8], horizon: u64) -> bool {
+    parse_key_no(key).is_some_and(expirable)
+        && value_tick(value).is_some_and(|t| t < horizon)
 }
 
 /// Outcome of torturing one crash plan.
@@ -184,7 +273,11 @@ fn err(plan: &str, msg: String) -> RailgunError {
 
 fn run_workload(root: &Path, fs: Arc<dyn StoreFs>, ops: &[Op]) -> Result<RunState> {
     let mut st = RunState::default();
-    let db = match Db::open(&root.join("db"), torture_opts(Arc::clone(&fs))) {
+    let horizon = Arc::new(AtomicU64::new(0));
+    let db = match Db::open(
+        &root.join("db"),
+        torture_opts_with(Arc::clone(&fs), Arc::clone(&horizon)),
+    ) {
         Ok(db) => db,
         Err(e) if is_injected(&e) => {
             st.tripped = true;
@@ -229,10 +322,17 @@ fn run_workload(root: &Path, fs: Arc<dyn StoreFs>, ops: &[Op]) -> Result<RunStat
             Op::Compact => db
                 .compact_cf(Db::DEFAULT_CF)
                 .and_then(|()| db.compact_cf(aux)),
+            Op::ExpireBefore(t) => {
+                // Purely in-memory: cannot trip a storage fault, takes
+                // effect at the next compaction.
+                horizon.fetch_max(*t, Ordering::Relaxed);
+                st.horizon = st.horizon.max(*t);
+                Ok(())
+            }
             Op::Checkpoint(ix) => {
                 let res = db.checkpoint(&root.join(format!("ckpt-{ix}")));
                 if res.is_ok() {
-                    st.ckpts.push((*ix, st.model.clone()));
+                    st.ckpts.push((*ix, st.model.clone(), st.horizon));
                 } else {
                     st.pending_ckpt = Some(*ix);
                 }
@@ -252,9 +352,10 @@ fn run_workload(root: &Path, fs: Arc<dyn StoreFs>, ops: &[Op]) -> Result<RunStat
 }
 
 /// Check `db` against an exact expected state (used for checkpoints,
-/// where no op can be in flight).
-fn verify_exact(plan: &str, db: &Db, model: &Model) -> Result<()> {
-    verify_state(plan, db, model, None)
+/// where no op can be in flight), relaxed only by the expiry horizon in
+/// force when the snapshot was taken.
+fn verify_exact(plan: &str, db: &Db, model: &Model, horizon: u64) -> Result<()> {
+    verify_state(plan, db, model, None, horizon)
 }
 
 fn verify_state(
@@ -262,6 +363,7 @@ fn verify_state(
     db: &Db,
     model: &Model,
     pending: Option<&PendingKv>,
+    horizon: u64,
 ) -> Result<()> {
     let aux_cf = db.cf_by_name("aux");
     let get = |a: bool, k: &[u8]| -> Result<Option<Vec<u8>>> {
@@ -274,22 +376,31 @@ fn verify_state(
     if aux_cf.is_none() && model.keys().any(|(a, _)| *a) {
         return Err(err(plan, "acknowledged aux column family lost".into()));
     }
-    // Every acked write must read back exactly.
+    // Every acked write must read back exactly — except an acked value
+    // below the expiry horizon, which the compaction filter may already
+    // have reclaimed: its acked value or absence are both legal, nothing
+    // else is.
     for (id @ (a, k), expect) in model {
         if pending.is_some_and(|(pid, _)| pid == id) {
             continue; // re-targeted by the in-flight op, checked below
         }
         let got = get(*a, k)?;
         if got.as_deref() != expect.as_deref() {
-            return Err(err(
-                plan,
-                format!(
-                    "acked write lost: cf(aux={a}) key {:?} expected {:?} got {:?}",
-                    String::from_utf8_lossy(k),
-                    expect.as_ref().map(|v| v.len()),
-                    got.as_ref().map(|v| v.len())
-                ),
-            ));
+            let expired_ok = got.is_none()
+                && expect
+                    .as_deref()
+                    .is_some_and(|v| may_expire(k, v, horizon));
+            if !expired_ok {
+                return Err(err(
+                    plan,
+                    format!(
+                        "acked write lost: cf(aux={a}) key {:?} expected {:?} got {:?}",
+                        String::from_utf8_lossy(k),
+                        expect.as_ref().map(|v| v.len()),
+                        got.as_ref().map(|v| v.len())
+                    ),
+                ));
+            }
         }
     }
     // The in-flight op may have landed or not — both are legal, nothing
@@ -339,14 +450,18 @@ fn verify_state(
 
 fn recover_and_verify(plan: &str, root: &Path, st: &RunState) -> Result<(RecoveryReport, u128)> {
     let t0 = Instant::now();
-    let db = Db::open(&root.join("db"), torture_opts(RealFs::shared()))
-        .map_err(|e| err(plan, format!("recovery open failed: {e}")))?;
+    let db = Db::open(
+        &root.join("db"),
+        torture_opts_with(RealFs::shared(), Arc::new(AtomicU64::new(st.horizon))),
+    )
+    .map_err(|e| err(plan, format!("recovery open failed: {e}")))?;
     let micros = t0.elapsed().as_micros();
     db.verify_integrity()
         .map_err(|e| err(plan, format!("integrity check failed: {e}")))?;
-    verify_state(plan, &db, &st.model, st.pending_kv.as_ref())?;
-    // Acked checkpoints must be complete and restore byte-exactly.
-    for (ix, snap) in &st.ckpts {
+    verify_state(plan, &db, &st.model, st.pending_kv.as_ref(), st.horizon)?;
+    // Acked checkpoints must be complete and restore byte-exactly (up to
+    // expiry at their snapshot horizon).
+    for (ix, snap, snap_horizon) in &st.ckpts {
         let target = root.join(format!("ckpt-{ix}"));
         if !crate::checkpoint::is_complete(&RealFs, &target) {
             return Err(err(plan, format!("acked checkpoint {ix} is incomplete")));
@@ -354,7 +469,7 @@ fn recover_and_verify(plan: &str, root: &Path, st: &RunState) -> Result<(Recover
         let cdb = Db::open(&target, torture_opts(RealFs::shared()))?;
         cdb.verify_integrity()
             .map_err(|e| err(plan, format!("checkpoint {ix} corrupt: {e}")))?;
-        verify_exact(plan, &cdb, snap)?;
+        verify_exact(plan, &cdb, snap, *snap_horizon)?;
     }
     // An interrupted checkpoint is either detectably incomplete (the
     // restore path falls back to replay) or fully correct — never a
@@ -365,7 +480,55 @@ fn recover_and_verify(plan: &str, root: &Path, st: &RunState) -> Result<(Recover
             let cdb = Db::open(&target, torture_opts(RealFs::shared()))?;
             cdb.verify_integrity()
                 .map_err(|e| err(plan, format!("interrupted checkpoint {ix} corrupt: {e}")))?;
-            verify_exact(plan, &cdb, &st.model)?;
+            verify_exact(plan, &cdb, &st.model, st.horizon)?;
+        }
+    }
+    // Reclaim check: force a flush + filtered compaction of both CFs at
+    // the crash-time horizon. Every expired acked key must now be gone
+    // (filtered keys never resurrect — not from leftover input tables,
+    // not from the WAL) and every live acked key must read back exactly
+    // (the filter never eats live data).
+    db.flush()
+        .map_err(|e| err(plan, format!("post-recovery flush failed: {e}")))?;
+    db.compact_cf(Db::DEFAULT_CF)
+        .map_err(|e| err(plan, format!("post-recovery compact failed: {e}")))?;
+    if let Some(aux) = db.cf_by_name("aux") {
+        db.compact_cf(aux)
+            .map_err(|e| err(plan, format!("post-recovery aux compact failed: {e}")))?;
+    }
+    let aux_cf = db.cf_by_name("aux");
+    for (id @ (a, k), expect) in &st.model {
+        if st.pending_kv.as_ref().is_some_and(|(pid, _)| pid == id) {
+            continue;
+        }
+        let got = match (a, aux_cf) {
+            (false, _) => db.get(Db::DEFAULT_CF, k)?,
+            (true, Some(cf)) => db.get(cf, k)?,
+            (true, None) => None,
+        };
+        match expect.as_deref() {
+            Some(v) if may_expire(k, v, st.horizon) => {
+                if got.is_some() {
+                    return Err(err(
+                        plan,
+                        format!(
+                            "expired key {:?} survived post-recovery compaction",
+                            String::from_utf8_lossy(k)
+                        ),
+                    ));
+                }
+            }
+            other => {
+                if got.as_deref() != other {
+                    return Err(err(
+                        plan,
+                        format!(
+                            "live key {:?} damaged by post-recovery compaction",
+                            String::from_utf8_lossy(k)
+                        ),
+                    ));
+                }
+            }
         }
     }
     Ok((db.recovery_report().clone(), micros))
@@ -474,6 +637,36 @@ mod tests {
         assert!(count(|o| matches!(o, Op::Flush)) >= 10);
         assert!(count(|o| matches!(o, Op::Compact)) >= 5);
         assert!(count(|o| matches!(o, Op::Checkpoint(_))) >= 4);
+        // Enough horizon advances that some land above tick 0 (the first
+        // two saturate to 0) — otherwise the filtered-compaction crash
+        // points are unreachable.
+        assert!(count(|o| matches!(o, Op::ExpireBefore(t) if *t > 0)) >= 3);
+    }
+
+    #[test]
+    fn filter_predicates_parse_workload_values() {
+        assert_eq!(parse_key_no(&key_bytes(7)), Some(7));
+        assert_eq!(parse_key_no(b"nope"), None);
+        assert_eq!(value_tick(&value_bytes(7, 123)), Some(123));
+        assert_eq!(value_tick(b"short"), None);
+        assert!(expirable(10) && expirable(25) && expirable(40));
+        assert!(!expirable(9));
+        let horizon = Arc::new(AtomicU64::new(100));
+        let f = TortureFilter {
+            horizon: Arc::clone(&horizon),
+        };
+        assert_eq!(
+            f.filter(&key_bytes(10), &value_bytes(10, 50)),
+            FilterDecision::Discard
+        );
+        assert_eq!(
+            f.filter(&key_bytes(10), &value_bytes(10, 150)),
+            FilterDecision::Keep
+        );
+        assert_eq!(
+            f.filter(&key_bytes(9), &value_bytes(9, 50)),
+            FilterDecision::Keep
+        );
     }
 
     #[test]

@@ -265,6 +265,16 @@ pub mod crash_points {
     /// Compaction: manifest updated, input SSTables not yet deleted (the
     /// orphan-quarantine path at next open).
     pub const COMPACT_BEFORE_REMOVE_OLD: &str = "compact:before-remove-old";
+    /// Filtered compaction: the merged table omits filter-discarded
+    /// entries but the manifest still references the unfiltered inputs —
+    /// recovery must keep serving the filtered keys from the inputs.
+    /// Fires only when the compaction actually dropped entries.
+    pub const COMPACT_FILTERED_BEFORE_MANIFEST: &str = "compact:filtered-before-manifest";
+    /// Filtered compaction: manifest swapped to the filtered output —
+    /// the dropped keys must never resurrect, even with the input tables
+    /// still on disk (quarantined at the next open). Fires only when the
+    /// compaction actually dropped entries.
+    pub const COMPACT_FILTERED_AFTER_MANIFEST: &str = "compact:filtered-after-manifest";
     /// Checkpoint: before each file is linked/copied into the target (hit
     /// `k` freezes with `k - 1` files present — a partial checkpoint).
     pub const CHECKPOINT_MID_COPY: &str = "checkpoint:mid-copy";
@@ -286,6 +296,8 @@ pub mod crash_points {
         FLUSH_BEFORE_MANIFEST,
         FLUSH_BEFORE_WAL_TRUNCATE,
         COMPACT_BEFORE_MANIFEST,
+        COMPACT_FILTERED_BEFORE_MANIFEST,
+        COMPACT_FILTERED_AFTER_MANIFEST,
         COMPACT_BEFORE_REMOVE_OLD,
         CHECKPOINT_MID_COPY,
         CHECKPOINT_BEFORE_WAL_CREATE,
@@ -717,6 +729,6 @@ mod tests {
         for p in crash_points::ALL {
             assert!(seen.insert(*p), "duplicate crash point {p}");
         }
-        assert_eq!(crash_points::ALL.len(), 15);
+        assert_eq!(crash_points::ALL.len(), 17);
     }
 }

@@ -31,7 +31,13 @@
 //!   refuses to guess.
 //!
 //! The WAL is truncated after a successful flush of all memtables (its
-//! contents are then fully covered by SSTables).
+//! contents are then fully covered by SSTables). A *partial* flush (only
+//! some column families, see per-CF budgets in [`crate::CfOptions`])
+//! instead **rewrites** the log atomically with just the surviving
+//! memtables' records ([`Wal::rewrite`]): write a sibling `*.tmp`, fsync,
+//! rename over the log, fsync the directory. A crash anywhere leaves
+//! either the old log (replay is idempotent over already-flushed data) or
+//! the new one — never a torn mix.
 //!
 //! All file I/O goes through the [`StoreFs`] seam so crash behaviour is
 //! testable ([`crate::vfs`]).
@@ -196,6 +202,67 @@ impl Wal {
         self.fs.truncate(&self.path, 0)?;
         self.out = BufWriter::new(self.fs.open_append(&self.path)?);
         self.appended_bytes = 0;
+        Ok(())
+    }
+
+    /// Atomically replace the log's contents with `records` (`cf`, key,
+    /// `Some(value)` = put / `None` = delete) — the partial-flush path:
+    /// after flushing a *subset* of the memtables, the log must keep
+    /// covering the column families that did not flush, so it is rebuilt
+    /// from their surviving entries instead of being truncated.
+    ///
+    /// Crash safety: the new log is written to a sibling `*.tmp` and
+    /// fsynced before an atomic rename over the live log, followed by a
+    /// directory fsync. A crash before the rename leaves the old log
+    /// (whose extra records replay idempotently over the flushed
+    /// SSTables); after it, the new one. The open-time sweep removes a
+    /// stale `*.tmp` either way.
+    pub fn rewrite<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = (u32, &'a [u8], Option<&'a [u8]>)>,
+    ) -> Result<()> {
+        self.out.flush()?;
+        let file_name = self
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "wal.log".to_owned());
+        let tmp = self.path.with_file_name(format!("{file_name}.tmp"));
+        let mut bytes: u64 = 0;
+        {
+            let mut out = BufWriter::new(self.fs.create(&tmp)?);
+            for (cf, key, value) in records {
+                self.scratch.clear();
+                self.scratch.put_u32_le(cf);
+                match value {
+                    Some(v) => {
+                        self.scratch.put_u8(OP_PUT);
+                        put_uvarint(&mut self.scratch, key.len() as u64);
+                        self.scratch.put_slice(key);
+                        put_uvarint(&mut self.scratch, v.len() as u64);
+                        self.scratch.put_slice(v);
+                    }
+                    None => {
+                        self.scratch.put_u8(OP_DELETE);
+                        put_uvarint(&mut self.scratch, key.len() as u64);
+                        self.scratch.put_slice(key);
+                    }
+                }
+                let crc = crc32c(&self.scratch);
+                out.write_all(&(self.scratch.len() as u32).to_le_bytes())?;
+                out.write_all(&crc.to_le_bytes())?;
+                out.write_all(&self.scratch)?;
+                bytes += 8 + self.scratch.len() as u64;
+            }
+            out.flush()?;
+            out.get_mut().sync_all()?;
+        }
+        self.fs.rename(&tmp, &self.path)?;
+        if let Some(parent) = self.path.parent() {
+            self.fs.sync_dir(parent)?;
+        }
+        self.out = BufWriter::new(self.fs.open_append(&self.path)?);
+        self.appended_bytes = bytes;
         Ok(())
     }
 

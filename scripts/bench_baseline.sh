@@ -31,6 +31,13 @@
 # downtime p99 by at least 5x with zero handover fallbacks and zero
 # acked-event loss; the fresh smoke run must clear a loose 2x floor.
 #
+# And the capacity guard (PR 10): the committed BENCH_capacity.json must
+# show watermark-filtered expiry strictly below point-delete expiry on
+# mean state bytes at the largest window span, a bucket-boundary expiry
+# stall at least 10x shorter, a nonzero filter-drop count, and a put p99
+# inside the SLO; the fresh smoke run re-checks drops and the stall
+# ratio (both hardware-independent at a loose 2x floor).
+#
 # Usage:
 #   scripts/bench_baseline.sh          # smoke mode (CI): tiny N
 #   scripts/bench_baseline.sh --full   # full measurement run
@@ -53,6 +60,7 @@ INGEST_OUT="$(pwd)/target/bench_ingest_smoke.json"
 RECOVERY_OUT="$(pwd)/target/bench_recovery_smoke.json"
 SKETCH_OUT="$(pwd)/target/bench_sketch_smoke.json"
 REBALANCE_OUT="$(pwd)/target/bench_rebalance_smoke.json"
+CAPACITY_OUT="$(pwd)/target/bench_capacity_smoke.json"
 # shellcheck disable=SC2086  # MODE_ARGS is intentionally word-split
 cargo bench -p railgun-bench --bench fig_hotpath -- $MODE_ARGS --out "$OUT"
 # shellcheck disable=SC2086
@@ -67,6 +75,8 @@ cargo bench -p railgun-bench --bench fig_recovery -- $MODE_ARGS --out "$RECOVERY
 cargo bench -p railgun-bench --bench fig_sketch -- $MODE_ARGS --out "$SKETCH_OUT"
 # shellcheck disable=SC2086
 cargo bench -p railgun-bench --bench fig_rebalance -- $MODE_ARGS --out "$REBALANCE_OUT"
+# shellcheck disable=SC2086
+cargo bench -p railgun-bench --bench fig_capacity -- $MODE_ARGS --out "$CAPACITY_OUT"
 
 validate() {
   f="$1"
@@ -88,6 +98,7 @@ validate "$INGEST_OUT"
 validate "$RECOVERY_OUT"
 validate "$SKETCH_OUT"
 validate "$REBALANCE_OUT"
+validate "$CAPACITY_OUT"
 validate BENCH_hotpath.json
 validate BENCH_scaling.json
 validate BENCH_latency.json
@@ -95,6 +106,7 @@ validate BENCH_ingest.json
 validate BENCH_recovery.json
 validate BENCH_sketch.json
 validate BENCH_rebalance.json
+validate BENCH_capacity.json
 
 # Telemetry-off hot-path guard. The benches run with telemetry disabled
 # (the default), so the fresh in-order ingest rate should be in the same
@@ -283,4 +295,66 @@ sys.exit(0 if ok else 1)
 EOF
 else
   echo "skip: rebalance guard needs python3"
+fi
+
+# Capacity guard. The committed full-run BENCH_capacity.json comes from
+# one machine and one run (both arms interleaved), so its checks are
+# exact:
+#  1. State: at the largest span, the filtered arm's mean state bytes
+#     must be strictly below the deletes arm's — the tombstone garbage
+#     the filter never writes.
+#  2. Expiry stall: the delete storm at bucket boundaries must cost at
+#     least 10x the watermark advance at the largest span (it grows with
+#     span; the atomic store does not).
+#  3. The filter must have actually dropped entries at every span, and
+#     both arms must agree on the end-of-run live key count (the bench
+#     itself asserts exact convergence).
+#  4. SLO: the filtered arm's put p99 stays under 2 ms at every span.
+# The fresh smoke run re-checks drops, convergence, and a loose 2x stall
+# ratio (hardware-independent; state curves come from the committed full
+# run).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$CAPACITY_OUT" <<'EOF'
+import json, sys
+
+ok = True
+committed = json.load(open("BENCH_capacity.json"))["measured"]["by_span"]
+largest = max(committed, key=lambda r: r["span_buckets"])
+flt, dele = largest["filtered"], largest["deletes"]
+good = flt["state_bytes_mean"] < dele["state_bytes_mean"]
+ok &= good
+print(f"{'ok' if good else 'FAIL'}: committed span {largest['span_buckets']}: filtered mean state "
+      f"{flt['state_bytes_mean']} B < deletes {dele['state_bytes_mean']} B")
+ratio = dele["expiry_stall_p99_us"] / max(1e-9, flt["expiry_stall_p99_us"])
+good = ratio >= 10
+ok &= good
+print(f"{'ok' if good else 'FAIL'}: committed span {largest['span_buckets']}: expiry stall p99 "
+      f"{dele['expiry_stall_p99_us']} us (deletes) vs {flt['expiry_stall_p99_us']} us "
+      f"(filtered), {ratio:.0f}x (need >= 10x)")
+for name, rows, stall_floor in (("committed", committed, 10),
+                                ("fresh", json.load(open(sys.argv[1]))["measured"]["by_span"], 2)):
+    for r in rows:
+        f, d = r["filtered"], r["deletes"]
+        good = f["filter_dropped"] > 0
+        ok &= good
+        print(f"{'ok' if good else 'FAIL'}: {name} span {r['span_buckets']}: "
+              f"filter dropped {f['filter_dropped']} entries (need > 0)")
+        good = f["live_keys_end"] == d["live_keys_end"]
+        ok &= good
+        print(f"{'ok' if good else 'FAIL'}: {name} span {r['span_buckets']}: live keys "
+              f"{f['live_keys_end']} (filtered) == {d['live_keys_end']} (deletes)")
+        sr = d["expiry_stall_p99_us"] / max(1e-9, f["expiry_stall_p99_us"])
+        good = sr >= stall_floor
+        ok &= good
+        print(f"{'ok' if good else 'FAIL'}: {name} span {r['span_buckets']}: stall ratio "
+              f"{sr:.0f}x (floor {stall_floor}x)")
+for r in committed:
+    good = r["filtered"]["put_p99_us"] <= 2000
+    ok &= good
+    print(f"{'ok' if good else 'FAIL'}: committed span {r['span_buckets']}: filtered put p99 "
+          f"{r['filtered']['put_p99_us']} us <= 2000 us SLO")
+sys.exit(0 if ok else 1)
+EOF
+else
+  echo "skip: capacity guard needs python3"
 fi
